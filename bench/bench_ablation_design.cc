@@ -1,0 +1,108 @@
+// Design-choice ablations beyond the paper's figures (DESIGN.md §7):
+//   1. bucket representative value: midpoint (paper's Fig. 3) vs data-mean;
+//   2. selector granularity: element vs vertex (paper's pick) vs matrix,
+//      trading selector overhead against reconstruction accuracy;
+//   3. trend period T_tr sweep around the paper's default 10;
+//   4. GCN vs GraphSAGE under identical EC compression (Section V-A says
+//      both models "enjoy similar performance improvements").
+// All runs: pubmed-sim, 2-layer, 6 workers.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/trainer.h"
+
+using ecg::bench::kDefaultWorkers;
+using ecg::core::TrainOptions;
+
+namespace {
+
+void Report(const char* group, const char* label,
+            const ecg::core::TrainResult& r) {
+  std::printf("%-22s %-14s best_test=%.4f conv_epoch=%3u conv_time=%ss "
+              "comm=%s\n",
+              group, label, r.test_acc_at_best_val, r.ConvergenceEpoch(),
+              ecg::bench::FormatSeconds(r.ConvergenceSeconds()).c_str(),
+              ecg::bench::FormatBytes(r.total_comm_bytes).c_str());
+  std::fflush(stdout);
+}
+
+TrainOptions Base() {
+  TrainOptions opt;
+  opt.model = ecg::bench::ModelFor("pubmed-sim", 2);
+  opt.fp_mode = ecg::core::FpMode::kReqEc;
+  opt.bp_mode = ecg::core::BpMode::kResEc;
+  opt.exchange.fp_bits = 2;
+  opt.exchange.bp_bits = 2;
+  opt.epochs = ecg::bench::ScaledEpochs(50);
+  opt.patience = 10;
+  return opt;
+}
+
+}  // namespace
+
+int main() {
+  ecg::bench::PrintHeader(
+      "Design-choice ablations (pubmed-sim, 2-layer, ReqEC+ResEC @ 2 bits)");
+  const ecg::graph::Graph& g = ecg::bench::LoadGraphCached("pubmed-sim");
+
+  // 1) bucket value mode.
+  for (auto mode : {ecg::compress::BucketValueMode::kMidpoint,
+                    ecg::compress::BucketValueMode::kDataMean}) {
+    TrainOptions opt = Base();
+    opt.exchange.value_mode = mode;
+    auto r = ecg::core::TrainDistributed(g, kDefaultWorkers, opt);
+    r.status().CheckOk();
+    Report("bucket-value",
+           mode == ecg::compress::BucketValueMode::kMidpoint ? "midpoint"
+                                                             : "data-mean",
+           *r);
+  }
+
+  // 2) selector granularity.
+  for (auto granularity : {ecg::core::SelectorGranularity::kElement,
+                           ecg::core::SelectorGranularity::kVertex,
+                           ecg::core::SelectorGranularity::kMatrix}) {
+    TrainOptions opt = Base();
+    opt.exchange.selector = granularity;
+    auto r = ecg::core::TrainDistributed(g, kDefaultWorkers, opt);
+    r.status().CheckOk();
+    const char* label =
+        granularity == ecg::core::SelectorGranularity::kElement ? "element"
+        : granularity == ecg::core::SelectorGranularity::kVertex
+            ? "vertex"
+            : "matrix";
+    Report("selector", label, *r);
+  }
+
+  // 3) trend period.
+  for (uint32_t t_tr : {5u, 10u, 20u}) {
+    TrainOptions opt = Base();
+    opt.exchange.trend_period = t_tr;
+    auto r = ecg::core::TrainDistributed(g, kDefaultWorkers, opt);
+    r.status().CheckOk();
+    char label[16];
+    std::snprintf(label, sizeof(label), "T_tr=%u", t_tr);
+    Report("trend-period", label, *r);
+  }
+
+  // 4) model kind under identical compression.
+  for (auto kind : {ecg::core::GnnKind::kGcn, ecg::core::GnnKind::kSage}) {
+    TrainOptions opt = Base();
+    opt.model.kind = kind;
+    auto r = ecg::core::TrainDistributed(g, kDefaultWorkers, opt);
+    r.status().CheckOk();
+    Report("model", ecg::core::GnnKindName(kind), *r);
+
+    TrainOptions exact = opt;
+    exact.fp_mode = ecg::core::FpMode::kExact;
+    exact.bp_mode = ecg::core::BpMode::kExact;
+    auto re = ecg::core::TrainDistributed(g, kDefaultWorkers, exact);
+    re.status().CheckOk();
+    char label[32];
+    std::snprintf(label, sizeof(label), "%s-exact",
+                  ecg::core::GnnKindName(kind));
+    Report("model", label, *re);
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Figure 11: scalability with the number of machines (2..13, the paper's
+// cluster-1 size) under the Hash and METIS partitioning strategies, for
+// EC-Graph and EC-Graph-S on reddit-sim and products-sim.
+//
+// Expected shape: per-epoch time falls with more machines (compute
+// shrinks faster than the halo grows), and the METIS-like partitioner is
+// consistently faster than Hash because its edge-cut — and therefore the
+// exchanged byte volume — is smaller.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/sampling_trainer.h"
+#include "core/trainer.h"
+#include "graph/partition.h"
+
+namespace {
+
+using ecg::bench::GetBenchDataset;
+using ecg::graph::Partition;
+
+double EpochTimeFullBatch(const ecg::graph::Graph& g, const Partition& p,
+                          const char* dataset, uint32_t epochs) {
+  const auto d = GetBenchDataset(dataset);
+  ecg::core::TrainOptions opt;
+  opt.model = ecg::bench::ModelFor(dataset, 2);
+  opt.fp_mode = ecg::core::FpMode::kReqEc;
+  opt.bp_mode = ecg::core::BpMode::kResEc;
+  opt.exchange.fp_bits = d.req_ec_bits;
+  opt.exchange.bp_bits = d.res_ec_bits;
+  opt.epochs = epochs;
+  ecg::core::DistributedTrainer trainer(g, p, opt);
+  auto r = trainer.Train();
+  r.status().CheckOk();
+  return r->avg_epoch_seconds;
+}
+
+double EpochTimeSampled(const ecg::graph::Graph& g, const Partition& p,
+                        const char* dataset, uint32_t epochs) {
+  const auto d = GetBenchDataset(dataset);
+  ecg::core::SamplingTrainOptions opt;
+  opt.model = ecg::bench::ModelFor(dataset, 2);
+  opt.fanouts = d.fanouts_by_layers[2].empty()
+                    ? ecg::core::Fanouts(2, 10)
+                    : d.fanouts_by_layers[2];
+  opt.exchange.fp_bits = 8;
+  opt.exchange.bp_bits = 8;
+  opt.epochs = epochs;
+  ecg::core::SamplingTrainer trainer(g, p, opt);
+  auto r = trainer.Train();
+  r.status().CheckOk();
+  return r->avg_epoch_seconds;
+}
+
+}  // namespace
+
+int main() {
+  ecg::bench::PrintHeader(
+      "Fig. 11 — scalability vs machines, Hash vs METIS-like partitioning "
+      "(per-epoch seconds, 2-layer)");
+  for (const char* dataset : {"reddit-sim", "products-sim"}) {
+    const ecg::graph::Graph& g = ecg::bench::LoadGraphCached(dataset);
+    const uint32_t epochs =
+        ecg::bench::ScaledEpochs(GetBenchDataset(dataset).timing_epochs);
+    std::printf("\n-- %s --\n", dataset);
+    std::printf("%9s | %21s | %21s | %s\n", "", "EC-Graph (full)",
+                "EC-Graph-S", "edge-cut");
+    std::printf("%9s | %10s %10s | %10s %10s | %10s %10s\n", "machines",
+                "hash", "metis", "hash", "metis", "hash", "metis");
+    for (uint32_t machines : {2u, 4u, 6u, 8u, 10u, 13u}) {
+      auto hash = ecg::graph::HashPartition(g, machines);
+      hash.status().CheckOk();
+      auto metis = ecg::graph::MetisLikePartition(g, machines);
+      metis.status().CheckOk();
+      std::printf("%9u | %9ss %9ss | %9ss %9ss | %10llu %10llu\n", machines,
+                  ecg::bench::FormatSeconds(
+                      EpochTimeFullBatch(g, *hash, dataset, epochs))
+                      .c_str(),
+                  ecg::bench::FormatSeconds(
+                      EpochTimeFullBatch(g, *metis, dataset, epochs))
+                      .c_str(),
+                  ecg::bench::FormatSeconds(
+                      EpochTimeSampled(g, *hash, dataset, epochs))
+                      .c_str(),
+                  ecg::bench::FormatSeconds(
+                      EpochTimeSampled(g, *metis, dataset, epochs))
+                      .c_str(),
+                  static_cast<unsigned long long>(hash->EdgeCut(g)),
+                  static_cast<unsigned long long>(metis->EdgeCut(g)));
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Figure 8: ablation study. For every dataset, compare
+//   Non-cp       exact FP + exact BP
+//   Cp-fp        compression-only FP (per-dataset bits from the paper)
+//   Cp-bp        compression-only BP
+//   ReqEC        ReqEC-FP (compensated FP)
+//   ResEC        ResEC-BP (compensated BP)
+//   ReqEC-adapt  ReqEC-FP with the adaptive Bit-Tuner
+// reporting the speedup of simulated time-to-convergence over Non-cp
+// (histogram bars in the paper) and the converged test accuracy (lines).
+//
+// Expected shape per the paper: compression WITHOUT compensation is often
+// *slower* end-to-end than Non-cp (errors inflate the epoch count), while
+// the compensated variants win; speedups shrink on compute-heavy
+// high-degree graphs (reddit).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/trainer.h"
+
+using ecg::bench::BenchDataset;
+using ecg::bench::kDefaultWorkers;
+using ecg::core::BpMode;
+using ecg::core::FpMode;
+using ecg::core::TrainOptions;
+
+namespace {
+
+struct Variant {
+  const char* label;
+  FpMode fp;
+  BpMode bp;
+  bool adaptive;
+  /// Which of the dataset's Fig. 8 bit settings applies.
+  enum class Bits { kNone, kCpFp, kCpBp, kReqEc, kResEc } bits;
+};
+
+TrainOptions MakeOptions(const BenchDataset& d, const Variant& v) {
+  TrainOptions opt;
+  opt.model = ecg::bench::ModelFor(d.name, 2);
+  opt.fp_mode = v.fp;
+  opt.bp_mode = v.bp;
+  opt.exchange.adaptive_bits = v.adaptive;
+  switch (v.bits) {
+    case Variant::Bits::kCpFp:
+      opt.exchange.fp_bits = d.cp_fp_bits;
+      break;
+    case Variant::Bits::kCpBp:
+      opt.exchange.bp_bits = d.cp_bp_bits;
+      break;
+    case Variant::Bits::kReqEc:
+      opt.exchange.fp_bits = d.req_ec_bits;
+      break;
+    case Variant::Bits::kResEc:
+      opt.exchange.bp_bits = d.res_ec_bits;
+      break;
+    case Variant::Bits::kNone:
+      break;
+  }
+  opt.epochs = ecg::bench::ScaledEpochs(d.convergence_epochs);
+  opt.patience = d.patience;
+  return opt;
+}
+
+}  // namespace
+
+int main() {
+  ecg::bench::PrintHeader(
+      "Fig. 8 — ablation: compression vs error compensation "
+      "(speedup of time-to-convergence over Non-cp; test accuracy)");
+  const Variant variants[] = {
+      {"Non-cp", FpMode::kExact, BpMode::kExact, false,
+       Variant::Bits::kNone},
+      {"Cp-fp", FpMode::kCompressed, BpMode::kExact, false,
+       Variant::Bits::kCpFp},
+      {"Cp-bp", FpMode::kExact, BpMode::kCompressed, false,
+       Variant::Bits::kCpBp},
+      {"ReqEC", FpMode::kReqEc, BpMode::kExact, false,
+       Variant::Bits::kReqEc},
+      {"ResEC", FpMode::kExact, BpMode::kResEc, false,
+       Variant::Bits::kResEc},
+      {"ReqEC-adapt", FpMode::kReqEc, BpMode::kExact, true,
+       Variant::Bits::kReqEc},
+  };
+
+  // Convergence = first epoch reaching 99.5% of the Non-cp baseline's
+  // best validation accuracy — one fixed target per dataset, so a variant
+  // that plateaus low cannot fake an early "convergence".
+  std::printf("%-13s %-12s %10s %9s %9s %9s %8s\n", "dataset", "variant",
+              "conv-time", "speedup", "test-acc", "epochs", "comm");
+  for (const auto& d : ecg::bench::BenchDatasets()) {
+    const ecg::graph::Graph& g = ecg::bench::LoadGraphCached(d.name);
+    double noncp_time = 0.0;
+    double target = 0.0;
+    for (const Variant& v : variants) {
+      auto r = ecg::core::TrainDistributed(g, kDefaultWorkers,
+                                           MakeOptions(d, v));
+      r.status().CheckOk();
+      if (std::string(v.label) == "Non-cp") {
+        target = 0.995 * r->best_val_acc;
+        noncp_time = r->SecondsToReachVal(target);
+      }
+      const double conv = r->SecondsToReachVal(target);
+      const uint32_t conv_epoch = r->EpochsToReachVal(target);
+      if (conv_epoch == UINT32_MAX) {
+        std::printf("%-13s %-12s %10s %9s %9.4f %9s %8s\n", d.name.c_str(),
+                    v.label, "n/a", "n/a", r->test_acc_at_best_val, "n/a",
+                    ecg::bench::FormatBytes(r->total_comm_bytes).c_str());
+      } else {
+        std::printf("%-13s %-12s %9ss %8.2fx %9.4f %9u %8s\n",
+                    d.name.c_str(), v.label,
+                    ecg::bench::FormatSeconds(conv).c_str(),
+                    noncp_time / conv, r->test_acc_at_best_val, conv_epoch,
+                    ecg::bench::FormatBytes(r->total_comm_bytes).c_str());
+      }
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

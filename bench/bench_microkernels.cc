@@ -1,0 +1,140 @@
+// Micro-kernel throughput (google-benchmark): the hot inner loops behind
+// every experiment — bucket quantization at each bit width, bit packing,
+// SpMM over an SBM adjacency, GEMM at GCN-typical shapes, and the wire
+// round trip. Useful for spotting kernel regressions independently of the
+// end-to-end harnesses.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/bitpack.h"
+#include "common/bytes.h"
+#include "common/random.h"
+#include "compress/quantize.h"
+#include "graph/generator.h"
+#include "tensor/csr.h"
+#include "tensor/matrix.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using ecg::compress::BucketValueMode;
+using ecg::compress::QuantizerOptions;
+using ecg::tensor::Matrix;
+
+Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  ecg::Rng rng(seed);
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.NextGaussian());
+  }
+  return m;
+}
+
+void BM_Quantize(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  const Matrix m = RandomMatrix(1024, 128, 1);
+  QuantizerOptions opts{bits, BucketValueMode::kMidpoint};
+  for (auto _ : state) {
+    auto q = ecg::compress::Quantize(m, opts);
+    benchmark::DoNotOptimize(q);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          m.size() * sizeof(float));
+}
+BENCHMARK(BM_Quantize)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_Dequantize(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  const Matrix m = RandomMatrix(1024, 128, 2);
+  auto q = ecg::compress::Quantize(
+      m, QuantizerOptions{bits, BucketValueMode::kMidpoint});
+  q.status().CheckOk();
+  for (auto _ : state) {
+    auto d = ecg::compress::Dequantize(*q);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          m.size() * sizeof(float));
+}
+BENCHMARK(BM_Dequantize)->Arg(2)->Arg(8);
+
+void BM_PackBits(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  ecg::Rng rng(3);
+  std::vector<uint32_t> values(1 << 16);
+  for (auto& v : values) v = static_cast<uint32_t>(rng.NextBelow(1u << bits));
+  std::vector<uint32_t> packed;
+  for (auto _ : state) {
+    ecg::PackBits(values, bits, &packed).CheckOk();
+    benchmark::DoNotOptimize(packed);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          values.size());
+}
+BENCHMARK(BM_PackBits)->Arg(2)->Arg(8);
+
+void BM_SpMM(benchmark::State& state) {
+  ecg::graph::SbmConfig cfg;
+  cfg.num_vertices = 4000;
+  cfg.num_classes = 8;
+  cfg.avg_degree = 16.0;
+  cfg.feature_dim = 4;
+  cfg.seed = 5;
+  auto g = ecg::graph::GenerateSbm(cfg);
+  g.status().CheckOk();
+  std::vector<std::tuple<uint32_t, uint32_t, float>> trips;
+  for (uint32_t v = 0; v < g->num_vertices(); ++v) {
+    for (uint32_t u : g->Neighbors(v)) {
+      trips.emplace_back(v, u, g->NormWeight(v, u));
+    }
+  }
+  auto adj = ecg::tensor::CsrMatrix::FromTriplets(g->num_vertices(),
+                                                  g->num_vertices(), trips);
+  adj.status().CheckOk();
+  const Matrix x = RandomMatrix(g->num_vertices(), 64, 6);
+  Matrix y;
+  for (auto _ : state) {
+    adj->SpMM(x, &y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          adj->nnz() * 64);
+}
+BENCHMARK(BM_SpMM);
+
+void BM_Gemm(benchmark::State& state) {
+  const size_t hidden = static_cast<size_t>(state.range(0));
+  const Matrix a = RandomMatrix(4096, 128, 7);
+  const Matrix b = RandomMatrix(128, hidden, 8);
+  Matrix c;
+  for (auto _ : state) {
+    ecg::tensor::Gemm(a, b, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 4096 *
+                          128 * hidden);
+}
+BENCHMARK(BM_Gemm)->Arg(16)->Arg(256);
+
+void BM_WireRoundTrip(benchmark::State& state) {
+  const Matrix m = RandomMatrix(512, 128, 9);
+  auto q = ecg::compress::Quantize(
+      m, QuantizerOptions{2, BucketValueMode::kMidpoint});
+  q.status().CheckOk();
+  for (auto _ : state) {
+    std::vector<uint8_t> buf;
+    ecg::ByteWriter w(&buf);
+    q->AppendTo(&w);
+    ecg::ByteReader r(buf);
+    ecg::compress::QuantizedMatrix parsed;
+    ecg::compress::QuantizedMatrix::ParseFrom(&r, &parsed).CheckOk();
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_WireRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Table II: algorithm-cost comparison between the ML-centered framework
+// and EC-Graph — analytic formulas evaluated on a real replica and
+// checked against measured quantities.
+//
+//   Memory:        O(ḡ^L · d̄)   vs  O(ḡ · d̄)
+//   Computation:   O(ḡ^{L-1}·d̄²) vs O(L · d̄²)
+//   Communication: O(ḡ^L · d0) once  vs  O(T·L·ḡ_rmt·d̄ / (32/B)) per run
+//
+// Measured counterparts: ML-centered cached vertices & preprocessing
+// bytes (MlCenteredCosts), EC-Graph per-epoch exchanged bytes with and
+// without B-bit compression.
+
+#include <cmath>
+#include <cstdio>
+
+#include "baselines/ml_centered.h"
+#include "bench/bench_util.h"
+#include "core/trainer.h"
+#include "graph/partition.h"
+
+int main() {
+  ecg::bench::PrintHeader(
+      "Table II — ML-centered vs EC-Graph costs, measured on pubmed-sim "
+      "(2-layer, 6 workers)");
+  const char* dataset = "pubmed-sim";
+  const ecg::graph::Graph& g = ecg::bench::LoadGraphCached(dataset);
+  const int L = 2;
+  const double g_bar = g.average_degree();
+  const double d_bar = static_cast<double>(g.feature_dim());
+
+  // ML-centered: measure the ego-net blow-up.
+  ecg::baselines::MlCenteredOptions ml;
+  ml.model = ecg::bench::ModelFor(dataset, L);
+  ml.epochs = 2;
+  ecg::baselines::MlCenteredCosts costs;
+  auto ml_result =
+      ecg::baselines::TrainMlCentered(g, ecg::bench::kDefaultWorkers, ml,
+                                      &costs);
+  ml_result.status().CheckOk();
+
+  // EC-Graph: measure exchanged bytes per epoch, exact vs 2-bit.
+  auto run_ec = [&](bool compressed) {
+    ecg::core::TrainOptions opt;
+    opt.model = ecg::bench::ModelFor(dataset, L);
+    if (compressed) {
+      opt.fp_mode = ecg::core::FpMode::kReqEc;
+      opt.bp_mode = ecg::core::BpMode::kResEc;
+      opt.exchange.fp_bits = 2;
+      opt.exchange.bp_bits = 2;
+    }
+    opt.epochs = 3;
+    auto r = ecg::core::TrainDistributed(g, ecg::bench::kDefaultWorkers,
+                                         opt);
+    r.status().CheckOk();
+    return r->epochs.back().comm_bytes;  // steady-state epoch
+  };
+  const uint64_t ec_exact_bytes = run_ec(false);
+  const uint64_t ec_2bit_bytes = run_ec(true);
+
+  auto hash = ecg::graph::HashPartition(g, ecg::bench::kDefaultWorkers);
+  hash.status().CheckOk();
+  const double cut = static_cast<double>(hash->EdgeCut(g));
+  const double g_rmt = 2.0 * cut / g.num_vertices();
+
+  std::printf("graph: |V|=%u g-bar=%.2f d0=%zu L=%d g_rmt(hash,6w)=%.2f\n\n",
+              g.num_vertices(), g_bar, g.feature_dim(), L, g_rmt);
+
+  std::printf("%-34s %18s %18s\n", "quantity", "ML-centered", "EC-Graph");
+  std::printf("%-34s %18.0f %18.0f\n",
+              "analytic memory (vertex-features)",
+              std::pow(g_bar, L) * d_bar * g.num_vertices(),
+              g_bar * d_bar * g.num_vertices());
+  std::printf("%-34s %18llu %18llu\n", "measured cached vertices",
+              static_cast<unsigned long long>(costs.cached_vertices),
+              static_cast<unsigned long long>(g.num_vertices()));
+  std::printf("%-34s %18s %18s\n", "measured preprocess pull",
+              ecg::bench::FormatBytes(costs.preprocess_bytes).c_str(),
+              "(feature halo only)");
+  std::printf("%-34s %18s %18s\n", "measured per-epoch worker comm",
+              "0 (cached)",
+              ecg::bench::FormatBytes(ec_exact_bytes).c_str());
+  std::printf("%-34s %18s %18s\n", "  ... with B=2 EC compression", "-",
+              ecg::bench::FormatBytes(ec_2bit_bytes).c_str());
+  std::printf("%-34s %18s %17.1fx\n", "  compression factor (32/B = 16)",
+              "-",
+              static_cast<double>(ec_exact_bytes) /
+                  static_cast<double>(ec_2bit_bytes));
+  std::printf("\nredundancy blow-up: ML-centered caches %.2fx the graph "
+              "across 6 workers\n",
+              static_cast<double>(costs.cached_vertices) /
+                  g.num_vertices());
+  return 0;
+}

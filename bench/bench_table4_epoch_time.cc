@@ -1,0 +1,46 @@
+// Table IV: training time per epoch (seconds) for every system on every
+// dataset at 2/3/4 layers. Non-sampling systems train full batch;
+// sampling systems use the paper's fan-outs (bench_util.cc).
+//
+// Per-epoch time is the simulated cluster makespan: measured thread-CPU
+// compute scaled by the 4-core machine model plus NetworkModel'd
+// communication (1 GbE). Expected shape per the paper:
+//   * single-machine DGL wins on cora/pubmed (distributed overhead
+//     dominates tiny graphs),
+//   * EC-Graph beats DistGNN and DGL on the larger graphs,
+//   * EC-Graph-S is the fastest distributed configuration throughout,
+//   * ML-centered systems degrade sharply with more layers.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+using ecg::bench::System;
+
+int main() {
+  ecg::bench::PrintHeader(
+      "Table IV — training time per epoch (s), 6 workers, layers 2/3/4");
+  std::vector<System> systems = ecg::bench::NonSamplingSystems();
+  for (System s : ecg::bench::SamplingSystems()) systems.push_back(s);
+
+  for (const auto& d : ecg::bench::BenchDatasets()) {
+    std::printf("\n-- %s --\n", d.name.c_str());
+    std::printf("%-12s %10s %10s %10s\n", "system", "2-layer", "3-layer",
+                "4-layer");
+    for (System s : systems) {
+      std::printf("%-12s", ecg::bench::SystemName(s));
+      for (int layers : {2, 3, 4}) {
+        const uint32_t epochs = ecg::bench::ScaledEpochs(d.timing_epochs);
+        auto r = ecg::bench::RunSystem(s, d.name, layers, epochs,
+                                       /*patience=*/0);
+        r.status().CheckOk();
+        std::printf(" %9ss",
+                    ecg::bench::FormatSeconds(r->avg_epoch_seconds).c_str());
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+#ifndef ECGRAPH_BENCH_BENCH_UTIL_H_
+#define ECGRAPH_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baselines/ml_centered.h"
+#include "baselines/single_machine.h"
+#include "core/sampling_trainer.h"
+#include "core/trainer.h"
+#include "graph/datasets.h"
+#include "graph/graph.h"
+
+namespace ecg::bench {
+
+/// Per-dataset experiment knobs shared by the bench binaries: epoch caps
+/// sized for this container's single core, the per-dataset bit settings
+/// of Fig. 8 ("2/4/1/2" = Cp-fp/Cp-bp/ReqEC/ResEC bits), and Table IV's
+/// sampling fan-outs per layer count.
+struct BenchDataset {
+  std::string name;
+  uint32_t convergence_epochs;  // cap for accuracy/convergence runs
+  uint32_t timing_epochs;       // epochs for per-epoch-time measurements
+  uint32_t patience;
+  int cp_fp_bits, cp_bp_bits, req_ec_bits, res_ec_bits;  // Fig. 8 settings
+  /// fanouts_by_layers[L] = Table IV "(sampling)" row for an L-layer model
+  /// (empty = full batch).
+  std::vector<core::Fanouts> fanouts_by_layers;  // index 2..4 used
+};
+
+/// The five Table III replicas with their paper-specified settings.
+std::vector<BenchDataset> BenchDatasets();
+
+/// Finds one entry by name (aborts on unknown name — bench-only helper).
+BenchDataset GetBenchDataset(const std::string& name);
+
+/// Number of workers used throughout Section V ("six machines are used
+/// for test except for scalability").
+inline constexpr uint32_t kDefaultWorkers = 6;
+
+/// Environment-controlled global scale-down: setting ECG_BENCH_FAST=1
+/// halves all epoch budgets (useful for smoke runs).
+bool FastMode();
+uint32_t ScaledEpochs(uint32_t epochs);
+
+/// Loads a dataset replica, caching across calls within the process.
+const graph::Graph& LoadGraphCached(const std::string& name);
+
+/// Default GCN shape for a dataset at a given layer count (hidden width
+/// follows Section V-A: 16 for the small sets, 256 for products/papers).
+core::GcnConfig ModelFor(const std::string& dataset, int layers);
+
+/// Pretty-printing helpers.
+void PrintHeader(const std::string& title);
+std::string FormatSeconds(double seconds);
+std::string FormatBytes(uint64_t bytes);
+
+/// The systems compared in Tables IV-V and Figs. 9-10, with the exact
+/// distributed mechanism each one reproduces (DESIGN.md §6).
+enum class System {
+  kDgl,        // single machine, full batch (also stands in for PyG)
+  kDistGnn,    // delayed remote partial aggregation (r = 5), full batch
+  kEcGraph,    // ReqEC-FP + ResEC-BP, full batch (per-dataset bits)
+  kDistDgl,    // graph-centered online sampling, exact messages
+  kAgl,        // ML-centered, sampled ego-nets
+  kAliGraphFg, // ML-centered, full L-hop expansion
+  kEcGraphS,   // EC-Graph sampling mode, compressed messages
+};
+
+const char* SystemName(System system);
+
+/// Systems in the non-sampling group (top of Table IV) and sampling group.
+std::vector<System> NonSamplingSystems();
+std::vector<System> SamplingSystems();
+
+/// Runs one system on one dataset with an L-layer model over `epochs`
+/// epochs (patience 0 = fixed epoch count). `workers` defaults to the
+/// paper's 6-machine test cluster.
+Result<core::TrainResult> RunSystem(System system,
+                                    const std::string& dataset, int layers,
+                                    uint32_t epochs, uint32_t patience,
+                                    uint32_t workers = kDefaultWorkers);
+
+}  // namespace ecg::bench
+
+#endif  // ECGRAPH_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,82 @@
+// Quickstart: load a dataset replica, train GCN three ways and compare.
+//
+//   1. single machine (the DGL/PyG stand-in),
+//   2. EC-Graph with compression off (Non-cp),
+//   3. EC-Graph with ReqEC-FP + ResEC-BP at 2 bits (the paper's system).
+//
+// Prints per-run summary lines: accuracy, simulated epoch time, and the
+// exact communication volume, demonstrating the headline effect: the
+// compressed runs move ~16x fewer bytes at (near-)equal accuracy.
+//
+// Usage: quickstart [dataset] [workers]   (default: cora-sim 4)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "baselines/single_machine.h"
+#include "core/trainer.h"
+#include "graph/datasets.h"
+
+namespace {
+
+void PrintRow(const char* system, const ecg::core::TrainResult& r) {
+  std::printf("%-28s test_acc=%.4f best_val=%.4f epochs=%zu "
+              "avg_epoch=%.4fs comm=%.2f MB\n",
+              system, r.test_acc_at_best_val, r.best_val_acc,
+              r.epochs.size(), r.avg_epoch_seconds,
+              static_cast<double>(r.total_comm_bytes) / (1024.0 * 1024.0));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dataset = argc > 1 ? argv[1] : "cora-sim";
+  const uint32_t workers = argc > 2 ? std::atoi(argv[2]) : 4;
+
+  auto graph_result = ecg::graph::LoadDataset(dataset);
+  graph_result.status().CheckOk();
+  const ecg::graph::Graph& g = *graph_result;
+  auto spec = *ecg::graph::GetDatasetSpec(dataset);
+  std::printf("dataset %s: |V|=%u directed-edges=%llu features=%zu "
+              "classes=%d avg-degree=%.2f\n",
+              dataset.c_str(), g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()),
+              g.feature_dim(), g.num_classes(), g.average_degree());
+
+  ecg::core::GcnConfig model;
+  model.num_layers = spec.default_layers;
+  model.hidden_dim = spec.default_hidden;
+
+  // 1) Single machine.
+  ecg::baselines::SingleMachineOptions single;
+  single.model = model;
+  single.epochs = 120;
+  single.patience = 20;
+  auto r1 = ecg::baselines::TrainSingleMachine(g, single);
+  r1.status().CheckOk();
+  PrintRow("single-machine (DGL-like)", *r1);
+
+  // 2) Distributed, no compression.
+  ecg::core::TrainOptions noncp;
+  noncp.model = model;
+  noncp.epochs = 120;
+  noncp.patience = 20;
+  noncp.fp_mode = ecg::core::FpMode::kExact;
+  noncp.bp_mode = ecg::core::BpMode::kExact;
+  auto r2 = ecg::core::TrainDistributed(g, workers, noncp);
+  r2.status().CheckOk();
+  PrintRow("EC-Graph Non-cp", *r2);
+
+  // 3) Distributed, error-compensated 2-bit compression.
+  ecg::core::TrainOptions ec = noncp;
+  ec.fp_mode = ecg::core::FpMode::kReqEc;
+  ec.bp_mode = ecg::core::BpMode::kResEc;
+  ec.exchange.fp_bits = 2;
+  ec.exchange.bp_bits = 2;
+  auto r3 = ecg::core::TrainDistributed(g, workers, ec);
+  r3.status().CheckOk();
+  PrintRow("EC-Graph ReqEC+ResEC (2bit)", *r3);
+
+  return 0;
+}

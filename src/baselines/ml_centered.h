@@ -1,0 +1,62 @@
+#ifndef ECGRAPH_BASELINES_ML_CENTERED_H_
+#define ECGRAPH_BASELINES_ML_CENTERED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/gcn.h"
+#include "core/metrics.h"
+#include "core/sampling.h"
+#include "dist/network_model.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
+
+namespace ecg::baselines {
+
+/// The ML-centered family of Fig. 2b (AliGraph-FG, AGL): every worker
+/// materializes the L-hop ego networks of its target vertices during
+/// preprocessing (features pulled from the parameter servers once), then
+/// trains with NO worker-to-worker traffic — paying instead the ḡ^L
+/// memory/compute blow-up of Table II, because boundary vertices are
+/// recomputed on every worker that needs them.
+///
+/// `fanouts` empty = full L-hop expansion (the paper's AliGraph-FG
+/// full-graph mode); non-empty = sampled ego-nets (AGL-style). AGL's disk
+/// I/O and vectorization are excluded, as in the paper's own
+/// re-implementation ("can be hidden by pipelining").
+struct MlCenteredOptions {
+  core::GcnConfig model;
+  core::Fanouts fanouts;  // empty = full expansion
+  uint32_t epochs = 100;
+  uint32_t num_servers = 1;
+  dist::NetworkModel network;
+  dist::MachineModel machine;
+  uint32_t patience = 0;
+  uint32_t log_every = 0;
+  uint64_t sample_seed = 55;
+};
+
+/// Extra observability for the Table II cost comparison.
+struct MlCenteredCosts {
+  /// Sum over workers of cached vertices (the ḡ^L blow-up, counted with
+  /// multiplicity across workers).
+  uint64_t cached_vertices = 0;
+  /// One-time feature+adjacency pull during preprocessing.
+  uint64_t preprocess_bytes = 0;
+};
+
+Result<core::TrainResult> TrainMlCentered(const graph::Graph& g,
+                                          const graph::Partition& partition,
+                                          const MlCenteredOptions& options,
+                                          MlCenteredCosts* costs = nullptr);
+
+/// Convenience wrapper with hash partitioning of the target vertices.
+Result<core::TrainResult> TrainMlCentered(const graph::Graph& g,
+                                          uint32_t num_workers,
+                                          const MlCenteredOptions& options,
+                                          MlCenteredCosts* costs = nullptr);
+
+}  // namespace ecg::baselines
+
+#endif  // ECGRAPH_BASELINES_ML_CENTERED_H_

@@ -1,0 +1,47 @@
+#ifndef ECGRAPH_BASELINES_SINGLE_MACHINE_H_
+#define ECGRAPH_BASELINES_SINGLE_MACHINE_H_
+
+#include "common/status.h"
+#include "core/gcn.h"
+#include "dist/network_model.h"
+#include "core/metrics.h"
+#include "graph/graph.h"
+
+namespace ecg::baselines {
+
+/// Knobs for the standalone full-batch GCN trainer (the DGL / PyG row of
+/// Tables IV-V): same kernels, one address space, zero communication.
+/// The distributed trainer with compression off must match this trainer's
+/// outputs bit-for-bit (tested in tests/trainer_equivalence_test.cc).
+struct SingleMachineOptions {
+  core::GcnConfig model;
+  uint32_t epochs = 100;
+  uint32_t patience = 0;
+  uint32_t log_every = 0;
+  /// CPU model of the machine (same model as the cluster workers use, so
+  /// the DGL-vs-distributed epoch-time ratios are apples to apples).
+  dist::MachineModel machine;
+};
+
+/// Trains on the whole graph in-process and reports the same metric
+/// curves as the distributed trainer (sim_seconds = thread-CPU compute,
+/// comm_bytes = 0).
+Result<core::TrainResult> TrainSingleMachine(const graph::Graph& g,
+                                             const SingleMachineOptions& options);
+
+/// One full-batch forward+backward pass with explicitly supplied
+/// parameters. Exposed so tests can check the analytic GCN gradients
+/// (Eqs. 4-6) against numerical differentiation of the loss.
+struct GcnGradients {
+  double loss = 0.0;  // mean cross-entropy over the training split
+  std::vector<tensor::Matrix> dw;
+  std::vector<tensor::Matrix> db;
+};
+Result<GcnGradients> ComputeFullBatchGradients(
+    const graph::Graph& g, const std::vector<tensor::Matrix>& w,
+    const std::vector<tensor::Matrix>& b,
+    core::GnnKind kind = core::GnnKind::kGcn);
+
+}  // namespace ecg::baselines
+
+#endif  // ECGRAPH_BASELINES_SINGLE_MACHINE_H_

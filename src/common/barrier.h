@@ -1,0 +1,44 @@
+#ifndef ECGRAPH_COMMON_BARRIER_H_
+#define ECGRAPH_COMMON_BARRIER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace ecg {
+
+/// A reusable cyclic barrier for the simulated cluster's lock-step
+/// supersteps (all workers finish layer l before any starts layer l+1,
+/// matching the BSP execution of the paper's Algorithms 1-2).
+class Barrier {
+ public:
+  explicit Barrier(size_t parties) : parties_(parties) {}
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Blocks until all parties have arrived; then all are released and the
+  /// barrier resets for the next round.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    const size_t generation = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [&] { return generation != generation_; });
+  }
+
+ private:
+  const size_t parties_;
+  size_t arrived_ = 0;
+  size_t generation_ = 0;
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace ecg
+
+#endif  // ECGRAPH_COMMON_BARRIER_H_

@@ -1,0 +1,58 @@
+#include "common/bitpack.h"
+
+#include <string>
+
+namespace ecg {
+
+bool IsSupportedBitWidth(int bits) {
+  return bits == 1 || bits == 2 || bits == 4 || bits == 8 || bits == 16;
+}
+
+size_t PackedWordCount(size_t count, int bits) {
+  const size_t per_word = 32 / static_cast<size_t>(bits);
+  return (count + per_word - 1) / per_word;
+}
+
+Status PackBits(const std::vector<uint32_t>& values, int bits,
+                std::vector<uint32_t>* out) {
+  if (!IsSupportedBitWidth(bits)) {
+    return Status::InvalidArgument("unsupported bit width " +
+                                   std::to_string(bits));
+  }
+  const uint32_t max_value = (bits == 32) ? ~0u : ((1u << bits) - 1);
+  const size_t per_word = 32 / static_cast<size_t>(bits);
+  out->assign(PackedWordCount(values.size(), bits), 0u);
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i] > max_value) {
+      return Status::OutOfRange("value " + std::to_string(values[i]) +
+                                " does not fit in " + std::to_string(bits) +
+                                " bits");
+    }
+    const size_t word = i / per_word;
+    const int shift = static_cast<int>(i % per_word) * bits;
+    (*out)[word] |= values[i] << shift;
+  }
+  return Status::OK();
+}
+
+Status UnpackBits(const std::vector<uint32_t>& packed, size_t count, int bits,
+                  std::vector<uint32_t>* out) {
+  if (!IsSupportedBitWidth(bits)) {
+    return Status::InvalidArgument("unsupported bit width " +
+                                   std::to_string(bits));
+  }
+  if (packed.size() < PackedWordCount(count, bits)) {
+    return Status::InvalidArgument("packed buffer too small for count");
+  }
+  const uint32_t mask = (bits == 32) ? ~0u : ((1u << bits) - 1);
+  const size_t per_word = 32 / static_cast<size_t>(bits);
+  out->resize(count);
+  for (size_t i = 0; i < count; ++i) {
+    const size_t word = i / per_word;
+    const int shift = static_cast<int>(i % per_word) * bits;
+    (*out)[i] = (packed[word] >> shift) & mask;
+  }
+  return Status::OK();
+}
+
+}  // namespace ecg

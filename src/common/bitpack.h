@@ -1,0 +1,35 @@
+#ifndef ECGRAPH_COMMON_BITPACK_H_
+#define ECGRAPH_COMMON_BITPACK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ecg {
+
+/// Fixed-width bit packing used by the bucket quantizer: each value is a
+/// bucket ID in [0, 2^bits) and `bits` is one of {1, 2, 4, 8, 16} so IDs
+/// never straddle a 32-bit word (mirrors the paper's Fig. 3 concatenation
+/// of 16-bit mapped values into a 32-bit unsigned integer).
+///
+/// The packed layout is little-endian within each word: value i occupies
+/// bits [ (i % per_word) * bits , ... ) of word i / per_word.
+
+/// True if `bits` is a supported packing width.
+bool IsSupportedBitWidth(int bits);
+
+/// Number of 32-bit words needed to pack `count` values of width `bits`.
+size_t PackedWordCount(size_t count, int bits);
+
+/// Packs `values` (each must be < 2^bits) into `out` (resized to fit).
+Status PackBits(const std::vector<uint32_t>& values, int bits,
+                std::vector<uint32_t>* out);
+
+/// Unpacks `count` values of width `bits` from `packed` into `out`.
+Status UnpackBits(const std::vector<uint32_t>& packed, size_t count, int bits,
+                  std::vector<uint32_t>* out);
+
+}  // namespace ecg
+
+#endif  // ECGRAPH_COMMON_BITPACK_H_

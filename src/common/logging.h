@@ -1,0 +1,54 @@
+#ifndef ECGRAPH_COMMON_LOGGING_H_
+#define ECGRAPH_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ecg {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped. Defaults to
+/// kInfo; set once at startup (not thread-safe to flip mid-run).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Collects one log line and emits it (with timestamp and level tag) to
+/// stderr on destruction. Emission of a full line is atomic across threads.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace ecg
+
+#define ECG_LOG(level)                                                    \
+  ::ecg::internal::LogMessage(::ecg::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Always-on invariant check (kept in release builds: cheap and the failure
+/// modes it guards — indexing bugs in message codecs — corrupt training
+/// silently otherwise).
+#define ECG_CHECK(cond)                                                   \
+  if (!(cond))                                                            \
+  ::ecg::internal::LogMessage(::ecg::LogLevel::kError, __FILE__, __LINE__) \
+      << "Check failed, aborting: " #cond " "
+
+#endif  // ECGRAPH_COMMON_LOGGING_H_

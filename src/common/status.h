@@ -1,0 +1,176 @@
+#ifndef ECGRAPH_COMMON_STATUS_H_
+#define ECGRAPH_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ecg {
+
+/// Error categories used across the library. Mirrors the Status idiom of
+/// Arrow/RocksDB: no exceptions cross module boundaries; fallible functions
+/// return Status or Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kInternal,
+  kNotImplemented,
+  kIoError,
+};
+
+/// Returns a stable human-readable name for a status code ("InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. OK status carries no allocation; error statuses
+/// carry a code and a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_unique<State>(State{code, std::move(message)});
+    }
+  }
+
+  Status(const Status& other) { CopyFrom(other); }
+  Status& operator=(const Status& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->message : kEmpty;
+  }
+
+  /// Formats as "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process with the status message if not OK. Use at program
+  /// top level (examples, benches) where propagation is pointless.
+  void CheckOk() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+
+  void CopyFrom(const Status& other) {
+    state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+  }
+
+  std::unique_ptr<State> state_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// A value-or-Status. Like arrow::Result: either holds a T or a non-OK
+/// Status describing why the T could not be produced.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from Status so `return value;` and
+  /// `return Status::...;` both work in functions returning Result<T>.
+  Result(T value) : var_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : var_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(var_).ok()) {
+      var_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(var_);
+  }
+
+  /// Accesses the value; the caller must have checked ok().
+  T& ValueOrDie() & {
+    if (!ok()) std::get<Status>(var_).CheckOk();
+    return std::get<T>(var_);
+  }
+  const T& ValueOrDie() const& {
+    if (!ok()) std::get<Status>(var_).CheckOk();
+    return std::get<T>(var_);
+  }
+  T&& ValueOrDie() && {
+    if (!ok()) std::get<Status>(var_).CheckOk();
+    return std::move(std::get<T>(var_));
+  }
+
+  T& operator*() & { return ValueOrDie(); }
+  const T& operator*() const& { return ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> var_;
+};
+
+}  // namespace ecg
+
+/// Propagates a non-OK Status to the caller.
+#define ECG_RETURN_IF_ERROR(expr)                        \
+  do {                                                   \
+    ::ecg::Status _ecg_status = (expr);                  \
+    if (!_ecg_status.ok()) return _ecg_status;           \
+  } while (false)
+
+#define ECG_CONCAT_IMPL(x, y) x##y
+#define ECG_CONCAT(x, y) ECG_CONCAT_IMPL(x, y)
+
+/// Evaluates a Result<T> expression; on error propagates the Status,
+/// otherwise moves the value into `lhs`.
+#define ECG_ASSIGN_OR_RETURN(lhs, expr)                                \
+  auto ECG_CONCAT(_ecg_result_, __LINE__) = (expr);                    \
+  if (!ECG_CONCAT(_ecg_result_, __LINE__).ok())                        \
+    return ECG_CONCAT(_ecg_result_, __LINE__).status();                \
+  lhs = std::move(ECG_CONCAT(_ecg_result_, __LINE__)).ValueOrDie()
+
+#endif  // ECGRAPH_COMMON_STATUS_H_

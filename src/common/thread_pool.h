@@ -1,0 +1,58 @@
+#ifndef ECGRAPH_COMMON_THREAD_POOL_H_
+#define ECGRAPH_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ecg {
+
+/// A minimal fixed-size worker pool for data-parallel kernels (GEMM / SpMM
+/// row blocks). Tasks are plain std::function<void()>; ParallelFor blocks
+/// until the whole index range is processed.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1; 0 maps to hardware concurrency).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Runs fn(begin, end) over disjoint chunks of [0, total) on the pool and
+  /// the calling thread; returns when all chunks are done. Grain controls
+  /// the minimum chunk size.
+  void ParallelFor(size_t total, size_t grain,
+                   const std::function<void(size_t, size_t)>& fn);
+
+  /// Global pool shared by tensor kernels; sized to hardware concurrency.
+  static ThreadPool& Global();
+
+  /// Thread-local switch: when true, ParallelFor on this thread runs the
+  /// whole range inline instead of offloading chunks to pool threads. The
+  /// simulated-cluster workers enable this so that all of a worker's
+  /// compute lands on its own thread-CPU clock (each worker models one
+  /// single-core machine; see ThreadCpuTimer).
+  static void SetSerialMode(bool serial);
+  static bool serial_mode();
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace ecg
+
+#endif  // ECGRAPH_COMMON_THREAD_POOL_H_

@@ -1,0 +1,54 @@
+#ifndef ECGRAPH_COMMON_TIMER_H_
+#define ECGRAPH_COMMON_TIMER_H_
+
+#include <ctime>
+
+#include <chrono>
+
+namespace ecg {
+
+/// Monotonic stopwatch used for compute-time accounting in the trainer and
+/// the benchmark harnesses.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Stopwatch over the calling thread's CPU time. The simulated cluster
+/// charges each worker's compute with this clock, so N worker threads
+/// time-sharing a smaller number of physical cores still measure what an
+/// N-machine cluster would: the cycles the worker itself consumed, not the
+/// wall time it spent descheduled.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() : start_(Now()) {}
+
+  void Reset() { start_ = Now(); }
+
+  double ElapsedSeconds() const { return Now() - start_; }
+
+ private:
+  static double Now() {
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
+  }
+
+  double start_;
+};
+
+}  // namespace ecg
+
+#endif  // ECGRAPH_COMMON_TIMER_H_

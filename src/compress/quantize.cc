@@ -1,0 +1,195 @@
+#include "compress/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/bitpack.h"
+
+namespace ecg::compress {
+
+namespace {
+
+/// Rebuilds the uniform-grid midpoint table from (min, width, bits).
+std::vector<float> MidpointTable(float min_value, float width, int bits) {
+  std::vector<float> table(1u << bits);
+  for (uint32_t b = 0; b < table.size(); ++b) {
+    table[b] = min_value + width * (static_cast<float>(b) + 0.5f);
+  }
+  return table;
+}
+
+}  // namespace
+
+size_t QuantizedMatrix::WireBytes() const {
+  // rows + cols + bits + table-mode flag + table (implicit: min & width;
+  // explicit: length-prefixed floats) + length-prefixed packed IDs.
+  const size_t table_bytes =
+      implicit_midpoints ? 2 * sizeof(float)
+                         : sizeof(uint64_t) +
+                               bucket_values.size() * sizeof(float);
+  return sizeof(rows) + sizeof(cols) + 1 + 1 + table_bytes +
+         sizeof(uint64_t) + packed_ids.size() * sizeof(uint32_t);
+}
+
+void QuantizedMatrix::AppendTo(ecg::ByteWriter* w) const {
+  w->PutU32(rows);
+  w->PutU32(cols);
+  w->PutU8(static_cast<uint8_t>(bits));
+  w->PutU8(implicit_midpoints ? 1 : 0);
+  if (implicit_midpoints) {
+    w->PutF32(min_value);
+    w->PutF32(bucket_width);
+  } else {
+    w->PutF32Vector(bucket_values);
+  }
+  w->PutU32Vector(packed_ids);
+}
+
+Status QuantizedMatrix::ParseFrom(ecg::ByteReader* r, QuantizedMatrix* out) {
+  uint8_t bits8 = 0, implicit = 0;
+  ECG_RETURN_IF_ERROR(r->GetU32(&out->rows));
+  ECG_RETURN_IF_ERROR(r->GetU32(&out->cols));
+  ECG_RETURN_IF_ERROR(r->GetU8(&bits8));
+  ECG_RETURN_IF_ERROR(r->GetU8(&implicit));
+  out->bits = bits8;
+  out->implicit_midpoints = implicit != 0;
+  if (!IsSupportedBitWidth(out->bits)) {
+    return Status::InvalidArgument("corrupt quantized matrix: bits=" +
+                                   std::to_string(out->bits));
+  }
+  if (out->implicit_midpoints) {
+    ECG_RETURN_IF_ERROR(r->GetF32(&out->min_value));
+    ECG_RETURN_IF_ERROR(r->GetF32(&out->bucket_width));
+    out->bucket_values =
+        MidpointTable(out->min_value, out->bucket_width, out->bits);
+  } else {
+    ECG_RETURN_IF_ERROR(r->GetF32Vector(&out->bucket_values));
+  }
+  ECG_RETURN_IF_ERROR(r->GetU32Vector(&out->packed_ids));
+  const size_t count = static_cast<size_t>(out->rows) * out->cols;
+  if (out->bucket_values.size() != (1u << out->bits) ||
+      out->packed_ids.size() != PackedWordCount(count, out->bits)) {
+    return Status::InvalidArgument("corrupt quantized matrix: sizes");
+  }
+  return Status::OK();
+}
+
+Result<QuantizedMatrix> Quantize(const tensor::Matrix& m,
+                                 const QuantizerOptions& options) {
+  if (!IsSupportedBitWidth(options.bits)) {
+    return Status::InvalidArgument("unsupported quantizer bits " +
+                                   std::to_string(options.bits));
+  }
+  const size_t count = m.size();
+  const uint32_t num_buckets = 1u << options.bits;
+
+  float mn = 0.0f, mx = 0.0f;
+  if (count > 0) {
+    const auto [pmn, pmx] = std::minmax_element(m.data(), m.data() + count);
+    mn = *pmn;
+    mx = *pmx;
+    if (!std::isfinite(mn) || !std::isfinite(mx)) {
+      return Status::InvalidArgument("quantizer input has non-finite values");
+    }
+  }
+  const float range = mx - mn;
+  const float width = range > 0.0f ? range / static_cast<float>(num_buckets)
+                                   : 1.0f;
+
+  std::vector<uint32_t> ids(count);
+  const float* data = m.data();
+  for (size_t i = 0; i < count; ++i) {
+    const float rel = (data[i] - mn) / width;
+    uint32_t id = rel <= 0.0f ? 0u : static_cast<uint32_t>(rel);
+    ids[i] = std::min(id, num_buckets - 1);
+  }
+
+  QuantizedMatrix q;
+  q.rows = static_cast<uint32_t>(m.rows());
+  q.cols = static_cast<uint32_t>(m.cols());
+  q.bits = options.bits;
+  q.min_value = mn;
+  q.bucket_width = width;
+  q.bucket_values.resize(num_buckets);
+  if (options.value_mode == BucketValueMode::kMidpoint || count == 0) {
+    q.implicit_midpoints = true;
+    for (uint32_t b = 0; b < num_buckets; ++b) {
+      q.bucket_values[b] = mn + width * (static_cast<float>(b) + 0.5f);
+    }
+  } else {
+    // Data mean per bucket; empty buckets fall back to the midpoint.
+    std::vector<double> sums(num_buckets, 0.0);
+    std::vector<uint64_t> counts(num_buckets, 0);
+    for (size_t i = 0; i < count; ++i) {
+      sums[ids[i]] += data[i];
+      ++counts[ids[i]];
+    }
+    for (uint32_t b = 0; b < num_buckets; ++b) {
+      q.bucket_values[b] =
+          counts[b] > 0
+              ? static_cast<float>(sums[b] / static_cast<double>(counts[b]))
+              : mn + width * (static_cast<float>(b) + 0.5f);
+    }
+  }
+  ECG_RETURN_IF_ERROR(PackBits(ids, options.bits, &q.packed_ids));
+  return q;
+}
+
+Result<tensor::Matrix> Dequantize(const QuantizedMatrix& q) {
+  if (!IsSupportedBitWidth(q.bits) ||
+      q.bucket_values.size() != (1u << q.bits)) {
+    return Status::InvalidArgument("malformed quantized matrix");
+  }
+  const size_t count = static_cast<size_t>(q.rows) * q.cols;
+  std::vector<uint32_t> ids;
+  ECG_RETURN_IF_ERROR(UnpackBits(q.packed_ids, count, q.bits, &ids));
+  tensor::Matrix out(q.rows, q.cols);
+  float* data = out.data();
+  for (size_t i = 0; i < count; ++i) data[i] = q.bucket_values[ids[i]];
+  return out;
+}
+
+Result<double> MeasureAlpha(const tensor::Matrix& x,
+                            const QuantizerOptions& options) {
+  ECG_ASSIGN_OR_RETURN(QuantizedMatrix q, Quantize(x, options));
+  ECG_ASSIGN_OR_RETURN(tensor::Matrix rec, Dequantize(q));
+  double err = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double d = static_cast<double>(x.data()[i]) - rec.data()[i];
+    err += d * d;
+  }
+  const double norm = x.SquaredNorm();
+  if (norm == 0.0) return 0.0;
+  return std::sqrt(err / norm);
+}
+
+Result<QuantizedMatrix> GatherQuantizedRows(
+    const QuantizedMatrix& q, const std::vector<uint32_t>& rows) {
+  const size_t count = static_cast<size_t>(q.rows) * q.cols;
+  std::vector<uint32_t> ids;
+  ECG_RETURN_IF_ERROR(UnpackBits(q.packed_ids, count, q.bits, &ids));
+  std::vector<uint32_t> sub_ids;
+  sub_ids.reserve(rows.size() * q.cols);
+  for (uint32_t r : rows) {
+    if (r >= q.rows) {
+      return Status::OutOfRange("gather row " + std::to_string(r) +
+                                " out of range");
+    }
+    for (uint32_t c = 0; c < q.cols; ++c) {
+      sub_ids.push_back(ids[static_cast<size_t>(r) * q.cols + c]);
+    }
+  }
+  QuantizedMatrix out;
+  out.rows = static_cast<uint32_t>(rows.size());
+  out.cols = q.cols;
+  out.bits = q.bits;
+  out.implicit_midpoints = q.implicit_midpoints;
+  out.min_value = q.min_value;
+  out.bucket_width = q.bucket_width;
+  out.bucket_values = q.bucket_values;
+  ECG_RETURN_IF_ERROR(PackBits(sub_ids, q.bits, &out.packed_ids));
+  return out;
+}
+
+}  // namespace ecg::compress

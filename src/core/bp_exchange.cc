@@ -1,0 +1,181 @@
+#include <memory>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/logging.h"
+#include "core/exchange.h"
+#include "core/wire_util.h"
+#include "tensor/ops.h"
+
+namespace ecg::core {
+namespace {
+
+using compress::QuantizedMatrix;
+using compress::QuantizerOptions;
+using dist::MessageHub;
+using tensor::Matrix;
+
+bool ActivePeer(const WorkerPlan& plan, uint32_t p) {
+  return p != plan.worker_id && !plan.send_rows[p].empty();
+}
+
+/// Non-cp backward: raw float32 gradient rows.
+class ExactBpExchanger : public BpExchanger {
+ public:
+  Status Exchange(dist::WorkerContext* ctx, const WorkerPlan& plan,
+                  uint32_t epoch, uint16_t layer, const Matrix& g_owned,
+                  Matrix* g_halo) override {
+    const uint64_t tag = MessageHub::MakeTag(epoch, layer, kTagBpData);
+    for (uint32_t p = 0; p < ctx->num_workers(); ++p) {
+      if (!ActivePeer(plan, p)) continue;
+      const Matrix rows = tensor::GatherRows(g_owned, plan.send_rows[p]);
+      std::vector<uint8_t> buf;
+      ByteWriter w(&buf);
+      EncodeMatrix(rows, &w);
+      ctx->Send(p, tag, std::move(buf));
+    }
+    for (uint32_t p = 0; p < ctx->num_workers(); ++p) {
+      if (!ActivePeer(plan, p)) continue;
+      const std::vector<uint8_t> buf = ctx->Recv(p, tag);
+      ByteReader r(buf);
+      Matrix rows;
+      ECG_RETURN_IF_ERROR(DecodeMatrix(&r, &rows));
+      ECG_RETURN_IF_ERROR(AssignRows(rows, plan.recv_halo_rows[p], g_halo));
+    }
+    ctx->EndCommPhase();
+    return Status::OK();
+  }
+};
+
+/// Cp-bp-B: quantize gradients with getMaxMin bounds (Algorithm 6 lines
+/// 4-5) but no compensation.
+class CompressedBpExchanger : public BpExchanger {
+ public:
+  explicit CompressedBpExchanger(const ExchangeConfig& config)
+      : config_(config) {}
+
+  Status Exchange(dist::WorkerContext* ctx, const WorkerPlan& plan,
+                  uint32_t epoch, uint16_t layer, const Matrix& g_owned,
+                  Matrix* g_halo) override {
+    const uint64_t tag = MessageHub::MakeTag(epoch, layer, kTagBpData);
+    QuantizerOptions qopts{config_.bp_bits, config_.value_mode};
+    for (uint32_t p = 0; p < ctx->num_workers(); ++p) {
+      if (!ActivePeer(plan, p)) continue;
+      const Matrix rows = tensor::GatherRows(g_owned, plan.send_rows[p]);
+      ECG_ASSIGN_OR_RETURN(QuantizedMatrix q, compress::Quantize(rows, qopts));
+      std::vector<uint8_t> buf;
+      ByteWriter w(&buf);
+      q.AppendTo(&w);
+      ctx->Send(p, tag, std::move(buf));
+    }
+    for (uint32_t p = 0; p < ctx->num_workers(); ++p) {
+      if (!ActivePeer(plan, p)) continue;
+      const std::vector<uint8_t> buf = ctx->Recv(p, tag);
+      ByteReader r(buf);
+      QuantizedMatrix q;
+      ECG_RETURN_IF_ERROR(QuantizedMatrix::ParseFrom(&r, &q));
+      ECG_ASSIGN_OR_RETURN(Matrix rows, compress::Dequantize(q));
+      ECG_RETURN_IF_ERROR(AssignRows(rows, plan.recv_halo_rows[p], g_halo));
+    }
+    ctx->EndCommPhase();
+    return Status::OK();
+  }
+
+ private:
+  const ExchangeConfig config_;
+};
+
+/// The paper's ResEC-BP (Algorithms 5-6, Eqs. 11-12): the responder keeps
+/// the per-vertex quantization residual δ of the previous epoch and folds
+/// it into the next epoch's message before compressing:
+///   G_cpt^t = G^t + δ^{t-1};  M^t = C(G_cpt^t);  δ^t = G_cpt^t − M^t.
+class ResEcBpExchanger : public BpExchanger {
+ public:
+  ResEcBpExchanger(const ExchangeConfig& config, uint16_t num_layers,
+                   const WorkerPlan& plan)
+      : config_(config) {
+    // BP exchanges layers 2..L inclusive; index directly by layer id.
+    delta_.resize(static_cast<size_t>(num_layers) + 1);
+    for (auto& per_layer : delta_) {
+      per_layer.resize(plan.send_rows.size());
+    }
+  }
+
+  Status Exchange(dist::WorkerContext* ctx, const WorkerPlan& plan,
+                  uint32_t epoch, uint16_t layer, const Matrix& g_owned,
+                  Matrix* g_halo) override {
+    ECG_CHECK(layer < delta_.size()) << "ResEC layer out of range";
+    const uint64_t tag = MessageHub::MakeTag(epoch, layer, kTagBpData);
+    QuantizerOptions qopts{config_.bp_bits, config_.value_mode};
+    for (uint32_t p = 0; p < ctx->num_workers(); ++p) {
+      if (!ActivePeer(plan, p)) continue;
+      Matrix g_cpt = tensor::GatherRows(g_owned, plan.send_rows[p]);
+      Matrix& delta = delta_[layer][p];
+      if (delta.rows() != g_cpt.rows() || delta.cols() != g_cpt.cols()) {
+        delta.Reset(g_cpt.rows(), g_cpt.cols());  // δ^{-1} = 0
+      }
+      tensor::AddInPlace(&g_cpt, delta);  // G + δ^{t-1}
+      ECG_ASSIGN_OR_RETURN(QuantizedMatrix q,
+                           compress::Quantize(g_cpt, qopts));
+      ECG_ASSIGN_OR_RETURN(Matrix decoded, compress::Dequantize(q));
+      // δ^t = (G + δ^{t-1}) − C(G + δ^{t-1})  (Eq. 11).
+      delta = std::move(g_cpt);
+      tensor::SubInPlace(&delta, decoded);
+      std::vector<uint8_t> buf;
+      ByteWriter w(&buf);
+      q.AppendTo(&w);
+      ctx->Send(p, tag, std::move(buf));
+    }
+    for (uint32_t p = 0; p < ctx->num_workers(); ++p) {
+      if (!ActivePeer(plan, p)) continue;
+      const std::vector<uint8_t> buf = ctx->Recv(p, tag);
+      ByteReader r(buf);
+      QuantizedMatrix q;
+      ECG_RETURN_IF_ERROR(QuantizedMatrix::ParseFrom(&r, &q));
+      ECG_ASSIGN_OR_RETURN(Matrix rows, compress::Dequantize(q));
+      ECG_RETURN_IF_ERROR(AssignRows(rows, plan.recv_halo_rows[p], g_halo));
+    }
+    ctx->EndCommPhase();
+    return Status::OK();
+  }
+
+  /// Residual magnitude toward a peer (Theorem-1 validation hook).
+  double DeltaSquaredNorm(uint16_t layer, uint32_t peer) const {
+    return delta_[layer][peer].SquaredNorm();
+  }
+
+ private:
+  const ExchangeConfig config_;
+  std::vector<std::vector<Matrix>> delta_;  // [layer][peer]
+};
+
+}  // namespace
+
+std::unique_ptr<BpExchanger> MakeBpExchanger(BpMode mode,
+                                             const ExchangeConfig& config,
+                                             uint16_t num_layers,
+                                             const WorkerPlan& plan) {
+  switch (mode) {
+    case BpMode::kExact:
+      return std::make_unique<ExactBpExchanger>();
+    case BpMode::kCompressed:
+      return std::make_unique<CompressedBpExchanger>(config);
+    case BpMode::kResEc:
+      return std::make_unique<ResEcBpExchanger>(config, num_layers, plan);
+  }
+  return nullptr;
+}
+
+const char* BpModeName(BpMode mode) {
+  switch (mode) {
+    case BpMode::kExact:
+      return "Non-cp";
+    case BpMode::kCompressed:
+      return "Cp-bp";
+    case BpMode::kResEc:
+      return "ResEC-BP";
+  }
+  return "?";
+}
+
+}  // namespace ecg::core

@@ -1,0 +1,111 @@
+#ifndef ECGRAPH_CORE_EXCHANGE_H_
+#define ECGRAPH_CORE_EXCHANGE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "compress/quantize.h"
+#include "core/halo.h"
+#include "dist/cluster.h"
+#include "tensor/matrix.h"
+
+namespace ecg::core {
+
+/// Forward-propagation message policies (who ships H how).
+enum class FpMode {
+  /// Raw float32 rows every epoch (the paper's Non-cp baseline).
+  kExact,
+  /// B-bit bucket quantization, no compensation (Cp-fp-B).
+  kCompressed,
+  /// The paper's ReqEC-FP: trend snapshots + selector + optional Bit-Tuner.
+  kReqEc,
+  /// DistGNN's delayed remote partial aggregation: only 1/r of the halo is
+  /// refreshed (exactly) per epoch, the rest stays stale.
+  kDelayed,
+};
+
+/// Backward-propagation message policies (who ships G how).
+enum class BpMode {
+  kExact,       // Non-cp
+  kCompressed,  // Cp-bp-B
+  kResEc,       // the paper's ResEC-BP error feedback
+};
+
+/// Section IV-B's three approximation-selection schemas. Vertex-wise is
+/// the paper's choice ("yields the best balance between the message size
+/// and the accuracy"); element-wise picks per coordinate (most accurate,
+/// biggest selector overhead: 2 bits per element); matrix-wise picks one
+/// approximation for the whole message.
+enum class SelectorGranularity { kElement, kVertex, kMatrix };
+
+/// Shared knobs of all exchangers.
+struct ExchangeConfig {
+  int fp_bits = 2;
+  int bp_bits = 2;
+  compress::BucketValueMode value_mode =
+      compress::BucketValueMode::kMidpoint;
+  /// T_tr: trend-group length of ReqEC-FP (paper default 10).
+  uint32_t trend_period = 10;
+  /// Enables the adaptive Bit-Tuner of Section IV-B.
+  bool adaptive_bits = false;
+  /// Bit-Tuner thresholds: grow B above hi, shrink below lo.
+  double tuner_hi = 0.6;
+  double tuner_lo = 0.4;
+  SelectorGranularity selector = SelectorGranularity::kVertex;
+  /// DistGNN delay rounds r (only used by FpMode::kDelayed).
+  uint32_t delay_rounds = 5;
+};
+
+/// Wire-tag kinds (combined with epoch/layer in MessageHub::MakeTag).
+enum ExchangeTagKind : uint16_t {
+  kTagFpRequest = 1,
+  kTagFpData = 2,
+  kTagBpData = 3,
+};
+
+/// Fetches the halo rows of H^layer each epoch. `h_owned` holds the owned
+/// rows (local order); the exchanger fills the rows of `h_halo`
+/// (plan.num_halo() x dim). h_halo persists across epochs so stale-cache
+/// policies (kDelayed) can leave rows untouched.
+class FpExchanger {
+ public:
+  virtual ~FpExchanger() = default;
+
+  virtual Status Exchange(dist::WorkerContext* ctx, const WorkerPlan& plan,
+                          uint32_t epoch, uint16_t layer,
+                          const tensor::Matrix& h_owned,
+                          tensor::Matrix* h_halo) = 0;
+
+  /// Current compression bits toward peer `p` (for logging/benches);
+  /// 32 means uncompressed.
+  virtual int BitsTowards(uint32_t peer) const { return 32; }
+};
+
+/// Fetches the halo rows of G^layer each epoch during BP.
+class BpExchanger {
+ public:
+  virtual ~BpExchanger() = default;
+
+  virtual Status Exchange(dist::WorkerContext* ctx, const WorkerPlan& plan,
+                          uint32_t epoch, uint16_t layer,
+                          const tensor::Matrix& g_owned,
+                          tensor::Matrix* g_halo) = 0;
+};
+
+/// Factories. `num_layers` lets stateful exchangers pre-size per-layer
+/// state. One exchanger instance per worker (they hold per-peer state).
+std::unique_ptr<FpExchanger> MakeFpExchanger(FpMode mode,
+                                             const ExchangeConfig& config,
+                                             uint16_t num_layers,
+                                             const WorkerPlan& plan);
+std::unique_ptr<BpExchanger> MakeBpExchanger(BpMode mode,
+                                             const ExchangeConfig& config,
+                                             uint16_t num_layers,
+                                             const WorkerPlan& plan);
+
+const char* FpModeName(FpMode mode);
+const char* BpModeName(BpMode mode);
+
+}  // namespace ecg::core
+
+#endif  // ECGRAPH_CORE_EXCHANGE_H_

@@ -1,0 +1,611 @@
+#include <cmath>
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bitpack.h"
+#include "common/bytes.h"
+#include "common/logging.h"
+#include "core/exchange.h"
+#include "core/wire_util.h"
+#include "tensor/ops.h"
+
+namespace ecg::core {
+namespace {
+
+using compress::QuantizedMatrix;
+using compress::QuantizerOptions;
+using dist::MessageHub;
+using tensor::Matrix;
+
+/// True for peers this worker actually exchanges halo rows with (cut edges
+/// exist in both directions or neither — the relation is symmetric).
+bool ActivePeer(const WorkerPlan& plan, uint32_t p) {
+  return p != plan.worker_id && !plan.send_rows[p].empty();
+}
+
+/// Non-cp: ship raw float32 rows every epoch.
+class ExactFpExchanger : public FpExchanger {
+ public:
+  Status Exchange(dist::WorkerContext* ctx, const WorkerPlan& plan,
+                  uint32_t epoch, uint16_t layer, const Matrix& h_owned,
+                  Matrix* h_halo) override {
+    const uint64_t tag = MessageHub::MakeTag(epoch, layer, kTagFpData);
+    for (uint32_t p = 0; p < ctx->num_workers(); ++p) {
+      if (!ActivePeer(plan, p)) continue;
+      const Matrix rows = tensor::GatherRows(h_owned, plan.send_rows[p]);
+      std::vector<uint8_t> buf;
+      ByteWriter w(&buf);
+      EncodeMatrix(rows, &w);
+      ctx->Send(p, tag, std::move(buf));
+    }
+    for (uint32_t p = 0; p < ctx->num_workers(); ++p) {
+      if (!ActivePeer(plan, p)) continue;
+      const std::vector<uint8_t> buf = ctx->Recv(p, tag);
+      ByteReader r(buf);
+      Matrix rows;
+      ECG_RETURN_IF_ERROR(DecodeMatrix(&r, &rows));
+      ECG_RETURN_IF_ERROR(AssignRows(rows, plan.recv_halo_rows[p], h_halo));
+    }
+    ctx->EndCommPhase();
+    return Status::OK();
+  }
+};
+
+/// Cp-fp-B: bucket quantization, no compensation.
+class CompressedFpExchanger : public FpExchanger {
+ public:
+  explicit CompressedFpExchanger(const ExchangeConfig& config)
+      : config_(config) {}
+
+  Status Exchange(dist::WorkerContext* ctx, const WorkerPlan& plan,
+                  uint32_t epoch, uint16_t layer, const Matrix& h_owned,
+                  Matrix* h_halo) override {
+    const uint64_t tag = MessageHub::MakeTag(epoch, layer, kTagFpData);
+    QuantizerOptions qopts{config_.fp_bits, config_.value_mode};
+    for (uint32_t p = 0; p < ctx->num_workers(); ++p) {
+      if (!ActivePeer(plan, p)) continue;
+      const Matrix rows = tensor::GatherRows(h_owned, plan.send_rows[p]);
+      ECG_ASSIGN_OR_RETURN(QuantizedMatrix q, compress::Quantize(rows, qopts));
+      std::vector<uint8_t> buf;
+      ByteWriter w(&buf);
+      q.AppendTo(&w);
+      ctx->Send(p, tag, std::move(buf));
+    }
+    for (uint32_t p = 0; p < ctx->num_workers(); ++p) {
+      if (!ActivePeer(plan, p)) continue;
+      const std::vector<uint8_t> buf = ctx->Recv(p, tag);
+      ByteReader r(buf);
+      QuantizedMatrix q;
+      ECG_RETURN_IF_ERROR(QuantizedMatrix::ParseFrom(&r, &q));
+      ECG_ASSIGN_OR_RETURN(Matrix rows, compress::Dequantize(q));
+      ECG_RETURN_IF_ERROR(AssignRows(rows, plan.recv_halo_rows[p], h_halo));
+    }
+    ctx->EndCommPhase();
+    return Status::OK();
+  }
+
+  int BitsTowards(uint32_t) const override { return config_.fp_bits; }
+
+ private:
+  const ExchangeConfig config_;
+};
+
+/// DistGNN's delayed remote partial aggregation: per epoch only the rows
+/// with index ≡ epoch (mod r) are refreshed (shipped exactly); the
+/// requester keeps stale values for the rest. Epoch 0 ships everything so
+/// the caches start populated.
+class DelayedFpExchanger : public FpExchanger {
+ public:
+  explicit DelayedFpExchanger(const ExchangeConfig& config)
+      : r_(std::max<uint32_t>(1, config.delay_rounds)) {}
+
+  Status Exchange(dist::WorkerContext* ctx, const WorkerPlan& plan,
+                  uint32_t epoch, uint16_t layer, const Matrix& h_owned,
+                  Matrix* h_halo) override {
+    const uint64_t tag = MessageHub::MakeTag(epoch, layer, kTagFpData);
+    for (uint32_t p = 0; p < ctx->num_workers(); ++p) {
+      if (!ActivePeer(plan, p)) continue;
+      const auto& send_rows = plan.send_rows[p];
+      std::vector<uint32_t> positions;  // positions within send list
+      for (uint32_t i = 0; i < send_rows.size(); ++i) {
+        if (epoch == 0 || i % r_ == epoch % r_) positions.push_back(i);
+      }
+      std::vector<uint32_t> local_rows;
+      local_rows.reserve(positions.size());
+      for (uint32_t i : positions) local_rows.push_back(send_rows[i]);
+      const Matrix rows = tensor::GatherRows(h_owned, local_rows);
+      std::vector<uint8_t> buf;
+      ByteWriter w(&buf);
+      w.PutU32Vector(positions);
+      EncodeMatrix(rows, &w);
+      ctx->Send(p, tag, std::move(buf));
+    }
+    for (uint32_t p = 0; p < ctx->num_workers(); ++p) {
+      if (!ActivePeer(plan, p)) continue;
+      const std::vector<uint8_t> buf = ctx->Recv(p, tag);
+      ByteReader r(buf);
+      std::vector<uint32_t> positions;
+      ECG_RETURN_IF_ERROR(r.GetU32Vector(&positions));
+      Matrix rows;
+      ECG_RETURN_IF_ERROR(DecodeMatrix(&r, &rows));
+      const auto& halo_rows = plan.recv_halo_rows[p];
+      std::vector<uint32_t> targets;
+      targets.reserve(positions.size());
+      for (uint32_t i : positions) {
+        if (i >= halo_rows.size()) {
+          return Status::OutOfRange("delayed refresh position out of range");
+        }
+        targets.push_back(halo_rows[i]);
+      }
+      ECG_RETURN_IF_ERROR(AssignRows(rows, targets, h_halo));
+    }
+    ctx->EndCommPhase();
+    return Status::OK();
+  }
+
+ private:
+  const uint32_t r_;
+};
+
+/// The paper's ReqEC-FP (Algorithms 3 and 4): trend snapshots every T_tr
+/// epochs, three candidate approximations per vertex in between, 2-bit
+/// selector array on the wire, and the adaptive Bit-Tuner.
+class ReqEcFpExchanger : public FpExchanger {
+ public:
+  ReqEcFpExchanger(const ExchangeConfig& config, uint16_t num_layers,
+                   const WorkerPlan& plan)
+      : config_(config), num_layers_(num_layers) {
+    const uint32_t workers =
+        static_cast<uint32_t>(plan.send_rows.size());
+    responder_.resize(num_layers);
+    requester_.resize(num_layers);
+    for (uint16_t l = 0; l < num_layers; ++l) {
+      responder_[l].resize(workers);
+      requester_[l].resize(workers);
+    }
+    bits_towards_.assign(workers, config.fp_bits);
+    proportion_from_.assign(workers, 0.0f);
+  }
+
+  Status Exchange(dist::WorkerContext* ctx, const WorkerPlan& plan,
+                  uint32_t epoch, uint16_t layer, const Matrix& h_owned,
+                  Matrix* h_halo) override {
+    ECG_CHECK(layer < num_layers_) << "ReqEC layer out of range";
+    const uint64_t req_tag = MessageHub::MakeTag(epoch, layer, kTagFpRequest);
+    const uint64_t data_tag = MessageHub::MakeTag(epoch, layer, kTagFpData);
+    const bool trend_epoch = (epoch + 1) % config_.trend_period == 0;
+    // Eq. 7's (t mod T_tr + 1): epochs since the last trend snapshot.
+    const uint32_t step = epoch % config_.trend_period + 1;
+
+    // 1) Requests carry the bits the requester wants the responder to use
+    //    (Algorithm 3 line 1 passes B with the RPC).
+    for (uint32_t p = 0; p < ctx->num_workers(); ++p) {
+      if (!ActivePeer(plan, p)) continue;
+      std::vector<uint8_t> buf;
+      ByteWriter w(&buf);
+      w.PutU8(static_cast<uint8_t>(bits_towards_[p]));
+      ctx->Send(p, req_tag, std::move(buf));
+    }
+
+    // 2) Respond (Algorithm 4).
+    for (uint32_t p = 0; p < ctx->num_workers(); ++p) {
+      if (!ActivePeer(plan, p)) continue;
+      const std::vector<uint8_t> req = ctx->Recv(p, req_tag);
+      ByteReader rr(req);
+      uint8_t peer_bits = 0;
+      ECG_RETURN_IF_ERROR(rr.GetU8(&peer_bits));
+      std::vector<uint8_t> buf;
+      ECG_RETURN_IF_ERROR(BuildResponse(plan, p, epoch, layer, trend_epoch,
+                                        step, peer_bits, h_owned, &buf));
+      ctx->Send(p, data_tag, std::move(buf));
+    }
+
+    // 3) Parse responses (Algorithm 3).
+    for (uint32_t p = 0; p < ctx->num_workers(); ++p) {
+      if (!ActivePeer(plan, p)) continue;
+      const std::vector<uint8_t> buf = ctx->Recv(p, data_tag);
+      ECG_RETURN_IF_ERROR(
+          ParseResponse(plan, p, layer, trend_epoch, step, buf, h_halo));
+    }
+    ctx->EndCommPhase();
+
+    // 4) Bit-Tuner, once per epoch after the last exchanged FP layer
+    //    (Algorithm 3 lines 13-18).
+    if (config_.adaptive_bits && layer + 1 == num_layers_) {
+      for (uint32_t p = 0; p < ctx->num_workers(); ++p) {
+        if (!ActivePeer(plan, p)) continue;
+        const double prop = proportion_from_[p];
+        int& b = bits_towards_[p];
+        if (prop > config_.tuner_hi && b < 16) {
+          b *= 2;
+        } else if (prop < config_.tuner_lo && b > 1) {
+          b /= 2;
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  int BitsTowards(uint32_t peer) const override {
+    return bits_towards_[peer];
+  }
+
+ private:
+  /// Message kinds inside an FP data payload.
+  enum ResponseKind : uint8_t {
+    kTrend = 0,            // exact H + M_cr (last epoch of a trend group)
+    kSelected = 1,         // per-vertex SltArr + compressed subset
+    kColdStart = 2,        // compressed everything (no trend baseline yet)
+    kSelectedElement = 3,  // per-element SltArr + compressed subset
+  };
+  /// Selector ids, matching the paper's 00=compressed, 01=predicted,
+  /// 10=average encoding.
+  enum Selection : uint32_t { kCps = 0, kPdt = 1, kAvg = 2 };
+
+  struct ResponderState {
+    Matrix h_last;  // what the requester holds as its trend baseline
+    Matrix m_cr;
+    bool have_trend = false;
+  };
+  struct RequesterState {
+    Matrix h_last;
+    Matrix m_cr;
+    bool have_trend = false;
+  };
+
+  Status BuildResponse(const WorkerPlan& plan, uint32_t peer, uint32_t epoch,
+                       uint16_t layer, bool trend_epoch, uint32_t step,
+                       int peer_bits, const Matrix& h_owned,
+                       std::vector<uint8_t>* buf) {
+    ResponderState& st = responder_[layer][peer];
+    const Matrix h_send = tensor::GatherRows(h_owned, plan.send_rows[peer]);
+    ByteWriter w(buf);
+
+    if (trend_epoch) {
+      Matrix m_cr(h_send.rows(), h_send.cols());
+      if (st.have_trend) {
+        // M_cr = (H_now - H_last) / T_tr (Algorithm 4 line 4).
+        m_cr = h_send;
+        tensor::SubInPlace(&m_cr, st.h_last);
+        tensor::ScaleInPlace(&m_cr,
+                             1.0f / static_cast<float>(config_.trend_period));
+      }
+      st.h_last = h_send;
+      st.m_cr = m_cr;
+      st.have_trend = true;
+      w.PutU8(kTrend);
+      EncodeMatrix(h_send, &w);
+      EncodeMatrix(m_cr, &w);
+      return Status::OK();
+    }
+
+    QuantizerOptions qopts{peer_bits, config_.value_mode};
+    ECG_ASSIGN_OR_RETURN(QuantizedMatrix q_full,
+                         compress::Quantize(h_send, qopts));
+
+    if (!st.have_trend) {
+      // First trend group: no prediction baseline exists on either end.
+      w.PutU8(kColdStart);
+      q_full.AppendTo(&w);
+      return Status::OK();
+    }
+
+    // Reconstruct the three candidates exactly as the requester would.
+    ECG_ASSIGN_OR_RETURN(Matrix h_cps, compress::Dequantize(q_full));
+    Matrix h_pdt = st.h_last;
+    tensor::Axpy(static_cast<float>(step), st.m_cr, &h_pdt);
+    Matrix h_avg = h_pdt;
+    tensor::AddInPlace(&h_avg, h_cps);
+    tensor::ScaleInPlace(&h_avg, 0.5f);
+
+    if (config_.selector == SelectorGranularity::kElement) {
+      return BuildElementResponse(h_send, h_cps, h_pdt, h_avg, q_full,
+                                  peer_bits, &w);
+    }
+
+    // Selector: per-vertex L1 distances (Eq. 10), or a single matrix-wide
+    // decision under the coarse granularity ablation.
+    const std::vector<float> s_cps = tensor::RowL1Distance(h_cps, h_send);
+    const std::vector<float> s_pdt = tensor::RowL1Distance(h_pdt, h_send);
+    const std::vector<float> s_avg = tensor::RowL1Distance(h_avg, h_send);
+    const size_t n = h_send.rows();
+    std::vector<uint32_t> slt(n, kCps);
+    if (config_.selector == SelectorGranularity::kVertex) {
+      for (size_t i = 0; i < n; ++i) {
+        uint32_t best = kCps;
+        float best_s = s_cps[i];
+        if (s_pdt[i] < best_s) {
+          best = kPdt;
+          best_s = s_pdt[i];
+        }
+        if (s_avg[i] < best_s) best = kAvg;
+        slt[i] = best;
+      }
+    } else {
+      double t_cps = 0, t_pdt = 0, t_avg = 0;
+      for (size_t i = 0; i < n; ++i) {
+        t_cps += s_cps[i];
+        t_pdt += s_pdt[i];
+        t_avg += s_avg[i];
+      }
+      uint32_t best = kCps;
+      if (t_pdt < t_cps && t_pdt <= t_avg) best = kPdt;
+      if (t_avg < t_cps && t_avg < t_pdt) best = kAvg;
+      std::fill(slt.begin(), slt.end(), best);
+    }
+
+    // Predicted rows are never shipped (Algorithm 4 line 14).
+    std::vector<uint32_t> shipped;
+    size_t predicted = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+      if (slt[i] == kPdt) {
+        ++predicted;
+      } else {
+        shipped.push_back(i);
+      }
+    }
+    ECG_ASSIGN_OR_RETURN(QuantizedMatrix q_sub,
+                         compress::GatherQuantizedRows(q_full, shipped));
+    const float proportion =
+        n == 0 ? 0.0f : static_cast<float>(predicted) / n;
+
+    w.PutU8(kSelected);
+    w.PutU8(static_cast<uint8_t>(peer_bits));
+    std::vector<uint32_t> packed_slt;
+    ECG_RETURN_IF_ERROR(PackBits(slt, /*bits=*/2, &packed_slt));
+    w.PutU64(n);
+    w.PutU32Vector(packed_slt);
+    q_sub.AppendTo(&w);
+    w.PutF32(proportion);
+    return Status::OK();
+  }
+
+  /// Element-wise schema: 2-bit selector per COORDINATE; only non-predicted
+  /// coordinates ship their bucket ids (sharing q_full's bucket table).
+  Status BuildElementResponse(const Matrix& h_send, const Matrix& h_cps,
+                              const Matrix& h_pdt, const Matrix& h_avg,
+                              const QuantizedMatrix& q_full, int peer_bits,
+                              ByteWriter* w) {
+    const size_t count = h_send.size();
+    std::vector<uint32_t> full_ids;
+    ECG_RETURN_IF_ERROR(
+        UnpackBits(q_full.packed_ids, count, q_full.bits, &full_ids));
+
+    std::vector<uint32_t> slt(count, kCps);
+    std::vector<uint32_t> shipped_ids;
+    size_t predicted = 0;
+    for (size_t i = 0; i < count; ++i) {
+      const float truth = h_send.data()[i];
+      const float e_cps = std::fabs(h_cps.data()[i] - truth);
+      const float e_pdt = std::fabs(h_pdt.data()[i] - truth);
+      const float e_avg = std::fabs(h_avg.data()[i] - truth);
+      uint32_t pick = kCps;
+      float best = e_cps;
+      if (e_pdt < best) {
+        pick = kPdt;
+        best = e_pdt;
+      }
+      if (e_avg < best) pick = kAvg;
+      slt[i] = pick;
+      if (pick == kPdt) {
+        ++predicted;
+      } else {
+        shipped_ids.push_back(full_ids[i]);
+      }
+    }
+    const float proportion =
+        count == 0 ? 0.0f : static_cast<float>(predicted) / count;
+
+    QuantizedMatrix q_sub;
+    q_sub.rows = 1;
+    q_sub.cols = static_cast<uint32_t>(shipped_ids.size());
+    q_sub.bits = q_full.bits;
+    q_sub.implicit_midpoints = q_full.implicit_midpoints;
+    q_sub.min_value = q_full.min_value;
+    q_sub.bucket_width = q_full.bucket_width;
+    q_sub.bucket_values = q_full.bucket_values;
+    ECG_RETURN_IF_ERROR(
+        PackBits(shipped_ids, q_full.bits, &q_sub.packed_ids));
+
+    w->PutU8(kSelectedElement);
+    w->PutU8(static_cast<uint8_t>(peer_bits));
+    std::vector<uint32_t> packed_slt;
+    ECG_RETURN_IF_ERROR(PackBits(slt, /*bits=*/2, &packed_slt));
+    w->PutU64(count);
+    w->PutU32Vector(packed_slt);
+    q_sub.AppendTo(w);
+    w->PutF32(proportion);
+    return Status::OK();
+  }
+
+  Status ParseElementResponse(const WorkerPlan& plan, uint32_t peer,
+                              const RequesterState& st, uint32_t step,
+                              ByteReader* r, Matrix* h_halo) {
+    const auto& halo_rows = plan.recv_halo_rows[peer];
+    uint8_t bits = 0;
+    uint64_t count = 0;
+    std::vector<uint32_t> packed_slt;
+    ECG_RETURN_IF_ERROR(r->GetU8(&bits));
+    ECG_RETURN_IF_ERROR(r->GetU64(&count));
+    ECG_RETURN_IF_ERROR(r->GetU32Vector(&packed_slt));
+    QuantizedMatrix q_sub;
+    ECG_RETURN_IF_ERROR(QuantizedMatrix::ParseFrom(r, &q_sub));
+    float proportion = 0.0f;
+    ECG_RETURN_IF_ERROR(r->GetF32(&proportion));
+    proportion_from_[peer] = proportion;
+
+    const size_t dim = st.h_last.cols();
+    if (count != halo_rows.size() * dim) {
+      return Status::InvalidArgument("element selector size mismatch");
+    }
+    std::vector<uint32_t> slt;
+    ECG_RETURN_IF_ERROR(UnpackBits(packed_slt, count, /*bits=*/2, &slt));
+    ECG_ASSIGN_OR_RETURN(Matrix d_sub, compress::Dequantize(q_sub));
+
+    size_t cursor = 0;
+    for (size_t i = 0; i < halo_rows.size(); ++i) {
+      float* out = h_halo->Row(halo_rows[i]);
+      const float* last = st.h_last.Row(i);
+      const float* rate = st.m_cr.Row(i);
+      for (size_t c = 0; c < dim; ++c) {
+        const float pdt = last[c] + rate[c] * static_cast<float>(step);
+        const uint32_t pick = slt[i * dim + c];
+        if (pick == kPdt) {
+          out[c] = pdt;
+          continue;
+        }
+        if (cursor >= d_sub.size()) {
+          return Status::OutOfRange("element subset underflow");
+        }
+        const float cps = d_sub.data()[cursor++];
+        out[c] = pick == kCps ? cps : 0.5f * (pdt + cps);
+      }
+    }
+    if (cursor != d_sub.size()) {
+      return Status::Internal("element subset not fully consumed");
+    }
+    return Status::OK();
+  }
+
+  Status ParseResponse(const WorkerPlan& plan, uint32_t peer, uint16_t layer,
+                       bool trend_epoch, uint32_t step,
+                       const std::vector<uint8_t>& buf, Matrix* h_halo) {
+    RequesterState& st = requester_[layer][peer];
+    const auto& halo_rows = plan.recv_halo_rows[peer];
+    ByteReader r(buf);
+    uint8_t kind = 0;
+    ECG_RETURN_IF_ERROR(r.GetU8(&kind));
+
+    if (kind == kTrend) {
+      Matrix h_exact, m_cr;
+      ECG_RETURN_IF_ERROR(DecodeMatrix(&r, &h_exact));
+      ECG_RETURN_IF_ERROR(DecodeMatrix(&r, &m_cr));
+      ECG_RETURN_IF_ERROR(AssignRows(h_exact, halo_rows, h_halo));
+      st.h_last = std::move(h_exact);
+      st.m_cr = std::move(m_cr);
+      st.have_trend = true;
+      return Status::OK();
+    }
+    if (kind == kColdStart) {
+      QuantizedMatrix q;
+      ECG_RETURN_IF_ERROR(QuantizedMatrix::ParseFrom(&r, &q));
+      ECG_ASSIGN_OR_RETURN(Matrix rows, compress::Dequantize(q));
+      return AssignRows(rows, halo_rows, h_halo);
+    }
+    if (kind != kSelected && kind != kSelectedElement) {
+      return Status::InvalidArgument("unknown FP response kind " +
+                                     std::to_string(kind));
+    }
+    if (!st.have_trend) {
+      return Status::Internal("selected response before trend baseline");
+    }
+    if (kind == kSelectedElement) {
+      return ParseElementResponse(plan, peer, st, step, &r, h_halo);
+    }
+
+    uint8_t bits = 0;
+    uint64_t n = 0;
+    std::vector<uint32_t> packed_slt;
+    ECG_RETURN_IF_ERROR(r.GetU8(&bits));
+    ECG_RETURN_IF_ERROR(r.GetU64(&n));
+    ECG_RETURN_IF_ERROR(r.GetU32Vector(&packed_slt));
+    QuantizedMatrix q_sub;
+    ECG_RETURN_IF_ERROR(QuantizedMatrix::ParseFrom(&r, &q_sub));
+    float proportion = 0.0f;
+    ECG_RETURN_IF_ERROR(r.GetF32(&proportion));
+    proportion_from_[peer] = proportion;
+
+    if (n != halo_rows.size()) {
+      return Status::InvalidArgument("selector size mismatch");
+    }
+    std::vector<uint32_t> slt;
+    ECG_RETURN_IF_ERROR(UnpackBits(packed_slt, n, /*bits=*/2, &slt));
+    ECG_ASSIGN_OR_RETURN(Matrix d_sub, compress::Dequantize(q_sub));
+
+    const size_t dim = st.h_last.cols();
+    size_t cursor = 0;
+    for (size_t i = 0; i < n; ++i) {
+      float* out = h_halo->Row(halo_rows[i]);
+      const float* last = st.h_last.Row(i);
+      const float* rate = st.m_cr.Row(i);
+      switch (slt[i]) {
+        case kPdt:
+          for (size_t c = 0; c < dim; ++c) {
+            out[c] = last[c] + rate[c] * static_cast<float>(step);
+          }
+          break;
+        case kCps: {
+          if (cursor >= d_sub.rows()) {
+            return Status::OutOfRange("compressed subset underflow");
+          }
+          std::memcpy(out, d_sub.Row(cursor), dim * sizeof(float));
+          ++cursor;
+          break;
+        }
+        case kAvg: {
+          if (cursor >= d_sub.rows()) {
+            return Status::OutOfRange("compressed subset underflow");
+          }
+          const float* cps = d_sub.Row(cursor);
+          for (size_t c = 0; c < dim; ++c) {
+            const float pdt = last[c] + rate[c] * static_cast<float>(step);
+            out[c] = 0.5f * (pdt + cps[c]);
+          }
+          ++cursor;
+          break;
+        }
+        default:
+          return Status::InvalidArgument("corrupt selector value");
+      }
+    }
+    if (cursor != d_sub.rows()) {
+      return Status::Internal("compressed subset not fully consumed");
+    }
+    return Status::OK();
+  }
+
+  const ExchangeConfig config_;
+  const uint16_t num_layers_;
+  std::vector<std::vector<ResponderState>> responder_;  // [layer][peer]
+  std::vector<std::vector<RequesterState>> requester_;  // [layer][peer]
+  std::vector<int> bits_towards_;                       // [peer]
+  std::vector<float> proportion_from_;                  // [peer]
+};
+
+}  // namespace
+
+std::unique_ptr<FpExchanger> MakeFpExchanger(FpMode mode,
+                                             const ExchangeConfig& config,
+                                             uint16_t num_layers,
+                                             const WorkerPlan& plan) {
+  switch (mode) {
+    case FpMode::kExact:
+      return std::make_unique<ExactFpExchanger>();
+    case FpMode::kCompressed:
+      return std::make_unique<CompressedFpExchanger>(config);
+    case FpMode::kDelayed:
+      return std::make_unique<DelayedFpExchanger>(config);
+    case FpMode::kReqEc:
+      return std::make_unique<ReqEcFpExchanger>(config, num_layers, plan);
+  }
+  return nullptr;
+}
+
+const char* FpModeName(FpMode mode) {
+  switch (mode) {
+    case FpMode::kExact:
+      return "Non-cp";
+    case FpMode::kCompressed:
+      return "Cp-fp";
+    case FpMode::kReqEc:
+      return "ReqEC-FP";
+    case FpMode::kDelayed:
+      return "Delayed(DistGNN)";
+  }
+  return "?";
+}
+
+}  // namespace ecg::core

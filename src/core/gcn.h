@@ -1,0 +1,61 @@
+#ifndef ECGRAPH_CORE_GCN_H_
+#define ECGRAPH_CORE_GCN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/param_server.h"
+
+namespace ecg::core {
+
+/// Which GNN variant the trainers run. Both exchange exactly the same
+/// kinds of messages (neighbour embeddings in FP, embedding gradients in
+/// BP), which is the paper's condition for a model to run on EC-Graph.
+enum class GnnKind {
+  /// Kipf-Welling GCN (Eqs. 2-3): Z = Â H W + b with the symmetric
+  /// normalization Â = D^{-1/2}(A+I)D^{-1/2}.
+  kGcn,
+  /// GraphSAGE with the mean aggregator: Z = [H | mean_N(H)] W + b,
+  /// where W stacks W_self on top of W_neigh ((2*in) x out). The mean
+  /// aggregation matrix is row-normalized and therefore asymmetric, so BP
+  /// flows through its transpose (WorkerPlan::adj_bp).
+  kSage,
+};
+
+const char* GnnKindName(GnnKind kind);
+
+/// Shape and optimizer knobs of the GNN being trained: L layers, each an
+/// aggregation + linear + ReLU (softmax+CE after the last).
+struct GcnConfig {
+  GnnKind kind = GnnKind::kGcn;
+  int num_layers = 2;
+  uint32_t hidden_dim = 16;
+  float learning_rate = 0.01f;
+  /// Seed for Xavier initialization on the parameter servers.
+  uint64_t seed = 42;
+};
+
+/// Per-layer parameter shapes given input features and classes:
+/// d0 -> hidden -> ... -> hidden -> classes. SAGE doubles the input dim
+/// of every layer (stacked self/neighbour weights).
+inline std::vector<dist::ParameterServerGroup::LayerShape> GcnLayerShapes(
+    const GcnConfig& config, size_t feature_dim, size_t num_classes) {
+  std::vector<dist::ParameterServerGroup::LayerShape> shapes;
+  const size_t in_factor = config.kind == GnnKind::kSage ? 2 : 1;
+  size_t in = feature_dim;
+  for (int l = 0; l < config.num_layers; ++l) {
+    const size_t out =
+        (l + 1 == config.num_layers) ? num_classes : config.hidden_dim;
+    shapes.push_back({in * in_factor, out});
+    in = out;
+  }
+  return shapes;
+}
+
+inline const char* GnnKindName(GnnKind kind) {
+  return kind == GnnKind::kSage ? "GraphSAGE" : "GCN";
+}
+
+}  // namespace ecg::core
+
+#endif  // ECGRAPH_CORE_GCN_H_

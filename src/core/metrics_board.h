@@ -1,0 +1,122 @@
+#ifndef ECGRAPH_CORE_METRICS_BOARD_H_
+#define ECGRAPH_CORE_METRICS_BOARD_H_
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/metrics.h"
+#include "tensor/matrix.h"
+
+namespace ecg::core::internal {
+
+/// Cross-worker blackboard shared by the trainers: per-epoch metric
+/// reduction plus the shared early-stop decision. All access is
+/// mutex-guarded; the BSP barriers order the phases (every worker Adds its
+/// locals before worker 0 finalizes the epoch).
+struct MetricsBoard {
+  std::mutex mu;
+  double loss_sum = 0.0;
+  uint64_t correct[3] = {0, 0, 0};  // train, val, test
+  uint64_t totals[3] = {0, 0, 0};
+  std::atomic<uint64_t> param_bytes{0};
+
+  std::vector<EpochMetrics> epochs;
+  double last_clock = 0.0;
+  uint64_t last_comm_bytes = 0;
+  uint64_t last_param_bytes = 0;
+
+  double best_val = -1.0;
+  double test_at_best_val = 0.0;
+  uint32_t best_epoch = 0;
+  uint32_t epochs_since_best = 0;
+  std::atomic<bool> stop{false};
+
+  void AddLocal(double loss, const uint64_t c[3], const uint64_t t[3]) {
+    std::lock_guard<std::mutex> lock(mu);
+    loss_sum += loss;
+    for (int i = 0; i < 3; ++i) {
+      correct[i] += c[i];
+      totals[i] += t[i];
+    }
+  }
+
+  /// Worker 0 calls this after the epoch barrier: folds the accumulators
+  /// into an EpochMetrics, resets them, tracks the best-val epoch and
+  /// arms the early-stop flag. `clock` is the caller's aligned simulated
+  /// time, `comm`/`pbytes` are the cluster's cumulative byte counters.
+  void FinalizeEpoch(uint32_t epoch, double clock, uint64_t comm,
+                     size_t global_train, uint32_t patience) {
+    std::lock_guard<std::mutex> lock(mu);
+    EpochMetrics m;
+    m.loss = loss_sum / static_cast<double>(global_train);
+    for (int s = 0; s < 3; ++s) {
+      const double acc =
+          totals[s] ? static_cast<double>(correct[s]) / totals[s] : 0.0;
+      if (s == 0) m.train_acc = acc;
+      if (s == 1) m.val_acc = acc;
+      if (s == 2) m.test_acc = acc;
+    }
+    m.sim_seconds = clock - last_clock;
+    last_clock = clock;
+    m.comm_bytes = comm - last_comm_bytes;
+    last_comm_bytes = comm;
+    const uint64_t pbytes = param_bytes.load(std::memory_order_relaxed);
+    m.param_bytes = pbytes - last_param_bytes;
+    last_param_bytes = pbytes;
+    epochs.push_back(m);
+    loss_sum = 0.0;
+    for (int i = 0; i < 3; ++i) correct[i] = totals[i] = 0;
+
+    if (m.val_acc > best_val) {
+      best_val = m.val_acc;
+      test_at_best_val = m.test_acc;
+      best_epoch = epoch;
+      epochs_since_best = 0;
+    } else {
+      ++epochs_since_best;
+    }
+    if (patience > 0 && epochs_since_best >= patience) {
+      stop.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  /// Moves the accumulated curve into a TrainResult summary.
+  TrainResult ToResult(double preprocess_seconds) {
+    TrainResult result;
+    result.epochs = std::move(epochs);
+    result.best_val_acc = best_val < 0.0 ? 0.0 : best_val;
+    result.test_acc_at_best_val = test_at_best_val;
+    result.best_epoch = best_epoch;
+    result.preprocess_seconds = preprocess_seconds;
+    for (const auto& e : result.epochs) {
+      result.total_sim_seconds += e.sim_seconds;
+      result.total_comm_bytes += e.comm_bytes;
+    }
+    if (!result.epochs.empty()) {
+      result.avg_epoch_seconds = result.total_sim_seconds /
+                                 static_cast<double>(result.epochs.size());
+    }
+    return result;
+  }
+};
+
+/// [owned ; halo] stacked into one matrix whose row indexing matches the
+/// columns of a WorkerPlan's sub-adjacency.
+inline void BuildCat(const tensor::Matrix& owned, const tensor::Matrix& halo,
+                     tensor::Matrix* cat) {
+  ECG_CHECK(owned.cols() == halo.cols() || halo.rows() == 0)
+      << "cat width mismatch";
+  cat->Reset(owned.rows() + halo.rows(), owned.cols());
+  std::memcpy(cat->data(), owned.data(), owned.size() * sizeof(float));
+  if (halo.rows() > 0) {
+    std::memcpy(cat->Row(owned.rows()), halo.data(),
+                halo.size() * sizeof(float));
+  }
+}
+
+}  // namespace ecg::core::internal
+
+#endif  // ECGRAPH_CORE_METRICS_BOARD_H_

@@ -1,0 +1,86 @@
+#include "core/sampling.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace ecg::core {
+
+Result<SampledLayerGraph> SampleLayerGraph(const graph::Graph& g,
+                                           uint32_t fanout, uint64_t seed) {
+  const uint32_t n = g.num_vertices();
+  SampledLayerGraph out;
+
+  if (fanout == 0) {
+    // No sampling: copy the full structure.
+    out.offsets.assign(n + 1, 0);
+    for (uint32_t v = 0; v < n; ++v) {
+      out.offsets[v + 1] = out.offsets[v] + g.Degree(v);
+    }
+    out.adj.reserve(g.num_edges());
+    for (uint32_t v = 0; v < n; ++v) {
+      const auto nb = g.Neighbors(v);
+      out.adj.insert(out.adj.end(), nb.begin(), nb.end());
+    }
+    return out;
+  }
+
+  // Every vertex nominates up to `fanout` incident edges; an edge survives
+  // if either endpoint nominated it (symmetrization). Nomination uses a
+  // per-vertex reservoir over the sorted neighbour list, deterministic in
+  // (seed, v).
+  std::vector<std::vector<uint32_t>> kept(n);
+  Rng rng(seed);
+  std::vector<uint32_t> scratch;
+  for (uint32_t v = 0; v < n; ++v) {
+    const auto nb = g.Neighbors(v);
+    if (nb.size() <= fanout) {
+      for (uint32_t u : nb) {
+        if (u > v) kept[v].push_back(u);
+        else kept[u].push_back(v);
+      }
+      continue;
+    }
+    // Partial Fisher-Yates over a scratch copy: first `fanout` slots.
+    scratch.assign(nb.begin(), nb.end());
+    for (uint32_t i = 0; i < fanout; ++i) {
+      const uint64_t j = i + rng.NextBelow(scratch.size() - i);
+      std::swap(scratch[i], scratch[j]);
+      const uint32_t u = scratch[i];
+      if (u > v) kept[v].push_back(u);
+      else kept[u].push_back(v);
+    }
+  }
+
+  // Dedupe per source (both endpoints may nominate the same edge) and
+  // emit both directions.
+  std::vector<uint32_t> degree(n, 0);
+  for (uint32_t v = 0; v < n; ++v) {
+    std::sort(kept[v].begin(), kept[v].end());
+    kept[v].erase(std::unique(kept[v].begin(), kept[v].end()),
+                  kept[v].end());
+    for (uint32_t u : kept[v]) {
+      ++degree[v];
+      ++degree[u];
+    }
+  }
+  out.offsets.assign(n + 1, 0);
+  for (uint32_t v = 0; v < n; ++v) {
+    out.offsets[v + 1] = out.offsets[v] + degree[v];
+  }
+  out.adj.resize(out.offsets[n]);
+  std::vector<uint64_t> cursor(out.offsets.begin(), out.offsets.end() - 1);
+  for (uint32_t v = 0; v < n; ++v) {
+    for (uint32_t u : kept[v]) {
+      out.adj[cursor[v]++] = u;
+      out.adj[cursor[u]++] = v;
+    }
+  }
+  for (uint32_t v = 0; v < n; ++v) {
+    std::sort(out.adj.begin() + out.offsets[v],
+              out.adj.begin() + out.offsets[v + 1]);
+  }
+  return out;
+}
+
+}  // namespace ecg::core

@@ -1,0 +1,49 @@
+#ifndef ECGRAPH_CORE_SAMPLING_H_
+#define ECGRAPH_CORE_SAMPLING_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
+
+namespace ecg::core {
+
+/// Per-layer neighbour fan-outs, outermost layer first, matching the
+/// paper's "(20,10,5)" notation for a 3-layer model: fanouts[0] applies to
+/// the layer nearest the input. 0 means "no sampling" for that layer.
+using Fanouts = std::vector<uint32_t>;
+
+/// A sampled symmetric edge set for one layer of one epoch: every vertex
+/// keeps at most `fanout` of its incident edges (plus all edges kept by
+/// the other endpoint, so the sampled adjacency stays symmetric and BP is
+/// the exact adjoint of FP). Sampling is deterministic in (seed, epoch,
+/// layer) and identical on every worker — this models EC-Graph-S's offline
+/// distributed sampler, which needs no cross-worker coordination at train
+/// time.
+struct SampledLayerGraph {
+  /// CSR-ish neighbour lists over the full vertex id space, sampled.
+  std::vector<uint64_t> offsets;
+  std::vector<uint32_t> adj;
+  /// Realized sampled degree per vertex (offsets deltas), used for the
+  /// GCN normalization of the sampled adjacency
+  /// 1/sqrt((s_v+1)(s_u+1)).
+  uint32_t SampledDegree(uint32_t v) const {
+    return static_cast<uint32_t>(offsets[v + 1] - offsets[v]);
+  }
+  float NormWeight(uint32_t u, uint32_t v) const {
+    const double du = SampledDegree(u) + 1.0;
+    const double dv = SampledDegree(v) + 1.0;
+    return static_cast<float>(1.0 / std::sqrt(du * dv));
+  }
+};
+
+/// Samples a layer graph. fanout == 0 returns the full neighbour lists.
+Result<SampledLayerGraph> SampleLayerGraph(const graph::Graph& g,
+                                           uint32_t fanout, uint64_t seed);
+
+}  // namespace ecg::core
+
+#endif  // ECGRAPH_CORE_SAMPLING_H_

@@ -1,0 +1,273 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <memory>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/halo.h"
+#include "core/metrics_board.h"
+#include "core/wire_util.h"
+#include "dist/cluster.h"
+#include "tensor/nn.h"
+#include "tensor/ops.h"
+
+namespace ecg::core {
+namespace {
+
+using dist::ParameterServerGroup;
+using dist::SimulatedCluster;
+using dist::WorkerContext;
+using internal::BuildCat;
+using internal::MetricsBoard;
+using tensor::Matrix;
+
+enum class SplitKind : uint8_t { kNone = 0, kTrain, kVal, kTest };
+
+}  // namespace
+
+DistributedTrainer::DistributedTrainer(const graph::Graph& g,
+                                       const graph::Partition& partition,
+                                       TrainOptions options)
+    : graph_(g), partition_(partition), options_(std::move(options)) {}
+
+Result<TrainResult> DistributedTrainer::Train() {
+  const int L = options_.model.num_layers;
+  if (L < 1) return Status::InvalidArgument("GCN needs at least one layer");
+  if (graph_.train_set().empty()) {
+    return Status::FailedPrecondition("graph has no training split");
+  }
+  const uint32_t workers = partition_.num_parts;
+
+  Timer preprocess_timer;
+  std::vector<WorkerPlan> plans;
+  ECG_RETURN_IF_ERROR(
+      BuildWorkerPlans(graph_, partition_, &plans, options_.model.kind));
+  const bool sage = options_.model.kind == GnnKind::kSage;
+
+  // Per-layer output dims: d0 -> hidden^(L-1) -> classes.
+  std::vector<size_t> dims(L + 1);
+  dims[0] = graph_.feature_dim();
+  for (int l = 1; l <= L; ++l) {
+    dims[l] = (l == L) ? static_cast<size_t>(graph_.num_classes())
+                       : options_.model.hidden_dim;
+  }
+
+  ParameterServerGroup ps(
+      GcnLayerShapes(options_.model, dims[0], graph_.num_classes()),
+      options_.num_servers, workers, options_.model.learning_rate,
+      options_.model.seed);
+
+  // Split membership lookup shared by all workers.
+  std::vector<SplitKind> split_of(graph_.num_vertices(), SplitKind::kNone);
+  for (uint32_t v : graph_.train_set()) split_of[v] = SplitKind::kTrain;
+  for (uint32_t v : graph_.val_set()) split_of[v] = SplitKind::kVal;
+  for (uint32_t v : graph_.test_set()) split_of[v] = SplitKind::kTest;
+  const size_t global_train = graph_.train_set().size();
+
+  MetricsBoard board;
+  const double preprocess_cpu = preprocess_timer.ElapsedSeconds();
+
+  SimulatedCluster cluster(workers, options_.network, options_.machine);
+
+  auto worker_fn = [&](WorkerContext* ctx) -> Status {
+    ThreadPool::SetSerialMode(true);
+    const WorkerPlan& plan = plans[ctx->worker_id()];
+    const uint16_t num_layers = static_cast<uint16_t>(L);
+
+    // ---- Local data setup -------------------------------------------
+    ThreadCpuTimer cpu;
+    Matrix x_local = tensor::GatherRows(graph_.features(), plan.owned);
+    std::vector<int32_t> labels_local(plan.num_owned());
+    std::vector<uint32_t> rows_of[3];
+    for (uint32_t r = 0; r < plan.num_owned(); ++r) {
+      const uint32_t v = plan.owned[r];
+      labels_local[r] = graph_.labels()[v];
+      switch (split_of[v]) {
+        case SplitKind::kTrain:
+          rows_of[0].push_back(r);
+          break;
+        case SplitKind::kVal:
+          rows_of[1].push_back(r);
+          break;
+        case SplitKind::kTest:
+          rows_of[2].push_back(r);
+          break;
+        default:
+          break;
+      }
+    }
+
+    auto fp_ex =
+        MakeFpExchanger(options_.fp_mode, options_.exchange, num_layers, plan);
+    auto bp_ex =
+        MakeBpExchanger(options_.bp_mode, options_.exchange, num_layers, plan);
+    auto exact_fp = MakeFpExchanger(FpMode::kExact, options_.exchange,
+                                    num_layers, plan);
+
+    std::vector<Matrix> h_owned(L + 1), h_halo(L), p_cache(L + 1),
+        z_cache(L + 1), g_halo(L + 1), w(L), bias(L);
+    h_owned[0] = std::move(x_local);
+    for (int l = 0; l < L; ++l) h_halo[l].Reset(plan.num_halo(), dims[l]);
+    ctx->ChargeCompute(cpu.ElapsedSeconds());
+
+    // Feature-halo caching (Section III-A): ship H^0 once, exactly.
+    if (options_.cache_features) {
+      ECG_RETURN_IF_ERROR(exact_fp->Exchange(ctx, plan, /*epoch=*/0xFFFFFFFFu,
+                                             /*layer=*/0, h_owned[0],
+                                             &h_halo[0]));
+    }
+    ctx->BarrierSync();
+    if (ctx->worker_id() == 0) {
+      board.last_clock = ctx->total_seconds();
+      board.last_comm_bytes = cluster.stats().TotalBytes();
+    }
+    ctx->BarrierSync();
+
+    // ---- Epoch loop ---------------------------------------------------
+    Matrix cat, grads_logits;
+    for (uint32_t epoch = 0; epoch < options_.epochs; ++epoch) {
+      // Forward propagation (Algorithm 1).
+      for (int l = 1; l <= L; ++l) {
+        Matrix* wl = &w[l - 1];
+        Matrix* bl = &bias[l - 1];
+        const auto pull = ps.Pull(l - 1, wl, bl);
+        ctx->ChargeCommSeconds(pull.Seconds(ctx->net()));
+        board.param_bytes.fetch_add(pull.bytes, std::memory_order_relaxed);
+
+        if (l == 1 && !options_.cache_features) {
+          ECG_RETURN_IF_ERROR(
+              fp_ex->Exchange(ctx, plan, epoch, 0, h_owned[0], &h_halo[0]));
+        }
+        cpu.Reset();
+        BuildCat(h_owned[l - 1], h_halo[l - 1], &cat);
+        if (sage) {
+          // Z = [H | mean_N(H)] W + b; the stacked input is cached for dW.
+          Matrix agg;
+          plan.adj.SpMM(cat, &agg);
+          p_cache[l] = tensor::ConcatCols(h_owned[l - 1], agg);
+        } else {
+          plan.adj.SpMM(cat, &p_cache[l]);
+        }
+        tensor::Gemm(p_cache[l], *wl, &z_cache[l]);
+        tensor::AddRowBias(&z_cache[l], *bl);
+        h_owned[l] = z_cache[l];
+        if (l < L) tensor::ReluInPlace(&h_owned[l]);
+        ctx->ChargeCompute(cpu.ElapsedSeconds());
+
+        if (l < L) {
+          ECG_RETURN_IF_ERROR(
+              fp_ex->Exchange(ctx, plan, epoch, static_cast<uint16_t>(l),
+                              h_owned[l], &h_halo[l]));
+        }
+      }
+
+      // Loss + local metrics on the final logits.
+      cpu.Reset();
+      const double local_loss = tensor::SoftmaxCrossEntropy(
+          h_owned[L], labels_local, rows_of[0], global_train, &grads_logits);
+      uint64_t correct[3], totals[3];
+      for (int s = 0; s < 3; ++s) {
+        totals[s] = rows_of[s].size();
+        correct[s] = static_cast<uint64_t>(
+            tensor::Accuracy(h_owned[L], labels_local, rows_of[s]) *
+                static_cast<double>(rows_of[s].size()) +
+            0.5);
+      }
+      ctx->ChargeCompute(cpu.ElapsedSeconds());
+      board.AddLocal(local_loss, correct, totals);
+
+      // Backward propagation (Algorithm 2).
+      std::vector<Matrix> dw(L), db(L);
+      Matrix g = std::move(grads_logits);  // G^L (loss grad already merged)
+      for (int l = L; l >= 1; --l) {
+        cpu.Reset();
+        tensor::GemmTransposeA(p_cache[l], g, &dw[l - 1]);
+        db[l - 1] = tensor::ColumnSums(g);
+        ctx->ChargeCompute(cpu.ElapsedSeconds());
+
+        if (l > 1) {
+          Matrix g_prev;
+          if (sage) {
+            // dL/d[H|P] = G W^T splits into a direct self term and an
+            // aggregated term; only the aggregated rows cross workers.
+            cpu.Reset();
+            Matrix t_full;
+            tensor::GemmTransposeB(g, w[l - 1], &t_full);
+            Matrix t_self = tensor::SliceCols(t_full, 0, dims[l - 1]);
+            Matrix t_agg =
+                tensor::SliceCols(t_full, dims[l - 1], 2 * dims[l - 1]);
+            ctx->ChargeCompute(cpu.ElapsedSeconds());
+
+            g_halo[l].Reset(plan.num_halo(), dims[l - 1]);
+            ECG_RETURN_IF_ERROR(bp_ex->Exchange(ctx, plan, epoch,
+                                                static_cast<uint16_t>(l),
+                                                t_agg, &g_halo[l]));
+            cpu.Reset();
+            BuildCat(t_agg, g_halo[l], &cat);
+            plan.bp_adj().SpMM(cat, &g_prev);
+            tensor::AddInPlace(&g_prev, t_self);
+            ctx->ChargeCompute(cpu.ElapsedSeconds());
+          } else {
+            g_halo[l].Reset(plan.num_halo(), dims[l]);
+            ECG_RETURN_IF_ERROR(bp_ex->Exchange(ctx, plan, epoch,
+                                                static_cast<uint16_t>(l), g,
+                                                &g_halo[l]));
+            cpu.Reset();
+            BuildCat(g, g_halo[l], &cat);
+            Matrix t;
+            plan.adj.SpMM(cat, &t);
+            tensor::GemmTransposeB(t, w[l - 1], &g_prev);
+            ctx->ChargeCompute(cpu.ElapsedSeconds());
+          }
+          cpu.Reset();
+          const Matrix mask = tensor::ReluGrad(z_cache[l - 1]);
+          tensor::HadamardInPlace(&g_prev, mask);
+          g = std::move(g_prev);
+          ctx->ChargeCompute(cpu.ElapsedSeconds());
+        }
+      }
+
+      const auto push = ps.Push(ctx->worker_id(), std::move(dw),
+                                std::move(db));
+      ctx->ChargeCommSeconds(push.Seconds(ctx->net()));
+      board.param_bytes.fetch_add(push.bytes, std::memory_order_relaxed);
+
+      // Superstep boundary: everyone's push is in, Adam has been applied
+      // by the last pusher, clocks align to the slowest worker.
+      ctx->BarrierSync();
+
+      if (ctx->worker_id() == 0) {
+        board.FinalizeEpoch(epoch, ctx->total_seconds(),
+                            cluster.stats().TotalBytes(), global_train,
+                            options_.patience);
+        if (options_.log_every > 0 && epoch % options_.log_every == 0) {
+          const EpochMetrics& m = board.epochs.back();
+          ECG_LOG(Info) << graph_.name << " epoch " << epoch << " loss "
+                        << m.loss << " val " << m.val_acc << " test "
+                        << m.test_acc << " sim_s " << m.sim_seconds;
+        }
+      }
+      ctx->BarrierSync();
+      if (board.stop.load(std::memory_order_relaxed)) break;
+    }
+    return Status::OK();
+  };
+
+  ECG_RETURN_IF_ERROR(cluster.Run(worker_fn));
+  return board.ToResult(preprocess_cpu);
+}
+
+Result<TrainResult> TrainDistributed(const graph::Graph& g,
+                                     uint32_t num_workers,
+                                     const TrainOptions& options) {
+  ECG_ASSIGN_OR_RETURN(graph::Partition p,
+                       graph::HashPartition(g, num_workers));
+  DistributedTrainer trainer(g, p, options);
+  return trainer.Train();
+}
+
+}  // namespace ecg::core

@@ -1,0 +1,68 @@
+#ifndef ECGRAPH_CORE_TRAINER_H_
+#define ECGRAPH_CORE_TRAINER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "core/exchange.h"
+#include "core/gcn.h"
+#include "core/metrics.h"
+#include "dist/network_model.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
+
+namespace ecg::core {
+
+/// Everything needed to run one distributed full-batch training job.
+struct TrainOptions {
+  GcnConfig model;
+  FpMode fp_mode = FpMode::kExact;
+  BpMode bp_mode = BpMode::kExact;
+  ExchangeConfig exchange;
+  uint32_t num_servers = 1;
+  uint32_t epochs = 100;
+  dist::NetworkModel network;
+  /// CPU model of each worker machine (see dist::MachineModel).
+  dist::MachineModel machine;
+  /// Cache first-hop remote features (Section III-A basic optimization):
+  /// the H^0 halo is shipped exactly once during preprocessing instead of
+  /// re-fetched every epoch.
+  bool cache_features = true;
+  /// Early stopping: stop when val accuracy hasn't improved for `patience`
+  /// epochs (0 disables). All workers stop together.
+  uint32_t patience = 0;
+  /// Print a progress line every N epochs (0 = silent).
+  uint32_t log_every = 0;
+};
+
+/// Distributed full-batch GCN training on a simulated CPU cluster: the
+/// EC-Graph system of Section III with pluggable FP/BP message policies
+/// (Section IV). One worker per partition part; parameters live on a
+/// range-partitioned server group; workers exchange H/G halo rows per
+/// layer per epoch through the configured exchangers.
+class DistributedTrainer {
+ public:
+  /// The graph and partition must outlive the trainer.
+  DistributedTrainer(const graph::Graph& g, const graph::Partition& partition,
+                     TrainOptions options);
+
+  /// Runs the job; returns the metric curves and simulated times.
+  Result<TrainResult> Train();
+
+ private:
+  const graph::Graph& graph_;
+  const graph::Partition& partition_;
+  TrainOptions options_;
+};
+
+/// Convenience wrapper: hash-partitions the graph over `num_workers`
+/// workers and trains.
+Result<TrainResult> TrainDistributed(const graph::Graph& g,
+                                     uint32_t num_workers,
+                                     const TrainOptions& options);
+
+}  // namespace ecg::core
+
+#endif  // ECGRAPH_CORE_TRAINER_H_

@@ -1,0 +1,56 @@
+#ifndef ECGRAPH_CORE_WIRE_UTIL_H_
+#define ECGRAPH_CORE_WIRE_UTIL_H_
+
+#include <cstring>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "tensor/matrix.h"
+
+namespace ecg::core {
+
+/// Serializes a dense float matrix (shape + raw rows).
+inline void EncodeMatrix(const tensor::Matrix& m, ByteWriter* w) {
+  w->PutU32(static_cast<uint32_t>(m.rows()));
+  w->PutU32(static_cast<uint32_t>(m.cols()));
+  w->PutU64(m.size());
+  w->PutF32Array(m.data(), m.size());
+}
+
+inline Status DecodeMatrix(ByteReader* r, tensor::Matrix* out) {
+  uint32_t rows = 0, cols = 0;
+  uint64_t count = 0;
+  ECG_RETURN_IF_ERROR(r->GetU32(&rows));
+  ECG_RETURN_IF_ERROR(r->GetU32(&cols));
+  ECG_RETURN_IF_ERROR(r->GetU64(&count));
+  if (count != static_cast<uint64_t>(rows) * cols) {
+    return Status::InvalidArgument("matrix wire size mismatch");
+  }
+  if (count * sizeof(float) > r->remaining()) {
+    return Status::OutOfRange("matrix payload exceeds buffer");
+  }
+  out->Reset(rows, cols);
+  return r->GetF32Array(out->data(), count);
+}
+
+/// dst.Row(indices[i]) = src.Row(i) (assignment, not accumulation).
+inline Status AssignRows(const tensor::Matrix& src,
+                         const std::vector<uint32_t>& indices,
+                         tensor::Matrix* dst) {
+  if (src.rows() != indices.size() || src.cols() != dst->cols()) {
+    return Status::InvalidArgument("AssignRows shape mismatch");
+  }
+  for (size_t i = 0; i < indices.size(); ++i) {
+    if (indices[i] >= dst->rows()) {
+      return Status::OutOfRange("AssignRows index out of range");
+    }
+    std::memcpy(dst->Row(indices[i]), src.Row(i),
+                src.cols() * sizeof(float));
+  }
+  return Status::OK();
+}
+
+}  // namespace ecg::core
+
+#endif  // ECGRAPH_CORE_WIRE_UTIL_H_

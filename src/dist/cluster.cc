@@ -1,0 +1,85 @@
+#include "dist/cluster.h"
+
+#include <algorithm>
+#include <mutex>
+#include <thread>
+
+namespace ecg::dist {
+
+void WorkerContext::Send(uint32_t to, uint64_t tag,
+                         std::vector<uint8_t> payload) {
+  phase_sent_bytes_ += payload.size();
+  ++phase_sent_msgs_;
+  hub_->Send(worker_id_, to, tag, std::move(payload));
+}
+
+std::vector<uint8_t> WorkerContext::Recv(uint32_t from, uint64_t tag) {
+  std::vector<uint8_t> payload = hub_->Recv(worker_id_, from, tag);
+  phase_recv_bytes_ += payload.size();
+  ++phase_recv_msgs_;
+  return payload;
+}
+
+void WorkerContext::EndCommPhase() {
+  comm_seconds_ += net_.PhaseSeconds(phase_sent_bytes_, phase_sent_msgs_,
+                                     phase_recv_bytes_, phase_recv_msgs_);
+  phase_sent_bytes_ = phase_sent_msgs_ = 0;
+  phase_recv_bytes_ = phase_recv_msgs_ = 0;
+}
+
+void WorkerContext::BarrierSync() { cluster_->BarrierSyncImpl(this); }
+
+SimulatedCluster::SimulatedCluster(uint32_t num_workers, NetworkModel net,
+                                   MachineModel machine)
+    : num_workers_(num_workers), net_(net), machine_(machine),
+      hub_(num_workers), barrier_(num_workers), clocks_(num_workers, 0.0) {}
+
+void SimulatedCluster::BarrierSyncImpl(WorkerContext* ctx) {
+  clocks_[ctx->worker_id_] = ctx->total_seconds();
+  barrier_.Wait();
+  const double mx = *std::max_element(clocks_.begin(), clocks_.end());
+  // Waiting for the slowest peer is idle time, booked as communication
+  // stall so the clocks stay aligned (lock-step BSP semantics).
+  ctx->comm_seconds_ += mx - ctx->total_seconds();
+  barrier_.Wait();
+}
+
+Status SimulatedCluster::Run(
+    const std::function<Status(WorkerContext*)>& worker_fn) {
+  std::vector<WorkerContext> contexts(num_workers_);
+  for (uint32_t w = 0; w < num_workers_; ++w) {
+    contexts[w].worker_id_ = w;
+    contexts[w].num_workers_ = num_workers_;
+    contexts[w].net_ = net_;
+    contexts[w].machine_ = machine_;
+    contexts[w].hub_ = &hub_;
+    contexts[w].cluster_ = this;
+  }
+
+  Status first_error;
+  std::mutex error_mu;
+  std::vector<std::thread> threads;
+  threads.reserve(num_workers_);
+  for (uint32_t w = 0; w < num_workers_; ++w) {
+    threads.emplace_back([&, w] {
+      Status s = worker_fn(&contexts[w]);
+      if (!s.ok()) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error.ok()) first_error = std::move(s);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  makespan_seconds_ = 0.0;
+  total_compute_seconds_ = 0.0;
+  total_comm_seconds_ = 0.0;
+  for (const auto& ctx : contexts) {
+    makespan_seconds_ = std::max(makespan_seconds_, ctx.total_seconds());
+    total_compute_seconds_ += ctx.compute_seconds();
+    total_comm_seconds_ += ctx.comm_seconds();
+  }
+  return first_error;
+}
+
+}  // namespace ecg::dist

@@ -1,0 +1,116 @@
+#ifndef ECGRAPH_DIST_CLUSTER_H_
+#define ECGRAPH_DIST_CLUSTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/barrier.h"
+#include "common/status.h"
+#include "dist/comm.h"
+#include "dist/network_model.h"
+
+namespace ecg::dist {
+
+class SimulatedCluster;
+
+/// Per-worker handle inside SimulatedCluster::Run. It wraps the transport
+/// with two clocks:
+///   * compute clock — real measured seconds, charged via ChargeCompute();
+///   * comm clock — modelled seconds from the NetworkModel, charged when a
+///     communication phase ends (EndCommPhase).
+/// BarrierSync() is the BSP superstep boundary: all workers align their
+/// simulated clocks to the slowest one, exactly like a lock-step cluster.
+class WorkerContext {
+ public:
+  uint32_t worker_id() const { return worker_id_; }
+  uint32_t num_workers() const { return num_workers_; }
+  const NetworkModel& net() const { return net_; }
+
+  /// Sends a payload to `to`; traffic is attributed to the current phase.
+  void Send(uint32_t to, uint64_t tag, std::vector<uint8_t> payload);
+
+  /// Blocking receive of the (from, tag) message.
+  std::vector<uint8_t> Recv(uint32_t from, uint64_t tag);
+
+  /// Adds measured single-core compute seconds to this worker's clock,
+  /// scaled by the machine model's multi-core speedup.
+  void ChargeCompute(double single_core_seconds) {
+    compute_seconds_ += machine_.ComputeSeconds(single_core_seconds);
+  }
+
+  /// Adds modelled seconds directly (parameter-server pulls/pushes, which
+  /// bypass the worker-to-worker hub).
+  void ChargeCommSeconds(double seconds) { comm_seconds_ += seconds; }
+
+  /// Ends the current communication phase: converts the bytes/messages
+  /// sent and received since the last call into modelled seconds
+  /// (full-duplex, slower direction dominates) and resets phase counters.
+  void EndCommPhase();
+
+  /// BSP barrier that also propagates the slowest worker's simulated time
+  /// to everyone.
+  void BarrierSync();
+
+  double compute_seconds() const { return compute_seconds_; }
+  double comm_seconds() const { return comm_seconds_; }
+  double total_seconds() const { return compute_seconds_ + comm_seconds_; }
+
+ private:
+  friend class SimulatedCluster;
+
+  // Phase traffic counters, reset by EndCommPhase().
+  uint64_t phase_sent_bytes_ = 0;
+  uint64_t phase_sent_msgs_ = 0;
+  uint64_t phase_recv_bytes_ = 0;
+  uint64_t phase_recv_msgs_ = 0;
+
+  double compute_seconds_ = 0.0;
+  double comm_seconds_ = 0.0;
+
+  uint32_t worker_id_ = 0;
+  uint32_t num_workers_ = 0;
+  NetworkModel net_;
+  MachineModel machine_;
+  MessageHub* hub_ = nullptr;
+  SimulatedCluster* cluster_ = nullptr;
+};
+
+/// Runs N workers as threads in lock-step. Owns the MessageHub and the
+/// shared barrier. One SimulatedCluster instance = one training job.
+class SimulatedCluster {
+ public:
+  SimulatedCluster(uint32_t num_workers, NetworkModel net,
+                   MachineModel machine = {});
+
+  /// Executes `worker_fn(ctx)` once per worker, concurrently, and joins.
+  /// Statuses from workers are aggregated (first error wins).
+  Status Run(const std::function<Status(WorkerContext*)>& worker_fn);
+
+  MessageHub& hub() { return hub_; }
+  CommStats& stats() { return hub_.stats(); }
+
+  /// After Run: simulated makespan = max over workers of total_seconds.
+  double MakespanSeconds() const { return makespan_seconds_; }
+  double TotalComputeSeconds() const { return total_compute_seconds_; }
+  double TotalCommSeconds() const { return total_comm_seconds_; }
+
+ private:
+  friend class WorkerContext;
+
+  void BarrierSyncImpl(WorkerContext* ctx);
+
+  const uint32_t num_workers_;
+  NetworkModel net_;
+  MachineModel machine_;
+  MessageHub hub_;
+  Barrier barrier_;
+  std::vector<double> clocks_;  // per-worker total_seconds at last sync
+  double makespan_seconds_ = 0.0;
+  double total_compute_seconds_ = 0.0;
+  double total_comm_seconds_ = 0.0;
+};
+
+}  // namespace ecg::dist
+
+#endif  // ECGRAPH_DIST_CLUSTER_H_

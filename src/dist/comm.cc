@@ -1,0 +1,35 @@
+#include "dist/comm.h"
+
+#include "common/logging.h"
+
+namespace ecg::dist {
+
+void MessageHub::Send(uint32_t from, uint32_t to, uint64_t tag,
+                      std::vector<uint8_t> payload) {
+  ECG_CHECK(from < parties_ && to < parties_) << "bad worker id in Send";
+  stats_.RecordSend(from, to, payload.size());
+  Mailbox& box = boxes_[to];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    const auto key = std::make_pair(from, tag);
+    ECG_CHECK(box.messages.find(key) == box.messages.end())
+        << "duplicate message from " << from << " tag " << tag;
+    box.messages.emplace(key, std::move(payload));
+  }
+  box.cv.notify_all();
+}
+
+std::vector<uint8_t> MessageHub::Recv(uint32_t to, uint32_t from,
+                                      uint64_t tag) {
+  ECG_CHECK(from < parties_ && to < parties_) << "bad worker id in Recv";
+  Mailbox& box = boxes_[to];
+  std::unique_lock<std::mutex> lock(box.mu);
+  const auto key = std::make_pair(from, tag);
+  box.cv.wait(lock, [&] { return box.messages.count(key) > 0; });
+  auto it = box.messages.find(key);
+  std::vector<uint8_t> payload = std::move(it->second);
+  box.messages.erase(it);
+  return payload;
+}
+
+}  // namespace ecg::dist

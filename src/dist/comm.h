@@ -1,0 +1,109 @@
+#ifndef ECGRAPH_DIST_COMM_H_
+#define ECGRAPH_DIST_COMM_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ecg::dist {
+
+/// Thread-safe per-worker traffic accounting. Every byte that crosses a
+/// worker boundary in the simulated cluster is recorded here; the benches
+/// read these counters to report exact communication volumes (paper's
+/// Table II communication column and the compression-ratio results).
+class CommStats {
+ public:
+  explicit CommStats(uint32_t parties)
+      : bytes_sent_(parties, 0), bytes_received_(parties, 0),
+        messages_sent_(parties, 0), messages_received_(parties, 0) {}
+
+  void RecordSend(uint32_t from, uint32_t to, uint64_t bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    bytes_sent_[from] += bytes;
+    bytes_received_[to] += bytes;
+    ++messages_sent_[from];
+    ++messages_received_[to];
+  }
+
+  uint64_t TotalBytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t total = 0;
+    for (uint64_t b : bytes_sent_) total += b;
+    return total;
+  }
+  uint64_t TotalMessages() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t total = 0;
+    for (uint64_t m : messages_sent_) total += m;
+    return total;
+  }
+  uint64_t BytesSent(uint32_t worker) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_sent_[worker];
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::fill(bytes_sent_.begin(), bytes_sent_.end(), 0);
+    std::fill(bytes_received_.begin(), bytes_received_.end(), 0);
+    std::fill(messages_sent_.begin(), messages_sent_.end(), 0);
+    std::fill(messages_received_.begin(), messages_received_.end(), 0);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<uint64_t> bytes_sent_;
+  std::vector<uint64_t> bytes_received_;
+  std::vector<uint64_t> messages_sent_;
+  std::vector<uint64_t> messages_received_;
+};
+
+/// In-memory point-to-point transport between simulated workers. Messages
+/// are byte buffers addressed by (from, to, tag); Recv blocks until the
+/// matching message arrives. Tags disambiguate (epoch, layer, direction)
+/// so a fast worker can never consume a slow worker's message for the
+/// wrong superstep.
+class MessageHub {
+ public:
+  explicit MessageHub(uint32_t parties)
+      : parties_(parties), boxes_(parties), stats_(parties) {}
+
+  MessageHub(const MessageHub&) = delete;
+  MessageHub& operator=(const MessageHub&) = delete;
+
+  uint32_t parties() const { return parties_; }
+  CommStats& stats() { return stats_; }
+
+  /// Delivers `payload` to worker `to`. Never blocks (unbounded queues).
+  void Send(uint32_t from, uint32_t to, uint64_t tag,
+            std::vector<uint8_t> payload);
+
+  /// Blocks until the (from, tag) message addressed to `to` arrives and
+  /// returns its payload.
+  std::vector<uint8_t> Recv(uint32_t to, uint32_t from, uint64_t tag);
+
+  /// Builds a collision-free tag from superstep coordinates.
+  static uint64_t MakeTag(uint32_t epoch, uint16_t layer, uint16_t kind) {
+    return (static_cast<uint64_t>(epoch) << 32) |
+           (static_cast<uint64_t>(layer) << 16) | kind;
+  }
+
+ private:
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::map<std::pair<uint32_t, uint64_t>, std::vector<uint8_t>> messages;
+  };
+
+  const uint32_t parties_;
+  std::vector<Mailbox> boxes_;
+  CommStats stats_;
+};
+
+}  // namespace ecg::dist
+
+#endif  // ECGRAPH_DIST_COMM_H_

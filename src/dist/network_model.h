@@ -1,0 +1,57 @@
+#ifndef ECGRAPH_DIST_NETWORK_MODEL_H_
+#define ECGRAPH_DIST_NETWORK_MODEL_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace ecg::dist {
+
+/// Analytic model of one cluster machine's CPU. Worker compute is measured
+/// on a single core (thread-CPU time) and then scaled by the parallel
+/// speedup a real multi-core worker machine would get from its intra-node
+/// BLAS/OpenMP parallelism. The paper's cluster-1 machines have 4 cores
+/// (E3-1226 v3), cluster-2 has 32 (Xeon Silver 4110).
+struct MachineModel {
+  int cores = 4;
+  /// Fraction of ideal scaling achieved beyond the first core.
+  double parallel_efficiency = 0.8;
+
+  double Speedup() const {
+    return 1.0 + (cores - 1) * parallel_efficiency;
+  }
+  /// Converts measured single-core seconds into modelled machine seconds.
+  double ComputeSeconds(double single_core_seconds) const {
+    return single_core_seconds / Speedup();
+  }
+};
+
+/// Analytic cost model of the cluster interconnect. The simulated workers
+/// run in one address space, so wire time is *modelled*, not measured:
+/// every exchange phase converts its exact byte/message counts into
+/// seconds with this model. Defaults match the paper's testbed (Gigabit
+/// Ethernet, gRPC round-trip overhead on commodity NICs).
+struct NetworkModel {
+  /// Effective point-to-point bandwidth. 1 GbE ~ 125 MB/s with ~94%
+  /// achievable goodput.
+  double bandwidth_bytes_per_sec = 117.5e6;
+  /// Per-message fixed overhead (serialization + RPC round trip share).
+  double latency_sec = 250e-6;
+
+  /// Time for one worker to push `bytes` in `messages` discrete sends.
+  double TransferSeconds(uint64_t bytes, uint64_t messages) const {
+    return static_cast<double>(messages) * latency_sec +
+           static_cast<double>(bytes) / bandwidth_bytes_per_sec;
+  }
+
+  /// Time of a full-duplex phase where a worker concurrently sends and
+  /// receives: the slower direction dominates.
+  double PhaseSeconds(uint64_t sent_bytes, uint64_t sent_msgs,
+                      uint64_t recv_bytes, uint64_t recv_msgs) const {
+    return std::max(TransferSeconds(sent_bytes, sent_msgs),
+                    TransferSeconds(recv_bytes, recv_msgs));
+  }
+};
+
+}  // namespace ecg::dist
+
+#endif  // ECGRAPH_DIST_NETWORK_MODEL_H_

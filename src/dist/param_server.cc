@@ -1,0 +1,81 @@
+#include "dist/param_server.h"
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "tensor/ops.h"
+
+namespace ecg::dist {
+
+ParameterServerGroup::ParameterServerGroup(
+    const std::vector<LayerShape>& shapes, uint32_t num_servers,
+    uint32_t num_workers, float lr, uint64_t seed)
+    : num_servers_(num_servers), num_workers_(num_workers), lr_(lr),
+      pushed_(num_workers, false), pending_dw_(num_workers),
+      pending_db_(num_workers) {
+  ECG_CHECK(num_servers_ >= 1 && num_workers_ >= 1)
+      << "need at least one server and one worker";
+  Rng rng(seed);
+  for (const auto& shape : shapes) {
+    tensor::Matrix w(shape.in_dim, shape.out_dim);
+    tensor::XavierInit(&w, &rng);
+    weights_.push_back(std::move(w));
+    biases_.emplace_back(1, shape.out_dim);
+    w_opt_.emplace_back();
+    b_opt_.emplace_back();
+  }
+}
+
+ParameterServerGroup::ParamTrafficSample ParameterServerGroup::Pull(
+    size_t layer, tensor::Matrix* w, tensor::Matrix* b) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ECG_CHECK(layer < weights_.size()) << "pull of unknown layer";
+  *w = weights_[layer];
+  *b = biases_[layer];
+  ParamTrafficSample t;
+  t.bytes = (w->size() + b->size()) * sizeof(float);
+  t.messages = num_servers_;  // one slice per server (range partition)
+  return t;
+}
+
+ParameterServerGroup::ParamTrafficSample ParameterServerGroup::Push(
+    uint32_t worker, std::vector<tensor::Matrix> dw,
+    std::vector<tensor::Matrix> db) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ECG_CHECK(worker < num_workers_) << "push from unknown worker";
+  ECG_CHECK(!pushed_[worker]) << "double push from worker " << worker;
+  ECG_CHECK(dw.size() == weights_.size() && db.size() == biases_.size())
+      << "push layer count mismatch";
+
+  ParamTrafficSample t;
+  for (const auto& m : dw) t.bytes += m.size() * sizeof(float);
+  for (const auto& m : db) t.bytes += m.size() * sizeof(float);
+  t.messages = num_servers_;
+
+  pending_dw_[worker] = std::move(dw);
+  pending_db_[worker] = std::move(db);
+  pushed_[worker] = true;
+  if (++pushes_this_epoch_ == num_workers_) ApplyLocked();
+  return t;
+}
+
+void ParameterServerGroup::ApplyLocked() {
+  // Sum contributions in worker-id order: deterministic float reduction.
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    tensor::Matrix dw_sum(weights_[l].rows(), weights_[l].cols());
+    tensor::Matrix db_sum(1, biases_[l].cols());
+    for (uint32_t w = 0; w < num_workers_; ++w) {
+      tensor::AddInPlace(&dw_sum, pending_dw_[w][l]);
+      tensor::AddInPlace(&db_sum, pending_db_[w][l]);
+    }
+    w_opt_[l].Step(dw_sum, lr_, &weights_[l]);
+    b_opt_[l].Step(db_sum, lr_, &biases_[l]);
+  }
+  for (uint32_t w = 0; w < num_workers_; ++w) {
+    pending_dw_[w].clear();
+    pending_db_[w].clear();
+    pushed_[w] = false;
+  }
+  pushes_this_epoch_ = 0;
+}
+
+}  // namespace ecg::dist

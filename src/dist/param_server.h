@@ -1,0 +1,88 @@
+#ifndef ECGRAPH_DIST_PARAM_SERVER_H_
+#define ECGRAPH_DIST_PARAM_SERVER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "dist/network_model.h"
+#include "tensor/matrix.h"
+#include "tensor/nn.h"
+
+namespace ecg::dist {
+
+/// The PM side of the paper's architecture: `num_servers` logical servers
+/// hold a range-partitioned copy of every layer's weights W^l and biases
+/// b^l (the paper's built-in range-based partition divides each layer's W
+/// and B evenly). Workers `Pull` parameters per layer and `Push` their
+/// local gradients; when all workers of an epoch have pushed, the global
+/// gradient (summed in worker-id order for determinism) is applied with
+/// Adam.
+///
+/// The object is shared by the worker threads of one SimulatedCluster;
+/// traffic is charged to each worker through the returned
+/// ParamTrafficSample (callers add it to their WorkerContext clocks).
+class ParameterServerGroup {
+ public:
+  struct LayerShape {
+    size_t in_dim;
+    size_t out_dim;
+  };
+
+  /// Creates servers for the given layer shapes; weights Xavier-initialized
+  /// deterministically from `seed`.
+  ParameterServerGroup(const std::vector<LayerShape>& shapes,
+                       uint32_t num_servers, uint32_t num_workers, float lr,
+                       uint64_t seed);
+
+  size_t num_layers() const { return weights_.size(); }
+  uint32_t num_servers() const { return num_servers_; }
+  float learning_rate() const { return lr_; }
+
+  /// Bytes a worker moves per operation, to be charged by the caller.
+  struct ParamTrafficSample {
+    uint64_t bytes = 0;
+    uint64_t messages = 0;
+    double Seconds(const NetworkModel& net) const {
+      return net.TransferSeconds(bytes, messages);
+    }
+  };
+
+  /// Copies the layer's current parameters into *w / *b and reports the
+  /// pull traffic (messages = number of servers holding slices).
+  ParamTrafficSample Pull(size_t layer, tensor::Matrix* w,
+                          tensor::Matrix* b) const;
+
+  /// Deposits a worker's gradient contribution for all layers. When the
+  /// last worker of the epoch arrives, the summed gradient is applied.
+  /// dw[l] / db[l] must match the layer shapes.
+  ParamTrafficSample Push(uint32_t worker, std::vector<tensor::Matrix> dw,
+                          std::vector<tensor::Matrix> db);
+
+  /// Read-only access for tests (current global parameters).
+  const tensor::Matrix& weight(size_t layer) const { return weights_[layer]; }
+  const tensor::Matrix& bias(size_t layer) const { return biases_[layer]; }
+
+ private:
+  void ApplyLocked();
+
+  const uint32_t num_servers_;
+  const uint32_t num_workers_;
+  const float lr_;
+
+  mutable std::mutex mu_;
+  std::vector<tensor::Matrix> weights_;
+  std::vector<tensor::Matrix> biases_;
+  std::vector<tensor::AdamState> w_opt_;
+  std::vector<tensor::AdamState> b_opt_;
+  // Per-worker pending contributions for the current epoch.
+  std::vector<bool> pushed_;
+  std::vector<std::vector<tensor::Matrix>> pending_dw_;
+  std::vector<std::vector<tensor::Matrix>> pending_db_;
+  uint32_t pushes_this_epoch_ = 0;
+};
+
+}  // namespace ecg::dist
+
+#endif  // ECGRAPH_DIST_PARAM_SERVER_H_

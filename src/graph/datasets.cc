@@ -1,0 +1,119 @@
+#include "graph/datasets.h"
+
+namespace ecg::graph {
+namespace {
+
+/// All replicas. Split sizes follow the paper's published splits (full-scale
+/// sets) or the same train/val/test proportions (scaled sets). Feature noise
+/// and homophily are calibrated so converged full-batch GCN accuracy lands
+/// near the paper's Table V (see EXPERIMENTS.md for measured values).
+std::vector<DatasetSpec> BuildRegistry() {
+  std::vector<DatasetSpec> specs;
+
+  {
+    DatasetSpec s;
+    s.dataset_name = "tiny";
+    s.sbm = {/*num_vertices=*/256, /*num_classes=*/4, /*avg_degree=*/6.0,
+             /*feature_dim=*/16, /*homophily=*/0.9, /*degree_skew=*/0.3,
+             /*feature_noise=*/1.0, /*label_noise=*/0.0, /*seed=*/101};
+    s.train_size = 128;
+    s.val_size = 32;
+    s.test_size = 64;
+    s.default_layers = 2;
+    s.default_hidden = 16;
+    specs.push_back(s);
+  }
+  {
+    DatasetSpec s;
+    s.dataset_name = "cora-sim";
+    s.sbm = {2708, 7, 3.90, 1433, 0.90, 0.3, 7.5, 0.09, 1001};
+    s.train_size = 1408;
+    s.val_size = 300;
+    s.test_size = 1000;
+    s.default_layers = 2;
+    s.default_hidden = 16;
+    specs.push_back(s);
+  }
+  {
+    DatasetSpec s;
+    s.dataset_name = "pubmed-sim";
+    s.sbm = {19717, 3, 4.50, 500, 0.88, 0.3, 4.0, 0.195, 1002};
+    s.train_size = 12816;
+    s.val_size = 1971;
+    s.test_size = 4930;
+    s.default_layers = 2;
+    s.default_hidden = 16;
+    specs.push_back(s);
+  }
+  {
+    // Reddit: the high-average-degree regime (paper deg 492; scaled 48).
+    DatasetSpec s;
+    s.dataset_name = "reddit-sim";
+    s.sbm = {16000, 41, 48.0, 602, 0.78, 0.8, 5.0, 0.070, 1003};
+    s.train_size = 10571;  // 66.07% as in the paper's Reddit split
+    s.val_size = 1627;     // 10.17%
+    s.test_size = 3800;    // 23.75%
+    s.default_layers = 2;
+    s.default_hidden = 16;
+    specs.push_back(s);
+  }
+  {
+    DatasetSpec s;
+    s.dataset_name = "products-sim";
+    s.sbm = {32000, 47, 24.0, 100, 0.80, 0.7, 3.0, 0.130, 1004};
+    s.train_size = 2569;   // 8.03% as in OGBN-Products
+    s.val_size = 514;      // 1.61%
+    s.test_size = 28917;   // 90.37%
+    s.default_layers = 3;
+    // The paper uses hidden 256 for the two OGB-scale sets; the container
+    // scale-down (DESIGN.md #5) reduces it to 64 to keep the bench suite
+    // within a single-core time budget.
+    s.default_hidden = 64;
+    specs.push_back(s);
+  }
+  {
+    // Papers: most classes, hardest task (paper accuracy only 44.6%).
+    DatasetSpec s;
+    s.dataset_name = "papers-sim";
+    s.sbm = {32000, 172, 16.0, 128, 0.55, 0.6, 5.0, 0.12, 1005};
+    s.train_size = 348;  // 1.087% as in OGBN-Papers100M
+    s.val_size = 36;     // 0.113%
+    s.test_size = 62;    // 0.193%
+    s.default_layers = 3;
+    s.default_hidden = 64;  // paper: 256; container scale-down
+    specs.push_back(s);
+  }
+  return specs;
+}
+
+const std::vector<DatasetSpec>& Registry() {
+  static const std::vector<DatasetSpec>* specs =
+      new std::vector<DatasetSpec>(BuildRegistry());
+  return *specs;
+}
+
+}  // namespace
+
+std::vector<std::string> DatasetNames() {
+  std::vector<std::string> names;
+  for (const auto& s : Registry()) names.push_back(s.dataset_name);
+  return names;
+}
+
+Result<DatasetSpec> GetDatasetSpec(const std::string& dataset_name) {
+  for (const auto& s : Registry()) {
+    if (s.dataset_name == dataset_name) return s;
+  }
+  return Status::NotFound("no dataset replica named '" + dataset_name + "'");
+}
+
+Result<Graph> LoadDataset(const std::string& dataset_name) {
+  ECG_ASSIGN_OR_RETURN(DatasetSpec spec, GetDatasetSpec(dataset_name));
+  ECG_ASSIGN_OR_RETURN(Graph g, GenerateSbm(spec.sbm));
+  g.name = spec.dataset_name;
+  ECG_RETURN_IF_ERROR(AssignSplits(&g, spec.train_size, spec.val_size,
+                                   spec.test_size, spec.sbm.seed ^ 0xecull));
+  return g;
+}
+
+}  // namespace ecg::graph

@@ -1,0 +1,177 @@
+#include "graph/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace ecg::graph {
+namespace {
+
+/// Builds a sampler over per-vertex attachment weights w_i using the alias
+/// method (O(1) draws); weights follow a Pareto-ish skew so that high-skew
+/// configs produce Reddit-like heavy-tailed degree distributions.
+class AliasSampler {
+ public:
+  AliasSampler(const std::vector<double>& weights, Rng* rng) : rng_(rng) {
+    const size_t n = weights.size();
+    prob_.resize(n);
+    alias_.resize(n, 0);
+    const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+    std::vector<double> scaled(n);
+    for (size_t i = 0; i < n; ++i) scaled[i] = weights[i] * n / total;
+    std::vector<uint32_t> small, large;
+    for (size_t i = 0; i < n; ++i) {
+      (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+    }
+    while (!small.empty() && !large.empty()) {
+      const uint32_t s = small.back();
+      small.pop_back();
+      const uint32_t l = large.back();
+      prob_[s] = scaled[s];
+      alias_[s] = l;
+      scaled[l] -= 1.0 - scaled[s];
+      if (scaled[l] < 1.0) {
+        large.pop_back();
+        small.push_back(l);
+      }
+    }
+    for (uint32_t i : large) prob_[i] = 1.0;
+    for (uint32_t i : small) prob_[i] = 1.0;
+  }
+
+  uint32_t Sample() {
+    const uint32_t i =
+        static_cast<uint32_t>(rng_->NextBelow(prob_.size()));
+    return rng_->NextDouble() < prob_[i] ? i : alias_[i];
+  }
+
+ private:
+  Rng* rng_;
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace
+
+Result<Graph> GenerateSbm(const SbmConfig& config) {
+  if (config.num_vertices == 0 || config.num_classes <= 0) {
+    return Status::InvalidArgument("SBM needs vertices and classes");
+  }
+  if (config.homophily < 0.0 || config.homophily > 1.0) {
+    return Status::InvalidArgument("homophily must be in [0,1]");
+  }
+  Rng rng(config.seed);
+  const uint32_t n = config.num_vertices;
+
+  // Labels: round-robin then shuffled, so classes are balanced.
+  std::vector<int32_t> labels(n);
+  for (uint32_t v = 0; v < n; ++v) labels[v] = v % config.num_classes;
+  for (uint32_t v = n - 1; v > 0; --v) {
+    std::swap(labels[v], labels[rng.NextBelow(v + 1)]);
+  }
+  std::vector<std::vector<uint32_t>> by_class(config.num_classes);
+  for (uint32_t v = 0; v < n; ++v) by_class[labels[v]].push_back(v);
+
+  // Attachment weights: w = u^{-skew} (Pareto-like) or uniform.
+  std::vector<double> weights(n, 1.0);
+  if (config.degree_skew > 0.0) {
+    for (uint32_t v = 0; v < n; ++v) {
+      const double u = rng.NextDouble() + 1e-9;
+      weights[v] = std::pow(u, -config.degree_skew);
+    }
+  }
+  // Per-class samplers (weights restricted to members of the class) plus a
+  // global sampler for cross-class edges.
+  AliasSampler global(weights, &rng);
+  std::vector<AliasSampler> per_class_samplers;
+  per_class_samplers.reserve(config.num_classes);
+  for (int32_t c = 0; c < config.num_classes; ++c) {
+    std::vector<double> w(by_class[c].size());
+    for (size_t i = 0; i < w.size(); ++i) w[i] = weights[by_class[c][i]];
+    per_class_samplers.emplace_back(w, &rng);
+  }
+
+  // Sample until `target_edges` UNIQUE undirected edges exist (duplicates
+  // under heavy degree skew would otherwise collapse in Graph::Build and
+  // undershoot the requested average degree). Bounded retries keep
+  // pathological configs (degree close to n) from spinning.
+  const uint64_t target_edges =
+      static_cast<uint64_t>(config.avg_degree * n / 2.0);
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  edges.reserve(target_edges);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(target_edges * 2);
+  const uint64_t max_attempts = target_edges * 30 + 1000;
+  for (uint64_t attempt = 0;
+       attempt < max_attempts && edges.size() < target_edges; ++attempt) {
+    const uint32_t u = global.Sample();
+    uint32_t v;
+    if (rng.NextDouble() < config.homophily) {
+      const int32_t c = labels[u];
+      v = by_class[c][per_class_samplers[c].Sample()];
+    } else {
+      v = global.Sample();
+    }
+    if (u == v) continue;
+    const uint64_t key = (static_cast<uint64_t>(std::min(u, v)) << 32) |
+                         std::max(u, v);
+    if (!seen.insert(key).second) continue;
+    edges.emplace_back(u, v);
+  }
+
+  // Features: class centroid (unit-scale Gaussian per dimension) + noise.
+  tensor::Matrix centroids(config.num_classes, config.feature_dim);
+  for (size_t i = 0; i < centroids.size(); ++i) {
+    centroids.data()[i] = static_cast<float>(rng.NextGaussian());
+  }
+  tensor::Matrix features(n, config.feature_dim);
+  for (uint32_t v = 0; v < n; ++v) {
+    const float* crow = centroids.Row(labels[v]);
+    float* frow = features.Row(v);
+    for (uint32_t d = 0; d < config.feature_dim; ++d) {
+      frow[d] = crow[d] + static_cast<float>(config.feature_noise *
+                                             rng.NextGaussian());
+    }
+  }
+
+  // Annotation noise: recorded labels diverge from the community that
+  // generated edges and features (applied last so structure is unaffected).
+  if (config.label_noise > 0.0) {
+    for (uint32_t v = 0; v < n; ++v) {
+      if (rng.NextDouble() < config.label_noise) {
+        labels[v] = static_cast<int32_t>(rng.NextBelow(config.num_classes));
+      }
+    }
+  }
+
+  ECG_ASSIGN_OR_RETURN(
+      Graph g, Graph::Build(n, edges, std::move(features), std::move(labels),
+                            config.num_classes));
+  return g;
+}
+
+Status AssignSplits(Graph* g, uint32_t train, uint32_t val, uint32_t test,
+                    uint64_t seed) {
+  const uint64_t total = static_cast<uint64_t>(train) + val + test;
+  if (total > g->num_vertices()) {
+    return Status::InvalidArgument("split sizes exceed vertex count");
+  }
+  std::vector<uint32_t> perm(g->num_vertices());
+  std::iota(perm.begin(), perm.end(), 0u);
+  Rng rng(seed);
+  for (uint32_t i = g->num_vertices() - 1; i > 0; --i) {
+    std::swap(perm[i], perm[rng.NextBelow(i + 1)]);
+  }
+  std::vector<uint32_t> tr(perm.begin(), perm.begin() + train);
+  std::vector<uint32_t> va(perm.begin() + train, perm.begin() + train + val);
+  std::vector<uint32_t> te(perm.begin() + train + val,
+                           perm.begin() + train + val + test);
+  g->SetSplits(std::move(tr), std::move(va), std::move(te));
+  return Status::OK();
+}
+
+}  // namespace ecg::graph

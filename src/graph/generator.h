@@ -1,0 +1,50 @@
+#ifndef ECGRAPH_GRAPH_GENERATOR_H_
+#define ECGRAPH_GRAPH_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace ecg::graph {
+
+/// Parameters of the synthetic dataset generator: a degree-corrected
+/// stochastic block model with class-centroid features. This is the
+/// substitute for the Planetoid/OGB downloads (see DESIGN.md §2): it lets
+/// us match the published |V|, average degree, feature dimensionality and
+/// class count of each paper dataset while keeping the graph homophilous
+/// enough that full-batch GCN genuinely converges to high test accuracy.
+struct SbmConfig {
+  uint32_t num_vertices = 1000;
+  int32_t num_classes = 4;
+  /// Target average (undirected) degree.
+  double avg_degree = 5.0;
+  uint32_t feature_dim = 32;
+  /// Probability that a generated edge connects two same-class vertices.
+  double homophily = 0.8;
+  /// Pareto shape of the per-vertex attachment weights; 0 disables skew
+  /// (uniform degrees). Reddit-like graphs use a strong skew.
+  double degree_skew = 0.8;
+  /// Standard deviation of per-feature Gaussian noise added to the class
+  /// centroid (signal has unit scale); larger = harder task.
+  double feature_noise = 1.0;
+  /// Fraction of vertices whose *recorded* label is replaced by a uniform
+  /// random class (annotation noise). Edges and features still follow the
+  /// true community, so this models the intrinsic label ambiguity that
+  /// caps real-dataset accuracy (e.g. Cora tops out near 87%).
+  double label_noise = 0.0;
+  uint64_t seed = 7;
+};
+
+/// Generates an SBM graph per `config`. Deterministic given config.seed.
+Result<Graph> GenerateSbm(const SbmConfig& config);
+
+/// Assigns train/val/test splits of the given sizes by a seeded shuffle of
+/// the vertex ids. Sizes must sum to <= num_vertices.
+Status AssignSplits(Graph* g, uint32_t train, uint32_t val, uint32_t test,
+                    uint64_t seed);
+
+}  // namespace ecg::graph
+
+#endif  // ECGRAPH_GRAPH_GENERATOR_H_

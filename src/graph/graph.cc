@@ -1,0 +1,73 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace ecg::graph {
+
+Result<Graph> Graph::Build(
+    uint32_t num_vertices,
+    const std::vector<std::pair<uint32_t, uint32_t>>& edges,
+    tensor::Matrix features, std::vector<int32_t> labels,
+    int32_t num_classes) {
+  if (features.rows() != num_vertices) {
+    return Status::InvalidArgument("features rows " +
+                                   std::to_string(features.rows()) +
+                                   " != num_vertices");
+  }
+  if (labels.size() != num_vertices) {
+    return Status::InvalidArgument("labels size != num_vertices");
+  }
+  for (int32_t l : labels) {
+    if (l < 0 || l >= num_classes) {
+      return Status::OutOfRange("label " + std::to_string(l) +
+                                " outside [0, num_classes)");
+    }
+  }
+
+  Graph g;
+  g.num_vertices_ = num_vertices;
+  g.num_classes_ = num_classes;
+  g.features_ = std::move(features);
+  g.labels_ = std::move(labels);
+
+  // Count both directions, drop self loops; dedupe after sorting.
+  std::vector<uint64_t> counts(num_vertices + 1, 0);
+  for (const auto& [u, v] : edges) {
+    if (u >= num_vertices || v >= num_vertices) {
+      return Status::OutOfRange("edge endpoint out of range");
+    }
+    if (u == v) continue;
+    ++counts[u + 1];
+    ++counts[v + 1];
+  }
+  for (uint32_t i = 0; i < num_vertices; ++i) counts[i + 1] += counts[i];
+  std::vector<uint32_t> adj(counts[num_vertices]);
+  std::vector<uint64_t> cursor(counts.begin(), counts.end() - 1);
+  for (const auto& [u, v] : edges) {
+    if (u == v) continue;
+    adj[cursor[u]++] = v;
+    adj[cursor[v]++] = u;
+  }
+
+  g.offsets_.assign(num_vertices + 1, 0);
+  uint64_t write = 0;
+  for (uint32_t u = 0; u < num_vertices; ++u) {
+    const uint64_t begin = counts[u];
+    const uint64_t end = counts[u + 1];
+    std::sort(adj.begin() + begin, adj.begin() + end);
+    for (uint64_t i = begin; i < end; ++i) {
+      if (write > g.offsets_[u] && g.adj_.size() > 0 &&
+          g.adj_.back() == adj[i]) {
+        continue;  // duplicate edge
+      }
+      g.adj_.push_back(adj[i]);
+      ++write;
+    }
+    g.offsets_[u + 1] = write;
+  }
+  return g;
+}
+
+}  // namespace ecg::graph

@@ -1,0 +1,97 @@
+#ifndef ECGRAPH_GRAPH_GRAPH_H_
+#define ECGRAPH_GRAPH_GRAPH_H_
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/matrix.h"
+
+namespace ecg::graph {
+
+/// An attributed undirected graph for vertex classification: CSR adjacency
+/// (both directions stored), per-vertex feature rows, integer labels and
+/// train/val/test splits. This is the G = <V, E, X_V> of the paper; edge
+/// features X_E are not used by GCN and are omitted.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds from an undirected edge list (u, v) pairs; duplicates and self
+  /// loops are removed. `features` must have num_vertices rows and `labels`
+  /// num_vertices entries in [0, num_classes).
+  static Result<Graph> Build(uint32_t num_vertices,
+                             const std::vector<std::pair<uint32_t, uint32_t>>& edges,
+                             tensor::Matrix features,
+                             std::vector<int32_t> labels, int32_t num_classes);
+
+  uint32_t num_vertices() const { return num_vertices_; }
+  uint64_t num_edges() const { return adj_.size(); }  // directed count (2|E|)
+  int32_t num_classes() const { return num_classes_; }
+  size_t feature_dim() const { return features_.cols(); }
+  double average_degree() const {
+    return num_vertices_ == 0
+               ? 0.0
+               : static_cast<double>(adj_.size()) / num_vertices_;
+  }
+
+  /// Neighbours of v (sorted, no self loop, no duplicates).
+  std::span<const uint32_t> Neighbors(uint32_t v) const {
+    return {adj_.data() + offsets_[v],
+            static_cast<size_t>(offsets_[v + 1] - offsets_[v])};
+  }
+  uint32_t Degree(uint32_t v) const {
+    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  const tensor::Matrix& features() const { return features_; }
+  const std::vector<int32_t>& labels() const { return labels_; }
+
+  const std::vector<uint32_t>& train_set() const { return train_set_; }
+  const std::vector<uint32_t>& val_set() const { return val_set_; }
+  const std::vector<uint32_t>& test_set() const { return test_set_; }
+
+  /// Installs train/val/test splits (disjoint vertex id lists).
+  void SetSplits(std::vector<uint32_t> train, std::vector<uint32_t> val,
+                 std::vector<uint32_t> test) {
+    train_set_ = std::move(train);
+    val_set_ = std::move(val);
+    test_set_ = std::move(test);
+  }
+
+  /// GCN symmetric-normalization weight of edge (u, v):
+  /// 1 / sqrt((deg(u)+1)(deg(v)+1)); with u == v this is the self-loop
+  /// weight of Â = D^{-1/2}(A+I)D^{-1/2}.
+  float NormWeight(uint32_t u, uint32_t v) const {
+    const double du = Degree(u) + 1.0;
+    const double dv = Degree(v) + 1.0;
+    return static_cast<float>(1.0 / std::sqrt(du * dv));
+  }
+
+  /// GraphSAGE mean-aggregator weight of edge (v, u): 1/deg(v) for
+  /// neighbours, 0 on the diagonal (the self path goes through W_self).
+  float MeanWeight(uint32_t v, uint32_t u) const {
+    if (v == u || Degree(v) == 0) return 0.0f;
+    return 1.0f / static_cast<float>(Degree(v));
+  }
+
+  std::string name;
+
+ private:
+  uint32_t num_vertices_ = 0;
+  int32_t num_classes_ = 0;
+  std::vector<uint64_t> offsets_;  // size num_vertices_ + 1
+  std::vector<uint32_t> adj_;      // concatenated sorted neighbour lists
+  tensor::Matrix features_;
+  std::vector<int32_t> labels_;
+  std::vector<uint32_t> train_set_;
+  std::vector<uint32_t> val_set_;
+  std::vector<uint32_t> test_set_;
+};
+
+}  // namespace ecg::graph
+
+#endif  // ECGRAPH_GRAPH_GRAPH_H_

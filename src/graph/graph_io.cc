@@ -1,0 +1,151 @@
+#include "graph/graph_io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace ecg::graph {
+namespace {
+
+constexpr uint32_t kMagic = 0x45434731;  // "ECG1"
+constexpr uint32_t kVersion = 1;
+
+Status ReadFile(const std::string& path, std::vector<uint8_t>* out) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IoError("cannot open " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  out->resize(static_cast<size_t>(size));
+  if (!in.read(reinterpret_cast<char*>(out->data()), size)) {
+    return Status::IoError("short read on " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveGraph(const Graph& g, const std::string& path) {
+  std::vector<uint8_t> buf;
+  ByteWriter w(&buf);
+  w.PutU32(kMagic);
+  w.PutU32(kVersion);
+  w.PutU32(g.num_vertices());
+  w.PutU32(static_cast<uint32_t>(g.num_classes()));
+  w.PutU32(static_cast<uint32_t>(g.feature_dim()));
+
+  // Undirected edge list (each edge once, u < v).
+  std::vector<uint32_t> edges;
+  for (uint32_t v = 0; v < g.num_vertices(); ++v) {
+    for (uint32_t u : g.Neighbors(v)) {
+      if (u > v) {
+        edges.push_back(v);
+        edges.push_back(u);
+      }
+    }
+  }
+  w.PutU32Vector(edges);
+  w.PutF32Array(g.features().data(), g.features().size());
+  std::vector<uint32_t> labels(g.labels().begin(), g.labels().end());
+  w.PutU32Vector(labels);
+  w.PutU32Vector(g.train_set());
+  w.PutU32Vector(g.val_set());
+  w.PutU32Vector(g.test_set());
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot create " + path);
+  out.write(reinterpret_cast<const char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size()));
+  if (!out) return Status::IoError("short write on " + path);
+  return Status::OK();
+}
+
+Result<Graph> LoadGraph(const std::string& path) {
+  std::vector<uint8_t> buf;
+  ECG_RETURN_IF_ERROR(ReadFile(path, &buf));
+  ByteReader r(buf);
+
+  uint32_t magic = 0, version = 0, n = 0, classes = 0, dim = 0;
+  ECG_RETURN_IF_ERROR(r.GetU32(&magic));
+  ECG_RETURN_IF_ERROR(r.GetU32(&version));
+  if (magic != kMagic) {
+    return Status::InvalidArgument(path + " is not an EC-Graph file");
+  }
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported graph file version " +
+                                   std::to_string(version));
+  }
+  ECG_RETURN_IF_ERROR(r.GetU32(&n));
+  ECG_RETURN_IF_ERROR(r.GetU32(&classes));
+  ECG_RETURN_IF_ERROR(r.GetU32(&dim));
+
+  std::vector<uint32_t> flat_edges;
+  ECG_RETURN_IF_ERROR(r.GetU32Vector(&flat_edges));
+  if (flat_edges.size() % 2 != 0) {
+    return Status::InvalidArgument("odd edge array length");
+  }
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  edges.reserve(flat_edges.size() / 2);
+  for (size_t i = 0; i + 1 < flat_edges.size(); i += 2) {
+    edges.emplace_back(flat_edges[i], flat_edges[i + 1]);
+  }
+
+  const size_t feat_count = static_cast<size_t>(n) * dim;
+  if (feat_count * sizeof(float) > r.remaining()) {
+    return Status::InvalidArgument("truncated feature block");
+  }
+  tensor::Matrix features(n, dim);
+  ECG_RETURN_IF_ERROR(r.GetF32Array(features.data(), feat_count));
+
+  std::vector<uint32_t> labels_u32, train, val, test;
+  ECG_RETURN_IF_ERROR(r.GetU32Vector(&labels_u32));
+  ECG_RETURN_IF_ERROR(r.GetU32Vector(&train));
+  ECG_RETURN_IF_ERROR(r.GetU32Vector(&val));
+  ECG_RETURN_IF_ERROR(r.GetU32Vector(&test));
+  if (labels_u32.size() != n) {
+    return Status::InvalidArgument("label count mismatch");
+  }
+  std::vector<int32_t> labels(labels_u32.begin(), labels_u32.end());
+
+  ECG_ASSIGN_OR_RETURN(
+      Graph g, Graph::Build(n, edges, std::move(features), std::move(labels),
+                            static_cast<int32_t>(classes)));
+  g.SetSplits(std::move(train), std::move(val), std::move(test));
+  return g;
+}
+
+Result<Graph> LoadEdgeList(const std::string& path, uint32_t feature_dim) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  uint32_t max_id = 0;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ss(line);
+    uint64_t u = 0, v = 0;
+    if (!(ss >> u >> v)) {
+      return Status::InvalidArgument("bad edge at line " +
+                                     std::to_string(line_no));
+    }
+    if (u > 0xFFFFFFFEull || v > 0xFFFFFFFEull) {
+      return Status::OutOfRange("vertex id too large at line " +
+                                std::to_string(line_no));
+    }
+    edges.emplace_back(static_cast<uint32_t>(u), static_cast<uint32_t>(v));
+    max_id = std::max(max_id,
+                      static_cast<uint32_t>(std::max(u, v)));
+  }
+  const uint32_t n = edges.empty() ? 0 : max_id + 1;
+  tensor::Matrix features(n, feature_dim);
+  std::vector<int32_t> labels(n, 0);
+  return Graph::Build(n, edges, std::move(features), std::move(labels),
+                      /*num_classes=*/1);
+}
+
+}  // namespace ecg::graph

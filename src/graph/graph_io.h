@@ -1,0 +1,35 @@
+#ifndef ECGRAPH_GRAPH_GRAPH_IO_H_
+#define ECGRAPH_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace ecg::graph {
+
+/// Binary on-disk format for attributed graphs (the NFS-loaded subgraph
+/// inputs of Section III-A). Layout: magic/version header, vertex count,
+/// class count, CSR adjacency, float features, labels, splits. All fields
+/// little-endian; the loader validates sizes and fails with a Status
+/// rather than crashing on truncated/corrupt files.
+///
+/// The text loader accepts the common edge-list interchange format
+/// ("u v" per line, '#' comments) so external graphs can be imported and
+/// then attributed programmatically.
+
+/// Serializes `g` (including features, labels and splits) to `path`.
+Status SaveGraph(const Graph& g, const std::string& path);
+
+/// Loads a graph written by SaveGraph.
+Result<Graph> LoadGraph(const std::string& path);
+
+/// Parses a whitespace-separated edge list ("u v" per line; lines starting
+/// with '#' or '%' are skipped). Vertices are the 0..max_id range; the
+/// graph gets `feature_dim` zero features and single-class labels, which
+/// callers typically overwrite.
+Result<Graph> LoadEdgeList(const std::string& path, uint32_t feature_dim);
+
+}  // namespace ecg::graph
+
+#endif  // ECGRAPH_GRAPH_GRAPH_IO_H_

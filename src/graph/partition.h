@@ -1,0 +1,62 @@
+#ifndef ECGRAPH_GRAPH_PARTITION_H_
+#define ECGRAPH_GRAPH_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace ecg::graph {
+
+/// A vertex partition of a graph into `num_parts` worker-owned sets
+/// (edge-cut partitioning, as in the paper's GE partition module).
+struct Partition {
+  uint32_t num_parts = 0;
+  /// owner[v] = part id of vertex v.
+  std::vector<uint32_t> owner;
+  /// members[p] = sorted vertex ids owned by part p.
+  std::vector<std::vector<uint32_t>> members;
+
+  /// Number of undirected edges whose endpoints live in different parts;
+  /// this directly drives ḡ_rmt and the communication volume.
+  uint64_t EdgeCut(const Graph& g) const;
+
+  /// max part size / ideal part size (1.0 = perfectly balanced).
+  double BalanceFactor() const;
+};
+
+/// The paper's default equal-vertex Hash strategy: owner(v) = v mod parts.
+Result<Partition> HashPartition(const Graph& g, uint32_t num_parts);
+
+/// A METIS-stand-in minimizing edge-cut under a balance constraint:
+/// greedy BFS region growing from high-degree seeds followed by
+/// Kernighan–Lin style boundary refinement. Not multilevel, but reproduces
+/// the qualitative Hash-vs-METIS gap of the paper's Fig. 11 (substitution
+/// documented in DESIGN.md §2).
+struct MetisLikeOptions {
+  /// Refinement sweeps over boundary vertices.
+  int refinement_passes = 4;
+  /// Maximum allowed part size as a multiple of the ideal size.
+  double max_imbalance = 1.05;
+  uint64_t seed = 13;
+};
+Result<Partition> MetisLikePartition(const Graph& g, uint32_t num_parts,
+                                     const MetisLikeOptions& options = {});
+
+/// A single-pass streaming partitioner (Fennel-style), the future-work
+/// direction Section III-A cites for big graphs where METIS is too slow:
+/// vertices arrive in a (seeded) random order and are greedily assigned to
+/// argmax_p |N(v) ∩ P_p| − alpha·gamma/2·|P_p|^{gamma-1}, trading edge cut
+/// against balance in O(|E|) time and O(|V|) memory.
+struct StreamingOptions {
+  /// Balance exponent gamma (> 1); Fennel's default 1.5.
+  double gamma = 1.5;
+  uint64_t seed = 29;
+};
+Result<Partition> StreamingPartition(const Graph& g, uint32_t num_parts,
+                                     const StreamingOptions& options = {});
+
+}  // namespace ecg::graph
+
+#endif  // ECGRAPH_GRAPH_PARTITION_H_

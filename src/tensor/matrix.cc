@@ -1,0 +1,48 @@
+#include "tensor/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace ecg::tensor {
+
+Matrix::Matrix(size_t rows, size_t cols, std::vector<float> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  ECG_CHECK(data_.size() == rows * cols) << "got " << data_.size()
+                                         << " elements for " << rows << "x"
+                                         << cols;
+}
+
+double Matrix::SquaredNorm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return acc;
+}
+
+double Matrix::L1Norm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += std::fabs(static_cast<double>(v));
+  return acc;
+}
+
+std::string Matrix::DebugString() const {
+  std::ostringstream os;
+  os << rows_ << "x" << cols_;
+  if (!data_.empty()) {
+    const auto [mn, mx] = std::minmax_element(data_.begin(), data_.end());
+    os << " [" << *mn << ", " << *mx << "]";
+  }
+  return os.str();
+}
+
+bool AllClose(const Matrix& a, const Matrix& b, float atol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::fabs(a.data()[i] - b.data()[i]) > atol) return false;
+  }
+  return true;
+}
+
+}  // namespace ecg::tensor

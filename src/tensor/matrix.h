@@ -1,0 +1,77 @@
+#ifndef ECGRAPH_TENSOR_MATRIX_H_
+#define ECGRAPH_TENSOR_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ecg::tensor {
+
+/// A dense row-major float32 matrix. This is the single tensor type of the
+/// library: vertex feature tables, embedding tables H^l, weight matrices W^l
+/// and gradient tables G^l are all Matrix instances. Row-major layout keeps
+/// one vertex's embedding contiguous, which is what the wire codecs, the
+/// quantizer and the gather/scatter kernels operate on.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Creates a zero-initialized rows x cols matrix.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  /// Creates a matrix adopting the given row-major data (size rows*cols).
+  Matrix(size_t rows, size_t cols, std::vector<float> data);
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) noexcept = default;
+  Matrix& operator=(Matrix&&) noexcept = default;
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Pointer to the start of row r (contiguous cols() floats).
+  float* Row(size_t r) { return data_.data() + r * cols_; }
+  const float* Row(size_t r) const { return data_.data() + r * cols_; }
+
+  float& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  float At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Sets every element to v.
+  void Fill(float v) { data_.assign(data_.size(), v); }
+
+  /// Reshapes to rows x cols, discarding contents (zero-filled).
+  void Reset(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0f);
+  }
+
+  /// Frobenius norm squared (sum of squared elements).
+  double SquaredNorm() const;
+
+  /// Sum of absolute values of all elements.
+  double L1Norm() const;
+
+  /// Short debug summary "rows x cols [min, max]".
+  std::string DebugString() const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// True if a and b have identical shape and all elements differ by at most
+/// atol (absolute tolerance). Used heavily in tests.
+bool AllClose(const Matrix& a, const Matrix& b, float atol = 1e-5f);
+
+}  // namespace ecg::tensor
+
+#endif  // ECGRAPH_TENSOR_MATRIX_H_

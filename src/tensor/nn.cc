@@ -1,0 +1,118 @@
+#include "tensor/nn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ecg::tensor {
+
+void ReluInPlace(Matrix* z) {
+  float* d = z->data();
+  for (size_t i = 0; i < z->size(); ++i) d[i] = d[i] > 0.0f ? d[i] : 0.0f;
+}
+
+Matrix ReluGrad(const Matrix& z) {
+  Matrix out(z.rows(), z.cols());
+  const float* zd = z.data();
+  float* od = out.data();
+  for (size_t i = 0; i < z.size(); ++i) od[i] = zd[i] > 0.0f ? 1.0f : 0.0f;
+  return out;
+}
+
+void SoftmaxRows(Matrix* z) {
+  for (size_t r = 0; r < z->rows(); ++r) {
+    float* row = z->Row(r);
+    float mx = row[0];
+    for (size_t c = 1; c < z->cols(); ++c) mx = std::max(mx, row[c]);
+    float sum = 0.0f;
+    for (size_t c = 0; c < z->cols(); ++c) {
+      row[c] = std::exp(row[c] - mx);
+      sum += row[c];
+    }
+    const float inv = 1.0f / sum;
+    for (size_t c = 0; c < z->cols(); ++c) row[c] *= inv;
+  }
+}
+
+double SoftmaxCrossEntropy(const Matrix& logits,
+                           const std::vector<int32_t>& labels,
+                           const std::vector<uint32_t>& rows,
+                           size_t normalizer, Matrix* grad) {
+  ECG_CHECK(normalizer > 0) << "SoftmaxCrossEntropy needs a normalizer";
+  grad->Reset(logits.rows(), logits.cols());
+  const float inv_n = 1.0f / static_cast<float>(normalizer);
+  double loss = 0.0;
+  for (uint32_t r : rows) {
+    ECG_CHECK(r < logits.rows()) << "loss row out of range";
+    const int32_t label = labels[r];
+    ECG_CHECK(label >= 0 && static_cast<size_t>(label) < logits.cols())
+        << "label out of range";
+    const float* lrow = logits.Row(r);
+    float* grow = grad->Row(r);
+    float mx = lrow[0];
+    for (size_t c = 1; c < logits.cols(); ++c) mx = std::max(mx, lrow[c]);
+    double sum = 0.0;
+    for (size_t c = 0; c < logits.cols(); ++c) {
+      grow[c] = std::exp(lrow[c] - mx);
+      sum += grow[c];
+    }
+    const float inv_sum = static_cast<float>(1.0 / sum);
+    for (size_t c = 0; c < logits.cols(); ++c) grow[c] *= inv_sum * inv_n;
+    // grad = (softmax - onehot) / n ; loss = -log softmax[label].
+    loss += -std::log(std::max(
+        1e-30, static_cast<double>(grow[label]) / inv_n));
+    grow[label] -= inv_n;
+  }
+  return loss;
+}
+
+double Accuracy(const Matrix& logits, const std::vector<int32_t>& labels,
+                const std::vector<uint32_t>& rows) {
+  if (rows.empty()) return 0.0;
+  size_t correct = 0;
+  for (uint32_t r : rows) {
+    const float* lrow = logits.Row(r);
+    size_t argmax = 0;
+    for (size_t c = 1; c < logits.cols(); ++c) {
+      if (lrow[c] > lrow[argmax]) argmax = c;
+    }
+    if (static_cast<int32_t>(argmax) == labels[r]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(rows.size());
+}
+
+void XavierInit(Matrix* w, Rng* rng) {
+  const double s =
+      std::sqrt(6.0 / static_cast<double>(w->rows() + w->cols()));
+  float* d = w->data();
+  for (size_t i = 0; i < w->size(); ++i) {
+    d[i] = static_cast<float>(rng->NextUniform(-s, s));
+  }
+}
+
+void AdamState::Step(const Matrix& grad, float lr, Matrix* param) {
+  ECG_CHECK(grad.rows() == param->rows() && grad.cols() == param->cols())
+      << "Adam shape mismatch";
+  if (m_.rows() != grad.rows() || m_.cols() != grad.cols()) {
+    m_.Reset(grad.rows(), grad.cols());
+    v_.Reset(grad.rows(), grad.cols());
+    t_ = 0;
+  }
+  ++t_;
+  const float b1t = 1.0f - std::pow(beta1, static_cast<float>(t_));
+  const float b2t = 1.0f - std::pow(beta2, static_cast<float>(t_));
+  float* md = m_.data();
+  float* vd = v_.data();
+  float* pd = param->data();
+  const float* gd = grad.data();
+  for (size_t i = 0; i < grad.size(); ++i) {
+    md[i] = beta1 * md[i] + (1.0f - beta1) * gd[i];
+    vd[i] = beta2 * vd[i] + (1.0f - beta2) * gd[i] * gd[i];
+    const float mhat = md[i] / b1t;
+    const float vhat = vd[i] / b2t;
+    pd[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+  }
+}
+
+}  // namespace ecg::tensor

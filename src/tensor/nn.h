@@ -1,0 +1,64 @@
+#ifndef ECGRAPH_TENSOR_NN_H_
+#define ECGRAPH_TENSOR_NN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "tensor/matrix.h"
+
+namespace ecg::tensor {
+
+/// Neural-network kernels for the GCN layers: activation, loss, parameter
+/// initialization and the Adam update used by the parameter servers.
+
+/// z = max(z, 0) element-wise (the paper's σ).
+void ReluInPlace(Matrix* z);
+
+/// Returns σ'(z): 1 where z > 0, else 0 (same shape as z).
+Matrix ReluGrad(const Matrix& z);
+
+/// Row-wise softmax, numerically stabilized (subtract row max).
+void SoftmaxRows(Matrix* z);
+
+/// Cross-entropy loss over the rows listed in `rows` (training vertices),
+/// given logits and integer labels. Returns the SUM of per-row losses (the
+/// distributed trainer reduces sums across workers and divides by the
+/// global count). On return, *grad holds dLoss/dlogits for every row (zero
+/// for rows not in `rows`) scaled by 1/normalizer; this is ∇_{H^L} L of the
+/// softmax+CE pair folded together (softmax - onehot). `normalizer` is the
+/// global number of training rows; pass rows.size() for single-machine use.
+double SoftmaxCrossEntropy(const Matrix& logits,
+                           const std::vector<int32_t>& labels,
+                           const std::vector<uint32_t>& rows,
+                           size_t normalizer, Matrix* grad);
+
+/// Fraction of rows in `rows` whose argmax(logits) equals the label.
+double Accuracy(const Matrix& logits, const std::vector<int32_t>& labels,
+                const std::vector<uint32_t>& rows);
+
+/// Glorot/Xavier uniform init: U(-s, s) with s = sqrt(6/(fan_in+fan_out)).
+void XavierInit(Matrix* w, Rng* rng);
+
+/// State and step of the Adam optimizer for one parameter tensor.
+class AdamState {
+ public:
+  AdamState() = default;
+  AdamState(size_t rows, size_t cols) : m_(rows, cols), v_(rows, cols) {}
+
+  /// Applies one Adam step: param -= lr * mhat / (sqrt(vhat) + eps).
+  void Step(const Matrix& grad, float lr, Matrix* param);
+
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+
+ private:
+  Matrix m_;
+  Matrix v_;
+  int64_t t_ = 0;
+};
+
+}  // namespace ecg::tensor
+
+#endif  // ECGRAPH_TENSOR_NN_H_

@@ -1,0 +1,201 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace ecg::tensor {
+namespace {
+
+// Minimum per-thread row count before a kernel bothers going parallel.
+constexpr size_t kRowGrain = 16;
+
+void CheckSameShape(const Matrix& a, const Matrix& b, const char* op) {
+  ECG_CHECK(a.rows() == b.rows() && a.cols() == b.cols())
+      << op << " shape mismatch: " << a.rows() << "x" << a.cols() << " vs "
+      << b.rows() << "x" << b.cols();
+}
+
+}  // namespace
+
+void Gemm(const Matrix& a, const Matrix& b, Matrix* c) {
+  ECG_CHECK(a.cols() == b.rows()) << "Gemm inner dim mismatch: " << a.cols()
+                                  << " vs " << b.rows();
+  c->Reset(a.rows(), b.cols());
+  const size_t n = b.cols();
+  const size_t k_dim = a.cols();
+  ThreadPool::Global().ParallelFor(
+      a.rows(), kRowGrain, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          const float* arow = a.Row(i);
+          float* crow = c->Row(i);
+          // ikj order: stream through rows of B, unit-stride writes to C.
+          for (size_t k = 0; k < k_dim; ++k) {
+            const float av = arow[k];
+            if (av == 0.0f) continue;
+            const float* brow = b.Row(k);
+            for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+          }
+        }
+      });
+}
+
+void GemmTransposeA(const Matrix& a, const Matrix& b, Matrix* c) {
+  ECG_CHECK(a.rows() == b.rows()) << "GemmTransposeA dim mismatch";
+  // C (a.cols x b.cols) = sum over rows r of outer(a.Row(r), b.Row(r)).
+  // Parallelize over output rows (= columns of A) to avoid write conflicts.
+  c->Reset(a.cols(), b.cols());
+  const size_t n = b.cols();
+  ThreadPool::Global().ParallelFor(
+      a.cols(), kRowGrain, [&](size_t begin, size_t end) {
+        for (size_t r = 0; r < a.rows(); ++r) {
+          const float* arow = a.Row(r);
+          const float* brow = b.Row(r);
+          for (size_t i = begin; i < end; ++i) {
+            const float av = arow[i];
+            if (av == 0.0f) continue;
+            float* crow = c->Row(i);
+            for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+          }
+        }
+      });
+}
+
+void GemmTransposeB(const Matrix& a, const Matrix& b, Matrix* c) {
+  ECG_CHECK(a.cols() == b.cols()) << "GemmTransposeB dim mismatch";
+  c->Reset(a.rows(), b.rows());
+  const size_t k_dim = a.cols();
+  ThreadPool::Global().ParallelFor(
+      a.rows(), kRowGrain, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          const float* arow = a.Row(i);
+          float* crow = c->Row(i);
+          for (size_t j = 0; j < b.rows(); ++j) {
+            const float* brow = b.Row(j);
+            float acc = 0.0f;
+            for (size_t k = 0; k < k_dim; ++k) acc += arow[k] * brow[k];
+            crow[j] = acc;
+          }
+        }
+      });
+}
+
+Matrix Transpose(const Matrix& a) {
+  Matrix out(a.cols(), a.rows());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const float* arow = a.Row(r);
+    for (size_t c = 0; c < a.cols(); ++c) out.At(c, r) = arow[c];
+  }
+  return out;
+}
+
+void AddInPlace(Matrix* a, const Matrix& b) {
+  CheckSameShape(*a, b, "AddInPlace");
+  float* ad = a->data();
+  const float* bd = b.data();
+  for (size_t i = 0; i < a->size(); ++i) ad[i] += bd[i];
+}
+
+void SubInPlace(Matrix* a, const Matrix& b) {
+  CheckSameShape(*a, b, "SubInPlace");
+  float* ad = a->data();
+  const float* bd = b.data();
+  for (size_t i = 0; i < a->size(); ++i) ad[i] -= bd[i];
+}
+
+void ScaleInPlace(Matrix* a, float s) {
+  float* ad = a->data();
+  for (size_t i = 0; i < a->size(); ++i) ad[i] *= s;
+}
+
+void Axpy(float s, const Matrix& b, Matrix* a) {
+  CheckSameShape(*a, b, "Axpy");
+  float* ad = a->data();
+  const float* bd = b.data();
+  for (size_t i = 0; i < a->size(); ++i) ad[i] += s * bd[i];
+}
+
+void HadamardInPlace(Matrix* a, const Matrix& b) {
+  CheckSameShape(*a, b, "HadamardInPlace");
+  float* ad = a->data();
+  const float* bd = b.data();
+  for (size_t i = 0; i < a->size(); ++i) ad[i] *= bd[i];
+}
+
+void AddRowBias(Matrix* a, const Matrix& bias) {
+  ECG_CHECK(bias.rows() == 1 && bias.cols() == a->cols())
+      << "AddRowBias shape mismatch";
+  const float* brow = bias.Row(0);
+  for (size_t r = 0; r < a->rows(); ++r) {
+    float* arow = a->Row(r);
+    for (size_t c = 0; c < a->cols(); ++c) arow[c] += brow[c];
+  }
+}
+
+Matrix ColumnSums(const Matrix& a) {
+  Matrix out(1, a.cols());
+  float* orow = out.Row(0);
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const float* arow = a.Row(r);
+    for (size_t c = 0; c < a.cols(); ++c) orow[c] += arow[c];
+  }
+  return out;
+}
+
+Matrix GatherRows(const Matrix& src, const std::vector<uint32_t>& indices) {
+  Matrix out(indices.size(), src.cols());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    ECG_CHECK(indices[i] < src.rows()) << "GatherRows index out of range";
+    std::memcpy(out.Row(i), src.Row(indices[i]), src.cols() * sizeof(float));
+  }
+  return out;
+}
+
+void ScatterAddRows(const Matrix& src, const std::vector<uint32_t>& indices,
+                    Matrix* dst) {
+  ECG_CHECK(src.rows() == indices.size() && src.cols() == dst->cols())
+      << "ScatterAddRows shape mismatch";
+  for (size_t i = 0; i < indices.size(); ++i) {
+    ECG_CHECK(indices[i] < dst->rows()) << "ScatterAddRows index out of range";
+    float* drow = dst->Row(indices[i]);
+    const float* srow = src.Row(i);
+    for (size_t c = 0; c < src.cols(); ++c) drow[c] += srow[c];
+  }
+}
+
+Matrix ConcatCols(const Matrix& a, const Matrix& b) {
+  ECG_CHECK(a.rows() == b.rows()) << "ConcatCols row mismatch";
+  Matrix out(a.rows(), a.cols() + b.cols());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    std::memcpy(out.Row(r), a.Row(r), a.cols() * sizeof(float));
+    std::memcpy(out.Row(r) + a.cols(), b.Row(r), b.cols() * sizeof(float));
+  }
+  return out;
+}
+
+Matrix SliceCols(const Matrix& src, size_t begin, size_t end) {
+  ECG_CHECK(begin <= end && end <= src.cols()) << "SliceCols out of range";
+  Matrix out(src.rows(), end - begin);
+  for (size_t r = 0; r < src.rows(); ++r) {
+    std::memcpy(out.Row(r), src.Row(r) + begin,
+                (end - begin) * sizeof(float));
+  }
+  return out;
+}
+
+std::vector<float> RowL1Distance(const Matrix& a, const Matrix& b) {
+  CheckSameShape(a, b, "RowL1Distance");
+  std::vector<float> out(a.rows(), 0.0f);
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const float* arow = a.Row(r);
+    const float* brow = b.Row(r);
+    float acc = 0.0f;
+    for (size_t c = 0; c < a.cols(); ++c) acc += std::fabs(arow[c] - brow[c]);
+    out[r] = acc;
+  }
+  return out;
+}
+
+}  // namespace ecg::tensor

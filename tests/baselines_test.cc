@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baselines/ml_centered.h"
+#include "baselines/single_machine.h"
+#include "core/trainer.h"
+#include "graph/datasets.h"
+
+namespace ecg::baselines {
+namespace {
+
+graph::Graph Tiny() { return *graph::LoadDataset("tiny"); }
+
+TEST(SingleMachineTest, ConvergesOnTiny) {
+  SingleMachineOptions opt;
+  opt.model.num_layers = 2;
+  opt.model.hidden_dim = 16;
+  opt.epochs = 60;
+  opt.patience = 15;
+  auto r = TrainSingleMachine(Tiny(), opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->best_val_acc, 0.95);
+  EXPECT_EQ(r->total_comm_bytes, 0u);
+  EXPECT_GT(r->avg_epoch_seconds, 0.0);
+}
+
+TEST(SingleMachineTest, RejectsBadInput) {
+  SingleMachineOptions opt;
+  opt.model.num_layers = 0;
+  EXPECT_FALSE(TrainSingleMachine(Tiny(), opt).ok());
+}
+
+TEST(MlCenteredTest, FullExpansionMatchesSingleMachineLoss) {
+  // With full L-hop expansion, every worker computes exact embeddings for
+  // its targets, so the global loss curve must match the single-machine
+  // trainer (same seeds) up to float reduction order.
+  const graph::Graph g = Tiny();
+
+  SingleMachineOptions sopt;
+  sopt.model.num_layers = 2;
+  sopt.model.hidden_dim = 16;
+  sopt.epochs = 8;
+  auto single = TrainSingleMachine(g, sopt);
+  ASSERT_TRUE(single.ok());
+
+  MlCenteredOptions mopt;
+  mopt.model = sopt.model;
+  mopt.epochs = 8;
+  auto ml = TrainMlCentered(g, 3, mopt);
+  ASSERT_TRUE(ml.ok()) << ml.status();
+
+  ASSERT_EQ(ml->epochs.size(), single->epochs.size());
+  for (size_t e = 0; e < ml->epochs.size(); ++e) {
+    EXPECT_NEAR(ml->epochs[e].loss, single->epochs[e].loss, 1e-3)
+        << "epoch " << e;
+    EXPECT_DOUBLE_EQ(ml->epochs[e].val_acc, single->epochs[e].val_acc);
+  }
+}
+
+TEST(MlCenteredTest, CachedVerticesShowRedundancyBlowup) {
+  const graph::Graph g = Tiny();
+  MlCenteredOptions opt;
+  opt.model.num_layers = 2;
+  opt.epochs = 1;
+  MlCenteredCosts costs;
+  auto r = TrainMlCentered(g, 4, opt, &costs);
+  ASSERT_TRUE(r.ok());
+  // Summed caches exceed |V|: boundary vertices are replicated (the ḡ^L
+  // blow-up of Table II). On a small-diameter SBM each worker's 2-hop
+  // cache approaches the whole graph.
+  EXPECT_GT(costs.cached_vertices, g.num_vertices() * 2ull);
+  EXPECT_GT(costs.preprocess_bytes,
+            static_cast<uint64_t>(g.num_vertices()) * g.feature_dim() * 4);
+}
+
+TEST(MlCenteredTest, SampledEgoNetsAreSmaller) {
+  const graph::Graph g = Tiny();
+  MlCenteredOptions full;
+  full.model.num_layers = 2;
+  full.epochs = 2;
+  MlCenteredOptions sampled = full;
+  sampled.fanouts = {3, 3};
+
+  MlCenteredCosts full_costs, sampled_costs;
+  ASSERT_TRUE(TrainMlCentered(g, 3, full, &full_costs).ok());
+  ASSERT_TRUE(TrainMlCentered(g, 3, sampled, &sampled_costs).ok());
+  EXPECT_LT(sampled_costs.cached_vertices, full_costs.cached_vertices);
+  EXPECT_LT(sampled_costs.preprocess_bytes, full_costs.preprocess_bytes);
+}
+
+TEST(MlCenteredTest, NoWorkerToWorkerTrafficDuringTraining) {
+  const graph::Graph g = Tiny();
+  MlCenteredOptions opt;
+  opt.model.num_layers = 2;
+  opt.epochs = 3;
+  auto r = TrainMlCentered(g, 3, opt);
+  ASSERT_TRUE(r.ok());
+  // All traffic is parameter pulls/pushes; epoch comm_bytes (worker to
+  // worker) must be zero.
+  for (const auto& e : r->epochs) {
+    EXPECT_EQ(e.comm_bytes, 0u);
+    EXPECT_GT(e.param_bytes, 0u);
+  }
+}
+
+TEST(MlCenteredTest, SampledStillLearns) {
+  const graph::Graph g = Tiny();
+  MlCenteredOptions opt;
+  opt.model.num_layers = 2;
+  opt.model.hidden_dim = 16;
+  opt.fanouts = {6, 6};
+  opt.epochs = 40;
+  auto r = TrainMlCentered(g, 3, opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->best_val_acc, 0.85);
+}
+
+TEST(MlCenteredTest, RejectsWrongFanoutArity) {
+  MlCenteredOptions opt;
+  opt.model.num_layers = 3;
+  opt.fanouts = {5};
+  EXPECT_EQ(TrainMlCentered(Tiny(), 2, opt).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace ecg::baselines

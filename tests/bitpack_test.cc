@@ -1,0 +1,90 @@
+#include "common/bitpack.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ecg {
+namespace {
+
+TEST(BitpackTest, SupportedWidths) {
+  EXPECT_TRUE(IsSupportedBitWidth(1));
+  EXPECT_TRUE(IsSupportedBitWidth(2));
+  EXPECT_TRUE(IsSupportedBitWidth(4));
+  EXPECT_TRUE(IsSupportedBitWidth(8));
+  EXPECT_TRUE(IsSupportedBitWidth(16));
+  EXPECT_FALSE(IsSupportedBitWidth(0));
+  EXPECT_FALSE(IsSupportedBitWidth(3));
+  EXPECT_FALSE(IsSupportedBitWidth(32));
+}
+
+TEST(BitpackTest, PackedWordCount) {
+  EXPECT_EQ(PackedWordCount(0, 2), 0u);
+  EXPECT_EQ(PackedWordCount(16, 2), 1u);
+  EXPECT_EQ(PackedWordCount(17, 2), 2u);
+  EXPECT_EQ(PackedWordCount(2, 16), 1u);
+  EXPECT_EQ(PackedWordCount(3, 16), 2u);
+  EXPECT_EQ(PackedWordCount(32, 1), 1u);
+}
+
+TEST(BitpackTest, PaperFigure3Example) {
+  // Fig. 3: two 8-dimensional embeddings at 2 bits = one 16-bit mapped
+  // value each, concatenated into one 32-bit word.
+  std::vector<uint32_t> ids = {2, 1, 1, 0, 0, 1, 2, 1,   // h5's bucket ids
+                               3, 2, 0, 1, 2, 3, 0, 2};  // h6's bucket ids
+  std::vector<uint32_t> packed;
+  ASSERT_TRUE(PackBits(ids, 2, &packed).ok());
+  EXPECT_EQ(packed.size(), 1u);
+  std::vector<uint32_t> out;
+  ASSERT_TRUE(UnpackBits(packed, ids.size(), 2, &out).ok());
+  EXPECT_EQ(out, ids);
+}
+
+TEST(BitpackTest, ValueTooLargeRejected) {
+  std::vector<uint32_t> packed;
+  EXPECT_EQ(PackBits({4}, 2, &packed).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(PackBits({2}, 1, &packed).code(), StatusCode::kOutOfRange);
+  EXPECT_TRUE(PackBits({3}, 2, &packed).ok());
+}
+
+TEST(BitpackTest, UnsupportedWidthRejected) {
+  std::vector<uint32_t> packed, out;
+  EXPECT_EQ(PackBits({1}, 3, &packed).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(UnpackBits({0}, 1, 3, &out).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BitpackTest, TruncatedBufferRejected) {
+  std::vector<uint32_t> out;
+  EXPECT_EQ(UnpackBits({}, 100, 2, &out).code(), StatusCode::kInvalidArgument);
+}
+
+/// Property sweep: random round trips at every width and several lengths.
+class BitpackRoundTrip : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(BitpackRoundTrip, RandomValuesSurvive) {
+  const int bits = std::get<0>(GetParam());
+  const int count = std::get<1>(GetParam());
+  Rng rng(bits * 1000 + count);
+  const uint32_t max_value = (1u << bits) - 1;
+  std::vector<uint32_t> values(count);
+  for (auto& v : values) {
+    v = static_cast<uint32_t>(rng.NextBelow(max_value + 1));
+  }
+  std::vector<uint32_t> packed, out;
+  ASSERT_TRUE(PackBits(values, bits, &packed).ok());
+  EXPECT_EQ(packed.size(), PackedWordCount(count, bits));
+  ASSERT_TRUE(UnpackBits(packed, count, bits, &out).ok());
+  EXPECT_EQ(out, values);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWidths, BitpackRoundTrip,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8, 16),
+                       ::testing::Values(0, 1, 15, 16, 17, 31, 33, 1024)));
+
+}  // namespace
+}  // namespace ecg

@@ -1,0 +1,86 @@
+#include "dist/comm.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace ecg::dist {
+namespace {
+
+TEST(CommStatsTest, RecordsPerWorkerTraffic) {
+  CommStats stats(3);
+  stats.RecordSend(0, 1, 100);
+  stats.RecordSend(0, 2, 50);
+  stats.RecordSend(2, 0, 25);
+  EXPECT_EQ(stats.TotalBytes(), 175u);
+  EXPECT_EQ(stats.TotalMessages(), 3u);
+  EXPECT_EQ(stats.BytesSent(0), 150u);
+  EXPECT_EQ(stats.BytesSent(2), 25u);
+  stats.Reset();
+  EXPECT_EQ(stats.TotalBytes(), 0u);
+}
+
+TEST(MessageHubTest, PointToPointDelivery) {
+  MessageHub hub(2);
+  hub.Send(0, 1, 7, {1, 2, 3});
+  const auto payload = hub.Recv(1, 0, 7);
+  EXPECT_EQ(payload, (std::vector<uint8_t>{1, 2, 3}));
+  EXPECT_EQ(hub.stats().TotalBytes(), 3u);
+}
+
+TEST(MessageHubTest, TagsIsolateSupersteps) {
+  MessageHub hub(2);
+  hub.Send(0, 1, MessageHub::MakeTag(5, 2, 1), {5});
+  hub.Send(0, 1, MessageHub::MakeTag(6, 2, 1), {6});
+  hub.Send(0, 1, MessageHub::MakeTag(5, 3, 1), {7});
+  // Receive out of order; each tag gets its own payload.
+  EXPECT_EQ(hub.Recv(1, 0, MessageHub::MakeTag(5, 3, 1))[0], 7);
+  EXPECT_EQ(hub.Recv(1, 0, MessageHub::MakeTag(6, 2, 1))[0], 6);
+  EXPECT_EQ(hub.Recv(1, 0, MessageHub::MakeTag(5, 2, 1))[0], 5);
+}
+
+TEST(MessageHubTest, MakeTagIsCollisionFreeAcrossFields) {
+  const uint64_t t1 = MessageHub::MakeTag(1, 0, 0);
+  const uint64_t t2 = MessageHub::MakeTag(0, 1, 0);
+  const uint64_t t3 = MessageHub::MakeTag(0, 0, 1);
+  EXPECT_NE(t1, t2);
+  EXPECT_NE(t2, t3);
+  EXPECT_NE(t1, t3);
+}
+
+TEST(MessageHubTest, RecvBlocksUntilSendArrives) {
+  MessageHub hub(2);
+  std::vector<uint8_t> got;
+  std::thread receiver([&] { got = hub.Recv(1, 0, 42); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  hub.Send(0, 1, 42, {9, 9});
+  receiver.join();
+  EXPECT_EQ(got.size(), 2u);
+}
+
+TEST(MessageHubTest, ConcurrentAllToAll) {
+  const uint32_t n = 4;
+  MessageHub hub(n);
+  std::vector<std::thread> threads;
+  std::vector<int> sums(n, 0);
+  for (uint32_t w = 0; w < n; ++w) {
+    threads.emplace_back([&, w] {
+      for (uint32_t p = 0; p < n; ++p) {
+        if (p != w) hub.Send(w, p, 1, {static_cast<uint8_t>(w)});
+      }
+      for (uint32_t p = 0; p < n; ++p) {
+        if (p != w) sums[w] += hub.Recv(w, p, 1)[0];
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Worker w receives every other id once.
+  for (uint32_t w = 0; w < n; ++w) {
+    EXPECT_EQ(sums[w], static_cast<int>(0 + 1 + 2 + 3 - w));
+  }
+  EXPECT_EQ(hub.stats().TotalMessages(), n * (n - 1));
+}
+
+}  // namespace
+}  // namespace ecg::dist

@@ -1,0 +1,174 @@
+#include "graph/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "graph/datasets.h"
+
+namespace ecg::graph {
+namespace {
+
+double Homophily(const Graph& g) {
+  uint64_t same = 0, total = 0;
+  for (uint32_t v = 0; v < g.num_vertices(); ++v) {
+    for (uint32_t u : g.Neighbors(v)) {
+      if (u > v) {
+        ++total;
+        same += (g.labels()[u] == g.labels()[v]);
+      }
+    }
+  }
+  return total ? static_cast<double>(same) / total : 0.0;
+}
+
+SbmConfig BaseConfig() {
+  SbmConfig c;
+  c.num_vertices = 2000;
+  c.num_classes = 5;
+  c.avg_degree = 8.0;
+  c.feature_dim = 12;
+  c.homophily = 0.85;
+  c.degree_skew = 0.5;
+  c.feature_noise = 1.0;
+  c.seed = 9;
+  return c;
+}
+
+TEST(GeneratorTest, DeterministicGivenSeed) {
+  const SbmConfig c = BaseConfig();
+  auto g1 = GenerateSbm(c);
+  auto g2 = GenerateSbm(c);
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g1->num_edges(), g2->num_edges());
+  EXPECT_EQ(g1->labels(), g2->labels());
+  EXPECT_TRUE(tensor::AllClose(g1->features(), g2->features()));
+}
+
+TEST(GeneratorTest, MatchesRequestedSize) {
+  const SbmConfig c = BaseConfig();
+  auto g = GenerateSbm(c);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), c.num_vertices);
+  // Dedup loses a little; degree within 15% of target.
+  EXPECT_NEAR(g->average_degree(), c.avg_degree, c.avg_degree * 0.15);
+  EXPECT_EQ(g->feature_dim(), c.feature_dim);
+  EXPECT_EQ(g->num_classes(), c.num_classes);
+}
+
+TEST(GeneratorTest, HomophilyControlsSameClassEdges) {
+  SbmConfig hi = BaseConfig();
+  hi.homophily = 0.9;
+  SbmConfig lo = BaseConfig();
+  lo.homophily = 0.2;
+  auto gh = GenerateSbm(hi);
+  auto gl = GenerateSbm(lo);
+  ASSERT_TRUE(gh.ok());
+  ASSERT_TRUE(gl.ok());
+  EXPECT_GT(Homophily(*gh), Homophily(*gl) + 0.3);
+}
+
+TEST(GeneratorTest, DegreeSkewProducesHeavyTail) {
+  SbmConfig uniform = BaseConfig();
+  uniform.degree_skew = 0.0;
+  SbmConfig skewed = BaseConfig();
+  skewed.degree_skew = 1.2;
+  auto gu = GenerateSbm(uniform);
+  auto gs = GenerateSbm(skewed);
+  ASSERT_TRUE(gu.ok());
+  ASSERT_TRUE(gs.ok());
+  auto max_degree = [](const Graph& g) {
+    uint32_t mx = 0;
+    for (uint32_t v = 0; v < g.num_vertices(); ++v) {
+      mx = std::max(mx, g.Degree(v));
+    }
+    return mx;
+  };
+  EXPECT_GT(max_degree(*gs), 2 * max_degree(*gu));
+}
+
+TEST(GeneratorTest, LabelNoiseChangesRoughlyRequestedFraction) {
+  SbmConfig clean = BaseConfig();
+  SbmConfig noisy = BaseConfig();
+  noisy.label_noise = 0.3;
+  auto gc = GenerateSbm(clean);
+  auto gn = GenerateSbm(noisy);
+  ASSERT_TRUE(gc.ok());
+  ASSERT_TRUE(gn.ok());
+  // Same seed => same underlying communities; count label differences.
+  // A resampled label equals the original with prob 1/C, so expected
+  // difference rate = noise * (1 - 1/C).
+  uint32_t diff = 0;
+  for (uint32_t v = 0; v < gc->num_vertices(); ++v) {
+    diff += (gc->labels()[v] != gn->labels()[v]);
+  }
+  const double rate = static_cast<double>(diff) / gc->num_vertices();
+  EXPECT_NEAR(rate, 0.3 * (1.0 - 1.0 / 5), 0.04);
+}
+
+TEST(GeneratorTest, RejectsBadConfigs) {
+  SbmConfig c = BaseConfig();
+  c.homophily = 1.5;
+  EXPECT_FALSE(GenerateSbm(c).ok());
+  c = BaseConfig();
+  c.num_vertices = 0;
+  EXPECT_FALSE(GenerateSbm(c).ok());
+}
+
+TEST(GeneratorTest, AssignSplitsDisjointAndSized) {
+  auto g = GenerateSbm(BaseConfig());
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(AssignSplits(&*g, 100, 50, 25, 3).ok());
+  EXPECT_EQ(g->train_set().size(), 100u);
+  EXPECT_EQ(g->val_set().size(), 50u);
+  EXPECT_EQ(g->test_set().size(), 25u);
+  std::set<uint32_t> seen;
+  for (auto v : g->train_set()) seen.insert(v);
+  for (auto v : g->val_set()) seen.insert(v);
+  for (auto v : g->test_set()) seen.insert(v);
+  EXPECT_EQ(seen.size(), 175u);  // disjoint
+}
+
+TEST(GeneratorTest, AssignSplitsRejectsOversize) {
+  auto g = GenerateSbm(BaseConfig());
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(AssignSplits(&*g, 1500, 400, 200, 3).ok());
+}
+
+TEST(DatasetsTest, RegistryHasAllTableIIIReplicas) {
+  const auto names = DatasetNames();
+  for (const char* expected :
+       {"tiny", "cora-sim", "pubmed-sim", "reddit-sim", "products-sim",
+        "papers-sim"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+  EXPECT_FALSE(GetDatasetSpec("unknown").ok());
+}
+
+TEST(DatasetsTest, CoraReplicaMatchesPublishedShape) {
+  auto spec = GetDatasetSpec("cora-sim");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->sbm.num_vertices, 2708u);
+  EXPECT_EQ(spec->sbm.feature_dim, 1433u);
+  EXPECT_EQ(spec->sbm.num_classes, 7);
+  EXPECT_NEAR(spec->sbm.avg_degree, 3.90, 1e-9);
+  EXPECT_EQ(spec->train_size, 1408u);
+  EXPECT_EQ(spec->val_size, 300u);
+  EXPECT_EQ(spec->test_size, 1000u);
+}
+
+TEST(DatasetsTest, LoadInstallsSplits) {
+  auto g = LoadDataset("tiny");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->name, "tiny");
+  EXPECT_EQ(g->train_set().size(), 128u);
+  EXPECT_EQ(g->val_set().size(), 32u);
+  EXPECT_EQ(g->test_set().size(), 64u);
+}
+
+}  // namespace
+}  // namespace ecg::graph

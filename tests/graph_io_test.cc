@@ -1,0 +1,99 @@
+#include "graph/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "graph/datasets.h"
+#include "tensor/matrix.h"
+
+namespace ecg::graph {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(GraphIoTest, SaveLoadRoundTrip) {
+  const Graph original = *LoadDataset("tiny");
+  const std::string path = TempPath("tiny.ecg");
+  ASSERT_TRUE(SaveGraph(original, path).ok());
+
+  auto loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_vertices(), original.num_vertices());
+  EXPECT_EQ(loaded->num_edges(), original.num_edges());
+  EXPECT_EQ(loaded->num_classes(), original.num_classes());
+  EXPECT_EQ(loaded->labels(), original.labels());
+  EXPECT_TRUE(tensor::AllClose(loaded->features(), original.features()));
+  EXPECT_EQ(loaded->train_set(), original.train_set());
+  EXPECT_EQ(loaded->val_set(), original.val_set());
+  EXPECT_EQ(loaded->test_set(), original.test_set());
+  for (uint32_t v = 0; v < original.num_vertices(); ++v) {
+    ASSERT_EQ(loaded->Degree(v), original.Degree(v)) << "vertex " << v;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, LoadRejectsMissingFile) {
+  EXPECT_EQ(LoadGraph("/nonexistent/nope.ecg").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(GraphIoTest, LoadRejectsWrongMagic) {
+  const std::string path = TempPath("bogus.ecg");
+  std::ofstream out(path, std::ios::binary);
+  out << "this is not a graph file at all, just filler bytes 123456";
+  out.close();
+  EXPECT_EQ(LoadGraph(path).status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, LoadRejectsTruncatedFile) {
+  const Graph original = *LoadDataset("tiny");
+  const std::string path = TempPath("trunc.ecg");
+  ASSERT_TRUE(SaveGraph(original, path).ok());
+  // Truncate to half.
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  const auto size = in.tellg();
+  std::vector<char> half(static_cast<size_t>(size) / 2);
+  in.seekg(0);
+  in.read(half.data(), static_cast<std::streamsize>(half.size()));
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(half.data(), static_cast<std::streamsize>(half.size()));
+  out.close();
+  EXPECT_FALSE(LoadGraph(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, EdgeListImport) {
+  const std::string path = TempPath("edges.txt");
+  {
+    std::ofstream out(path);
+    out << "# comment line\n";
+    out << "0 1\n1 2\n2 3\n% another comment\n3 0\n";
+  }
+  auto g = LoadEdgeList(path, /*feature_dim=*/4);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->num_vertices(), 4u);
+  EXPECT_EQ(g->num_edges(), 8u);  // 4 undirected edges, both directions
+  EXPECT_EQ(g->feature_dim(), 4u);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, EdgeListRejectsGarbage) {
+  const std::string path = TempPath("bad_edges.txt");
+  {
+    std::ofstream out(path);
+    out << "0 1\nnot numbers\n";
+  }
+  EXPECT_EQ(LoadEdgeList(path, 1).status().code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ecg::graph

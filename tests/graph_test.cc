@@ -1,0 +1,94 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace ecg::graph {
+namespace {
+
+Graph MakePath4() {
+  // 0 - 1 - 2 - 3 path with duplicate and self-loop noise in the input.
+  const std::vector<std::pair<uint32_t, uint32_t>> edges = {
+      {0, 1}, {1, 2}, {2, 3}, {1, 0} /*dup reversed*/, {2, 2} /*self*/};
+  tensor::Matrix features(4, 2);
+  std::vector<int32_t> labels = {0, 1, 0, 1};
+  auto g = Graph::Build(4, edges, std::move(features), std::move(labels), 2);
+  return *g;
+}
+
+TEST(GraphTest, BuildDedupesAndDropsSelfLoops) {
+  const Graph g = MakePath4();
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 6u);  // 3 undirected edges stored twice
+  EXPECT_EQ(g.Degree(0), 1u);
+  EXPECT_EQ(g.Degree(1), 2u);
+  EXPECT_EQ(g.Degree(2), 2u);  // self loop dropped
+  EXPECT_EQ(g.Degree(3), 1u);
+}
+
+TEST(GraphTest, NeighborsSortedAndSymmetric) {
+  const Graph g = MakePath4();
+  const auto n1 = g.Neighbors(1);
+  ASSERT_EQ(n1.size(), 2u);
+  EXPECT_EQ(n1[0], 0u);
+  EXPECT_EQ(n1[1], 2u);
+  // Symmetry: u in N(v) <=> v in N(u).
+  for (uint32_t v = 0; v < g.num_vertices(); ++v) {
+    for (uint32_t u : g.Neighbors(v)) {
+      bool found = false;
+      for (uint32_t back : g.Neighbors(u)) found |= (back == v);
+      EXPECT_TRUE(found) << u << " -> " << v;
+    }
+  }
+}
+
+TEST(GraphTest, NormWeightMatchesGcnFormula) {
+  const Graph g = MakePath4();
+  // deg(0)=1, deg(1)=2 -> 1/sqrt(2*3).
+  EXPECT_NEAR(g.NormWeight(0, 1), 1.0f / std::sqrt(6.0f), 1e-6f);
+  // Self loop of vertex 2: 1/(deg+1) = 1/3.
+  EXPECT_NEAR(g.NormWeight(2, 2), 1.0f / 3.0f, 1e-6f);
+}
+
+TEST(GraphTest, AverageDegree) {
+  const Graph g = MakePath4();
+  EXPECT_DOUBLE_EQ(g.average_degree(), 6.0 / 4.0);
+}
+
+TEST(GraphTest, BuildValidatesInputs) {
+  tensor::Matrix bad_features(3, 2);
+  EXPECT_EQ(Graph::Build(4, {}, std::move(bad_features), {0, 0, 0, 0}, 2)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  tensor::Matrix features(2, 1);
+  EXPECT_EQ(Graph::Build(2, {}, std::move(features), {0}, 2).status().code(),
+            StatusCode::kInvalidArgument);
+
+  tensor::Matrix features2(2, 1);
+  EXPECT_EQ(
+      Graph::Build(2, {}, std::move(features2), {0, 5}, 2).status().code(),
+      StatusCode::kOutOfRange);
+
+  tensor::Matrix features3(2, 1);
+  EXPECT_EQ(Graph::Build(2, {{0, 7}}, std::move(features3), {0, 1}, 2)
+                .status()
+                .code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(GraphTest, SplitsInstallable) {
+  Graph g = MakePath4();
+  g.SetSplits({0, 1}, {2}, {3});
+  EXPECT_EQ(g.train_set().size(), 2u);
+  EXPECT_EQ(g.val_set()[0], 2u);
+  EXPECT_EQ(g.test_set()[0], 3u);
+}
+
+}  // namespace
+}  // namespace ecg::graph

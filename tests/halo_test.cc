@@ -1,0 +1,151 @@
+#include "core/halo.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "graph/generator.h"
+#include "graph/partition.h"
+#include "tensor/ops.h"
+
+namespace ecg::core {
+namespace {
+
+graph::Graph TestGraph() {
+  graph::SbmConfig c;
+  c.num_vertices = 300;
+  c.num_classes = 3;
+  c.avg_degree = 6.0;
+  c.feature_dim = 4;
+  c.homophily = 0.7;
+  c.seed = 17;
+  return *graph::GenerateSbm(c);
+}
+
+class HaloPlanTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(HaloPlanTest, PlansSatisfyStructuralInvariants) {
+  const graph::Graph g = TestGraph();
+  const uint32_t parts = GetParam();
+  auto partition = graph::HashPartition(g, parts);
+  ASSERT_TRUE(partition.ok());
+  std::vector<WorkerPlan> plans;
+  ASSERT_TRUE(BuildWorkerPlans(g, *partition, &plans).ok());
+  ASSERT_EQ(plans.size(), parts);
+
+  size_t total_owned = 0;
+  for (uint32_t w = 0; w < parts; ++w) {
+    const WorkerPlan& plan = plans[w];
+    EXPECT_EQ(plan.worker_id, w);
+    total_owned += plan.num_owned();
+
+    // Halo = exactly the remote neighbours of owned vertices.
+    std::set<uint32_t> expected_halo;
+    for (uint32_t v : plan.owned) {
+      for (uint32_t u : g.Neighbors(v)) {
+        if (partition->owner[u] != w) expected_halo.insert(u);
+      }
+    }
+    EXPECT_EQ(std::vector<uint32_t>(expected_halo.begin(),
+                                    expected_halo.end()),
+              plan.halo);
+    for (size_t i = 0; i < plan.halo.size(); ++i) {
+      EXPECT_EQ(plan.halo_owner[i], partition->owner[plan.halo[i]]);
+    }
+
+    // Adjacency shape: owned rows over [owned | halo] columns.
+    EXPECT_EQ(plan.adj.rows(), plan.num_owned());
+    EXPECT_EQ(plan.adj.cols(), plan.cat_rows());
+  }
+  EXPECT_EQ(total_owned, g.num_vertices());
+}
+
+TEST_P(HaloPlanTest, SendRecvListsMirror) {
+  const graph::Graph g = TestGraph();
+  const uint32_t parts = GetParam();
+  auto partition = graph::MetisLikePartition(g, parts);
+  ASSERT_TRUE(partition.ok());
+  std::vector<WorkerPlan> plans;
+  ASSERT_TRUE(BuildWorkerPlans(g, *partition, &plans).ok());
+
+  for (uint32_t w = 0; w < parts; ++w) {
+    for (uint32_t p = 0; p < parts; ++p) {
+      if (w == p) {
+        EXPECT_TRUE(plans[w].send_rows[p].empty());
+        continue;
+      }
+      // What w sends to p == what p receives from w, same order.
+      const auto& send = plans[w].send_rows[p];
+      const auto& recv = plans[p].recv_halo_rows[w];
+      ASSERT_EQ(send.size(), recv.size());
+      for (size_t i = 0; i < send.size(); ++i) {
+        const uint32_t sent_global = plans[w].owned[send[i]];
+        const uint32_t recv_global = plans[p].halo[recv[i]];
+        EXPECT_EQ(sent_global, recv_global);
+      }
+    }
+  }
+}
+
+TEST_P(HaloPlanTest, PartitionedAggregationMatchesGlobal) {
+  // SpMM over the worker sub-adjacency with a perfectly filled halo must
+  // reproduce the global Â·X rows for owned vertices.
+  const graph::Graph g = TestGraph();
+  const uint32_t parts = GetParam();
+  auto partition = graph::HashPartition(g, parts);
+  ASSERT_TRUE(partition.ok());
+  std::vector<WorkerPlan> plans;
+  ASSERT_TRUE(BuildWorkerPlans(g, *partition, &plans).ok());
+
+  // Global reference: Â X.
+  std::vector<std::tuple<uint32_t, uint32_t, float>> trips;
+  for (uint32_t v = 0; v < g.num_vertices(); ++v) {
+    trips.emplace_back(v, v, g.NormWeight(v, v));
+    for (uint32_t u : g.Neighbors(v)) {
+      trips.emplace_back(v, u, g.NormWeight(v, u));
+    }
+  }
+  auto global_adj = tensor::CsrMatrix::FromTriplets(g.num_vertices(),
+                                                    g.num_vertices(), trips);
+  ASSERT_TRUE(global_adj.ok());
+  tensor::Matrix global_out;
+  global_adj->SpMM(g.features(), &global_out);
+
+  for (const auto& plan : plans) {
+    // Build H_cat = [X_owned ; X_halo] with exact halo values.
+    tensor::Matrix cat(plan.cat_rows(), g.feature_dim());
+    const tensor::Matrix owned = tensor::GatherRows(g.features(), plan.owned);
+    const tensor::Matrix halo = tensor::GatherRows(g.features(), plan.halo);
+    for (size_t r = 0; r < owned.rows(); ++r) {
+      std::copy(owned.Row(r), owned.Row(r) + owned.cols(), cat.Row(r));
+    }
+    for (size_t r = 0; r < halo.rows(); ++r) {
+      std::copy(halo.Row(r), halo.Row(r) + halo.cols(),
+                cat.Row(owned.rows() + r));
+    }
+    tensor::Matrix local_out;
+    plan.adj.SpMM(cat, &local_out);
+    for (size_t r = 0; r < plan.num_owned(); ++r) {
+      for (size_t c = 0; c < g.feature_dim(); ++c) {
+        EXPECT_NEAR(local_out.At(r, c), global_out.At(plan.owned[r], c),
+                    1e-4f);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PartCounts, HaloPlanTest,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(HaloPlanTest, RejectsMismatchedPartition) {
+  const graph::Graph g = TestGraph();
+  graph::Partition p;
+  p.num_parts = 2;
+  p.owner = {0, 1};  // too short
+  std::vector<WorkerPlan> plans;
+  EXPECT_FALSE(BuildWorkerPlans(g, p, &plans).ok());
+}
+
+}  // namespace
+}  // namespace ecg::core

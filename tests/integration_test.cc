@@ -1,0 +1,122 @@
+// Cross-module integration: the full user pipeline — generate a replica,
+// round-trip it through the on-disk format, partition it three ways, train
+// with every message policy, and check the pieces compose.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/sampling_trainer.h"
+#include "core/trainer.h"
+#include "graph/datasets.h"
+#include "graph/graph_io.h"
+#include "graph/partition.h"
+
+namespace ecg {
+namespace {
+
+TEST(IntegrationTest, SavedGraphTrainsIdenticallyToInMemory) {
+  const graph::Graph original = *graph::LoadDataset("tiny");
+  const std::string path =
+      std::string(::testing::TempDir()) + "/pipeline.ecg";
+  ASSERT_TRUE(graph::SaveGraph(original, path).ok());
+  auto loaded = graph::LoadGraph(path);
+  ASSERT_TRUE(loaded.ok());
+
+  core::TrainOptions opt;
+  opt.model.num_layers = 2;
+  opt.model.hidden_dim = 16;
+  opt.epochs = 8;
+  auto r1 = core::TrainDistributed(original, 3, opt);
+  auto r2 = core::TrainDistributed(*loaded, 3, opt);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  for (size_t e = 0; e < 8; ++e) {
+    EXPECT_DOUBLE_EQ(r1->epochs[e].loss, r2->epochs[e].loss) << e;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IntegrationTest, AllPartitionersTrainToSameMath) {
+  const graph::Graph g = *graph::LoadDataset("tiny");
+  core::TrainOptions opt;
+  opt.model.num_layers = 2;
+  opt.epochs = 6;
+
+  auto hash = graph::HashPartition(g, 4);
+  auto metis = graph::MetisLikePartition(g, 4);
+  auto streaming = graph::StreamingPartition(g, 4);
+  ASSERT_TRUE(hash.ok());
+  ASSERT_TRUE(metis.ok());
+  ASSERT_TRUE(streaming.ok());
+
+  core::DistributedTrainer t1(g, *hash, opt);
+  core::DistributedTrainer t2(g, *metis, opt);
+  core::DistributedTrainer t3(g, *streaming, opt);
+  auto r1 = t1.Train();
+  auto r2 = t2.Train();
+  auto r3 = t3.Train();
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  ASSERT_TRUE(r3.ok());
+  for (size_t e = 0; e < 6; ++e) {
+    EXPECT_NEAR(r1->epochs[e].loss, r2->epochs[e].loss, 1e-3);
+    EXPECT_NEAR(r1->epochs[e].loss, r3->epochs[e].loss, 1e-3);
+  }
+}
+
+TEST(IntegrationTest, EveryFpBpCombinationTrains) {
+  const graph::Graph g = *graph::LoadDataset("tiny");
+  for (auto fp : {core::FpMode::kExact, core::FpMode::kCompressed,
+                  core::FpMode::kReqEc, core::FpMode::kDelayed}) {
+    for (auto bp : {core::BpMode::kExact, core::BpMode::kCompressed,
+                    core::BpMode::kResEc}) {
+      core::TrainOptions opt;
+      opt.model.num_layers = 2;
+      opt.epochs = 16;  // Delayed mode converges slower, by design
+      opt.fp_mode = fp;
+      opt.bp_mode = bp;
+      opt.exchange.fp_bits = 8;
+      opt.exchange.bp_bits = 8;
+      auto r = core::TrainDistributed(g, 3, opt);
+      ASSERT_TRUE(r.ok()) << core::FpModeName(fp) << "/"
+                          << core::BpModeName(bp) << ": " << r.status();
+      EXPECT_GT(r->epochs.back().train_acc, 0.8)
+          << core::FpModeName(fp) << "/" << core::BpModeName(bp);
+    }
+  }
+}
+
+TEST(IntegrationTest, AdaptiveBitTunerStaysInLadder) {
+  const graph::Graph g = *graph::LoadDataset("tiny");
+  core::TrainOptions opt;
+  opt.model.num_layers = 2;
+  opt.epochs = 40;
+  opt.fp_mode = core::FpMode::kReqEc;
+  opt.exchange.fp_bits = 2;
+  opt.exchange.adaptive_bits = true;
+  auto r = core::TrainDistributed(g, 3, opt);
+  ASSERT_TRUE(r.ok());
+  // Training completes and converges with the tuner active.
+  EXPECT_GT(r->best_val_acc, 0.9);
+}
+
+TEST(IntegrationTest, SampledTrainerComposesWithMetisPartition) {
+  const graph::Graph g = *graph::LoadDataset("tiny");
+  auto metis = graph::MetisLikePartition(g, 3);
+  ASSERT_TRUE(metis.ok());
+  core::SamplingTrainOptions opt;
+  opt.model.num_layers = 2;
+  opt.fanouts = {6, 6};
+  opt.exchange.fp_bits = 8;
+  opt.exchange.bp_bits = 8;
+  opt.epochs = 30;
+  core::SamplingTrainer trainer(g, *metis, opt);
+  auto r = trainer.Train();
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_GT(r->best_val_acc, 0.85);
+}
+
+}  // namespace
+}  // namespace ecg

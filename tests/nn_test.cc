@@ -1,0 +1,141 @@
+#include "tensor/nn.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "tensor/matrix.h"
+
+namespace ecg::tensor {
+namespace {
+
+TEST(NnTest, ReluClampsNegatives) {
+  Matrix z(1, 4, {-1.0f, 0.0f, 2.0f, -0.5f});
+  ReluInPlace(&z);
+  EXPECT_TRUE(AllClose(z, Matrix(1, 4, {0, 0, 2, 0})));
+}
+
+TEST(NnTest, ReluGradIsIndicator) {
+  const Matrix z(1, 4, {-1.0f, 0.0f, 2.0f, 1e-9f});
+  const Matrix g = ReluGrad(z);
+  EXPECT_TRUE(AllClose(g, Matrix(1, 4, {0, 0, 1, 1})));
+}
+
+TEST(NnTest, SoftmaxRowsSumToOne) {
+  Matrix z(2, 3, {1, 2, 3, -100, 0, 100});
+  SoftmaxRows(&z);
+  for (size_t r = 0; r < 2; ++r) {
+    float sum = 0;
+    for (size_t c = 0; c < 3; ++c) {
+      sum += z.At(r, c);
+      EXPECT_GE(z.At(r, c), 0.0f);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+  // Large logits must not overflow (row max subtraction).
+  EXPECT_NEAR(z.At(1, 2), 1.0f, 1e-5f);
+}
+
+TEST(NnTest, CrossEntropyLossValue) {
+  // Uniform logits over C classes: loss per row = log(C).
+  Matrix logits(2, 4);
+  const std::vector<int32_t> labels = {1, 3};
+  Matrix grad;
+  const double loss =
+      SoftmaxCrossEntropy(logits, labels, {0, 1}, 2, &grad);
+  EXPECT_NEAR(loss, 2.0 * std::log(4.0), 1e-5);
+}
+
+TEST(NnTest, CrossEntropyGradMatchesNumerical) {
+  Rng rng(77);
+  Matrix logits(3, 5);
+  for (size_t i = 0; i < logits.size(); ++i) {
+    logits.data()[i] = static_cast<float>(rng.NextGaussian());
+  }
+  const std::vector<int32_t> labels = {4, 0, 2};
+  const std::vector<uint32_t> rows = {0, 2};  // row 1 must get zero grad
+  const size_t normalizer = 2;
+
+  Matrix grad;
+  SoftmaxCrossEntropy(logits, labels, rows, normalizer, &grad);
+
+  const double eps = 1e-3;
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 5; ++c) {
+      Matrix plus = logits, minus = logits;
+      plus.At(r, c) += static_cast<float>(eps);
+      minus.At(r, c) -= static_cast<float>(eps);
+      Matrix unused;
+      const double lp =
+          SoftmaxCrossEntropy(plus, labels, rows, normalizer, &unused) /
+          normalizer;
+      const double lm =
+          SoftmaxCrossEntropy(minus, labels, rows, normalizer, &unused) /
+          normalizer;
+      const double numeric = (lp - lm) / (2 * eps);
+      EXPECT_NEAR(grad.At(r, c), numeric, 5e-3)
+          << "at (" << r << "," << c << ")";
+    }
+  }
+  // Non-selected rows contribute nothing.
+  for (size_t c = 0; c < 5; ++c) EXPECT_EQ(grad.At(1, c), 0.0f);
+}
+
+TEST(NnTest, AccuracyCountsArgmaxHits) {
+  Matrix logits(3, 3, {0.9f, 0.05f, 0.05f,   // argmax 0
+                       0.1f, 0.2f, 0.7f,     // argmax 2
+                       0.3f, 0.4f, 0.3f});   // argmax 1
+  const std::vector<int32_t> labels = {0, 1, 1};
+  EXPECT_DOUBLE_EQ(Accuracy(logits, labels, {0, 1, 2}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Accuracy(logits, labels, {0}), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy(logits, labels, {}), 0.0);
+}
+
+TEST(NnTest, XavierInitBounds) {
+  Rng rng(5);
+  Matrix w(64, 32);
+  XavierInit(&w, &rng);
+  const double bound = std::sqrt(6.0 / (64 + 32));
+  double sum = 0;
+  for (size_t i = 0; i < w.size(); ++i) {
+    EXPECT_LE(std::fabs(w.data()[i]), bound + 1e-6);
+    sum += w.data()[i];
+  }
+  // Mean near zero; some dispersion exists.
+  EXPECT_NEAR(sum / w.size(), 0.0, bound / 4);
+  EXPECT_GT(w.SquaredNorm(), 0.0);
+}
+
+TEST(NnTest, AdamStepMovesAgainstGradient) {
+  Matrix param(1, 2, {1.0f, -1.0f});
+  const Matrix grad(1, 2, {0.5f, -0.5f});
+  AdamState adam(1, 2);
+  adam.Step(grad, 0.1f, &param);
+  EXPECT_LT(param.At(0, 0), 1.0f);
+  EXPECT_GT(param.At(0, 1), -1.0f);
+}
+
+TEST(NnTest, AdamFirstStepIsLearningRateSized) {
+  // With bias correction, the first Adam step is ~lr * sign(grad).
+  Matrix param(1, 1, {0.0f});
+  const Matrix grad(1, 1, {123.0f});
+  AdamState adam(1, 1);
+  adam.Step(grad, 0.01f, &param);
+  EXPECT_NEAR(param.At(0, 0), -0.01f, 1e-4f);
+}
+
+TEST(NnTest, AdamConvergesOnQuadratic) {
+  // Minimize f(x) = (x - 3)^2; gradient 2(x-3).
+  Matrix x(1, 1, {0.0f});
+  AdamState adam(1, 1);
+  for (int i = 0; i < 2000; ++i) {
+    const Matrix grad(1, 1, {2.0f * (x.At(0, 0) - 3.0f)});
+    adam.Step(grad, 0.05f, &x);
+  }
+  EXPECT_NEAR(x.At(0, 0), 3.0f, 0.05f);
+}
+
+}  // namespace
+}  // namespace ecg::tensor

@@ -1,0 +1,103 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace ecg {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng a(7);
+  std::vector<uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(a.NextU64());
+  a.Seed(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.NextU64(), first[i]);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+  EXPECT_EQ(rng.NextBelow(1), 0u);
+}
+
+TEST(RngTest, NextBelowRoughlyUniform) {
+  Rng rng(5);
+  const int buckets = 8;
+  std::vector<int> counts(buckets, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextBelow(buckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / buckets, n / buckets * 0.1);
+  }
+}
+
+TEST(RngTest, DoublesInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, FloatsInUnitInterval) {
+  Rng rng(12);
+  for (int i = 0; i < 1000; ++i) {
+    const float f = rng.NextFloat();
+    EXPECT_GE(f, 0.0f);
+    EXPECT_LT(f, 1.0f);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  const int n = 100000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(14);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.NextUniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(15);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.NextBool(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+}  // namespace
+}  // namespace ecg

@@ -1,0 +1,93 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "common/barrier.h"
+
+namespace ecg {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, 1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsNoOp) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, 1, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, GrainLimitsSplitting) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(10, 100, [&](size_t begin, size_t end) {
+    calls.fetch_add(1);
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 10u);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPoolTest, SerialModeRunsInline) {
+  ThreadPool::SetSerialMode(true);
+  std::atomic<int> calls{0};
+  ThreadPool::Global().ParallelFor(1000, 1, [&](size_t begin, size_t end) {
+    calls.fetch_add(1);
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 1000u);
+  });
+  EXPECT_EQ(calls.load(), 1);
+  ThreadPool::SetSerialMode(false);
+  EXPECT_FALSE(ThreadPool::serial_mode());
+}
+
+TEST(ThreadPoolTest, SerialModeIsThreadLocal) {
+  ThreadPool::SetSerialMode(true);
+  bool other_thread_serial = true;
+  std::thread t([&] { other_thread_serial = ThreadPool::serial_mode(); });
+  t.join();
+  EXPECT_FALSE(other_thread_serial);
+  ThreadPool::SetSerialMode(false);
+}
+
+TEST(ThreadPoolTest, ManySmallParallelForsDoNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<size_t> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.ParallelFor(17, 1, [&](size_t begin, size_t end) {
+      total.fetch_add(end - begin);
+    });
+  }
+  EXPECT_EQ(total.load(), 200u * 17);
+}
+
+TEST(BarrierTest, AlignsThreadsAcrossGenerations) {
+  const int parties = 4;
+  Barrier barrier(parties);
+  std::atomic<int> phase_counts[3] = {{0}, {0}, {0}};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < parties; ++p) {
+    threads.emplace_back([&] {
+      for (int phase = 0; phase < 3; ++phase) {
+        phase_counts[phase].fetch_add(1);
+        barrier.Wait();
+        // After the barrier, everyone must have bumped this phase.
+        EXPECT_EQ(phase_counts[phase].load(), parties);
+        barrier.Wait();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace
+}  // namespace ecg

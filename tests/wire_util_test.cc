@@ -1,0 +1,93 @@
+#include "core/wire_util.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/random.h"
+#include "tensor/matrix.h"
+
+namespace ecg::core {
+namespace {
+
+using tensor::Matrix;
+
+Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.NextGaussian());
+  }
+  return m;
+}
+
+TEST(WireUtilTest, MatrixRoundTrip) {
+  const Matrix m = RandomMatrix(5, 7, 1);
+  std::vector<uint8_t> buf;
+  ByteWriter w(&buf);
+  EncodeMatrix(m, &w);
+  ByteReader r(buf);
+  Matrix out;
+  ASSERT_TRUE(DecodeMatrix(&r, &out).ok());
+  EXPECT_TRUE(tensor::AllClose(out, m, 0.0f));
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(WireUtilTest, EmptyMatrixRoundTrip) {
+  const Matrix m(0, 4);
+  std::vector<uint8_t> buf;
+  ByteWriter w(&buf);
+  EncodeMatrix(m, &w);
+  ByteReader r(buf);
+  Matrix out;
+  ASSERT_TRUE(DecodeMatrix(&r, &out).ok());
+  EXPECT_EQ(out.rows(), 0u);
+  EXPECT_EQ(out.cols(), 4u);
+}
+
+TEST(WireUtilTest, DecodeRejectsInconsistentHeader) {
+  std::vector<uint8_t> buf;
+  ByteWriter w(&buf);
+  w.PutU32(2);
+  w.PutU32(3);
+  w.PutU64(7);  // 2*3 != 7
+  ByteReader r(buf);
+  Matrix out;
+  EXPECT_EQ(DecodeMatrix(&r, &out).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireUtilTest, DecodeRejectsTruncatedPayload) {
+  std::vector<uint8_t> buf;
+  ByteWriter w(&buf);
+  w.PutU32(4);
+  w.PutU32(4);
+  w.PutU64(16);  // claims 16 floats, provides 1
+  w.PutF32(1.0f);
+  ByteReader r(buf);
+  Matrix out;
+  EXPECT_EQ(DecodeMatrix(&r, &out).code(), StatusCode::kOutOfRange);
+}
+
+TEST(WireUtilTest, AssignRowsPlacesRows) {
+  const Matrix src(2, 3, {1, 2, 3, 4, 5, 6});
+  Matrix dst(4, 3);
+  ASSERT_TRUE(AssignRows(src, {3, 0}, &dst).ok());
+  EXPECT_EQ(dst.At(3, 0), 1.0f);
+  EXPECT_EQ(dst.At(0, 2), 6.0f);
+  EXPECT_EQ(dst.At(1, 0), 0.0f);  // untouched
+}
+
+TEST(WireUtilTest, AssignRowsValidates) {
+  const Matrix src(2, 3);
+  Matrix dst(4, 3);
+  EXPECT_EQ(AssignRows(src, {0}, &dst).code(),
+            StatusCode::kInvalidArgument);  // count mismatch
+  EXPECT_EQ(AssignRows(src, {0, 9}, &dst).code(), StatusCode::kOutOfRange);
+  Matrix narrow(4, 2);
+  EXPECT_EQ(AssignRows(src, {0, 1}, &narrow).code(),
+            StatusCode::kInvalidArgument);  // width mismatch
+}
+
+}  // namespace
+}  // namespace ecg::core

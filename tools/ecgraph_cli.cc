@@ -1,0 +1,214 @@
+// ecgraph — command-line driver for the EC-Graph library.
+//
+//   ecgraph info <dataset-or-.ecg-file>
+//       Structural statistics of a dataset replica or a saved graph file.
+//   ecgraph generate <dataset> <out.ecg>
+//       Materializes a Table III replica to disk (binary format).
+//   ecgraph partition <dataset> <workers> [hash|metis|streaming]
+//       Partitions and reports edge-cut / balance / halo sizes.
+//   ecgraph train <dataset> [key=value ...]
+//       Distributed training. Keys: workers, epochs, layers, hidden,
+//       model(gcn|sage), fp(exact|cp|reqec|delayed), bp(exact|cp|resec),
+//       fp_bits, bp_bits, adapt(0|1), partitioner(hash|metis|streaming),
+//       patience, lr.
+//
+// Exit code 0 on success; errors print the Status and exit 1.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/halo.h"
+#include "core/trainer.h"
+#include "graph/datasets.h"
+#include "graph/graph_io.h"
+#include "graph/partition.h"
+
+namespace {
+
+using ecg::Result;
+using ecg::Status;
+
+int Fail(const Status& s) {
+  std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+  return 1;
+}
+
+Result<ecg::graph::Graph> LoadAny(const std::string& name) {
+  if (name.size() > 4 && name.substr(name.size() - 4) == ".ecg") {
+    return ecg::graph::LoadGraph(name);
+  }
+  return ecg::graph::LoadDataset(name);
+}
+
+Result<ecg::graph::Partition> MakePartition(const ecg::graph::Graph& g,
+                                            uint32_t workers,
+                                            const std::string& algo) {
+  if (algo == "hash") return ecg::graph::HashPartition(g, workers);
+  if (algo == "metis") return ecg::graph::MetisLikePartition(g, workers);
+  if (algo == "streaming") return ecg::graph::StreamingPartition(g, workers);
+  return Status::InvalidArgument("unknown partitioner '" + algo +
+                                 "' (hash|metis|streaming)");
+}
+
+/// Parses trailing "key=value" arguments.
+std::map<std::string, std::string> ParseKv(int argc, char** argv, int from) {
+  std::map<std::string, std::string> kv;
+  for (int i = from; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      kv[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+  return kv;
+}
+
+std::string Get(const std::map<std::string, std::string>& kv,
+                const std::string& key, const std::string& fallback) {
+  const auto it = kv.find(key);
+  return it == kv.end() ? fallback : it->second;
+}
+
+int CmdInfo(const std::string& name) {
+  auto g = LoadAny(name);
+  if (!g.ok()) return Fail(g.status());
+  std::printf("name         %s\n", g->name.empty() ? name.c_str()
+                                                   : g->name.c_str());
+  std::printf("vertices     %u\n", g->num_vertices());
+  std::printf("dir-edges    %llu\n",
+              static_cast<unsigned long long>(g->num_edges()));
+  std::printf("avg-degree   %.2f\n", g->average_degree());
+  std::printf("features     %zu\n", g->feature_dim());
+  std::printf("classes      %d\n", g->num_classes());
+  std::printf("splits       train=%zu val=%zu test=%zu\n",
+              g->train_set().size(), g->val_set().size(),
+              g->test_set().size());
+  return 0;
+}
+
+int CmdGenerate(const std::string& dataset, const std::string& out) {
+  auto g = ecg::graph::LoadDataset(dataset);
+  if (!g.ok()) return Fail(g.status());
+  const Status s = ecg::graph::SaveGraph(*g, out);
+  if (!s.ok()) return Fail(s);
+  std::printf("wrote %s (%u vertices)\n", out.c_str(), g->num_vertices());
+  return 0;
+}
+
+int CmdPartition(const std::string& name, uint32_t workers,
+                 const std::string& algo) {
+  auto g = LoadAny(name);
+  if (!g.ok()) return Fail(g.status());
+  auto p = MakePartition(*g, workers, algo);
+  if (!p.ok()) return Fail(p.status());
+  std::vector<ecg::core::WorkerPlan> plans;
+  const Status s = ecg::core::BuildWorkerPlans(*g, *p, &plans);
+  if (!s.ok()) return Fail(s);
+  uint64_t halo = 0, send = 0;
+  for (const auto& plan : plans) {
+    halo += plan.num_halo();
+    send += plan.total_send_rows();
+  }
+  std::printf("partitioner  %s\n", algo.c_str());
+  std::printf("edge-cut     %llu\n",
+              static_cast<unsigned long long>(p->EdgeCut(*g)));
+  std::printf("balance      %.3f\n", p->BalanceFactor());
+  std::printf("halo-rows    %llu (avg %.1f per worker)\n",
+              static_cast<unsigned long long>(halo),
+              static_cast<double>(halo) / workers);
+  std::printf("send-rows    %llu\n", static_cast<unsigned long long>(send));
+  return 0;
+}
+
+int CmdTrain(const std::string& name,
+             const std::map<std::string, std::string>& kv) {
+  auto g = LoadAny(name);
+  if (!g.ok()) return Fail(g.status());
+
+  ecg::core::TrainOptions opt;
+  opt.model.num_layers = std::atoi(Get(kv, "layers", "2").c_str());
+  opt.model.hidden_dim =
+      static_cast<uint32_t>(std::atoi(Get(kv, "hidden", "16").c_str()));
+  opt.model.learning_rate =
+      static_cast<float>(std::atof(Get(kv, "lr", "0.01").c_str()));
+  if (Get(kv, "model", "gcn") == "sage") {
+    opt.model.kind = ecg::core::GnnKind::kSage;
+  }
+  opt.epochs = static_cast<uint32_t>(std::atoi(
+      Get(kv, "epochs", "100").c_str()));
+  opt.patience = static_cast<uint32_t>(std::atoi(
+      Get(kv, "patience", "0").c_str()));
+  const std::string fp = Get(kv, "fp", "reqec");
+  if (fp == "exact") opt.fp_mode = ecg::core::FpMode::kExact;
+  else if (fp == "cp") opt.fp_mode = ecg::core::FpMode::kCompressed;
+  else if (fp == "reqec") opt.fp_mode = ecg::core::FpMode::kReqEc;
+  else if (fp == "delayed") opt.fp_mode = ecg::core::FpMode::kDelayed;
+  else return Fail(Status::InvalidArgument("bad fp mode " + fp));
+  const std::string bp = Get(kv, "bp", "resec");
+  if (bp == "exact") opt.bp_mode = ecg::core::BpMode::kExact;
+  else if (bp == "cp") opt.bp_mode = ecg::core::BpMode::kCompressed;
+  else if (bp == "resec") opt.bp_mode = ecg::core::BpMode::kResEc;
+  else return Fail(Status::InvalidArgument("bad bp mode " + bp));
+  opt.exchange.fp_bits = std::atoi(Get(kv, "fp_bits", "2").c_str());
+  opt.exchange.bp_bits = std::atoi(Get(kv, "bp_bits", "2").c_str());
+  opt.exchange.adaptive_bits = Get(kv, "adapt", "0") == "1";
+  opt.log_every =
+      static_cast<uint32_t>(std::atoi(Get(kv, "log_every", "10").c_str()));
+
+  const uint32_t workers =
+      static_cast<uint32_t>(std::atoi(Get(kv, "workers", "6").c_str()));
+  auto partition =
+      MakePartition(*g, workers, Get(kv, "partitioner", "hash"));
+  if (!partition.ok()) return Fail(partition.status());
+
+  ecg::core::DistributedTrainer trainer(*g, *partition, opt);
+  auto r = trainer.Train();
+  if (!r.ok()) return Fail(r.status());
+  std::printf("\nmodel        %s, %d layers, hidden %u\n",
+              ecg::core::GnnKindName(opt.model.kind), opt.model.num_layers,
+              opt.model.hidden_dim);
+  std::printf("epochs-run   %zu (best val at %u)\n", r->epochs.size(),
+              r->best_epoch);
+  std::printf("best-val     %.4f\n", r->best_val_acc);
+  std::printf("test-acc     %.4f\n", r->test_acc_at_best_val);
+  std::printf("avg-epoch    %.4fs (simulated)\n", r->avg_epoch_seconds);
+  std::printf("total-comm   %.2f MB\n",
+              r->total_comm_bytes / (1024.0 * 1024.0));
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: ecgraph <info|generate|partition|train> ...\n"
+               "  info <dataset|file.ecg>\n"
+               "  generate <dataset> <out.ecg>\n"
+               "  partition <dataset|file.ecg> <workers> "
+               "[hash|metis|streaming]\n"
+               "  train <dataset|file.ecg> [key=value ...]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "info" && argc >= 3) return CmdInfo(argv[2]);
+  if (cmd == "generate" && argc >= 4) return CmdGenerate(argv[2], argv[3]);
+  if (cmd == "partition" && argc >= 4) {
+    return CmdPartition(argv[2],
+                        static_cast<uint32_t>(std::atoi(argv[3])),
+                        argc >= 5 ? argv[4] : "metis");
+  }
+  if (cmd == "train" && argc >= 3) {
+    return CmdTrain(argv[2], ParseKv(argc, argv, 3));
+  }
+  Usage();
+  return 1;
+}
