@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig10_papers.cc" "bench/CMakeFiles/bench_fig10_papers.dir/bench_fig10_papers.cc.o" "gcc" "bench/CMakeFiles/bench_fig10_papers.dir/bench_fig10_papers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/ecg_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ecg_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ecg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/ecg_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ecg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/ecg_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ecg_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ecg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

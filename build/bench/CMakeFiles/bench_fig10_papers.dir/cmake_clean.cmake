@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_papers.dir/bench_fig10_papers.cc.o"
+  "CMakeFiles/bench_fig10_papers.dir/bench_fig10_papers.cc.o.d"
+  "bench_fig10_papers"
+  "bench_fig10_papers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_papers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

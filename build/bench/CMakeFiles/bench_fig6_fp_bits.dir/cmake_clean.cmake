@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_fp_bits.dir/bench_fig6_fp_bits.cc.o"
+  "CMakeFiles/bench_fig6_fp_bits.dir/bench_fig6_fp_bits.cc.o.d"
+  "bench_fig6_fp_bits"
+  "bench_fig6_fp_bits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_fp_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm1_bound.dir/bench_thm1_bound.cc.o"
+  "CMakeFiles/bench_thm1_bound.dir/bench_thm1_bound.cc.o.d"
+  "bench_thm1_bound"
+  "bench_thm1_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm1_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

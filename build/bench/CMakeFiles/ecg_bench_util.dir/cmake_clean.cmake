@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecg_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/ecg_bench_util.dir/bench_util.cc.o.d"
+  "libecg_bench_util.a"
+  "libecg_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecg_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

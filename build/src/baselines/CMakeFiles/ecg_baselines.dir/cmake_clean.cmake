@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecg_baselines.dir/ml_centered.cc.o"
+  "CMakeFiles/ecg_baselines.dir/ml_centered.cc.o.d"
+  "CMakeFiles/ecg_baselines.dir/single_machine.cc.o"
+  "CMakeFiles/ecg_baselines.dir/single_machine.cc.o.d"
+  "libecg_baselines.a"
+  "libecg_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecg_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

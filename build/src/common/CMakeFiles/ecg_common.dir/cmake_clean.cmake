@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecg_common.dir/bitpack.cc.o"
+  "CMakeFiles/ecg_common.dir/bitpack.cc.o.d"
+  "CMakeFiles/ecg_common.dir/logging.cc.o"
+  "CMakeFiles/ecg_common.dir/logging.cc.o.d"
+  "CMakeFiles/ecg_common.dir/status.cc.o"
+  "CMakeFiles/ecg_common.dir/status.cc.o.d"
+  "CMakeFiles/ecg_common.dir/thread_pool.cc.o"
+  "CMakeFiles/ecg_common.dir/thread_pool.cc.o.d"
+  "libecg_common.a"
+  "libecg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

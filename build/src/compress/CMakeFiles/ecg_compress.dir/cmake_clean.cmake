@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecg_compress.dir/quantize.cc.o"
+  "CMakeFiles/ecg_compress.dir/quantize.cc.o.d"
+  "libecg_compress.a"
+  "libecg_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecg_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

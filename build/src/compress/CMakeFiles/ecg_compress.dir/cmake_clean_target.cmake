@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libecg_compress.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bp_exchange.cc" "src/core/CMakeFiles/ecg_core.dir/bp_exchange.cc.o" "gcc" "src/core/CMakeFiles/ecg_core.dir/bp_exchange.cc.o.d"
+  "/root/repo/src/core/fp_exchange.cc" "src/core/CMakeFiles/ecg_core.dir/fp_exchange.cc.o" "gcc" "src/core/CMakeFiles/ecg_core.dir/fp_exchange.cc.o.d"
+  "/root/repo/src/core/halo.cc" "src/core/CMakeFiles/ecg_core.dir/halo.cc.o" "gcc" "src/core/CMakeFiles/ecg_core.dir/halo.cc.o.d"
+  "/root/repo/src/core/sampling.cc" "src/core/CMakeFiles/ecg_core.dir/sampling.cc.o" "gcc" "src/core/CMakeFiles/ecg_core.dir/sampling.cc.o.d"
+  "/root/repo/src/core/sampling_trainer.cc" "src/core/CMakeFiles/ecg_core.dir/sampling_trainer.cc.o" "gcc" "src/core/CMakeFiles/ecg_core.dir/sampling_trainer.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/core/CMakeFiles/ecg_core.dir/trainer.cc.o" "gcc" "src/core/CMakeFiles/ecg_core.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ecg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ecg_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/ecg_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ecg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/ecg_dist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecg_core.dir/bp_exchange.cc.o"
+  "CMakeFiles/ecg_core.dir/bp_exchange.cc.o.d"
+  "CMakeFiles/ecg_core.dir/fp_exchange.cc.o"
+  "CMakeFiles/ecg_core.dir/fp_exchange.cc.o.d"
+  "CMakeFiles/ecg_core.dir/halo.cc.o"
+  "CMakeFiles/ecg_core.dir/halo.cc.o.d"
+  "CMakeFiles/ecg_core.dir/sampling.cc.o"
+  "CMakeFiles/ecg_core.dir/sampling.cc.o.d"
+  "CMakeFiles/ecg_core.dir/sampling_trainer.cc.o"
+  "CMakeFiles/ecg_core.dir/sampling_trainer.cc.o.d"
+  "CMakeFiles/ecg_core.dir/trainer.cc.o"
+  "CMakeFiles/ecg_core.dir/trainer.cc.o.d"
+  "libecg_core.a"
+  "libecg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/cluster.cc" "src/dist/CMakeFiles/ecg_dist.dir/cluster.cc.o" "gcc" "src/dist/CMakeFiles/ecg_dist.dir/cluster.cc.o.d"
+  "/root/repo/src/dist/comm.cc" "src/dist/CMakeFiles/ecg_dist.dir/comm.cc.o" "gcc" "src/dist/CMakeFiles/ecg_dist.dir/comm.cc.o.d"
+  "/root/repo/src/dist/param_server.cc" "src/dist/CMakeFiles/ecg_dist.dir/param_server.cc.o" "gcc" "src/dist/CMakeFiles/ecg_dist.dir/param_server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ecg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ecg_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

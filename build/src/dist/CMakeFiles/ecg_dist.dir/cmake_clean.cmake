@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecg_dist.dir/cluster.cc.o"
+  "CMakeFiles/ecg_dist.dir/cluster.cc.o.d"
+  "CMakeFiles/ecg_dist.dir/comm.cc.o"
+  "CMakeFiles/ecg_dist.dir/comm.cc.o.d"
+  "CMakeFiles/ecg_dist.dir/param_server.cc.o"
+  "CMakeFiles/ecg_dist.dir/param_server.cc.o.d"
+  "libecg_dist.a"
+  "libecg_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecg_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/datasets.cc" "src/graph/CMakeFiles/ecg_graph.dir/datasets.cc.o" "gcc" "src/graph/CMakeFiles/ecg_graph.dir/datasets.cc.o.d"
+  "/root/repo/src/graph/generator.cc" "src/graph/CMakeFiles/ecg_graph.dir/generator.cc.o" "gcc" "src/graph/CMakeFiles/ecg_graph.dir/generator.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/ecg_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/ecg_graph.dir/graph.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "src/graph/CMakeFiles/ecg_graph.dir/graph_io.cc.o" "gcc" "src/graph/CMakeFiles/ecg_graph.dir/graph_io.cc.o.d"
+  "/root/repo/src/graph/partition.cc" "src/graph/CMakeFiles/ecg_graph.dir/partition.cc.o" "gcc" "src/graph/CMakeFiles/ecg_graph.dir/partition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ecg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ecg_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecg_graph.dir/datasets.cc.o"
+  "CMakeFiles/ecg_graph.dir/datasets.cc.o.d"
+  "CMakeFiles/ecg_graph.dir/generator.cc.o"
+  "CMakeFiles/ecg_graph.dir/generator.cc.o.d"
+  "CMakeFiles/ecg_graph.dir/graph.cc.o"
+  "CMakeFiles/ecg_graph.dir/graph.cc.o.d"
+  "CMakeFiles/ecg_graph.dir/graph_io.cc.o"
+  "CMakeFiles/ecg_graph.dir/graph_io.cc.o.d"
+  "CMakeFiles/ecg_graph.dir/partition.cc.o"
+  "CMakeFiles/ecg_graph.dir/partition.cc.o.d"
+  "libecg_graph.a"
+  "libecg_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecg_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

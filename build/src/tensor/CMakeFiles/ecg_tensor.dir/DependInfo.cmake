@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/csr.cc" "src/tensor/CMakeFiles/ecg_tensor.dir/csr.cc.o" "gcc" "src/tensor/CMakeFiles/ecg_tensor.dir/csr.cc.o.d"
+  "/root/repo/src/tensor/matrix.cc" "src/tensor/CMakeFiles/ecg_tensor.dir/matrix.cc.o" "gcc" "src/tensor/CMakeFiles/ecg_tensor.dir/matrix.cc.o.d"
+  "/root/repo/src/tensor/nn.cc" "src/tensor/CMakeFiles/ecg_tensor.dir/nn.cc.o" "gcc" "src/tensor/CMakeFiles/ecg_tensor.dir/nn.cc.o.d"
+  "/root/repo/src/tensor/ops.cc" "src/tensor/CMakeFiles/ecg_tensor.dir/ops.cc.o" "gcc" "src/tensor/CMakeFiles/ecg_tensor.dir/ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ecg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecg_tensor.dir/csr.cc.o"
+  "CMakeFiles/ecg_tensor.dir/csr.cc.o.d"
+  "CMakeFiles/ecg_tensor.dir/matrix.cc.o"
+  "CMakeFiles/ecg_tensor.dir/matrix.cc.o.d"
+  "CMakeFiles/ecg_tensor.dir/nn.cc.o"
+  "CMakeFiles/ecg_tensor.dir/nn.cc.o.d"
+  "CMakeFiles/ecg_tensor.dir/ops.cc.o"
+  "CMakeFiles/ecg_tensor.dir/ops.cc.o.d"
+  "libecg_tensor.a"
+  "libecg_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecg_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/param_server_test.cc" "tests/CMakeFiles/param_server_test.dir/param_server_test.cc.o" "gcc" "tests/CMakeFiles/param_server_test.dir/param_server_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ecg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ecg_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/ecg_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ecg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/ecg_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ecg_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ecg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_util_test.dir/wire_util_test.cc.o"
+  "CMakeFiles/wire_util_test.dir/wire_util_test.cc.o.d"
+  "wire_util_test"
+  "wire_util_test.pdb"
+  "wire_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/status_test[1]_include.cmake")
+include("/root/repo/build/tests/bytes_test[1]_include.cmake")
+include("/root/repo/build/tests/bitpack_test[1]_include.cmake")
+include("/root/repo/build/tests/random_test[1]_include.cmake")
+include("/root/repo/build/tests/thread_pool_test[1]_include.cmake")
+include("/root/repo/build/tests/matrix_ops_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_test[1]_include.cmake")
+include("/root/repo/build/tests/csr_test[1]_include.cmake")
+include("/root/repo/build/tests/quantize_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/generator_test[1]_include.cmake")
+include("/root/repo/build/tests/partition_test[1]_include.cmake")
+include("/root/repo/build/tests/comm_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/param_server_test[1]_include.cmake")
+include("/root/repo/build/tests/halo_test[1]_include.cmake")
+include("/root/repo/build/tests/exchange_test[1]_include.cmake")
+include("/root/repo/build/tests/trainer_test[1]_include.cmake")
+include("/root/repo/build/tests/sampling_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/sage_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_io_test[1]_include.cmake")
+include("/root/repo/build/tests/wire_util_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/timer_logging_test[1]_include.cmake")
+include("/root/repo/build/tests/dataset_conformance_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecgraph.dir/ecgraph_cli.cc.o"
+  "CMakeFiles/ecgraph.dir/ecgraph_cli.cc.o.d"
+  "ecgraph"
+  "ecgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
