@@ -6,11 +6,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "common/bitpack.h"
 #include "common/bytes.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "compress/quantize.h"
 #include "graph/generator.h"
 #include "tensor/csr.h"
@@ -75,6 +82,46 @@ void BM_PackBits(benchmark::State& state) {
 }
 BENCHMARK(BM_PackBits)->Arg(2)->Arg(8);
 
+void BM_UnpackBits(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  ecg::Rng rng(4);
+  std::vector<uint32_t> values(1 << 16);
+  for (auto& v : values) v = static_cast<uint32_t>(rng.NextBelow(1u << bits));
+  std::vector<uint32_t> packed;
+  ecg::PackBits(values, bits, &packed).CheckOk();
+  std::vector<uint32_t> unpacked;
+  for (auto _ : state) {
+    ecg::UnpackBits(packed, values.size(), bits, &unpacked).CheckOk();
+    benchmark::DoNotOptimize(unpacked);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          values.size());
+}
+BENCHMARK(BM_UnpackBits)->Arg(2)->Arg(8);
+
+// The fused quantize+dequantize round trip at 1 thread (serial mode, as
+// inside a simulated worker) vs the global pool. Args: {bits, pool}.
+void BM_QuantizeRoundTripFused(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  const bool use_pool = state.range(1) != 0;
+  const Matrix m = RandomMatrix(4096, 128, 10);
+  QuantizerOptions opts{bits, BucketValueMode::kMidpoint};
+  ecg::ThreadPool::SetSerialMode(!use_pool);
+  for (auto _ : state) {
+    auto q = ecg::compress::Quantize(m, opts);
+    auto d = ecg::compress::Dequantize(*q);
+    benchmark::DoNotOptimize(d);
+  }
+  ecg::ThreadPool::SetSerialMode(false);
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          m.size() * sizeof(float));
+}
+BENCHMARK(BM_QuantizeRoundTripFused)
+    ->Args({2, 0})
+    ->Args({2, 1})
+    ->Args({8, 0})
+    ->Args({8, 1});
+
 void BM_SpMM(benchmark::State& state) {
   ecg::graph::SbmConfig cfg;
   cfg.num_vertices = 4000;
@@ -135,6 +182,151 @@ void BM_WireRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_WireRoundTrip);
 
+// ---------------------------------------------------------------------------
+// --compress_json mode: before/after comparison for the fused compression
+// kernels. The "seed" reference below replicates the pre-fusion pipeline
+// byte-for-byte: two-pass minmax + divide, an intermediate bucket-id
+// vector, element-at-a-time PackBits/UnpackBits, and a separate lookup
+// pass. It is timed single-threaded (the seed kernels had no threading).
+// ---------------------------------------------------------------------------
+
+struct SeedQuantized {
+  uint32_t rows = 0, cols = 0;
+  int bits = 0;
+  float min_value = 0.0f, bucket_width = 0.0f;
+  std::vector<float> bucket_values;
+  std::vector<uint32_t> packed_ids;
+};
+
+SeedQuantized SeedQuantize(const Matrix& m, int bits) {
+  const size_t count = m.size();
+  const uint32_t num_buckets = 1u << bits;
+  const auto [pmn, pmx] =
+      std::minmax_element(m.data(), m.data() + count);
+  const float mn = *pmn;
+  const float range = *pmx - mn;
+  const float width =
+      range > 0.0f ? range / static_cast<float>(num_buckets) : 1.0f;
+  std::vector<uint32_t> ids(count);
+  const float* data = m.data();
+  for (size_t i = 0; i < count; ++i) {
+    const float rel = (data[i] - mn) / width;
+    uint32_t id = rel <= 0.0f ? 0u : static_cast<uint32_t>(rel);
+    ids[i] = std::min(id, num_buckets - 1);
+  }
+  SeedQuantized q;
+  q.rows = static_cast<uint32_t>(m.rows());
+  q.cols = static_cast<uint32_t>(m.cols());
+  q.bits = bits;
+  q.min_value = mn;
+  q.bucket_width = width;
+  q.bucket_values.resize(num_buckets);
+  for (uint32_t b = 0; b < num_buckets; ++b) {
+    q.bucket_values[b] = mn + width * (static_cast<float>(b) + 0.5f);
+  }
+  ecg::PackBits(ids, bits, &q.packed_ids).CheckOk();
+  return q;
+}
+
+Matrix SeedDequantize(const SeedQuantized& q) {
+  const size_t count = static_cast<size_t>(q.rows) * q.cols;
+  std::vector<uint32_t> ids;
+  ecg::UnpackBits(q.packed_ids, count, q.bits, &ids).CheckOk();
+  Matrix out(q.rows, q.cols);
+  float* data = out.data();
+  for (size_t i = 0; i < count; ++i) data[i] = q.bucket_values[ids[i]];
+  return out;
+}
+
+/// Wall time of the best of `reps` runs of fn, in milliseconds.
+template <typename Fn>
+double BestOfMs(int reps, const Fn& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    best = std::min(best, ms);
+  }
+  return best;
+}
+
+int RunCompressComparison(const std::string& json_path) {
+  // Size the pool before its first use; an explicit ECG_THREADS wins.
+  setenv("ECG_THREADS", "8", /*overwrite=*/0);
+  const size_t threads = ecg::ThreadPool::Global().num_threads();
+
+  constexpr size_t kRows = 4096, kCols = 128;
+  constexpr int kReps = 20;
+  const Matrix m = RandomMatrix(kRows, kCols, 11);
+
+  std::ofstream out(json_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+    return 1;
+  }
+  out << "{\n  \"matrix\": {\"rows\": " << kRows << ", \"cols\": " << kCols
+      << "},\n  \"threads\": " << threads << ",\n  \"reps\": " << kReps
+      << ",\n  \"configs\": [";
+
+  bool first = true;
+  for (int bits : {2, 8}) {
+    QuantizerOptions opts{bits, BucketValueMode::kMidpoint};
+    // Warm up every variant once before timing.
+    SeedDequantize(SeedQuantize(m, bits));
+    ecg::compress::Dequantize(*ecg::compress::Quantize(m, opts)).ok();
+
+    const double seed_ms = BestOfMs(kReps, [&] {
+      const Matrix d = SeedDequantize(SeedQuantize(m, bits));
+      benchmark::DoNotOptimize(d.data());
+    });
+    ecg::ThreadPool::SetSerialMode(true);
+    const double fused1_ms = BestOfMs(kReps, [&] {
+      auto d = ecg::compress::Dequantize(*ecg::compress::Quantize(m, opts));
+      benchmark::DoNotOptimize(d->data());
+    });
+    ecg::ThreadPool::SetSerialMode(false);
+    const double fusedn_ms = BestOfMs(kReps, [&] {
+      auto d = ecg::compress::Dequantize(*ecg::compress::Quantize(m, opts));
+      benchmark::DoNotOptimize(d->data());
+    });
+
+    out << (first ? "" : ",") << "\n    {\"bits\": " << bits
+        << ",\n     \"seed_roundtrip_ms\": " << seed_ms
+        << ",\n     \"fused_1thread_roundtrip_ms\": " << fused1_ms
+        << ",\n     \"fused_" << threads
+        << "thread_roundtrip_ms\": " << fusedn_ms
+        << ",\n     \"speedup_fused_1thread_vs_seed\": " << seed_ms / fused1_ms
+        << ",\n     \"speedup_fused_" << threads
+        << "thread_vs_seed\": " << seed_ms / fusedn_ms << "}";
+    first = false;
+    std::printf(
+        "bits=%d  seed %.3f ms | fused x1 %.3f ms (%.2fx) | fused x%zu "
+        "%.3f ms (%.2fx)\n",
+        bits, seed_ms, fused1_ms, seed_ms / fused1_ms, threads, fusedn_ms,
+        seed_ms / fusedn_ms);
+  }
+  out << "\n  ]\n}\n";
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    if (arg.rfind("--compress_json", 0) == 0) {
+      std::string path = "BENCH_compress.json";
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) path = arg.substr(eq + 1);
+      return RunCompressComparison(path);
+    }
+  }
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "common/bitpack.h"
 
+#include <algorithm>
 #include <string>
 
 namespace ecg {
@@ -19,18 +20,25 @@ Status PackBits(const std::vector<uint32_t>& values, int bits,
     return Status::InvalidArgument("unsupported bit width " +
                                    std::to_string(bits));
   }
-  const uint32_t max_value = (bits == 32) ? ~0u : ((1u << bits) - 1);
+  const uint32_t max_value = (1u << bits) - 1;
   const size_t per_word = 32 / static_cast<size_t>(bits);
   out->assign(PackedWordCount(values.size(), bits), 0u);
-  for (size_t i = 0; i < values.size(); ++i) {
-    if (values[i] > max_value) {
-      return Status::OutOfRange("value " + std::to_string(values[i]) +
-                                " does not fit in " + std::to_string(bits) +
-                                " bits");
+  // Every supported width divides 32, so each output word closes over
+  // exactly per_word inputs; the word index and shift stay in registers
+  // instead of costing a div/mod per element.
+  size_t i = 0;
+  for (size_t w = 0; w < out->size(); ++w) {
+    const size_t n = std::min(per_word, values.size() - i);
+    uint32_t word = 0;
+    for (size_t j = 0; j < n; ++j, ++i) {
+      if (values[i] > max_value) {
+        return Status::OutOfRange("value " + std::to_string(values[i]) +
+                                  " does not fit in " + std::to_string(bits) +
+                                  " bits");
+      }
+      word |= values[i] << (j * static_cast<size_t>(bits));
     }
-    const size_t word = i / per_word;
-    const int shift = static_cast<int>(i % per_word) * bits;
-    (*out)[word] |= values[i] << shift;
+    (*out)[w] = word;
   }
   return Status::OK();
 }
@@ -44,13 +52,17 @@ Status UnpackBits(const std::vector<uint32_t>& packed, size_t count, int bits,
   if (packed.size() < PackedWordCount(count, bits)) {
     return Status::InvalidArgument("packed buffer too small for count");
   }
-  const uint32_t mask = (bits == 32) ? ~0u : ((1u << bits) - 1);
+  const uint32_t mask = (1u << bits) - 1;
   const size_t per_word = 32 / static_cast<size_t>(bits);
   out->resize(count);
-  for (size_t i = 0; i < count; ++i) {
-    const size_t word = i / per_word;
-    const int shift = static_cast<int>(i % per_word) * bits;
-    (*out)[i] = (packed[word] >> shift) & mask;
+  size_t i = 0;
+  for (size_t w = 0; i < count; ++w) {
+    uint32_t word = packed[w];
+    const size_t n = std::min(per_word, count - i);
+    for (size_t j = 0; j < n; ++j, ++i) {
+      (*out)[i] = word & mask;
+      word >>= bits;
+    }
   }
   return Status::OK();
 }

@@ -2,8 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 
 namespace ecg {
+namespace {
+thread_local bool t_serial_mode = false;
+// Set on pool worker threads for their whole lifetime; see the re-entrancy
+// note on ParallelFor in the header.
+thread_local bool t_pool_worker = false;
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
@@ -33,6 +40,7 @@ void ThreadPool::Enqueue(std::function<void()> task) {
 }
 
 void ThreadPool::WorkerLoop() {
+  t_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -46,17 +54,13 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-namespace {
-thread_local bool t_serial_mode = false;
-}  // namespace
-
 void ThreadPool::SetSerialMode(bool serial) { t_serial_mode = serial; }
 bool ThreadPool::serial_mode() { return t_serial_mode; }
 
 void ThreadPool::ParallelFor(size_t total, size_t grain,
                              const std::function<void(size_t, size_t)>& fn) {
   if (total == 0) return;
-  if (t_serial_mode) {
+  if (t_serial_mode || t_pool_worker) {
     fn(0, total);
     return;
   }
@@ -90,7 +94,14 @@ void ThreadPool::ParallelFor(size_t total, size_t grain,
 }
 
 ThreadPool& ThreadPool::Global() {
-  static ThreadPool* pool = new ThreadPool(0);
+  static ThreadPool* pool = [] {
+    size_t n = 0;  // 0 -> hardware concurrency
+    if (const char* env = std::getenv("ECG_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0) n = static_cast<size_t>(v);
+    }
+    return new ThreadPool(n);
+  }();
   return *pool;
 }
 

@@ -28,10 +28,16 @@ class ThreadPool {
   /// Runs fn(begin, end) over disjoint chunks of [0, total) on the pool and
   /// the calling thread; returns when all chunks are done. Grain controls
   /// the minimum chunk size.
+  ///
+  /// Re-entrant: a ParallelFor issued from inside a pool task runs its whole
+  /// range inline on that worker. Offloading nested chunks could park every
+  /// worker on a queue none of them will ever drain (all blocked waiting on
+  /// each other's subtasks), so kernels may freely call parallel kernels.
   void ParallelFor(size_t total, size_t grain,
                    const std::function<void(size_t, size_t)>& fn);
 
-  /// Global pool shared by tensor kernels; sized to hardware concurrency.
+  /// Global pool shared by tensor and compression kernels; sized to
+  /// ECG_THREADS when that env var is set, else hardware concurrency.
   static ThreadPool& Global();
 
   /// Thread-local switch: when true, ParallelFor on this thread runs the

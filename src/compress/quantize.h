@@ -61,12 +61,34 @@ struct QuantizedMatrix {
 /// Compresses `m` with B-bit bucket quantization over the matrix's global
 /// [min, max] range (the BP path's getMaxMin of Algorithm 6; for FP the
 /// embeddings H are already in [0, inf) post-ReLU and the same global-range
-/// scheme applies).
+/// scheme applies). Runs fused on the global ThreadPool: one min/max
+/// reduction pass, then one pass that computes bucket IDs and packs them
+/// straight into 32-bit words (no intermediate ID vector).
 Result<QuantizedMatrix> Quantize(const tensor::Matrix& m,
                                  const QuantizerOptions& options);
 
-/// Reconstructs the dense matrix from its quantized form.
+/// Quantizes rows `rows[0], rows[1], ...` of `m` as if they had first been
+/// copied out with GatherRows — same bucket assignment, same wire bytes —
+/// but without materializing the gathered copy. This is what the exchangers
+/// call on the send path: per peer they quantize a row subset of the owned
+/// table, and the gather used to cost a full extra read+write of the
+/// message before the quantizer even started.
+Result<QuantizedMatrix> QuantizeRows(const tensor::Matrix& m,
+                                     const std::vector<uint32_t>& rows,
+                                     const QuantizerOptions& options);
+
+/// Reconstructs the dense matrix from its quantized form. Fused parallel
+/// unpack + bucket-table lookup (no intermediate ID vector).
 Result<tensor::Matrix> Dequantize(const QuantizedMatrix& q);
+
+/// Decodes row i of `q` directly into dst->Row(rows[i]) — the receive-path
+/// dual of QuantizeRows. Replaces Dequantize + AssignRows on the halo
+/// matrices, eliminating the intermediate dense matrix. `rows` must have
+/// exactly q.rows entries; targets should be distinct (halo rows are), as
+/// duplicate targets are written concurrently.
+Status DequantizeInto(const QuantizedMatrix& q,
+                      const std::vector<uint32_t>& rows,
+                      tensor::Matrix* dst);
 
 /// Measures the contraction factor alpha = ||x - C(x)|| / ||x|| of the
 /// quantizer on matrix x (Eq. 13); used by the Theorem-1 validation bench.
@@ -78,7 +100,9 @@ Result<double> MeasureAlpha(const tensor::Matrix& x,
 /// the predicted embedding" (Algorithm 4 line 14): the selector evaluates
 /// C(H) on the full send set, then only the non-predicted rows are shipped
 /// — with the bucket table computed from the full set so both ends decode
-/// identically.
+/// identically. The row slices are copied directly out of the packed words
+/// (whole-word memcpy when a row is word-aligned); the full ID table is
+/// never unpacked.
 Result<QuantizedMatrix> GatherQuantizedRows(
     const QuantizedMatrix& q, const std::vector<uint32_t>& rows);
 

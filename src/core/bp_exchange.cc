@@ -15,8 +15,24 @@ using compress::QuantizerOptions;
 using dist::MessageHub;
 using tensor::Matrix;
 
-bool ActivePeer(const WorkerPlan& plan, uint32_t p) {
-  return p != plan.worker_id && !plan.send_rows[p].empty();
+/// Per-peer payload buffers for the parallel encode/decode loops; indexed
+/// by peer id, only active-peer slots are ever touched.
+using PeerBuffers = std::vector<std::vector<uint8_t>>;
+
+PeerBuffers RecvFromActivePeers(dist::WorkerContext* ctx,
+                                const WorkerPlan& plan, uint64_t tag) {
+  PeerBuffers bufs(ctx->num_workers());
+  for (uint32_t p = 0; p < ctx->num_workers(); ++p) {
+    if (ActivePeer(plan, p)) bufs[p] = ctx->Recv(p, tag);
+  }
+  return bufs;
+}
+
+void SendToActivePeers(dist::WorkerContext* ctx, const WorkerPlan& plan,
+                       uint64_t tag, PeerBuffers* bufs) {
+  for (uint32_t p = 0; p < ctx->num_workers(); ++p) {
+    if (ActivePeer(plan, p)) ctx->Send(p, tag, std::move((*bufs)[p]));
+  }
 }
 
 /// Non-cp backward: raw float32 gradient rows.
@@ -26,22 +42,23 @@ class ExactBpExchanger : public BpExchanger {
                   uint32_t epoch, uint16_t layer, const Matrix& g_owned,
                   Matrix* g_halo) override {
     const uint64_t tag = MessageHub::MakeTag(epoch, layer, kTagBpData);
-    for (uint32_t p = 0; p < ctx->num_workers(); ++p) {
-      if (!ActivePeer(plan, p)) continue;
-      const Matrix rows = tensor::GatherRows(g_owned, plan.send_rows[p]);
-      std::vector<uint8_t> buf;
-      ByteWriter w(&buf);
-      EncodeMatrix(rows, &w);
-      ctx->Send(p, tag, std::move(buf));
-    }
-    for (uint32_t p = 0; p < ctx->num_workers(); ++p) {
-      if (!ActivePeer(plan, p)) continue;
-      const std::vector<uint8_t> buf = ctx->Recv(p, tag);
-      ByteReader r(buf);
-      Matrix rows;
-      ECG_RETURN_IF_ERROR(DecodeMatrix(&r, &rows));
-      ECG_RETURN_IF_ERROR(AssignRows(rows, plan.recv_halo_rows[p], g_halo));
-    }
+    PeerBuffers out(ctx->num_workers());
+    ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
+        plan, ctx->num_workers(), [&](uint32_t p) -> Status {
+          const Matrix rows = tensor::GatherRows(g_owned, plan.send_rows[p]);
+          ByteWriter w(&out[p]);
+          EncodeMatrix(rows, &w);
+          return Status::OK();
+        }));
+    SendToActivePeers(ctx, plan, tag, &out);
+    PeerBuffers in = RecvFromActivePeers(ctx, plan, tag);
+    ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
+        plan, ctx->num_workers(), [&](uint32_t p) -> Status {
+          ByteReader r(in[p]);
+          Matrix rows;
+          ECG_RETURN_IF_ERROR(DecodeMatrix(&r, &rows));
+          return AssignRows(rows, plan.recv_halo_rows[p], g_halo);
+        }));
     ctx->EndCommPhase();
     return Status::OK();
   }
@@ -59,24 +76,27 @@ class CompressedBpExchanger : public BpExchanger {
                   Matrix* g_halo) override {
     const uint64_t tag = MessageHub::MakeTag(epoch, layer, kTagBpData);
     QuantizerOptions qopts{config_.bp_bits, config_.value_mode};
-    for (uint32_t p = 0; p < ctx->num_workers(); ++p) {
-      if (!ActivePeer(plan, p)) continue;
-      const Matrix rows = tensor::GatherRows(g_owned, plan.send_rows[p]);
-      ECG_ASSIGN_OR_RETURN(QuantizedMatrix q, compress::Quantize(rows, qopts));
-      std::vector<uint8_t> buf;
-      ByteWriter w(&buf);
-      q.AppendTo(&w);
-      ctx->Send(p, tag, std::move(buf));
-    }
-    for (uint32_t p = 0; p < ctx->num_workers(); ++p) {
-      if (!ActivePeer(plan, p)) continue;
-      const std::vector<uint8_t> buf = ctx->Recv(p, tag);
-      ByteReader r(buf);
-      QuantizedMatrix q;
-      ECG_RETURN_IF_ERROR(QuantizedMatrix::ParseFrom(&r, &q));
-      ECG_ASSIGN_OR_RETURN(Matrix rows, compress::Dequantize(q));
-      ECG_RETURN_IF_ERROR(AssignRows(rows, plan.recv_halo_rows[p], g_halo));
-    }
+    // Fused: quantize each peer's gradient rows straight out of g_owned
+    // and decode straight into the halo matrix, all peers in parallel.
+    PeerBuffers out(ctx->num_workers());
+    ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
+        plan, ctx->num_workers(), [&](uint32_t p) -> Status {
+          ECG_ASSIGN_OR_RETURN(
+              QuantizedMatrix q,
+              compress::QuantizeRows(g_owned, plan.send_rows[p], qopts));
+          ByteWriter w(&out[p]);
+          q.AppendTo(&w);
+          return Status::OK();
+        }));
+    SendToActivePeers(ctx, plan, tag, &out);
+    PeerBuffers in = RecvFromActivePeers(ctx, plan, tag);
+    ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
+        plan, ctx->num_workers(), [&](uint32_t p) -> Status {
+          ByteReader r(in[p]);
+          QuantizedMatrix q;
+          ECG_RETURN_IF_ERROR(QuantizedMatrix::ParseFrom(&r, &q));
+          return compress::DequantizeInto(q, plan.recv_halo_rows[p], g_halo);
+        }));
     ctx->EndCommPhase();
     return Status::OK();
   }
@@ -107,34 +127,36 @@ class ResEcBpExchanger : public BpExchanger {
     ECG_CHECK(layer < delta_.size()) << "ResEC layer out of range";
     const uint64_t tag = MessageHub::MakeTag(epoch, layer, kTagBpData);
     QuantizerOptions qopts{config_.bp_bits, config_.value_mode};
-    for (uint32_t p = 0; p < ctx->num_workers(); ++p) {
-      if (!ActivePeer(plan, p)) continue;
-      Matrix g_cpt = tensor::GatherRows(g_owned, plan.send_rows[p]);
-      Matrix& delta = delta_[layer][p];
-      if (delta.rows() != g_cpt.rows() || delta.cols() != g_cpt.cols()) {
-        delta.Reset(g_cpt.rows(), g_cpt.cols());  // δ^{-1} = 0
-      }
-      tensor::AddInPlace(&g_cpt, delta);  // G + δ^{t-1}
-      ECG_ASSIGN_OR_RETURN(QuantizedMatrix q,
-                           compress::Quantize(g_cpt, qopts));
-      ECG_ASSIGN_OR_RETURN(Matrix decoded, compress::Dequantize(q));
-      // δ^t = (G + δ^{t-1}) − C(G + δ^{t-1})  (Eq. 11).
-      delta = std::move(g_cpt);
-      tensor::SubInPlace(&delta, decoded);
-      std::vector<uint8_t> buf;
-      ByteWriter w(&buf);
-      q.AppendTo(&w);
-      ctx->Send(p, tag, std::move(buf));
-    }
-    for (uint32_t p = 0; p < ctx->num_workers(); ++p) {
-      if (!ActivePeer(plan, p)) continue;
-      const std::vector<uint8_t> buf = ctx->Recv(p, tag);
-      ByteReader r(buf);
-      QuantizedMatrix q;
-      ECG_RETURN_IF_ERROR(QuantizedMatrix::ParseFrom(&r, &q));
-      ECG_ASSIGN_OR_RETURN(Matrix rows, compress::Dequantize(q));
-      ECG_RETURN_IF_ERROR(AssignRows(rows, plan.recv_halo_rows[p], g_halo));
-    }
+    // Fused error-feedback-then-compress per peer (each peer's residual
+    // state is disjoint, so the whole encode fans out in parallel).
+    PeerBuffers out(ctx->num_workers());
+    ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
+        plan, ctx->num_workers(), [&](uint32_t p) -> Status {
+          Matrix g_cpt = tensor::GatherRows(g_owned, plan.send_rows[p]);
+          Matrix& delta = delta_[layer][p];
+          if (delta.rows() != g_cpt.rows() || delta.cols() != g_cpt.cols()) {
+            delta.Reset(g_cpt.rows(), g_cpt.cols());  // δ^{-1} = 0
+          }
+          tensor::AddInPlace(&g_cpt, delta);  // G + δ^{t-1}
+          ECG_ASSIGN_OR_RETURN(QuantizedMatrix q,
+                               compress::Quantize(g_cpt, qopts));
+          ECG_ASSIGN_OR_RETURN(Matrix decoded, compress::Dequantize(q));
+          // δ^t = (G + δ^{t-1}) − C(G + δ^{t-1})  (Eq. 11).
+          delta = std::move(g_cpt);
+          tensor::SubInPlace(&delta, decoded);
+          ByteWriter w(&out[p]);
+          q.AppendTo(&w);
+          return Status::OK();
+        }));
+    SendToActivePeers(ctx, plan, tag, &out);
+    PeerBuffers in = RecvFromActivePeers(ctx, plan, tag);
+    ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
+        plan, ctx->num_workers(), [&](uint32_t p) -> Status {
+          ByteReader r(in[p]);
+          QuantizedMatrix q;
+          ECG_RETURN_IF_ERROR(QuantizedMatrix::ParseFrom(&r, &q));
+          return compress::DequantizeInto(q, plan.recv_halo_rows[p], g_halo);
+        }));
     ctx->EndCommPhase();
     return Status::OK();
   }

@@ -2,14 +2,47 @@
 #define ECGRAPH_CORE_EXCHANGE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <vector>
 
+#include "common/thread_pool.h"
 #include "compress/quantize.h"
 #include "core/halo.h"
 #include "dist/cluster.h"
 #include "tensor/matrix.h"
 
 namespace ecg::core {
+
+/// True for peers this worker actually exchanges halo rows with (cut edges
+/// exist in both directions or neither — the relation is symmetric).
+inline bool ActivePeer(const WorkerPlan& plan, uint32_t p) {
+  return p != plan.worker_id && !plan.send_rows[p].empty();
+}
+
+/// Runs fn(peer) for every active peer on the global ThreadPool — each
+/// peer's encode/decode is independent — and returns the first error in
+/// peer order. Inside a simulated worker (ThreadPool serial mode) this
+/// degrades to the old sequential loop, so the per-worker compute clock is
+/// unaffected.
+inline Status ForEachActivePeerParallel(
+    const WorkerPlan& plan, uint32_t num_workers,
+    const std::function<Status(uint32_t)>& fn) {
+  std::vector<uint32_t> peers;
+  peers.reserve(num_workers);
+  for (uint32_t p = 0; p < num_workers; ++p) {
+    if (ActivePeer(plan, p)) peers.push_back(p);
+  }
+  std::vector<Status> statuses(peers.size());
+  ThreadPool::Global().ParallelFor(
+      peers.size(), 1, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) statuses[i] = fn(peers[i]);
+      });
+  for (Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
 
 /// Forward-propagation message policies (who ships H how).
 enum class FpMode {

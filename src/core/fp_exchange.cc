@@ -20,10 +20,27 @@ using compress::QuantizerOptions;
 using dist::MessageHub;
 using tensor::Matrix;
 
-/// True for peers this worker actually exchanges halo rows with (cut edges
-/// exist in both directions or neither — the relation is symmetric).
-bool ActivePeer(const WorkerPlan& plan, uint32_t p) {
-  return p != plan.worker_id && !plan.send_rows[p].empty();
+/// Per-peer payload buffers for the parallel encode/decode loops; indexed
+/// by peer id, only active-peer slots are ever touched.
+using PeerBuffers = std::vector<std::vector<uint8_t>>;
+
+/// Blocking-receives every active peer's payload (the hub is the only
+/// sequential point), so decoding can then fan out across peers.
+PeerBuffers RecvFromActivePeers(dist::WorkerContext* ctx,
+                                const WorkerPlan& plan, uint64_t tag) {
+  PeerBuffers bufs(ctx->num_workers());
+  for (uint32_t p = 0; p < ctx->num_workers(); ++p) {
+    if (ActivePeer(plan, p)) bufs[p] = ctx->Recv(p, tag);
+  }
+  return bufs;
+}
+
+/// Hands the per-peer buffers built by a parallel encode loop to the hub.
+void SendToActivePeers(dist::WorkerContext* ctx, const WorkerPlan& plan,
+                       uint64_t tag, PeerBuffers* bufs) {
+  for (uint32_t p = 0; p < ctx->num_workers(); ++p) {
+    if (ActivePeer(plan, p)) ctx->Send(p, tag, std::move((*bufs)[p]));
+  }
 }
 
 /// Non-cp: ship raw float32 rows every epoch.
@@ -33,22 +50,23 @@ class ExactFpExchanger : public FpExchanger {
                   uint32_t epoch, uint16_t layer, const Matrix& h_owned,
                   Matrix* h_halo) override {
     const uint64_t tag = MessageHub::MakeTag(epoch, layer, kTagFpData);
-    for (uint32_t p = 0; p < ctx->num_workers(); ++p) {
-      if (!ActivePeer(plan, p)) continue;
-      const Matrix rows = tensor::GatherRows(h_owned, plan.send_rows[p]);
-      std::vector<uint8_t> buf;
-      ByteWriter w(&buf);
-      EncodeMatrix(rows, &w);
-      ctx->Send(p, tag, std::move(buf));
-    }
-    for (uint32_t p = 0; p < ctx->num_workers(); ++p) {
-      if (!ActivePeer(plan, p)) continue;
-      const std::vector<uint8_t> buf = ctx->Recv(p, tag);
-      ByteReader r(buf);
-      Matrix rows;
-      ECG_RETURN_IF_ERROR(DecodeMatrix(&r, &rows));
-      ECG_RETURN_IF_ERROR(AssignRows(rows, plan.recv_halo_rows[p], h_halo));
-    }
+    PeerBuffers out(ctx->num_workers());
+    ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
+        plan, ctx->num_workers(), [&](uint32_t p) -> Status {
+          const Matrix rows = tensor::GatherRows(h_owned, plan.send_rows[p]);
+          ByteWriter w(&out[p]);
+          EncodeMatrix(rows, &w);
+          return Status::OK();
+        }));
+    SendToActivePeers(ctx, plan, tag, &out);
+    PeerBuffers in = RecvFromActivePeers(ctx, plan, tag);
+    ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
+        plan, ctx->num_workers(), [&](uint32_t p) -> Status {
+          ByteReader r(in[p]);
+          Matrix rows;
+          ECG_RETURN_IF_ERROR(DecodeMatrix(&r, &rows));
+          return AssignRows(rows, plan.recv_halo_rows[p], h_halo);
+        }));
     ctx->EndCommPhase();
     return Status::OK();
   }
@@ -65,24 +83,28 @@ class CompressedFpExchanger : public FpExchanger {
                   Matrix* h_halo) override {
     const uint64_t tag = MessageHub::MakeTag(epoch, layer, kTagFpData);
     QuantizerOptions qopts{config_.fp_bits, config_.value_mode};
-    for (uint32_t p = 0; p < ctx->num_workers(); ++p) {
-      if (!ActivePeer(plan, p)) continue;
-      const Matrix rows = tensor::GatherRows(h_owned, plan.send_rows[p]);
-      ECG_ASSIGN_OR_RETURN(QuantizedMatrix q, compress::Quantize(rows, qopts));
-      std::vector<uint8_t> buf;
-      ByteWriter w(&buf);
-      q.AppendTo(&w);
-      ctx->Send(p, tag, std::move(buf));
-    }
-    for (uint32_t p = 0; p < ctx->num_workers(); ++p) {
-      if (!ActivePeer(plan, p)) continue;
-      const std::vector<uint8_t> buf = ctx->Recv(p, tag);
-      ByteReader r(buf);
-      QuantizedMatrix q;
-      ECG_RETURN_IF_ERROR(QuantizedMatrix::ParseFrom(&r, &q));
-      ECG_ASSIGN_OR_RETURN(Matrix rows, compress::Dequantize(q));
-      ECG_RETURN_IF_ERROR(AssignRows(rows, plan.recv_halo_rows[p], h_halo));
-    }
+    // Fused send path: quantize each peer's row subset straight out of
+    // h_owned (no GatherRows copy), all peers in parallel.
+    PeerBuffers out(ctx->num_workers());
+    ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
+        plan, ctx->num_workers(), [&](uint32_t p) -> Status {
+          ECG_ASSIGN_OR_RETURN(
+              QuantizedMatrix q,
+              compress::QuantizeRows(h_owned, plan.send_rows[p], qopts));
+          ByteWriter w(&out[p]);
+          q.AppendTo(&w);
+          return Status::OK();
+        }));
+    SendToActivePeers(ctx, plan, tag, &out);
+    // Fused receive path: decode straight into the halo rows.
+    PeerBuffers in = RecvFromActivePeers(ctx, plan, tag);
+    ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
+        plan, ctx->num_workers(), [&](uint32_t p) -> Status {
+          ByteReader r(in[p]);
+          QuantizedMatrix q;
+          ECG_RETURN_IF_ERROR(QuantizedMatrix::ParseFrom(&r, &q));
+          return compress::DequantizeInto(q, plan.recv_halo_rows[p], h_halo);
+        }));
     ctx->EndCommPhase();
     return Status::OK();
   }
@@ -106,42 +128,44 @@ class DelayedFpExchanger : public FpExchanger {
                   uint32_t epoch, uint16_t layer, const Matrix& h_owned,
                   Matrix* h_halo) override {
     const uint64_t tag = MessageHub::MakeTag(epoch, layer, kTagFpData);
-    for (uint32_t p = 0; p < ctx->num_workers(); ++p) {
-      if (!ActivePeer(plan, p)) continue;
-      const auto& send_rows = plan.send_rows[p];
-      std::vector<uint32_t> positions;  // positions within send list
-      for (uint32_t i = 0; i < send_rows.size(); ++i) {
-        if (epoch == 0 || i % r_ == epoch % r_) positions.push_back(i);
-      }
-      std::vector<uint32_t> local_rows;
-      local_rows.reserve(positions.size());
-      for (uint32_t i : positions) local_rows.push_back(send_rows[i]);
-      const Matrix rows = tensor::GatherRows(h_owned, local_rows);
-      std::vector<uint8_t> buf;
-      ByteWriter w(&buf);
-      w.PutU32Vector(positions);
-      EncodeMatrix(rows, &w);
-      ctx->Send(p, tag, std::move(buf));
-    }
-    for (uint32_t p = 0; p < ctx->num_workers(); ++p) {
-      if (!ActivePeer(plan, p)) continue;
-      const std::vector<uint8_t> buf = ctx->Recv(p, tag);
-      ByteReader r(buf);
-      std::vector<uint32_t> positions;
-      ECG_RETURN_IF_ERROR(r.GetU32Vector(&positions));
-      Matrix rows;
-      ECG_RETURN_IF_ERROR(DecodeMatrix(&r, &rows));
-      const auto& halo_rows = plan.recv_halo_rows[p];
-      std::vector<uint32_t> targets;
-      targets.reserve(positions.size());
-      for (uint32_t i : positions) {
-        if (i >= halo_rows.size()) {
-          return Status::OutOfRange("delayed refresh position out of range");
-        }
-        targets.push_back(halo_rows[i]);
-      }
-      ECG_RETURN_IF_ERROR(AssignRows(rows, targets, h_halo));
-    }
+    PeerBuffers out(ctx->num_workers());
+    ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
+        plan, ctx->num_workers(), [&](uint32_t p) -> Status {
+          const auto& send_rows = plan.send_rows[p];
+          std::vector<uint32_t> positions;  // positions within send list
+          for (uint32_t i = 0; i < send_rows.size(); ++i) {
+            if (epoch == 0 || i % r_ == epoch % r_) positions.push_back(i);
+          }
+          std::vector<uint32_t> local_rows;
+          local_rows.reserve(positions.size());
+          for (uint32_t i : positions) local_rows.push_back(send_rows[i]);
+          const Matrix rows = tensor::GatherRows(h_owned, local_rows);
+          ByteWriter w(&out[p]);
+          w.PutU32Vector(positions);
+          EncodeMatrix(rows, &w);
+          return Status::OK();
+        }));
+    SendToActivePeers(ctx, plan, tag, &out);
+    PeerBuffers in = RecvFromActivePeers(ctx, plan, tag);
+    ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
+        plan, ctx->num_workers(), [&](uint32_t p) -> Status {
+          ByteReader r(in[p]);
+          std::vector<uint32_t> positions;
+          ECG_RETURN_IF_ERROR(r.GetU32Vector(&positions));
+          Matrix rows;
+          ECG_RETURN_IF_ERROR(DecodeMatrix(&r, &rows));
+          const auto& halo_rows = plan.recv_halo_rows[p];
+          std::vector<uint32_t> targets;
+          targets.reserve(positions.size());
+          for (uint32_t i : positions) {
+            if (i >= halo_rows.size()) {
+              return Status::OutOfRange(
+                  "delayed refresh position out of range");
+            }
+            targets.push_back(halo_rows[i]);
+          }
+          return AssignRows(rows, targets, h_halo);
+        }));
     ctx->EndCommPhase();
     return Status::OK();
   }
@@ -190,26 +214,29 @@ class ReqEcFpExchanger : public FpExchanger {
       ctx->Send(p, req_tag, std::move(buf));
     }
 
-    // 2) Respond (Algorithm 4).
-    for (uint32_t p = 0; p < ctx->num_workers(); ++p) {
-      if (!ActivePeer(plan, p)) continue;
-      const std::vector<uint8_t> req = ctx->Recv(p, req_tag);
-      ByteReader rr(req);
-      uint8_t peer_bits = 0;
-      ECG_RETURN_IF_ERROR(rr.GetU8(&peer_bits));
-      std::vector<uint8_t> buf;
-      ECG_RETURN_IF_ERROR(BuildResponse(plan, p, epoch, layer, trend_epoch,
-                                        step, peer_bits, h_owned, &buf));
-      ctx->Send(p, data_tag, std::move(buf));
-    }
+    // 2) Respond (Algorithm 4). Requests are drained first, then every
+    //    peer's response — candidate construction, selector, quantize —
+    //    is built in parallel (the per-peer responder state is disjoint).
+    PeerBuffers reqs = RecvFromActivePeers(ctx, plan, req_tag);
+    PeerBuffers out(ctx->num_workers());
+    ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
+        plan, ctx->num_workers(), [&](uint32_t p) -> Status {
+          ByteReader rr(reqs[p]);
+          uint8_t peer_bits = 0;
+          ECG_RETURN_IF_ERROR(rr.GetU8(&peer_bits));
+          return BuildResponse(plan, p, epoch, layer, trend_epoch, step,
+                               peer_bits, h_owned, &out[p]);
+        }));
+    SendToActivePeers(ctx, plan, data_tag, &out);
 
-    // 3) Parse responses (Algorithm 3).
-    for (uint32_t p = 0; p < ctx->num_workers(); ++p) {
-      if (!ActivePeer(plan, p)) continue;
-      const std::vector<uint8_t> buf = ctx->Recv(p, data_tag);
-      ECG_RETURN_IF_ERROR(
-          ParseResponse(plan, p, layer, trend_epoch, step, buf, h_halo));
-    }
+    // 3) Parse responses (Algorithm 3) — per-peer requester state and halo
+    //    row ranges are disjoint, so peers decode in parallel too.
+    PeerBuffers in = RecvFromActivePeers(ctx, plan, data_tag);
+    ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
+        plan, ctx->num_workers(), [&](uint32_t p) -> Status {
+          return ParseResponse(plan, p, layer, trend_epoch, step, in[p],
+                               h_halo);
+        }));
     ctx->EndCommPhase();
 
     // 4) Bit-Tuner, once per epoch after the last exchanged FP layer
@@ -261,10 +288,10 @@ class ReqEcFpExchanger : public FpExchanger {
                        int peer_bits, const Matrix& h_owned,
                        std::vector<uint8_t>* buf) {
     ResponderState& st = responder_[layer][peer];
-    const Matrix h_send = tensor::GatherRows(h_owned, plan.send_rows[peer]);
     ByteWriter w(buf);
 
     if (trend_epoch) {
+      const Matrix h_send = tensor::GatherRows(h_owned, plan.send_rows[peer]);
       Matrix m_cr(h_send.rows(), h_send.cols());
       if (st.have_trend) {
         // M_cr = (H_now - H_last) / T_tr (Algorithm 4 line 4).
@@ -282,9 +309,13 @@ class ReqEcFpExchanger : public FpExchanger {
       return Status::OK();
     }
 
+    // Quantize the send set straight out of h_owned — the gathered truth
+    // matrix is only materialized below, on the paths that compare
+    // candidates against it.
     QuantizerOptions qopts{peer_bits, config_.value_mode};
-    ECG_ASSIGN_OR_RETURN(QuantizedMatrix q_full,
-                         compress::Quantize(h_send, qopts));
+    ECG_ASSIGN_OR_RETURN(
+        QuantizedMatrix q_full,
+        compress::QuantizeRows(h_owned, plan.send_rows[peer], qopts));
 
     if (!st.have_trend) {
       // First trend group: no prediction baseline exists on either end.
@@ -293,6 +324,7 @@ class ReqEcFpExchanger : public FpExchanger {
       return Status::OK();
     }
 
+    const Matrix h_send = tensor::GatherRows(h_owned, plan.send_rows[peer]);
     // Reconstruct the three candidates exactly as the requester would.
     ECG_ASSIGN_OR_RETURN(Matrix h_cps, compress::Dequantize(q_full));
     Matrix h_pdt = st.h_last;
@@ -492,8 +524,7 @@ class ReqEcFpExchanger : public FpExchanger {
     if (kind == kColdStart) {
       QuantizedMatrix q;
       ECG_RETURN_IF_ERROR(QuantizedMatrix::ParseFrom(&r, &q));
-      ECG_ASSIGN_OR_RETURN(Matrix rows, compress::Dequantize(q));
-      return AssignRows(rows, halo_rows, h_halo);
+      return compress::DequantizeInto(q, halo_rows, h_halo);
     }
     if (kind != kSelected && kind != kSelectedElement) {
       return Status::InvalidArgument("unknown FP response kind " +

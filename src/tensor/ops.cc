@@ -12,6 +12,11 @@ namespace {
 // Minimum per-thread row count before a kernel bothers going parallel.
 constexpr size_t kRowGrain = 16;
 
+// Minimum flat elements per chunk of the element-wise kernels. These are
+// memory-bound single-op loops, so chunks must be large for the fork/join
+// to pay off; ReqEC candidate construction hands them multi-MB matrices.
+constexpr size_t kElemGrain = 1 << 15;
+
 void CheckSameShape(const Matrix& a, const Matrix& b, const char* op) {
   ECG_CHECK(a.rows() == b.rows() && a.cols() == b.cols())
       << op << " shape mismatch: " << a.rows() << "x" << a.cols() << " vs "
@@ -95,33 +100,48 @@ void AddInPlace(Matrix* a, const Matrix& b) {
   CheckSameShape(*a, b, "AddInPlace");
   float* ad = a->data();
   const float* bd = b.data();
-  for (size_t i = 0; i < a->size(); ++i) ad[i] += bd[i];
+  ThreadPool::Global().ParallelFor(
+      a->size(), kElemGrain, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) ad[i] += bd[i];
+      });
 }
 
 void SubInPlace(Matrix* a, const Matrix& b) {
   CheckSameShape(*a, b, "SubInPlace");
   float* ad = a->data();
   const float* bd = b.data();
-  for (size_t i = 0; i < a->size(); ++i) ad[i] -= bd[i];
+  ThreadPool::Global().ParallelFor(
+      a->size(), kElemGrain, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) ad[i] -= bd[i];
+      });
 }
 
 void ScaleInPlace(Matrix* a, float s) {
   float* ad = a->data();
-  for (size_t i = 0; i < a->size(); ++i) ad[i] *= s;
+  ThreadPool::Global().ParallelFor(
+      a->size(), kElemGrain, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) ad[i] *= s;
+      });
 }
 
 void Axpy(float s, const Matrix& b, Matrix* a) {
   CheckSameShape(*a, b, "Axpy");
   float* ad = a->data();
   const float* bd = b.data();
-  for (size_t i = 0; i < a->size(); ++i) ad[i] += s * bd[i];
+  ThreadPool::Global().ParallelFor(
+      a->size(), kElemGrain, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) ad[i] += s * bd[i];
+      });
 }
 
 void HadamardInPlace(Matrix* a, const Matrix& b) {
   CheckSameShape(*a, b, "HadamardInPlace");
   float* ad = a->data();
   const float* bd = b.data();
-  for (size_t i = 0; i < a->size(); ++i) ad[i] *= bd[i];
+  ThreadPool::Global().ParallelFor(
+      a->size(), kElemGrain, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) ad[i] *= bd[i];
+      });
 }
 
 void AddRowBias(Matrix* a, const Matrix& bias) {
@@ -188,13 +208,20 @@ Matrix SliceCols(const Matrix& src, size_t begin, size_t end) {
 std::vector<float> RowL1Distance(const Matrix& a, const Matrix& b) {
   CheckSameShape(a, b, "RowL1Distance");
   std::vector<float> out(a.rows(), 0.0f);
-  for (size_t r = 0; r < a.rows(); ++r) {
-    const float* arow = a.Row(r);
-    const float* brow = b.Row(r);
-    float acc = 0.0f;
-    for (size_t c = 0; c < a.cols(); ++c) acc += std::fabs(arow[c] - brow[c]);
-    out[r] = acc;
-  }
+  // Each row's reduction stays on one thread, so results are identical to
+  // the sequential loop regardless of chunking.
+  ThreadPool::Global().ParallelFor(
+      a.rows(), kRowGrain, [&](size_t begin, size_t end) {
+        for (size_t r = begin; r < end; ++r) {
+          const float* arow = a.Row(r);
+          const float* brow = b.Row(r);
+          float acc = 0.0f;
+          for (size_t c = 0; c < a.cols(); ++c) {
+            acc += std::fabs(arow[c] - brow[c]);
+          }
+          out[r] = acc;
+        }
+      });
   return out;
 }
 

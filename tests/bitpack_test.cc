@@ -43,6 +43,29 @@ TEST(BitpackTest, PaperFigure3Example) {
   EXPECT_EQ(out, ids);
 }
 
+TEST(BitpackTest, WordLayoutIsLittleEndianPerWidth) {
+  // Pins the packed layout (value i at bits [(i % per_word) * bits, ...))
+  // so the word-at-a-time loops cannot drift from the wire format.
+  std::vector<uint32_t> packed;
+  ASSERT_TRUE(PackBits({0x11, 0x22, 0x33, 0x44}, 8, &packed).ok());
+  ASSERT_EQ(packed.size(), 1u);
+  EXPECT_EQ(packed[0], 0x44332211u);
+
+  ASSERT_TRUE(PackBits({0xAAAA, 0x5555}, 16, &packed).ok());
+  ASSERT_EQ(packed.size(), 1u);
+  EXPECT_EQ(packed[0], 0x5555AAAAu);
+
+  ASSERT_TRUE(PackBits({1, 0, 1, 1}, 1, &packed).ok());
+  ASSERT_EQ(packed.size(), 1u);
+  EXPECT_EQ(packed[0], 0b1101u);
+
+  // A trailing partial word keeps its unused high bits zero.
+  ASSERT_TRUE(PackBits({0x12, 0x34, 0x56, 0x78, 0x9A}, 8, &packed).ok());
+  ASSERT_EQ(packed.size(), 2u);
+  EXPECT_EQ(packed[0], 0x78563412u);
+  EXPECT_EQ(packed[1], 0x0000009Au);
+}
+
 TEST(BitpackTest, ValueTooLargeRejected) {
   std::vector<uint32_t> packed;
   EXPECT_EQ(PackBits({4}, 2, &packed).code(), StatusCode::kOutOfRange);

@@ -9,6 +9,7 @@
 #include "common/bytes.h"
 #include "common/random.h"
 #include "tensor/matrix.h"
+#include "tensor/ops.h"
 
 namespace ecg::compress {
 namespace {
@@ -188,6 +189,126 @@ TEST_P(QuantizeBits, AlphaIsContractionAndShrinksWithBits) {
 
 INSTANTIATE_TEST_SUITE_P(AllWidths, QuantizeBits,
                          ::testing::Values(1, 2, 4, 8, 16));
+
+TEST_P(QuantizeBits, WireBytesMatchesAppendToExactly) {
+  // The wire-size invariant: WireBytes() must equal the byte count
+  // AppendTo actually produces, for every width and both bucket modes
+  // (implicit (min,width) table vs explicit per-bucket table).
+  const int bits = GetParam();
+  const Matrix m = RandomMatrix(23, 17, 200 + bits, 1.3f);
+  for (auto mode :
+       {BucketValueMode::kMidpoint, BucketValueMode::kDataMean}) {
+    auto q = Quantize(m, {bits, mode});
+    ASSERT_TRUE(q.ok());
+    std::vector<uint8_t> buf;
+    ByteWriter w(&buf);
+    q->AppendTo(&w);
+    EXPECT_EQ(buf.size(), q->WireBytes())
+        << "bits=" << bits << " mode=" << static_cast<int>(mode);
+  }
+}
+
+TEST_P(QuantizeBits, GatherQuantizedRowsMatchesDenseGather) {
+  // Property: slicing rows in the compressed domain then decoding must be
+  // identical to decoding everything then gathering densely — including
+  // empty, duplicate, and out-of-order row selections.
+  const int bits = GetParam();
+  const Matrix m = RandomMatrix(37, 11, 300 + bits, 2.5f);
+  auto q = Quantize(m, {bits, BucketValueMode::kMidpoint});
+  ASSERT_TRUE(q.ok());
+  auto dense = Dequantize(*q);
+  ASSERT_TRUE(dense.ok());
+
+  const std::vector<std::vector<uint32_t>> selections = {
+      {},                          // empty
+      {36, 0, 12, 12, 3, 36, 5},   // duplicates + out of order
+      {0, 1, 2, 3, 4, 5, 6, 7},    // aligned prefix
+      {35},                        // single row near the end
+  };
+  for (const auto& rows : selections) {
+    auto sub = GatherQuantizedRows(*q, rows);
+    ASSERT_TRUE(sub.ok()) << "bits=" << bits;
+    auto sub_dense = Dequantize(*sub);
+    ASSERT_TRUE(sub_dense.ok());
+    const Matrix want = tensor::GatherRows(*dense, rows);
+    ASSERT_EQ(sub_dense->rows(), want.rows());
+    ASSERT_EQ(sub_dense->cols(), want.cols());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(sub_dense->data()[i], want.data()[i])
+          << "bits=" << bits << " flat=" << i;
+    }
+  }
+}
+
+TEST_P(QuantizeBits, QuantizeRowsMatchesGatherThenQuantize) {
+  // The fused gather+quantize must be bit-identical to the unfused
+  // two-pass form: same table, same packed words, same wire bytes.
+  const int bits = GetParam();
+  const Matrix m = RandomMatrix(41, 13, 400 + bits, 1.7f);
+  const std::vector<uint32_t> rows = {40, 2, 2, 17, 0, 33, 9};
+  for (auto mode :
+       {BucketValueMode::kMidpoint, BucketValueMode::kDataMean}) {
+    const QuantizerOptions opt{bits, mode};
+    auto fused = QuantizeRows(m, rows, opt);
+    ASSERT_TRUE(fused.ok()) << "bits=" << bits;
+    auto unfused = Quantize(tensor::GatherRows(m, rows), opt);
+    ASSERT_TRUE(unfused.ok());
+    EXPECT_EQ(fused->rows, unfused->rows);
+    EXPECT_EQ(fused->cols, unfused->cols);
+    EXPECT_EQ(fused->bits, unfused->bits);
+    EXPECT_EQ(fused->implicit_midpoints, unfused->implicit_midpoints);
+    EXPECT_EQ(fused->bucket_values, unfused->bucket_values);
+    EXPECT_EQ(fused->packed_ids, unfused->packed_ids);
+
+    std::vector<uint8_t> a, b;
+    ByteWriter wa(&a), wb(&b);
+    fused->AppendTo(&wa);
+    unfused->AppendTo(&wb);
+    EXPECT_EQ(a, b) << "bits=" << bits;
+  }
+  // Bad row indices are rejected, matching GatherQuantizedRows.
+  EXPECT_EQ(
+      QuantizeRows(m, {41}, {bits, BucketValueMode::kMidpoint})
+          .status()
+          .code(),
+      StatusCode::kOutOfRange);
+}
+
+TEST_P(QuantizeBits, DequantizeIntoMatchesDequantizeThenScatter) {
+  // The fused unpack+scatter must land the same floats in the same rows
+  // as the unfused decode-all-then-copy form, and leave untargeted rows
+  // untouched.
+  const int bits = GetParam();
+  const Matrix m = RandomMatrix(9, 7, 500 + bits, 2.0f);
+  auto q = Quantize(m, {bits, BucketValueMode::kMidpoint});
+  ASSERT_TRUE(q.ok());
+  auto dense = Dequantize(*q);
+  ASSERT_TRUE(dense.ok());
+
+  const std::vector<uint32_t> targets = {11, 0, 7, 3, 9, 1, 5, 13, 2};
+  Matrix dst(14, 7);
+  dst.Fill(-123.0f);
+  ASSERT_TRUE(DequantizeInto(*q, targets, &dst).ok());
+  for (size_t i = 0; i < targets.size(); ++i) {
+    for (size_t c = 0; c < 7; ++c) {
+      EXPECT_EQ(dst.At(targets[i], c), dense->At(i, c))
+          << "bits=" << bits << " row=" << i;
+    }
+  }
+  // Rows not named in `targets` keep their sentinel.
+  for (uint32_t r : {4u, 6u, 8u, 10u, 12u}) {
+    for (size_t c = 0; c < 7; ++c) {
+      EXPECT_EQ(dst.At(r, c), -123.0f);
+    }
+  }
+  // Shape and bounds violations are rejected.
+  Matrix narrow(14, 6);
+  EXPECT_FALSE(DequantizeInto(*q, targets, &narrow).ok());
+  EXPECT_FALSE(DequantizeInto(*q, {0, 1}, &dst).ok());  // wrong row count
+  std::vector<uint32_t> oob = targets;
+  oob[4] = 14;  // out of range for dst
+  EXPECT_FALSE(DequantizeInto(*q, oob, &dst).ok());
+}
 
 }  // namespace
 }  // namespace ecg::compress
