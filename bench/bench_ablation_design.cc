@@ -41,7 +41,8 @@ TrainOptions Base() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ecg::bench::InitBench(&argc, argv);
   ecg::bench::PrintHeader(
       "Design-choice ablations (pubmed-sim, 2-layer, ReqEC+ResEC @ 2 bits)");
   const ecg::graph::Graph& g = ecg::bench::LoadGraphCached("pubmed-sim");

@@ -12,7 +12,8 @@
 #include "core/sampling_trainer.h"
 #include "core/trainer.h"
 
-int main() {
+int main(int argc, char** argv) {
+  ecg::bench::InitBench(&argc, argv);
   ecg::bench::PrintHeader(
       "Fig. 10 — papers-sim on the 32-core cluster profile");
   const auto d = ecg::bench::GetBenchDataset("papers-sim");

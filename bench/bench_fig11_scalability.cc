@@ -54,7 +54,8 @@ double EpochTimeSampled(const ecg::graph::Graph& g, const Partition& p,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ecg::bench::InitBench(&argc, argv);
   ecg::bench::PrintHeader(
       "Fig. 11 — scalability vs machines, Hash vs METIS-like partitioning "
       "(per-epoch seconds, 2-layer)");

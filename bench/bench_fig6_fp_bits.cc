@@ -46,7 +46,8 @@ void RunVariant(const ecg::graph::Graph& g, const BenchDataset& d,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ecg::bench::InitBench(&argc, argv);
   ecg::bench::PrintHeader(
       "Fig. 6 — FP compression vs ReqEC-FP across bit widths (2-layer GCN, "
       "6 workers)");

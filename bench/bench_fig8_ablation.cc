@@ -64,7 +64,8 @@ TrainOptions MakeOptions(const BenchDataset& d, const Variant& v) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ecg::bench::InitBench(&argc, argv);
   ecg::bench::PrintHeader(
       "Fig. 8 — ablation: compression vs error compensation "
       "(speedup of time-to-convergence over Non-cp; test accuracy)");

@@ -34,7 +34,8 @@ struct Row {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ecg::bench::InitBench(&argc, argv);
   ecg::bench::PrintHeader(
       "Fig. 9 — end-to-end time: preprocessing + training to convergence");
   for (const char* dataset : {"pubmed-sim", "products-sim"}) {

@@ -16,6 +16,7 @@
 
 #include "common/bitpack.h"
 #include "common/bytes.h"
+#include "common/trace.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "compress/quantize.h"
@@ -312,9 +313,90 @@ int RunCompressComparison(const std::string& json_path) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// --trace_overhead mode: cost of the observability hooks on the fused
+// quantize round trip. Three variants of the same loop:
+//   * bare      — no tracing hooks at all (reference);
+//   * disabled  — the round trip wrapped in ECG_TRACE_SCOPE /
+//                 ECG_TRACE_SCOPE_DETAIL exactly as the exchangers wrap
+//                 their codec calls, with the tracer off. This is what
+//                 every untraced run pays; budget < 2% over bare.
+//   * enabled   — same hooks with the tracer recording (level 2,
+//                 snapshot-only), for context on the recording cost.
+// ---------------------------------------------------------------------------
+
+int RunTraceOverhead(const std::string& json_path) {
+  constexpr size_t kRows = 4096, kCols = 128;
+  constexpr int kBits = 2;
+  constexpr int kReps = 30;
+  const Matrix m = RandomMatrix(kRows, kCols, 12);
+  QuantizerOptions opts{kBits, BucketValueMode::kMidpoint};
+  // Serial mode: the round trip runs the way it does inside a simulated
+  // worker, so the scope cost is measured against the realistic baseline.
+  ecg::ThreadPool::SetSerialMode(true);
+  ecg::obs::Tracer::Global().Disable();
+
+  const auto bare_pass = [&] {
+    auto q = ecg::compress::Quantize(m, opts);
+    auto d = ecg::compress::Dequantize(*q);
+    benchmark::DoNotOptimize(d->data());
+  };
+  const auto hooked_pass = [&] {
+    // Same hook density as fp_exchange: a phase span around the pass and
+    // a detail span around each codec half.
+    ECG_TRACE_SCOPE("fp_exchange", /*worker=*/0, /*layer=*/0);
+    ecg::Result<ecg::compress::QuantizedMatrix> q = [&] {
+      ECG_TRACE_SCOPE_DETAIL("fp_encode", 0, 0);
+      return ecg::compress::Quantize(m, opts);
+    }();
+    ecg::Result<Matrix> d = [&] {
+      ECG_TRACE_SCOPE_DETAIL("fp_decode", 0, 0);
+      return ecg::compress::Dequantize(*q);
+    }();
+    benchmark::DoNotOptimize(d->data());
+  };
+
+  bare_pass();
+  hooked_pass();  // warm both paths
+  const double bare_ms = BestOfMs(kReps, bare_pass);
+  const double disabled_ms = BestOfMs(kReps, hooked_pass);
+  ecg::obs::Tracer::Global().Enable(/*level=*/2, /*chrome_trace_path=*/"");
+  const double enabled_ms = BestOfMs(kReps, hooked_pass);
+  const uint64_t recorded = ecg::obs::Tracer::Global().recorded_events();
+  ecg::obs::Tracer::Global().Disable();
+  ecg::ThreadPool::SetSerialMode(false);
+
+  const double overhead_pct = (disabled_ms / bare_ms - 1.0) * 100.0;
+  const double enabled_pct = (enabled_ms / bare_ms - 1.0) * 100.0;
+  const bool pass = overhead_pct < 2.0;
+
+  std::ofstream out(json_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+    return 1;
+  }
+  out << "{\n  \"matrix\": {\"rows\": " << kRows << ", \"cols\": " << kCols
+      << "},\n  \"bits\": " << kBits << ",\n  \"reps\": " << kReps
+      << ",\n  \"bare_roundtrip_ms\": " << bare_ms
+      << ",\n  \"traced_disabled_roundtrip_ms\": " << disabled_ms
+      << ",\n  \"traced_enabled_roundtrip_ms\": " << enabled_ms
+      << ",\n  \"disabled_overhead_pct\": " << overhead_pct
+      << ",\n  \"enabled_overhead_pct\": " << enabled_pct
+      << ",\n  \"enabled_events_recorded\": " << recorded
+      << ",\n  \"budget_pct\": 2.0,\n  \"pass\": "
+      << (pass ? "true" : "false") << "\n}\n";
+  std::printf(
+      "trace overhead: bare %.3f ms | hooks disabled %.3f ms (%+.2f%%) | "
+      "hooks enabled %.3f ms (%+.2f%%)  -> %s\n",
+      bare_ms, disabled_ms, overhead_pct, enabled_ms, enabled_pct,
+      pass ? "PASS (<2%)" : "FAIL (>=2%)");
+  return pass ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  ecg::obs::InitObservabilityFromArgs(&argc, argv);
   for (int i = 1; i < argc; ++i) {
     const std::string arg(argv[i]);
     if (arg.rfind("--compress_json", 0) == 0) {
@@ -322,6 +404,12 @@ int main(int argc, char** argv) {
       const auto eq = arg.find('=');
       if (eq != std::string::npos) path = arg.substr(eq + 1);
       return RunCompressComparison(path);
+    }
+    if (arg.rfind("--trace_overhead", 0) == 0) {
+      std::string path = "BENCH_trace_overhead.json";
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) path = arg.substr(eq + 1);
+      return RunTraceOverhead(path);
     }
   }
   ::benchmark::Initialize(&argc, argv);

@@ -18,7 +18,8 @@
 #include "core/trainer.h"
 #include "graph/partition.h"
 
-int main() {
+int main(int argc, char** argv) {
+  ecg::bench::InitBench(&argc, argv);
   ecg::bench::PrintHeader(
       "Table II — ML-centered vs EC-Graph costs, measured on pubmed-sim "
       "(2-layer, 6 workers)");

@@ -18,7 +18,8 @@
 
 using ecg::bench::System;
 
-int main() {
+int main(int argc, char** argv) {
+  ecg::bench::InitBench(&argc, argv);
   ecg::bench::PrintHeader(
       "Table IV — training time per epoch (s), 6 workers, layers 2/3/4");
   std::vector<System> systems = ecg::bench::NonSamplingSystems();

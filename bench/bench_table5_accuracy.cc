@@ -15,7 +15,8 @@
 
 using ecg::bench::System;
 
-int main() {
+int main(int argc, char** argv) {
+  ecg::bench::InitBench(&argc, argv);
   ecg::bench::PrintHeader(
       "Table V — test accuracy at best validation epoch (default layers)");
   std::vector<System> systems = ecg::bench::NonSamplingSystems();

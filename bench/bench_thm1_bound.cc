@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "common/random.h"
+#include "common/trace.h"
 #include "compress/quantize.h"
 #include "tensor/matrix.h"
 #include "tensor/ops.h"
@@ -38,7 +39,8 @@ Matrix RandomGradient(ecg::Rng* rng, size_t rows, size_t cols,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ecg::obs::InitObservabilityFromArgs(&argc, argv);
   std::printf(
       "\n============================================================\n"
       "Theorem 1 — ResEC-BP residual bound, synthetic gradient streams\n"

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace ecg::bench {
 
@@ -53,6 +54,10 @@ bool FastMode() {
 
 uint32_t ScaledEpochs(uint32_t epochs) {
   return FastMode() ? std::max(2u, epochs / 4) : epochs;
+}
+
+void InitBench(int* argc, char** argv) {
+  obs::InitObservabilityFromArgs(argc, argv);
 }
 
 const graph::Graph& LoadGraphCached(const std::string& name) {

@@ -44,6 +44,12 @@ inline constexpr uint32_t kDefaultWorkers = 6;
 bool FastMode();
 uint32_t ScaledEpochs(uint32_t epochs);
 
+/// Call first in every bench main: strips the shared observability flags
+/// (--trace_out / --stats_out / --trace_level / --log_level, or their
+/// ECG_* env-var equivalents) so any bench binary can emit a Chrome trace
+/// and a stats JSONL of its runs. Telemetry is flushed at process exit.
+void InitBench(int* argc, char** argv);
+
 /// Loads a dataset replica, caching across calls within the process.
 const graph::Graph& LoadGraphCached(const std::string& name);
 

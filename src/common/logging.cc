@@ -36,10 +36,11 @@ LogLevel GetLogLevel() {
 
 namespace internal {
 
-LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : enabled_(static_cast<int>(level) >=
-               g_min_level.load(std::memory_order_relaxed)),
-      level_(level) {
+LogMessage::LogMessage(LogLevel level, const char* file, int line,
+                       bool fatal)
+    : enabled_(fatal || static_cast<int>(level) >=
+                            g_min_level.load(std::memory_order_relaxed)),
+      fatal_(fatal) {
   if (enabled_) {
     const char* base = file;
     for (const char* p = file; *p; ++p) {
@@ -50,8 +51,6 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  const bool fatal_check = level_ == LogLevel::kError &&
-                           stream_.str().find("Check failed") != std::string::npos;
   if (enabled_) {
     stream_ << "\n";
     // One fwrite per line keeps concurrent workers' lines unmangled.
@@ -59,7 +58,7 @@ LogMessage::~LogMessage() {
     std::fwrite(line.data(), 1, line.size(), stderr);
     std::fflush(stderr);
   }
-  if (fatal_check) std::abort();
+  if (fatal_) std::abort();
 }
 
 }  // namespace internal

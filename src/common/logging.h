@@ -19,7 +19,9 @@ namespace internal {
 /// stderr on destruction. Emission of a full line is atomic across threads.
 class LogMessage {
  public:
-  LogMessage(LogLevel level, const char* file, int line);
+  /// `fatal` messages always emit (the level gate cannot drop them) and
+  /// abort the process after flushing the line — the ECG_CHECK contract.
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
   ~LogMessage();
 
   LogMessage(const LogMessage&) = delete;
@@ -33,7 +35,7 @@ class LogMessage {
 
  private:
   bool enabled_;
-  LogLevel level_;
+  bool fatal_;
   std::ostringstream stream_;
 };
 
@@ -45,10 +47,14 @@ class LogMessage {
 
 /// Always-on invariant check (kept in release builds: cheap and the failure
 /// modes it guards — indexing bugs in message codecs — corrupt training
-/// silently otherwise).
+/// silently otherwise). A failed check prints the condition plus any
+/// streamed context and then aborts: the LogMessage is constructed fatal,
+/// so the abort is structural, not dependent on the message text or the
+/// process log level.
 #define ECG_CHECK(cond)                                                   \
   if (!(cond))                                                            \
-  ::ecg::internal::LogMessage(::ecg::LogLevel::kError, __FILE__, __LINE__) \
+  ::ecg::internal::LogMessage(::ecg::LogLevel::kError, __FILE__, __LINE__, \
+                              /*fatal=*/true)                              \
       << "Check failed, aborting: " #cond " "
 
 #endif  // ECGRAPH_COMMON_LOGGING_H_

@@ -1,0 +1,193 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+namespace ecg::obs {
+
+int StatValue::HistBucket(double v) {
+  const double mag = std::fabs(v);
+  if (mag == 0.0 || !std::isfinite(mag)) return 0;
+  const int exp = std::ilogb(mag);
+  return std::clamp(exp + kHistBias, 1, kHistBuckets - 1);
+}
+
+void StatValue::Add(double v) {
+  if (count == 0) {
+    min = max = v;
+  } else {
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  ++count;
+  sum += v;
+  last = v;
+  ++hist[HistBucket(v)];
+}
+
+void StatValue::Merge(const StatValue& o) {
+  if (o.count == 0) return;
+  if (count == 0) {
+    min = o.min;
+    max = o.max;
+  } else {
+    min = std::min(min, o.min);
+    max = std::max(max, o.max);
+  }
+  count += o.count;
+  sum += o.sum;
+  last = o.last;
+  for (int b = 0; b < kHistBuckets; ++b) hist[b] += o.hist[b];
+}
+
+StatsRegistry& StatsRegistry::Global() {
+  static StatsRegistry* registry = new StatsRegistry();  // leaked, see Tracer
+  return *registry;
+}
+
+void StatsRegistry::Enable(const std::string& jsonl_path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    path_ = jsonl_path;
+    if (!jsonl_path.empty()) {
+      // Truncate once at enable; epoch flushes append.
+      std::ofstream(jsonl_path, std::ios::trunc);
+    }
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void StatsRegistry::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void StatsRegistry::Record(const std::string& name, double value,
+                           uint32_t epoch, int32_t layer, int32_t peer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  live_[StatKey{name, epoch, layer, peer}].Add(value);
+}
+
+namespace {
+
+/// %.6g keeps integers exact through 2^31 and rows compact; stats are
+/// telemetry, not wire data.
+void AppendNumber(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  *out += buf;
+}
+
+}  // namespace
+
+void StatsRegistry::WriteRow(std::ostream& os, const StatKey& key,
+                             const StatValue& value, bool summary) const {
+  std::string row = "{";
+  if (summary) {
+    row += "\"summary\":true";
+  } else {
+    row += "\"epoch\":" + std::to_string(key.epoch);
+  }
+  row += ",\"name\":\"" + key.name + "\"";
+  if (key.layer >= 0) row += ",\"layer\":" + std::to_string(key.layer);
+  if (key.peer >= 0) row += ",\"peer\":" + std::to_string(key.peer);
+  row += ",\"count\":" + std::to_string(value.count);
+  row += ",\"sum\":";
+  AppendNumber(&row, value.sum);
+  row += ",\"min\":";
+  AppendNumber(&row, value.min);
+  row += ",\"max\":";
+  AppendNumber(&row, value.max);
+  row += ",\"avg\":";
+  AppendNumber(&row, value.Avg());
+  row += ",\"last\":";
+  AppendNumber(&row, value.last);
+  // Histogram in sparse "bucket:count" form; bucket b>0 covers |v| in
+  // [2^(b-32), 2^(b-31)), bucket 0 counts zeros/non-finites.
+  row += ",\"hist\":\"";
+  bool first = true;
+  for (int b = 0; b < StatValue::kHistBuckets; ++b) {
+    if (value.hist[b] == 0) continue;
+    if (!first) row += ",";
+    row += std::to_string(b) + ":" + std::to_string(value.hist[b]);
+    first = false;
+  }
+  row += "\"}\n";
+  os << row;
+}
+
+void StatsRegistry::DumpEpochTo(uint32_t epoch, std::ostream& os,
+                                bool erase) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = live_.lower_bound(StatKey{"", epoch, INT32_MIN, INT32_MIN});
+  while (it != live_.end() && it->first.epoch == epoch) {
+    WriteRow(os, it->first, it->second, /*summary=*/false);
+    if (erase) {
+      summary_[it->first.name].Merge(it->second);
+      it = live_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void StatsRegistry::DumpSummaryTo(std::ostream& os) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, value] : summary_) {
+    WriteRow(os, StatKey{name, kNoEpoch, -1, -1}, value, /*summary=*/true);
+  }
+}
+
+void StatsRegistry::FlushEpoch(uint32_t epoch) {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    path = path_;
+  }
+  if (path.empty()) {
+    // Still retire the epoch into the summary so memory stays bounded.
+    std::ofstream null_sink;
+    DumpEpochTo(epoch, null_sink, /*erase=*/true);
+    return;
+  }
+  std::ofstream out(path, std::ios::app);
+  DumpEpochTo(epoch, out, /*erase=*/true);
+}
+
+void StatsRegistry::FlushAll() {
+  std::vector<uint32_t> epochs;
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    path = path_;
+    for (const auto& [key, value] : live_) {
+      if (epochs.empty() || epochs.back() != key.epoch) {
+        epochs.push_back(key.epoch);
+      }
+    }
+  }
+  if (path.empty()) {
+    std::ofstream null_sink;
+    for (uint32_t e : epochs) DumpEpochTo(e, null_sink, /*erase=*/true);
+    return;
+  }
+  std::ofstream out(path, std::ios::app);
+  for (uint32_t e : epochs) DumpEpochTo(e, out, /*erase=*/true);
+  DumpSummaryTo(out);
+}
+
+std::map<StatKey, StatValue> StatsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_;
+}
+
+void StatsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  live_.clear();
+  summary_.clear();
+  path_.clear();
+}
+
+}  // namespace ecg::obs

@@ -1,0 +1,128 @@
+#ifndef ECGRAPH_COMMON_STATS_H_
+#define ECGRAPH_COMMON_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+namespace ecg::obs {
+
+/// Sentinel for "not epoch-scoped" (also what preprocessing-time exchanges
+/// record; such rows are emitted with the final summary, not per epoch).
+inline constexpr uint32_t kNoEpoch = 0xFFFFFFFFu;
+
+/// A stat series is addressed by name plus the (epoch, layer, peer)
+/// coordinates of the paper's pipeline; -1 means "not applicable".
+struct StatKey {
+  std::string name;
+  uint32_t epoch = kNoEpoch;
+  int32_t layer = -1;
+  int32_t peer = -1;
+
+  bool operator<(const StatKey& o) const {
+    if (epoch != o.epoch) return epoch < o.epoch;
+    if (name != o.name) return name < o.name;
+    if (layer != o.layer) return layer < o.layer;
+    return peer < o.peer;
+  }
+};
+
+/// One aggregated series. The same cell serves as counter (read `sum`),
+/// gauge (read `last`) and histogram (count/min/max/avg plus base-2
+/// magnitude buckets): every Record folds into all views, so callers never
+/// pre-declare a metric type.
+struct StatValue {
+  /// log2-magnitude histogram: bucket 0 counts zeros, bucket b (1..63)
+  /// counts |v| in [2^(b-32), 2^(b-31)), exponents clamped to the range.
+  static constexpr int kHistBuckets = 64;
+  static constexpr int kHistBias = 32;
+
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double last = 0.0;
+  uint32_t hist[kHistBuckets] = {0};
+
+  void Add(double v);
+  void Merge(const StatValue& o);
+  double Avg() const { return count == 0 ? 0.0 : sum / count; }
+  static int HistBucket(double v);
+};
+
+/// Process-wide registry of named stats recorded per (epoch, layer, peer)
+/// and exported as JSON Lines: one row per series per epoch (flushed by
+/// the trainer as each epoch finalizes) plus a cross-epoch summary row per
+/// name at shutdown. Recording takes a mutex — call sites are per-message
+/// / per-phase (a few dozen per worker per epoch), never per-element — and
+/// the disabled path is one relaxed atomic load.
+class StatsRegistry {
+ public:
+  static StatsRegistry& Global();
+
+  /// Starts collecting; rows are appended to `jsonl_path` as epochs flush
+  /// ("" collects in memory only — tests and the MetricsBoard fold).
+  void Enable(const std::string& jsonl_path = "");
+  void Disable();
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  const std::string& output_path() const { return path_; }
+
+  /// Folds `value` into the (name, epoch, layer, peer) series. Callers on
+  /// hot paths should gate on enabled() (or use RecordStat below).
+  void Record(const std::string& name, double value,
+              uint32_t epoch = kNoEpoch, int32_t layer = -1,
+              int32_t peer = -1);
+
+  /// Writes (and retires) every series of `epoch` as JSONL rows; the
+  /// retired series keep contributing to the per-name summary.
+  void FlushEpoch(uint32_t epoch);
+
+  /// Flushes every remaining epoch plus the summary rows. Idempotent;
+  /// wired to the CLI/bench exit paths.
+  void FlushAll();
+
+  /// Deterministic row serialization (key-sorted); `erase` retires the
+  /// rows into the summary like FlushEpoch does. Exposed for golden tests.
+  void DumpEpochTo(uint32_t epoch, std::ostream& os, bool erase);
+  void DumpSummaryTo(std::ostream& os);
+
+  /// Copies the live (unflushed) series out; test/inspection hook.
+  std::map<StatKey, StatValue> Snapshot() const;
+
+  /// Drops all series, summaries and the output path.
+  void Reset();
+
+ private:
+  StatsRegistry() = default;
+
+  void WriteRow(std::ostream& os, const StatKey& key,
+                const StatValue& value, bool summary) const;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::map<StatKey, StatValue> live_;
+  std::map<std::string, StatValue> summary_;
+  std::string path_;
+};
+
+/// One-liner used by instrumentation sites: a single branch when stats
+/// collection is off.
+inline void RecordStat(const std::string& name, double value,
+                       uint32_t epoch = kNoEpoch, int32_t layer = -1,
+                       int32_t peer = -1) {
+  StatsRegistry& registry = StatsRegistry::Global();
+  if (registry.enabled()) registry.Record(name, value, epoch, layer, peer);
+}
+
+/// Cheap global guard for instrumentation whose *inputs* are expensive to
+/// compute (residual norms, bucket-saturation scans).
+inline bool StatsEnabled() { return StatsRegistry::Global().enabled(); }
+
+}  // namespace ecg::obs
+
+#endif  // ECGRAPH_COMMON_STATS_H_

@@ -1,0 +1,187 @@
+#ifndef ECGRAPH_COMMON_TRACE_H_
+#define ECGRAPH_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ecg::obs {
+
+/// Which clock a span lives on. The simulated cluster runs two timelines:
+///   * kReal — measured wall time of the process (steady_clock), the time
+///     the spans actually took on this machine's CPUs;
+///   * kSim  — the modelled cluster time (per-worker compute + modelled
+///     network seconds), the time the paper's experiments report.
+/// The Chrome-trace exporter writes them as two separate "processes" so
+/// both timelines are visible side by side in Perfetto / chrome://tracing.
+enum class TraceDomain : uint8_t { kReal = 0, kSim = 1 };
+
+/// One completed span. `name` must point at storage that outlives the
+/// tracer (string literals; the recording hot path never copies).
+struct TraceEvent {
+  const char* name = nullptr;
+  uint64_t ts_us = 0;   // start, microseconds in the event's domain
+  uint64_t dur_us = 0;  // duration, microseconds
+  uint32_t worker = 0;  // simulated worker id (args.worker)
+  int32_t layer = -1;   // GNN layer, -1 = not layer-scoped (args.layer)
+  uint32_t tid = 0;     // recording thread's registration index
+  TraceDomain domain = TraceDomain::kReal;
+};
+
+namespace internal {
+/// Global trace level: 0 = off, 1 = phase spans, 2 = + per-peer codec
+/// detail. An atomic int so the disabled hot path is one relaxed load and
+/// one predictable branch.
+extern std::atomic<int> g_trace_level;
+}  // namespace internal
+
+/// True when tracing is enabled at `level` or finer. This is the only
+/// check on the hot path; keep call sites shaped as
+/// `if (TraceEnabled()) {...}` so a disabled tracer costs one branch.
+inline bool TraceEnabled(int level = 1) {
+  return internal::g_trace_level.load(std::memory_order_relaxed) >= level;
+}
+
+/// Thread-safe span recorder. Each recording thread owns a fixed-capacity
+/// ring buffer (registered once under a mutex, then written lock-free by
+/// its owner), so concurrent workers and pool threads never contend.
+/// Export/snapshot is meant to run at quiescence (after a training job /
+/// bench section), not concurrently with recording threads.
+class Tracer {
+ public:
+  static constexpr size_t kDefaultCapacity = 1 << 16;  // events per thread
+
+  /// Process-wide instance (never destroyed, so worker threads may record
+  /// during static teardown without ordering hazards).
+  static Tracer& Global();
+
+  /// Turns tracing on at `level` (1 = phases, 2 = + codec detail), clears
+  /// previously recorded events, and remembers `chrome_trace_path` as the
+  /// Flush() destination ("" = snapshot-only). `capacity_per_thread` sizes
+  /// each ring; events past capacity overwrite the oldest (and count as
+  /// dropped).
+  void Enable(int level, const std::string& chrome_trace_path = "",
+              size_t capacity_per_thread = kDefaultCapacity);
+  void Disable();
+
+  int level() const { return internal::g_trace_level.load(); }
+  const std::string& output_path() const { return path_; }
+
+  /// Microseconds of real time since Enable() (0 when disabled).
+  uint64_t NowUs() const;
+
+  /// Records a completed real-time span. Caller must have checked
+  /// TraceEnabled() — Record* assume an enabled tracer.
+  void RecordComplete(const char* name, uint32_t worker, int32_t layer,
+                      uint64_t ts_us, uint64_t dur_us);
+
+  /// Records a span on the simulated timeline: `sim_start_seconds` is the
+  /// worker's simulated clock when the modelled interval began.
+  void RecordSimSpan(const char* name, uint32_t worker, int32_t layer,
+                     double sim_start_seconds, double sim_dur_seconds);
+
+  /// Serializes every recorded event as Chrome-trace JSON (the
+  /// trace-event "X" complete-event format; loads in chrome://tracing and
+  /// ui.perfetto.dev). Real spans are pid 1, simulated spans pid 2.
+  Status WriteChromeTrace(const std::string& path) const;
+
+  /// WriteChromeTrace to the path given at Enable(); no-op without one.
+  Status Flush() const;
+
+  /// Copies out all recorded events (test/inspection hook).
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Events that fell off the rings since Enable().
+  uint64_t dropped_events() const;
+  uint64_t recorded_events() const;
+
+  /// Clears events and drop counters without toggling the level.
+  void Reset();
+
+ private:
+  Tracer() = default;
+  struct ThreadBuffer;
+  ThreadBuffer* BufferForThisThread();
+
+  mutable std::mutex mu_;  // guards buffers_ registration and export
+  std::vector<ThreadBuffer*> buffers_;
+  std::string path_;
+  size_t capacity_ = kDefaultCapacity;
+  std::atomic<uint64_t> epoch_gen_{0};  // bumped by Enable/Reset
+  double start_real_s_ = 0.0;           // steady_clock origin of NowUs
+};
+
+/// RAII span: records [construction, destruction) as one real-time span
+/// when tracing is enabled at `level`; otherwise the constructor is a
+/// single branch and the destructor a dead store.
+class TraceScope {
+ public:
+  TraceScope(const char* name, uint32_t worker, int32_t layer,
+             int level = 1)
+      : active_(TraceEnabled(level)) {
+    if (active_) {
+      name_ = name;
+      worker_ = worker;
+      layer_ = layer;
+      start_us_ = Tracer::Global().NowUs();
+    }
+  }
+  ~TraceScope() {
+    if (active_) {
+      Tracer& t = Tracer::Global();
+      const uint64_t now = t.NowUs();
+      t.RecordComplete(name_, worker_, layer_, start_us_,
+                       now > start_us_ ? now - start_us_ : 0);
+    }
+  }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  const bool active_;
+  const char* name_ = nullptr;
+  uint32_t worker_ = 0;
+  int32_t layer_ = -1;
+  uint64_t start_us_ = 0;
+};
+
+#define ECG_TRACE_CONCAT_INNER(a, b) a##b
+#define ECG_TRACE_CONCAT(a, b) ECG_TRACE_CONCAT_INNER(a, b)
+
+/// Phase-level span (trace level >= 1).
+#define ECG_TRACE_SCOPE(name, worker, layer)            \
+  ::ecg::obs::TraceScope ECG_TRACE_CONCAT(             \
+      ecg_trace_scope_, __LINE__)((name), (worker), (layer), /*level=*/1)
+
+/// Fine-grained span (per-peer codec work; trace level >= 2).
+#define ECG_TRACE_SCOPE_DETAIL(name, worker, layer)     \
+  ::ecg::obs::TraceScope ECG_TRACE_CONCAT(             \
+      ecg_trace_scope_, __LINE__)((name), (worker), (layer), /*level=*/2)
+
+/// Flushes both the tracer (Chrome trace, if a path was configured) and
+/// the stats registry (JSONL summary). Safe to call repeatedly; used by
+/// the CLI / bench atexit hooks.
+Status FlushObservability();
+
+/// Consumes the shared observability flags from (argc, argv) — recognized
+/// flags are removed in place so downstream command parsers never see
+/// them:
+///   --trace_out=PATH    Chrome-trace JSON destination (implies level 1)
+///   --trace_level=N     0 = off, 1 = phase spans, 2 = + per-peer codec
+///                       detail
+///   --stats_out=PATH    per-epoch JSONL destination (enables stats)
+///   --log_level=LEVEL   debug | info | warning | error
+/// Environment variables ECG_TRACE_OUT / ECG_TRACE_LEVEL / ECG_STATS_OUT /
+/// ECG_LOG_LEVEL supply defaults when the flag is absent. When either
+/// exporter ends up enabled, an atexit hook flushes both. Returns the
+/// number of argv entries consumed.
+int InitObservabilityFromArgs(int* argc, char** argv);
+
+}  // namespace ecg::obs
+
+#endif  // ECGRAPH_COMMON_TRACE_H_

@@ -725,6 +725,20 @@ Result<double> MeasureAlpha(const tensor::Matrix& x,
   return std::sqrt(err / norm);
 }
 
+Result<double> BucketSaturationRate(const QuantizedMatrix& q) {
+  ECG_RETURN_IF_ERROR(CheckDecodable(q));
+  const size_t count = static_cast<size_t>(q.rows) * q.cols;
+  if (count == 0) return 0.0;
+  std::vector<uint32_t> ids;
+  ECG_RETURN_IF_ERROR(UnpackBits(q.packed_ids, count, q.bits, &ids));
+  const uint32_t top = (q.bits >= 32 ? ~0u : (1u << q.bits) - 1u);
+  size_t saturated = 0;
+  for (uint32_t id : ids) {
+    if (id == 0 || id == top) ++saturated;
+  }
+  return static_cast<double>(saturated) / static_cast<double>(count);
+}
+
 Result<QuantizedMatrix> GatherQuantizedRows(
     const QuantizedMatrix& q, const std::vector<uint32_t>& rows) {
   ECG_RETURN_IF_ERROR(CheckDecodable(q));

@@ -95,6 +95,12 @@ Status DequantizeInto(const QuantizedMatrix& q,
 Result<double> MeasureAlpha(const tensor::Matrix& x,
                             const QuantizerOptions& options);
 
+/// Fraction of elements sitting in the two extreme buckets (id 0 or
+/// 2^bits - 1) — the rows a wider [min, max] range or more bits would
+/// reconstruct better. Telemetry for the obs stats registry; costs a full
+/// unpack, so call only when stats collection is on.
+Result<double> BucketSaturationRate(const QuantizedMatrix& q);
+
 /// Extracts the given rows of a quantized matrix into a new quantized
 /// matrix that reuses the same bucket table. This is ReqEC-FP's "filter out
 /// the predicted embedding" (Algorithm 4 line 14): the selector evaluates

@@ -1,8 +1,11 @@
+#include <cmath>
 #include <memory>
 #include <vector>
 
 #include "common/bytes.h"
 #include "common/logging.h"
+#include "common/stats.h"
+#include "common/trace.h"
 #include "core/exchange.h"
 #include "core/wire_util.h"
 #include "tensor/ops.h"
@@ -35,6 +38,24 @@ void SendToActivePeers(dist::WorkerContext* ctx, const WorkerPlan& plan,
   }
 }
 
+/// Send-side compression telemetry, keyed (epoch, layer, peer); raw is the
+/// float32 weight of the gradient rows (the Non-cp baseline).
+void RecordBpSendStats(uint32_t epoch, uint16_t layer, uint32_t peer,
+                       size_t rows, size_t cols, size_t wire_bytes,
+                       int bits) {
+  const double raw = static_cast<double>(rows * cols * sizeof(float));
+  obs::RecordStat("bp.raw_bytes", raw, epoch, layer,
+                  static_cast<int32_t>(peer));
+  obs::RecordStat("bp.wire_bytes", static_cast<double>(wire_bytes), epoch,
+                  layer, static_cast<int32_t>(peer));
+  if (wire_bytes > 0) {
+    obs::RecordStat("bp.ratio", raw / static_cast<double>(wire_bytes),
+                    epoch, layer, static_cast<int32_t>(peer));
+  }
+  obs::RecordStat("bp.bits", static_cast<double>(bits), epoch, layer,
+                  static_cast<int32_t>(peer));
+}
+
 /// Non-cp backward: raw float32 gradient rows.
 class ExactBpExchanger : public BpExchanger {
  public:
@@ -45,21 +66,27 @@ class ExactBpExchanger : public BpExchanger {
     PeerBuffers out(ctx->num_workers());
     ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
         plan, ctx->num_workers(), [&](uint32_t p) -> Status {
+          ECG_TRACE_SCOPE_DETAIL("bp_encode", ctx->worker_id(), layer);
           const Matrix rows = tensor::GatherRows(g_owned, plan.send_rows[p]);
           ByteWriter w(&out[p]);
           EncodeMatrix(rows, &w);
+          if (obs::StatsEnabled()) {
+            RecordBpSendStats(epoch, layer, p, rows.rows(), rows.cols(),
+                              out[p].size(), /*bits=*/32);
+          }
           return Status::OK();
         }));
     SendToActivePeers(ctx, plan, tag, &out);
     PeerBuffers in = RecvFromActivePeers(ctx, plan, tag);
     ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
         plan, ctx->num_workers(), [&](uint32_t p) -> Status {
+          ECG_TRACE_SCOPE_DETAIL("bp_decode", ctx->worker_id(), layer);
           ByteReader r(in[p]);
           Matrix rows;
           ECG_RETURN_IF_ERROR(DecodeMatrix(&r, &rows));
           return AssignRows(rows, plan.recv_halo_rows[p], g_halo);
         }));
-    ctx->EndCommPhase();
+    ctx->EndCommPhase("bp_comm");
     return Status::OK();
   }
 };
@@ -81,23 +108,33 @@ class CompressedBpExchanger : public BpExchanger {
     PeerBuffers out(ctx->num_workers());
     ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
         plan, ctx->num_workers(), [&](uint32_t p) -> Status {
+          ECG_TRACE_SCOPE_DETAIL("bp_encode", ctx->worker_id(), layer);
           ECG_ASSIGN_OR_RETURN(
               QuantizedMatrix q,
               compress::QuantizeRows(g_owned, plan.send_rows[p], qopts));
           ByteWriter w(&out[p]);
           q.AppendTo(&w);
+          if (obs::StatsEnabled()) {
+            RecordBpSendStats(epoch, layer, p, q.rows, q.cols,
+                              out[p].size(), q.bits);
+            ECG_ASSIGN_OR_RETURN(const double sat,
+                                 compress::BucketSaturationRate(q));
+            obs::RecordStat("bp.saturation", sat, epoch, layer,
+                            static_cast<int32_t>(p));
+          }
           return Status::OK();
         }));
     SendToActivePeers(ctx, plan, tag, &out);
     PeerBuffers in = RecvFromActivePeers(ctx, plan, tag);
     ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
         plan, ctx->num_workers(), [&](uint32_t p) -> Status {
+          ECG_TRACE_SCOPE_DETAIL("bp_decode", ctx->worker_id(), layer);
           ByteReader r(in[p]);
           QuantizedMatrix q;
           ECG_RETURN_IF_ERROR(QuantizedMatrix::ParseFrom(&r, &q));
           return compress::DequantizeInto(q, plan.recv_halo_rows[p], g_halo);
         }));
-    ctx->EndCommPhase();
+    ctx->EndCommPhase("bp_comm");
     return Status::OK();
   }
 
@@ -132,6 +169,7 @@ class ResEcBpExchanger : public BpExchanger {
     PeerBuffers out(ctx->num_workers());
     ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
         plan, ctx->num_workers(), [&](uint32_t p) -> Status {
+          ECG_TRACE_SCOPE_DETAIL("bp_encode", ctx->worker_id(), layer);
           Matrix g_cpt = tensor::GatherRows(g_owned, plan.send_rows[p]);
           Matrix& delta = delta_[layer][p];
           if (delta.rows() != g_cpt.rows() || delta.cols() != g_cpt.cols()) {
@@ -146,18 +184,32 @@ class ResEcBpExchanger : public BpExchanger {
           tensor::SubInPlace(&delta, decoded);
           ByteWriter w(&out[p]);
           q.AppendTo(&w);
+          if (obs::StatsEnabled()) {
+            RecordBpSendStats(epoch, layer, p, q.rows, q.cols,
+                              out[p].size(), q.bits);
+            // ||δ^t||₂: the error-feedback state the next epoch will fold
+            // back in (Theorem 1's bounded-residual premise).
+            obs::RecordStat("resec.residual_l2",
+                            std::sqrt(delta.SquaredNorm()), epoch, layer,
+                            static_cast<int32_t>(p));
+            ECG_ASSIGN_OR_RETURN(const double sat,
+                                 compress::BucketSaturationRate(q));
+            obs::RecordStat("bp.saturation", sat, epoch, layer,
+                            static_cast<int32_t>(p));
+          }
           return Status::OK();
         }));
     SendToActivePeers(ctx, plan, tag, &out);
     PeerBuffers in = RecvFromActivePeers(ctx, plan, tag);
     ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
         plan, ctx->num_workers(), [&](uint32_t p) -> Status {
+          ECG_TRACE_SCOPE_DETAIL("bp_decode", ctx->worker_id(), layer);
           ByteReader r(in[p]);
           QuantizedMatrix q;
           ECG_RETURN_IF_ERROR(QuantizedMatrix::ParseFrom(&r, &q));
           return compress::DequantizeInto(q, plan.recv_halo_rows[p], g_halo);
         }));
-    ctx->EndCommPhase();
+    ctx->EndCommPhase("bp_comm");
     return Status::OK();
   }
 

@@ -8,6 +8,8 @@
 #include "common/bitpack.h"
 #include "common/bytes.h"
 #include "common/logging.h"
+#include "common/stats.h"
+#include "common/trace.h"
 #include "core/exchange.h"
 #include "core/wire_util.h"
 #include "tensor/ops.h"
@@ -43,6 +45,44 @@ void SendToActivePeers(dist::WorkerContext* ctx, const WorkerPlan& plan,
   }
 }
 
+/// Send-side compression telemetry, keyed (epoch, layer, peer). `raw` is
+/// what the message would weigh as float32 rows — the Non-cp baseline —
+/// so fp.ratio reads directly as the paper's compression factor.
+void RecordFpSendStats(uint32_t epoch, uint16_t layer, uint32_t peer,
+                       size_t rows, size_t cols, size_t wire_bytes,
+                       int bits) {
+  const double raw = static_cast<double>(rows * cols * sizeof(float));
+  obs::RecordStat("fp.raw_bytes", raw, epoch, layer,
+                  static_cast<int32_t>(peer));
+  obs::RecordStat("fp.wire_bytes", static_cast<double>(wire_bytes), epoch,
+                  layer, static_cast<int32_t>(peer));
+  if (wire_bytes > 0) {
+    obs::RecordStat("fp.ratio", raw / static_cast<double>(wire_bytes),
+                    epoch, layer, static_cast<int32_t>(peer));
+  }
+  obs::RecordStat("fp.bits", static_cast<double>(bits), epoch, layer,
+                  static_cast<int32_t>(peer));
+}
+
+/// ReqEC selector census: how many units (vertices or elements, depending
+/// on the granularity) picked each candidate. Values 0/1/2 match the
+/// Selection enum (cps/pdt/avg).
+void RecordSelectorStats(const std::vector<uint32_t>& slt, uint32_t epoch,
+                         uint16_t layer, uint32_t peer) {
+  if (!obs::StatsEnabled()) return;
+  size_t counts[3] = {0, 0, 0};
+  for (uint32_t s : slt) {
+    if (s < 3) ++counts[s];
+  }
+  static constexpr const char* kNames[3] = {"reqec.sel_cps",
+                                            "reqec.sel_pdt",
+                                            "reqec.sel_avg"};
+  for (int i = 0; i < 3; ++i) {
+    obs::RecordStat(kNames[i], static_cast<double>(counts[i]), epoch, layer,
+                    static_cast<int32_t>(peer));
+  }
+}
+
 /// Non-cp: ship raw float32 rows every epoch.
 class ExactFpExchanger : public FpExchanger {
  public:
@@ -53,21 +93,27 @@ class ExactFpExchanger : public FpExchanger {
     PeerBuffers out(ctx->num_workers());
     ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
         plan, ctx->num_workers(), [&](uint32_t p) -> Status {
+          ECG_TRACE_SCOPE_DETAIL("fp_encode", ctx->worker_id(), layer);
           const Matrix rows = tensor::GatherRows(h_owned, plan.send_rows[p]);
           ByteWriter w(&out[p]);
           EncodeMatrix(rows, &w);
+          if (obs::StatsEnabled()) {
+            RecordFpSendStats(epoch, layer, p, rows.rows(), rows.cols(),
+                              out[p].size(), /*bits=*/32);
+          }
           return Status::OK();
         }));
     SendToActivePeers(ctx, plan, tag, &out);
     PeerBuffers in = RecvFromActivePeers(ctx, plan, tag);
     ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
         plan, ctx->num_workers(), [&](uint32_t p) -> Status {
+          ECG_TRACE_SCOPE_DETAIL("fp_decode", ctx->worker_id(), layer);
           ByteReader r(in[p]);
           Matrix rows;
           ECG_RETURN_IF_ERROR(DecodeMatrix(&r, &rows));
           return AssignRows(rows, plan.recv_halo_rows[p], h_halo);
         }));
-    ctx->EndCommPhase();
+    ctx->EndCommPhase("fp_comm");
     return Status::OK();
   }
 };
@@ -88,11 +134,20 @@ class CompressedFpExchanger : public FpExchanger {
     PeerBuffers out(ctx->num_workers());
     ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
         plan, ctx->num_workers(), [&](uint32_t p) -> Status {
+          ECG_TRACE_SCOPE_DETAIL("fp_encode", ctx->worker_id(), layer);
           ECG_ASSIGN_OR_RETURN(
               QuantizedMatrix q,
               compress::QuantizeRows(h_owned, plan.send_rows[p], qopts));
           ByteWriter w(&out[p]);
           q.AppendTo(&w);
+          if (obs::StatsEnabled()) {
+            RecordFpSendStats(epoch, layer, p, q.rows, q.cols,
+                              out[p].size(), q.bits);
+            ECG_ASSIGN_OR_RETURN(const double sat,
+                                 compress::BucketSaturationRate(q));
+            obs::RecordStat("fp.saturation", sat, epoch, layer,
+                            static_cast<int32_t>(p));
+          }
           return Status::OK();
         }));
     SendToActivePeers(ctx, plan, tag, &out);
@@ -100,12 +155,13 @@ class CompressedFpExchanger : public FpExchanger {
     PeerBuffers in = RecvFromActivePeers(ctx, plan, tag);
     ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
         plan, ctx->num_workers(), [&](uint32_t p) -> Status {
+          ECG_TRACE_SCOPE_DETAIL("fp_decode", ctx->worker_id(), layer);
           ByteReader r(in[p]);
           QuantizedMatrix q;
           ECG_RETURN_IF_ERROR(QuantizedMatrix::ParseFrom(&r, &q));
           return compress::DequantizeInto(q, plan.recv_halo_rows[p], h_halo);
         }));
-    ctx->EndCommPhase();
+    ctx->EndCommPhase("fp_comm");
     return Status::OK();
   }
 
@@ -143,6 +199,12 @@ class DelayedFpExchanger : public FpExchanger {
           ByteWriter w(&out[p]);
           w.PutU32Vector(positions);
           EncodeMatrix(rows, &w);
+          if (obs::StatsEnabled()) {
+            // Raw = the full send set, so fp.ratio shows the delayed
+            // refresh's savings over shipping everything.
+            RecordFpSendStats(epoch, layer, p, send_rows.size(),
+                              h_owned.cols(), out[p].size(), /*bits=*/32);
+          }
           return Status::OK();
         }));
     SendToActivePeers(ctx, plan, tag, &out);
@@ -166,7 +228,7 @@ class DelayedFpExchanger : public FpExchanger {
           }
           return AssignRows(rows, targets, h_halo);
         }));
-    ctx->EndCommPhase();
+    ctx->EndCommPhase("fp_comm");
     return Status::OK();
   }
 
@@ -221,11 +283,19 @@ class ReqEcFpExchanger : public FpExchanger {
     PeerBuffers out(ctx->num_workers());
     ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
         plan, ctx->num_workers(), [&](uint32_t p) -> Status {
+          ECG_TRACE_SCOPE_DETAIL("fp_encode", ctx->worker_id(), layer);
           ByteReader rr(reqs[p]);
           uint8_t peer_bits = 0;
           ECG_RETURN_IF_ERROR(rr.GetU8(&peer_bits));
-          return BuildResponse(plan, p, epoch, layer, trend_epoch, step,
-                               peer_bits, h_owned, &out[p]);
+          ECG_RETURN_IF_ERROR(BuildResponse(plan, p, epoch, layer,
+                                            trend_epoch, step, peer_bits,
+                                            h_owned, &out[p]));
+          if (obs::StatsEnabled()) {
+            RecordFpSendStats(epoch, layer, p, plan.send_rows[p].size(),
+                              h_owned.cols(), out[p].size(),
+                              trend_epoch ? 32 : peer_bits);
+          }
+          return Status::OK();
         }));
     SendToActivePeers(ctx, plan, data_tag, &out);
 
@@ -234,10 +304,11 @@ class ReqEcFpExchanger : public FpExchanger {
     PeerBuffers in = RecvFromActivePeers(ctx, plan, data_tag);
     ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
         plan, ctx->num_workers(), [&](uint32_t p) -> Status {
+          ECG_TRACE_SCOPE_DETAIL("fp_decode", ctx->worker_id(), layer);
           return ParseResponse(plan, p, layer, trend_epoch, step, in[p],
                                h_halo);
         }));
-    ctx->EndCommPhase();
+    ctx->EndCommPhase("fp_comm");
 
     // 4) Bit-Tuner, once per epoch after the last exchanged FP layer
     //    (Algorithm 3 lines 13-18).
@@ -250,6 +321,12 @@ class ReqEcFpExchanger : public FpExchanger {
           b *= 2;
         } else if (prop < config_.tuner_lo && b > 1) {
           b /= 2;
+        }
+        if (obs::StatsEnabled()) {
+          obs::RecordStat("reqec.tuner_bits", static_cast<double>(b), epoch,
+                          /*layer=*/-1, static_cast<int32_t>(p));
+          obs::RecordStat("reqec.predicted_frac", prop, epoch,
+                          /*layer=*/-1, static_cast<int32_t>(p));
         }
       }
     }
@@ -316,6 +393,12 @@ class ReqEcFpExchanger : public FpExchanger {
     ECG_ASSIGN_OR_RETURN(
         QuantizedMatrix q_full,
         compress::QuantizeRows(h_owned, plan.send_rows[peer], qopts));
+    if (obs::StatsEnabled()) {
+      ECG_ASSIGN_OR_RETURN(const double sat,
+                           compress::BucketSaturationRate(q_full));
+      obs::RecordStat("fp.saturation", sat, epoch, layer,
+                      static_cast<int32_t>(peer));
+    }
 
     if (!st.have_trend) {
       // First trend group: no prediction baseline exists on either end.
@@ -335,7 +418,7 @@ class ReqEcFpExchanger : public FpExchanger {
 
     if (config_.selector == SelectorGranularity::kElement) {
       return BuildElementResponse(h_send, h_cps, h_pdt, h_avg, q_full,
-                                  peer_bits, &w);
+                                  peer_bits, epoch, layer, peer, &w);
     }
 
     // Selector: per-vertex L1 distances (Eq. 10), or a single matrix-wide
@@ -383,6 +466,7 @@ class ReqEcFpExchanger : public FpExchanger {
                          compress::GatherQuantizedRows(q_full, shipped));
     const float proportion =
         n == 0 ? 0.0f : static_cast<float>(predicted) / n;
+    RecordSelectorStats(slt, epoch, layer, peer);
 
     w.PutU8(kSelected);
     w.PutU8(static_cast<uint8_t>(peer_bits));
@@ -400,6 +484,7 @@ class ReqEcFpExchanger : public FpExchanger {
   Status BuildElementResponse(const Matrix& h_send, const Matrix& h_cps,
                               const Matrix& h_pdt, const Matrix& h_avg,
                               const QuantizedMatrix& q_full, int peer_bits,
+                              uint32_t epoch, uint16_t layer, uint32_t peer,
                               ByteWriter* w) {
     const size_t count = h_send.size();
     std::vector<uint32_t> full_ids;
@@ -430,6 +515,7 @@ class ReqEcFpExchanger : public FpExchanger {
     }
     const float proportion =
         count == 0 ? 0.0f : static_cast<float>(predicted) / count;
+    RecordSelectorStats(slt, epoch, layer, peer);
 
     QuantizedMatrix q_sub;
     q_sub.rows = 1;

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <limits>
+#include <string>
+#include <utility>
 #include <vector>
 
 namespace ecg::core {
@@ -20,6 +22,19 @@ struct EpochMetrics {
   uint64_t comm_bytes = 0;
   /// Worker<->parameter-server bytes this epoch.
   uint64_t param_bytes = 0;
+  /// Optional per-phase breakdown of the epoch's simulated seconds,
+  /// name-sorted, *summed across workers* (divide by the worker count for
+  /// a per-machine view). Populated by the trainers via
+  /// MetricsBoard::AddPhase; empty when phase accounting is off.
+  std::vector<std::pair<std::string, double>> phase_seconds;
+
+  /// Seconds of one named phase (0 when absent).
+  double PhaseSeconds(const std::string& phase) const {
+    for (const auto& [name, seconds] : phase_seconds) {
+      if (name == phase) return seconds;
+    }
+    return 0.0;
+  }
 };
 
 /// Full curve plus summary of a run.
@@ -38,12 +53,15 @@ struct TrainResult {
   double preprocess_seconds = 0.0;
 
   /// First epoch whose val accuracy is within `tol` of the best; the
-  /// "epochs to converge" of Figs. 8-9.
+  /// "epochs to converge" of Figs. 8-9. For any non-empty curve with a
+  /// consistent best_val_acc (== max over the curve) the loop below always
+  /// returns — the best epoch itself matches — so the fallback only covers
+  /// the empty curve.
   uint32_t ConvergenceEpoch(double tol = 0.005) const {
     for (uint32_t e = 0; e < epochs.size(); ++e) {
       if (epochs[e].val_acc >= best_val_acc - tol) return e;
     }
-    return epochs.empty() ? 0 : static_cast<uint32_t>(epochs.size()) - 1;
+    return 0;
   }
 
   /// Simulated time to convergence (sum of epoch times through the

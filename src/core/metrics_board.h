@@ -3,10 +3,13 @@
 
 #include <atomic>
 #include <cstring>
+#include <map>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/stats.h"
 #include "core/metrics.h"
 #include "tensor/matrix.h"
 
@@ -24,9 +27,14 @@ struct MetricsBoard {
   std::atomic<uint64_t> param_bytes{0};
 
   std::vector<EpochMetrics> epochs;
+  /// Baselines the per-epoch deltas subtract from; written only through
+  /// SetEpochBaseline / FinalizeEpoch so every access holds `mu`.
   double last_clock = 0.0;
   uint64_t last_comm_bytes = 0;
   uint64_t last_param_bytes = 0;
+  /// Per-phase simulated seconds of the epoch in flight (cleared by
+  /// FinalizeEpoch into EpochMetrics::phase_seconds).
+  std::map<std::string, double> phase_acc;
 
   double best_val = -1.0;
   double test_at_best_val = 0.0;
@@ -41,6 +49,28 @@ struct MetricsBoard {
       correct[i] += c[i];
       totals[i] += t[i];
     }
+  }
+
+  /// Sets the epoch-delta baselines before the first epoch (worker 0,
+  /// between the post-preprocessing barriers). Goes through `mu` like
+  /// every other field access — the surrounding barriers do order this
+  /// write against the readers in FinalizeEpoch, but taking the lock keeps
+  /// the invariant checkable without reasoning about barrier placement.
+  void SetEpochBaseline(double clock, uint64_t comm_bytes) {
+    std::lock_guard<std::mutex> lock(mu);
+    last_clock = clock;
+    last_comm_bytes = comm_bytes;
+  }
+
+  /// Adds one worker's simulated seconds of a named phase for the epoch in
+  /// flight; also mirrored into the obs stats registry (as
+  /// "phase.<name>") when stats collection is enabled.
+  void AddPhase(uint32_t epoch, const char* phase, double sim_seconds) {
+    if (obs::StatsEnabled()) {
+      obs::RecordStat(std::string("phase.") + phase, sim_seconds, epoch);
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    phase_acc[phase] += sim_seconds;
   }
 
   /// Worker 0 calls this after the epoch barrier: folds the accumulators
@@ -66,6 +96,8 @@ struct MetricsBoard {
     const uint64_t pbytes = param_bytes.load(std::memory_order_relaxed);
     m.param_bytes = pbytes - last_param_bytes;
     last_param_bytes = pbytes;
+    m.phase_seconds.assign(phase_acc.begin(), phase_acc.end());
+    phase_acc.clear();
     epochs.push_back(m);
     loss_sum = 0.0;
     for (int i = 0; i < 3; ++i) correct[i] = totals[i] = 0;
@@ -80,6 +112,20 @@ struct MetricsBoard {
     }
     if (patience > 0 && epochs_since_best >= patience) {
       stop.store(true, std::memory_order_relaxed);
+    }
+
+    // Telemetry: fold the epoch summary into the stats registry and flush
+    // this epoch's rows to the JSONL stream (every worker's exchange stats
+    // for `epoch` are in — the caller sits between the BSP barriers).
+    if (obs::StatsEnabled()) {
+      obs::RecordStat("epoch.loss", m.loss, epoch);
+      obs::RecordStat("epoch.val_acc", m.val_acc, epoch);
+      obs::RecordStat("epoch.sim_seconds", m.sim_seconds, epoch);
+      obs::RecordStat("epoch.comm_bytes",
+                      static_cast<double>(m.comm_bytes), epoch);
+      obs::RecordStat("epoch.param_bytes",
+                      static_cast<double>(m.param_bytes), epoch);
+      obs::StatsRegistry::Global().FlushEpoch(epoch);
     }
   }
 
@@ -101,6 +147,33 @@ struct MetricsBoard {
     }
     return result;
   }
+};
+
+/// Books the simulated seconds a scope advances the worker's clock by
+/// (compute charges + modelled comm + stalls) as one named phase of the
+/// epoch in flight. Complements ECG_TRACE_SCOPE, which records the *real*
+/// seconds of the same scope: together they populate the sim phase
+/// breakdown (EpochMetrics::phase_seconds, "phase.*" stats) and the
+/// real-clock trace track. Templated on the context type only to keep this
+/// header free of a dist/ dependency; Ctx is always WorkerContext.
+template <typename Ctx>
+class PhaseScope {
+ public:
+  PhaseScope(Ctx* ctx, MetricsBoard* board, uint32_t epoch, const char* name)
+      : ctx_(ctx), board_(board), epoch_(epoch), name_(name),
+        start_(ctx->total_seconds()) {}
+  ~PhaseScope() {
+    board_->AddPhase(epoch_, name_, ctx_->total_seconds() - start_);
+  }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  Ctx* ctx_;
+  MetricsBoard* board_;
+  uint32_t epoch_;
+  const char* name_;
+  double start_;
 };
 
 /// [owned ; halo] stacked into one matrix whose row indexing matches the

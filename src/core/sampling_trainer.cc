@@ -6,8 +6,10 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/stats.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "core/exchange.h"
 #include "core/halo.h"
 #include "core/metrics_board.h"
@@ -24,6 +26,9 @@ using dist::WorkerContext;
 using internal::BuildCat;
 using internal::MetricsBoard;
 using tensor::Matrix;
+
+/// Sim-clock phase accounting for one scope (see metrics_board.h).
+using Phase = internal::PhaseScope<WorkerContext>;
 
 /// Per-epoch sampled structure, built once (by worker 0, between barriers)
 /// and read by everyone: one plan set per layer.
@@ -142,14 +147,17 @@ Result<TrainResult> SamplingTrainer::Train() {
 
     // One-time feature-halo cache over the full (unsampled) halo.
     Matrix x_halo_cache(full_plan.num_halo(), dims[0]);
-    ECG_RETURN_IF_ERROR(exact_fp->Exchange(ctx, full_plan,
-                                           /*epoch=*/0xFFFFFFFFu,
-                                           /*layer=*/0, x_local,
-                                           &x_halo_cache));
+    {
+      ECG_TRACE_SCOPE("feature_cache", me, 0);
+      ECG_RETURN_IF_ERROR(exact_fp->Exchange(ctx, full_plan,
+                                             /*epoch=*/0xFFFFFFFFu,
+                                             /*layer=*/0, x_local,
+                                             &x_halo_cache));
+    }
     ctx->BarrierSync();
     if (me == 0) {
-      board.last_clock = ctx->total_seconds();
-      board.last_comm_bytes = cluster.stats().TotalBytes();
+      board.SetEpochBaseline(ctx->total_seconds(),
+                             cluster.stats().TotalBytes());
     }
     ctx->BarrierSync();
 
@@ -162,50 +170,64 @@ Result<TrainResult> SamplingTrainer::Train() {
       // --- Per-epoch sampling (worker 0 builds the shared plans; the
       // measured cost is divided by the worker count — each machine of the
       // modelled cluster samples its own share in parallel). -------------
-      if (me == 0) {
-        ThreadCpuTimer sample_cpu;
-        shared.per_layer.assign(L, {});
-        for (int l = 1; l <= L; ++l) {
-          ECG_ASSIGN_OR_RETURN(
-              SampledLayerGraph sg,
-              SampleLayerGraph(graph_, fanouts[l - 1],
-                               options_.sample_seed * 0x9e3779b9ULL +
-                                   epoch * 131u + l));
-          ECG_RETURN_IF_ERROR(BuildWorkerPlansFromView(
-              ViewOf(sg, graph_.num_vertices()), partition_,
-              &shared.per_layer[l - 1]));
-        }
-        shared.sample_cpu_seconds = sample_cpu.ElapsedSeconds();
-      }
-      ctx->BarrierSync();
-      ctx->ChargeCompute(shared.sample_cpu_seconds / workers);
-
-      if (options_.online_sampling) {
-        // DistDGL-like online sampling: fetching sampled neighbour lists
-        // from remote graph stores costs one RPC per peer per layer plus
-        // the frontier ids / adjacency payloads.
-        for (int l = 1; l <= L; ++l) {
-          const WorkerPlan& plan = shared.per_layer[l - 1][me];
-          uint64_t bytes = 0, msgs = 0;
-          for (uint32_t p = 0; p < workers; ++p) {
-            if (p == me || plan.recv_halo_rows[p].empty()) continue;
-            bytes += plan.recv_halo_rows[p].size() * 8ull;
-            msgs += 2;  // request + response
+      {
+        Phase phase(ctx, &board, epoch, "sample");
+        if (me == 0) {
+          ECG_TRACE_SCOPE("sample", me, -1);
+          ThreadCpuTimer sample_cpu;
+          shared.per_layer.assign(L, {});
+          for (int l = 1; l <= L; ++l) {
+            ECG_ASSIGN_OR_RETURN(
+                SampledLayerGraph sg,
+                SampleLayerGraph(graph_, fanouts[l - 1],
+                                 options_.sample_seed * 0x9e3779b9ULL +
+                                     epoch * 131u + l));
+            ECG_RETURN_IF_ERROR(BuildWorkerPlansFromView(
+                ViewOf(sg, graph_.num_vertices()), partition_,
+                &shared.per_layer[l - 1]));
           }
-          ctx->ChargeCommSeconds(
-              ctx->net().TransferSeconds(bytes, msgs));
+          shared.sample_cpu_seconds = sample_cpu.ElapsedSeconds();
+        }
+        ctx->BarrierSync();
+        ctx->ChargeCompute(shared.sample_cpu_seconds / workers);
+
+        if (options_.online_sampling) {
+          // DistDGL-like online sampling: fetching sampled neighbour lists
+          // from remote graph stores costs one RPC per peer per layer plus
+          // the frontier ids / adjacency payloads.
+          for (int l = 1; l <= L; ++l) {
+            const WorkerPlan& plan = shared.per_layer[l - 1][me];
+            uint64_t bytes = 0, msgs = 0;
+            for (uint32_t p = 0; p < workers; ++p) {
+              if (p == me || plan.recv_halo_rows[p].empty()) continue;
+              bytes += plan.recv_halo_rows[p].size() * 8ull;
+              msgs += 2;  // request + response
+            }
+            ctx->ChargeCommSeconds(
+                ctx->net().TransferSeconds(bytes, msgs));
+          }
         }
       }
 
       // --- Forward on the sampled structure -----------------------------
       for (int l = 1; l <= L; ++l) {
         const WorkerPlan& plan = shared.per_layer[l - 1][me];
-        const auto pull = ps.Pull(l - 1, &w[l - 1], &bias[l - 1]);
-        ctx->ChargeCommSeconds(pull.Seconds(ctx->net()));
-        board.param_bytes.fetch_add(pull.bytes, std::memory_order_relaxed);
+        {
+          Phase phase(ctx, &board, epoch, "param_sync");
+          ECG_TRACE_SCOPE("param_pull", me, l - 1);
+          const auto pull = ps.Pull(l - 1, &w[l - 1], &bias[l - 1]);
+          ctx->ChargeCommSeconds(pull.Seconds(ctx->net()));
+          board.param_bytes.fetch_add(pull.bytes, std::memory_order_relaxed);
+          if (obs::StatsEnabled()) {
+            obs::RecordStat("ps.pull_bytes",
+                            static_cast<double>(pull.bytes), epoch, l - 1);
+          }
+        }
 
         Matrix halo(plan.num_halo(), dims[l - 1]);
         if (l == 1) {
+          Phase phase(ctx, &board, epoch, "fp_compute");
+          ECG_TRACE_SCOPE("halo_from_cache", me, 0);
           cpu.Reset();
           // Sampled feature halo comes from the one-time cache.
           for (uint32_t i = 0; i < plan.num_halo(); ++i) {
@@ -218,32 +240,44 @@ Result<TrainResult> SamplingTrainer::Train() {
           }
           ctx->ChargeCompute(cpu.ElapsedSeconds());
         } else {
+          Phase phase(ctx, &board, epoch, "fp_exchange");
+          ECG_TRACE_SCOPE("fp_exchange", me, l - 1);
           ECG_RETURN_IF_ERROR(fp_ex->Exchange(ctx, plan, epoch,
                                               static_cast<uint16_t>(l - 1),
                                               h_owned[l - 1], &halo));
         }
-        cpu.Reset();
-        BuildCat(h_owned[l - 1], halo, &cat);
-        plan.adj.SpMM(cat, &p_cache[l]);
-        tensor::Gemm(p_cache[l], w[l - 1], &z_cache[l]);
-        tensor::AddRowBias(&z_cache[l], bias[l - 1]);
-        h_owned[l] = z_cache[l];
-        if (l < L) tensor::ReluInPlace(&h_owned[l]);
-        ctx->ChargeCompute(cpu.ElapsedSeconds());
+        {
+          Phase phase(ctx, &board, epoch, "fp_compute");
+          ECG_TRACE_SCOPE("fp_compute", me, l);
+          cpu.Reset();
+          BuildCat(h_owned[l - 1], halo, &cat);
+          plan.adj.SpMM(cat, &p_cache[l]);
+          tensor::Gemm(p_cache[l], w[l - 1], &z_cache[l]);
+          tensor::AddRowBias(&z_cache[l], bias[l - 1]);
+          h_owned[l] = z_cache[l];
+          if (l < L) tensor::ReluInPlace(&h_owned[l]);
+          ctx->ChargeCompute(cpu.ElapsedSeconds());
+        }
       }
 
-      cpu.Reset();
-      const double local_loss = tensor::SoftmaxCrossEntropy(
-          h_owned[L], labels_local, rows_of[0], global_train, &grads_logits);
       uint64_t correct[3], totals[3];
-      for (int s = 0; s < 3; ++s) {
-        totals[s] = rows_of[s].size();
-        correct[s] = static_cast<uint64_t>(
-            tensor::Accuracy(h_owned[L], labels_local, rows_of[s]) *
-                static_cast<double>(rows_of[s].size()) +
-            0.5);
+      double local_loss;
+      {
+        Phase phase(ctx, &board, epoch, "loss");
+        ECG_TRACE_SCOPE("loss", me, L);
+        cpu.Reset();
+        local_loss = tensor::SoftmaxCrossEntropy(
+            h_owned[L], labels_local, rows_of[0], global_train,
+            &grads_logits);
+        for (int s = 0; s < 3; ++s) {
+          totals[s] = rows_of[s].size();
+          correct[s] = static_cast<uint64_t>(
+              tensor::Accuracy(h_owned[L], labels_local, rows_of[s]) *
+                  static_cast<double>(rows_of[s].size()) +
+              0.5);
+        }
+        ctx->ChargeCompute(cpu.ElapsedSeconds());
       }
-      ctx->ChargeCompute(cpu.ElapsedSeconds());
       board.AddLocal(local_loss, correct, totals);
 
       // --- Backward on the same sampled structure ------------------------
@@ -251,15 +285,25 @@ Result<TrainResult> SamplingTrainer::Train() {
       Matrix g = std::move(grads_logits);
       for (int l = L; l >= 1; --l) {
         const WorkerPlan& plan = shared.per_layer[l - 1][me];
-        cpu.Reset();
-        tensor::GemmTransposeA(p_cache[l], g, &dw[l - 1]);
-        db[l - 1] = tensor::ColumnSums(g);
-        ctx->ChargeCompute(cpu.ElapsedSeconds());
+        {
+          Phase phase(ctx, &board, epoch, "bp_compute");
+          ECG_TRACE_SCOPE("bp_compute", me, l);
+          cpu.Reset();
+          tensor::GemmTransposeA(p_cache[l], g, &dw[l - 1]);
+          db[l - 1] = tensor::ColumnSums(g);
+          ctx->ChargeCompute(cpu.ElapsedSeconds());
+        }
         if (l > 1) {
           Matrix g_halo(plan.num_halo(), dims[l]);
-          ECG_RETURN_IF_ERROR(bp_ex->Exchange(ctx, plan, epoch,
-                                              static_cast<uint16_t>(l), g,
-                                              &g_halo));
+          {
+            Phase phase(ctx, &board, epoch, "bp_exchange");
+            ECG_TRACE_SCOPE("bp_exchange", me, l);
+            ECG_RETURN_IF_ERROR(bp_ex->Exchange(ctx, plan, epoch,
+                                                static_cast<uint16_t>(l), g,
+                                                &g_halo));
+          }
+          Phase phase(ctx, &board, epoch, "bp_compute");
+          ECG_TRACE_SCOPE("bp_compute", me, l);
           cpu.Reset();
           BuildCat(g, g_halo, &cat);
           Matrix t;
@@ -273,10 +317,21 @@ Result<TrainResult> SamplingTrainer::Train() {
         }
       }
 
-      const auto push = ps.Push(me, std::move(dw), std::move(db));
-      ctx->ChargeCommSeconds(push.Seconds(ctx->net()));
-      board.param_bytes.fetch_add(push.bytes, std::memory_order_relaxed);
-      ctx->BarrierSync();
+      {
+        Phase phase(ctx, &board, epoch, "param_sync");
+        ECG_TRACE_SCOPE("param_push", me, -1);
+        const auto push = ps.Push(me, std::move(dw), std::move(db));
+        ctx->ChargeCommSeconds(push.Seconds(ctx->net()));
+        board.param_bytes.fetch_add(push.bytes, std::memory_order_relaxed);
+        if (obs::StatsEnabled()) {
+          obs::RecordStat("ps.push_bytes",
+                          static_cast<double>(push.bytes), epoch);
+        }
+      }
+      {
+        Phase phase(ctx, &board, epoch, "barrier");
+        ctx->BarrierSync();
+      }
 
       if (me == 0) {
         board.FinalizeEpoch(epoch, ctx->total_seconds(),

@@ -6,8 +6,10 @@
 #include <memory>
 
 #include "common/logging.h"
+#include "common/stats.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "core/halo.h"
 #include "core/metrics_board.h"
 #include "core/wire_util.h"
@@ -24,6 +26,9 @@ using dist::WorkerContext;
 using internal::BuildCat;
 using internal::MetricsBoard;
 using tensor::Matrix;
+
+/// Sim-clock phase accounting for one scope (see metrics_board.h).
+using Phase = internal::PhaseScope<WorkerContext>;
 
 enum class SplitKind : uint8_t { kNone = 0, kTrain, kVal, kTest };
 
@@ -116,14 +121,15 @@ Result<TrainResult> DistributedTrainer::Train() {
 
     // Feature-halo caching (Section III-A): ship H^0 once, exactly.
     if (options_.cache_features) {
+      ECG_TRACE_SCOPE("feature_cache", ctx->worker_id(), 0);
       ECG_RETURN_IF_ERROR(exact_fp->Exchange(ctx, plan, /*epoch=*/0xFFFFFFFFu,
                                              /*layer=*/0, h_owned[0],
                                              &h_halo[0]));
     }
     ctx->BarrierSync();
     if (ctx->worker_id() == 0) {
-      board.last_clock = ctx->total_seconds();
-      board.last_comm_bytes = cluster.stats().TotalBytes();
+      board.SetEpochBaseline(ctx->total_seconds(),
+                             cluster.stats().TotalBytes());
     }
     ctx->BarrierSync();
 
@@ -134,31 +140,47 @@ Result<TrainResult> DistributedTrainer::Train() {
       for (int l = 1; l <= L; ++l) {
         Matrix* wl = &w[l - 1];
         Matrix* bl = &bias[l - 1];
-        const auto pull = ps.Pull(l - 1, wl, bl);
-        ctx->ChargeCommSeconds(pull.Seconds(ctx->net()));
-        board.param_bytes.fetch_add(pull.bytes, std::memory_order_relaxed);
+        {
+          Phase phase(ctx, &board, epoch, "param_sync");
+          ECG_TRACE_SCOPE("param_pull", ctx->worker_id(), l - 1);
+          const auto pull = ps.Pull(l - 1, wl, bl);
+          ctx->ChargeCommSeconds(pull.Seconds(ctx->net()));
+          board.param_bytes.fetch_add(pull.bytes, std::memory_order_relaxed);
+          if (obs::StatsEnabled()) {
+            obs::RecordStat("ps.pull_bytes",
+                            static_cast<double>(pull.bytes), epoch, l - 1);
+          }
+        }
 
         if (l == 1 && !options_.cache_features) {
+          Phase phase(ctx, &board, epoch, "fp_exchange");
+          ECG_TRACE_SCOPE("fp_exchange", ctx->worker_id(), 0);
           ECG_RETURN_IF_ERROR(
               fp_ex->Exchange(ctx, plan, epoch, 0, h_owned[0], &h_halo[0]));
         }
-        cpu.Reset();
-        BuildCat(h_owned[l - 1], h_halo[l - 1], &cat);
-        if (sage) {
-          // Z = [H | mean_N(H)] W + b; the stacked input is cached for dW.
-          Matrix agg;
-          plan.adj.SpMM(cat, &agg);
-          p_cache[l] = tensor::ConcatCols(h_owned[l - 1], agg);
-        } else {
-          plan.adj.SpMM(cat, &p_cache[l]);
+        {
+          Phase phase(ctx, &board, epoch, "fp_compute");
+          ECG_TRACE_SCOPE("fp_compute", ctx->worker_id(), l);
+          cpu.Reset();
+          BuildCat(h_owned[l - 1], h_halo[l - 1], &cat);
+          if (sage) {
+            // Z = [H | mean_N(H)] W + b; the stacked input is cached for dW.
+            Matrix agg;
+            plan.adj.SpMM(cat, &agg);
+            p_cache[l] = tensor::ConcatCols(h_owned[l - 1], agg);
+          } else {
+            plan.adj.SpMM(cat, &p_cache[l]);
+          }
+          tensor::Gemm(p_cache[l], *wl, &z_cache[l]);
+          tensor::AddRowBias(&z_cache[l], *bl);
+          h_owned[l] = z_cache[l];
+          if (l < L) tensor::ReluInPlace(&h_owned[l]);
+          ctx->ChargeCompute(cpu.ElapsedSeconds());
         }
-        tensor::Gemm(p_cache[l], *wl, &z_cache[l]);
-        tensor::AddRowBias(&z_cache[l], *bl);
-        h_owned[l] = z_cache[l];
-        if (l < L) tensor::ReluInPlace(&h_owned[l]);
-        ctx->ChargeCompute(cpu.ElapsedSeconds());
 
         if (l < L) {
+          Phase phase(ctx, &board, epoch, "fp_exchange");
+          ECG_TRACE_SCOPE("fp_exchange", ctx->worker_id(), l);
           ECG_RETURN_IF_ERROR(
               fp_ex->Exchange(ctx, plan, epoch, static_cast<uint16_t>(l),
                               h_owned[l], &h_halo[l]));
@@ -166,79 +188,125 @@ Result<TrainResult> DistributedTrainer::Train() {
       }
 
       // Loss + local metrics on the final logits.
-      cpu.Reset();
-      const double local_loss = tensor::SoftmaxCrossEntropy(
-          h_owned[L], labels_local, rows_of[0], global_train, &grads_logits);
       uint64_t correct[3], totals[3];
-      for (int s = 0; s < 3; ++s) {
-        totals[s] = rows_of[s].size();
-        correct[s] = static_cast<uint64_t>(
-            tensor::Accuracy(h_owned[L], labels_local, rows_of[s]) *
-                static_cast<double>(rows_of[s].size()) +
-            0.5);
+      double local_loss;
+      {
+        Phase phase(ctx, &board, epoch, "loss");
+        ECG_TRACE_SCOPE("loss", ctx->worker_id(), L);
+        cpu.Reset();
+        local_loss = tensor::SoftmaxCrossEntropy(
+            h_owned[L], labels_local, rows_of[0], global_train,
+            &grads_logits);
+        for (int s = 0; s < 3; ++s) {
+          totals[s] = rows_of[s].size();
+          correct[s] = static_cast<uint64_t>(
+              tensor::Accuracy(h_owned[L], labels_local, rows_of[s]) *
+                  static_cast<double>(rows_of[s].size()) +
+              0.5);
+        }
+        ctx->ChargeCompute(cpu.ElapsedSeconds());
       }
-      ctx->ChargeCompute(cpu.ElapsedSeconds());
       board.AddLocal(local_loss, correct, totals);
 
       // Backward propagation (Algorithm 2).
       std::vector<Matrix> dw(L), db(L);
       Matrix g = std::move(grads_logits);  // G^L (loss grad already merged)
       for (int l = L; l >= 1; --l) {
-        cpu.Reset();
-        tensor::GemmTransposeA(p_cache[l], g, &dw[l - 1]);
-        db[l - 1] = tensor::ColumnSums(g);
-        ctx->ChargeCompute(cpu.ElapsedSeconds());
+        {
+          Phase phase(ctx, &board, epoch, "bp_compute");
+          ECG_TRACE_SCOPE("bp_compute", ctx->worker_id(), l);
+          cpu.Reset();
+          tensor::GemmTransposeA(p_cache[l], g, &dw[l - 1]);
+          db[l - 1] = tensor::ColumnSums(g);
+          ctx->ChargeCompute(cpu.ElapsedSeconds());
+        }
 
         if (l > 1) {
           Matrix g_prev;
           if (sage) {
             // dL/d[H|P] = G W^T splits into a direct self term and an
             // aggregated term; only the aggregated rows cross workers.
-            cpu.Reset();
-            Matrix t_full;
-            tensor::GemmTransposeB(g, w[l - 1], &t_full);
-            Matrix t_self = tensor::SliceCols(t_full, 0, dims[l - 1]);
-            Matrix t_agg =
-                tensor::SliceCols(t_full, dims[l - 1], 2 * dims[l - 1]);
-            ctx->ChargeCompute(cpu.ElapsedSeconds());
+            Matrix t_self, t_agg;
+            {
+              Phase phase(ctx, &board, epoch, "bp_compute");
+              ECG_TRACE_SCOPE("bp_compute", ctx->worker_id(), l);
+              cpu.Reset();
+              Matrix t_full;
+              tensor::GemmTransposeB(g, w[l - 1], &t_full);
+              t_self = tensor::SliceCols(t_full, 0, dims[l - 1]);
+              t_agg =
+                  tensor::SliceCols(t_full, dims[l - 1], 2 * dims[l - 1]);
+              ctx->ChargeCompute(cpu.ElapsedSeconds());
+            }
 
             g_halo[l].Reset(plan.num_halo(), dims[l - 1]);
-            ECG_RETURN_IF_ERROR(bp_ex->Exchange(ctx, plan, epoch,
-                                                static_cast<uint16_t>(l),
-                                                t_agg, &g_halo[l]));
-            cpu.Reset();
-            BuildCat(t_agg, g_halo[l], &cat);
-            plan.bp_adj().SpMM(cat, &g_prev);
-            tensor::AddInPlace(&g_prev, t_self);
-            ctx->ChargeCompute(cpu.ElapsedSeconds());
+            {
+              Phase phase(ctx, &board, epoch, "bp_exchange");
+              ECG_TRACE_SCOPE("bp_exchange", ctx->worker_id(), l);
+              ECG_RETURN_IF_ERROR(bp_ex->Exchange(ctx, plan, epoch,
+                                                  static_cast<uint16_t>(l),
+                                                  t_agg, &g_halo[l]));
+            }
+            {
+              Phase phase(ctx, &board, epoch, "bp_compute");
+              ECG_TRACE_SCOPE("bp_compute", ctx->worker_id(), l);
+              cpu.Reset();
+              BuildCat(t_agg, g_halo[l], &cat);
+              plan.bp_adj().SpMM(cat, &g_prev);
+              tensor::AddInPlace(&g_prev, t_self);
+              ctx->ChargeCompute(cpu.ElapsedSeconds());
+            }
           } else {
             g_halo[l].Reset(plan.num_halo(), dims[l]);
-            ECG_RETURN_IF_ERROR(bp_ex->Exchange(ctx, plan, epoch,
-                                                static_cast<uint16_t>(l), g,
-                                                &g_halo[l]));
+            {
+              Phase phase(ctx, &board, epoch, "bp_exchange");
+              ECG_TRACE_SCOPE("bp_exchange", ctx->worker_id(), l);
+              ECG_RETURN_IF_ERROR(bp_ex->Exchange(ctx, plan, epoch,
+                                                  static_cast<uint16_t>(l),
+                                                  g, &g_halo[l]));
+            }
+            {
+              Phase phase(ctx, &board, epoch, "bp_compute");
+              ECG_TRACE_SCOPE("bp_compute", ctx->worker_id(), l);
+              cpu.Reset();
+              BuildCat(g, g_halo[l], &cat);
+              Matrix t;
+              plan.adj.SpMM(cat, &t);
+              tensor::GemmTransposeB(t, w[l - 1], &g_prev);
+              ctx->ChargeCompute(cpu.ElapsedSeconds());
+            }
+          }
+          {
+            Phase phase(ctx, &board, epoch, "bp_compute");
+            ECG_TRACE_SCOPE("bp_compute", ctx->worker_id(), l - 1);
             cpu.Reset();
-            BuildCat(g, g_halo[l], &cat);
-            Matrix t;
-            plan.adj.SpMM(cat, &t);
-            tensor::GemmTransposeB(t, w[l - 1], &g_prev);
+            const Matrix mask = tensor::ReluGrad(z_cache[l - 1]);
+            tensor::HadamardInPlace(&g_prev, mask);
+            g = std::move(g_prev);
             ctx->ChargeCompute(cpu.ElapsedSeconds());
           }
-          cpu.Reset();
-          const Matrix mask = tensor::ReluGrad(z_cache[l - 1]);
-          tensor::HadamardInPlace(&g_prev, mask);
-          g = std::move(g_prev);
-          ctx->ChargeCompute(cpu.ElapsedSeconds());
         }
       }
 
-      const auto push = ps.Push(ctx->worker_id(), std::move(dw),
-                                std::move(db));
-      ctx->ChargeCommSeconds(push.Seconds(ctx->net()));
-      board.param_bytes.fetch_add(push.bytes, std::memory_order_relaxed);
+      {
+        Phase phase(ctx, &board, epoch, "param_sync");
+        ECG_TRACE_SCOPE("param_push", ctx->worker_id(), -1);
+        const auto push = ps.Push(ctx->worker_id(), std::move(dw),
+                                  std::move(db));
+        ctx->ChargeCommSeconds(push.Seconds(ctx->net()));
+        board.param_bytes.fetch_add(push.bytes, std::memory_order_relaxed);
+        if (obs::StatsEnabled()) {
+          obs::RecordStat("ps.push_bytes",
+                          static_cast<double>(push.bytes), epoch);
+        }
+      }
 
       // Superstep boundary: everyone's push is in, Adam has been applied
       // by the last pusher, clocks align to the slowest worker.
-      ctx->BarrierSync();
+      {
+        Phase phase(ctx, &board, epoch, "barrier");
+        ctx->BarrierSync();
+      }
 
       if (ctx->worker_id() == 0) {
         board.FinalizeEpoch(epoch, ctx->total_seconds(),

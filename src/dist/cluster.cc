@@ -4,10 +4,20 @@
 #include <mutex>
 #include <thread>
 
+#include "common/stats.h"
+
 namespace ecg::dist {
 
 void WorkerContext::Send(uint32_t to, uint64_t tag,
                          std::vector<uint8_t> payload) {
+  if (obs::StatsEnabled()) {
+    // Tags carry (epoch, layer) by construction (MakeTag), so the
+    // transport can attribute every wire byte without the exchangers
+    // passing coordinates down.
+    obs::RecordStat("comm.sent_bytes", static_cast<double>(payload.size()),
+                    MessageHub::TagEpoch(tag), MessageHub::TagLayer(tag),
+                    static_cast<int32_t>(to));
+  }
   phase_sent_bytes_ += payload.size();
   ++phase_sent_msgs_;
   hub_->Send(worker_id_, to, tag, std::move(payload));
@@ -20,9 +30,15 @@ std::vector<uint8_t> WorkerContext::Recv(uint32_t from, uint64_t tag) {
   return payload;
 }
 
-void WorkerContext::EndCommPhase() {
-  comm_seconds_ += net_.PhaseSeconds(phase_sent_bytes_, phase_sent_msgs_,
-                                     phase_recv_bytes_, phase_recv_msgs_);
+void WorkerContext::EndCommPhase(const char* phase) {
+  const double seconds =
+      net_.PhaseSeconds(phase_sent_bytes_, phase_sent_msgs_,
+                        phase_recv_bytes_, phase_recv_msgs_);
+  if (obs::TraceEnabled() && seconds > 0.0) {
+    obs::Tracer::Global().RecordSimSpan(phase, worker_id_, -1,
+                                        total_seconds(), seconds);
+  }
+  comm_seconds_ += seconds;
   phase_sent_bytes_ = phase_sent_msgs_ = 0;
   phase_recv_bytes_ = phase_recv_msgs_ = 0;
 }
@@ -40,7 +56,12 @@ void SimulatedCluster::BarrierSyncImpl(WorkerContext* ctx) {
   const double mx = *std::max_element(clocks_.begin(), clocks_.end());
   // Waiting for the slowest peer is idle time, booked as communication
   // stall so the clocks stay aligned (lock-step BSP semantics).
-  ctx->comm_seconds_ += mx - ctx->total_seconds();
+  const double stall = mx - ctx->total_seconds();
+  if (obs::TraceEnabled() && stall > 0.0) {
+    obs::Tracer::Global().RecordSimSpan("barrier_stall", ctx->worker_id_, -1,
+                                        ctx->total_seconds(), stall);
+  }
+  ctx->comm_seconds_ += stall;
   barrier_.Wait();
 }
 

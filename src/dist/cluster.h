@@ -7,6 +7,7 @@
 
 #include "common/barrier.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "dist/comm.h"
 #include "dist/network_model.h"
 
@@ -34,9 +35,15 @@ class WorkerContext {
   std::vector<uint8_t> Recv(uint32_t from, uint64_t tag);
 
   /// Adds measured single-core compute seconds to this worker's clock,
-  /// scaled by the machine model's multi-core speedup.
+  /// scaled by the machine model's multi-core speedup. When tracing is on,
+  /// the charge lands as a span on this worker's simulated-clock track.
   void ChargeCompute(double single_core_seconds) {
-    compute_seconds_ += machine_.ComputeSeconds(single_core_seconds);
+    const double charged = machine_.ComputeSeconds(single_core_seconds);
+    if (obs::TraceEnabled() && charged > 0.0) {
+      obs::Tracer::Global().RecordSimSpan("compute", worker_id_, -1,
+                                          total_seconds(), charged);
+    }
+    compute_seconds_ += charged;
   }
 
   /// Adds modelled seconds directly (parameter-server pulls/pushes, which
@@ -46,7 +53,9 @@ class WorkerContext {
   /// Ends the current communication phase: converts the bytes/messages
   /// sent and received since the last call into modelled seconds
   /// (full-duplex, slower direction dominates) and resets phase counters.
-  void EndCommPhase();
+  /// `phase` names the span on the simulated-clock trace track; it must be
+  /// a string literal (the tracer stores the pointer, not a copy).
+  void EndCommPhase(const char* phase = "comm");
 
   /// BSP barrier that also propagates the slowest worker's simulated time
   /// to everyone.

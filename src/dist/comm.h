@@ -92,6 +92,16 @@ class MessageHub {
            (static_cast<uint64_t>(layer) << 16) | kind;
   }
 
+  /// Inverts MakeTag — the transport-level telemetry attributes traffic
+  /// back to its (epoch, layer) without the exchangers having to thread
+  /// those coordinates through every Send.
+  static uint32_t TagEpoch(uint64_t tag) {
+    return static_cast<uint32_t>(tag >> 32);
+  }
+  static uint16_t TagLayer(uint64_t tag) {
+    return static_cast<uint16_t>((tag >> 16) & 0xFFFF);
+  }
+
  private:
   struct Mailbox {
     std::mutex mu;

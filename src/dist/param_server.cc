@@ -2,6 +2,9 @@
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "common/stats.h"
+#include "common/timer.h"
+#include "common/trace.h"
 #include "tensor/ops.h"
 
 namespace ecg::dist {
@@ -59,6 +62,10 @@ ParameterServerGroup::ParamTrafficSample ParameterServerGroup::Push(
 }
 
 void ParameterServerGroup::ApplyLocked() {
+  // The apply runs on whichever worker thread pushed last; the span lands
+  // on that thread's real-clock track under the server-side name.
+  ECG_TRACE_SCOPE("ps_apply", /*worker=*/0, -1);
+  ThreadCpuTimer apply_cpu;
   // Sum contributions in worker-id order: deterministic float reduction.
   for (size_t l = 0; l < weights_.size(); ++l) {
     tensor::Matrix dw_sum(weights_[l].rows(), weights_[l].cols());
@@ -69,6 +76,9 @@ void ParameterServerGroup::ApplyLocked() {
     }
     w_opt_[l].Step(dw_sum, lr_, &weights_[l]);
     b_opt_[l].Step(db_sum, lr_, &biases_[l]);
+  }
+  if (obs::StatsEnabled()) {
+    obs::RecordStat("ps.apply_seconds", apply_cpu.ElapsedSeconds());
   }
   for (uint32_t w = 0; w < num_workers_; ++w) {
     pending_dw_[w].clear();

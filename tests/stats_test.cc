@@ -1,0 +1,177 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ecg::obs {
+namespace {
+
+/// Every test drives the process-wide registry; reset it around each.
+class StatsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StatsRegistry::Global().Disable();
+    StatsRegistry::Global().Reset();
+  }
+  void TearDown() override {
+    StatsRegistry::Global().Disable();
+    StatsRegistry::Global().Reset();
+  }
+};
+
+TEST_F(StatsTest, OneCellServesCounterGaugeAndHistogram) {
+  auto& registry = StatsRegistry::Global();
+  registry.Enable();
+  registry.Record("fp.wire_bytes", 1000.0, /*epoch=*/3, /*layer=*/1,
+                  /*peer=*/2);
+  registry.Record("fp.wire_bytes", 3000.0, 3, 1, 2);
+  registry.Record("fp.wire_bytes", 500.0, 3, 1, 2);
+
+  const auto live = registry.Snapshot();
+  ASSERT_EQ(live.size(), 1u);
+  const StatValue& v = live.begin()->second;
+  EXPECT_EQ(v.count, 3u);          // counter view
+  EXPECT_DOUBLE_EQ(v.sum, 4500.0);
+  EXPECT_DOUBLE_EQ(v.last, 500.0);  // gauge view
+  EXPECT_DOUBLE_EQ(v.min, 500.0);   // histogram view
+  EXPECT_DOUBLE_EQ(v.max, 3000.0);
+  EXPECT_DOUBLE_EQ(v.Avg(), 1500.0);
+}
+
+TEST_F(StatsTest, DistinctCoordinatesAreDistinctSeries) {
+  auto& registry = StatsRegistry::Global();
+  registry.Enable();
+  registry.Record("bp.ratio", 4.0, 1, 0, 0);
+  registry.Record("bp.ratio", 8.0, 1, 0, 1);  // other peer
+  registry.Record("bp.ratio", 2.0, 1, 1, 0);  // other layer
+  registry.Record("bp.ratio", 6.0, 2, 0, 0);  // other epoch
+  EXPECT_EQ(registry.Snapshot().size(), 4u);
+}
+
+TEST_F(StatsTest, HistogramBucketsFollowLog2Magnitude) {
+  EXPECT_EQ(StatValue::HistBucket(0.0), 0);
+  EXPECT_EQ(StatValue::HistBucket(
+                std::numeric_limits<double>::quiet_NaN()), 0);
+  EXPECT_EQ(StatValue::HistBucket(1.0), 32);   // [1, 2)
+  EXPECT_EQ(StatValue::HistBucket(1.99), 32);
+  EXPECT_EQ(StatValue::HistBucket(2.0), 33);   // [2, 4)
+  EXPECT_EQ(StatValue::HistBucket(0.5), 31);   // [0.5, 1)
+  EXPECT_EQ(StatValue::HistBucket(-4.0), 34);  // sign-blind
+  // Extremes clamp into the open-ended edge buckets.
+  EXPECT_EQ(StatValue::HistBucket(1e300), StatValue::kHistBuckets - 1);
+  EXPECT_EQ(StatValue::HistBucket(1e-300), 1);
+}
+
+TEST_F(StatsTest, JsonlRowMatchesSchemaGolden) {
+  auto& registry = StatsRegistry::Global();
+  registry.Enable();
+  registry.Record("fp.wire_bytes", 1000.0, 3, 1, 2);
+  registry.Record("fp.wire_bytes", 3000.0, 3, 1, 2);
+
+  std::ostringstream out;
+  registry.DumpEpochTo(3, out, /*erase=*/false);
+  // 1000 has magnitude 2^9..2^10 -> bucket 9+32=41; 3000 -> bucket 43.
+  EXPECT_EQ(out.str(),
+            "{\"epoch\":3,\"name\":\"fp.wire_bytes\",\"layer\":1,"
+            "\"peer\":2,\"count\":2,\"sum\":4000,\"min\":1000,"
+            "\"max\":3000,\"avg\":2000,\"last\":3000,"
+            "\"hist\":\"41:1,43:1\"}\n");
+}
+
+TEST_F(StatsTest, CoordinateFreeRowsOmitLayerAndPeer) {
+  auto& registry = StatsRegistry::Global();
+  registry.Enable();
+  registry.Record("epoch.loss", 0.5, 7);
+
+  std::ostringstream out;
+  registry.DumpEpochTo(7, out, /*erase=*/false);
+  const std::string row = out.str();
+  EXPECT_EQ(row.find("\"layer\""), std::string::npos);
+  EXPECT_EQ(row.find("\"peer\""), std::string::npos);
+  EXPECT_NE(row.find("\"epoch\":7"), std::string::npos);
+}
+
+TEST_F(StatsTest, FlushEpochRetiresSeriesIntoSummary) {
+  auto& registry = StatsRegistry::Global();
+  registry.Enable();
+  registry.Record("fp.ratio", 4.0, 1);
+  registry.Record("fp.ratio", 8.0, 2);
+
+  registry.FlushEpoch(1);
+  // Epoch 1 rows are gone from the live map but feed the summary.
+  EXPECT_EQ(registry.Snapshot().size(), 1u);
+  registry.FlushEpoch(2);
+  EXPECT_TRUE(registry.Snapshot().empty());
+
+  std::ostringstream summary;
+  registry.DumpSummaryTo(summary);
+  EXPECT_NE(summary.str().find("\"summary\":true"), std::string::npos);
+  EXPECT_NE(summary.str().find("\"name\":\"fp.ratio\",\"count\":2"),
+            std::string::npos);
+}
+
+TEST_F(StatsTest, FlushAllWritesEpochRowsThenSummaryToFile) {
+  const std::string path = ::testing::TempDir() + "/ecg_stats_test.jsonl";
+  auto& registry = StatsRegistry::Global();
+  registry.Enable(path);
+  registry.Record("a", 1.0, /*epoch=*/2);
+  registry.Record("b", 2.0, /*epoch=*/1);
+  registry.Record("pre", 3.0);  // kNoEpoch: flushed with the summary
+  registry.FlushAll();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 6u);  // 3 epoch rows + 3 summary rows
+  // Epoch-major key order: epoch 1 flushes before epoch 2, sentinel
+  // (kNoEpoch) rows last before the summaries.
+  EXPECT_NE(lines[0].find("\"epoch\":1,\"name\":\"b\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"epoch\":2,\"name\":\"a\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"name\":\"pre\""), std::string::npos);
+  for (size_t i = 3; i < 6; ++i) {
+    EXPECT_NE(lines[i].find("\"summary\":true"), std::string::npos) << i;
+  }
+  // Every row is a single JSON object on its own line.
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(StatsTest, RecordStatGatesOnEnabledFlag) {
+  RecordStat("dropped", 1.0, 0);
+  EXPECT_TRUE(StatsRegistry::Global().Snapshot().empty());
+  EXPECT_FALSE(StatsEnabled());
+
+  StatsRegistry::Global().Enable();
+  EXPECT_TRUE(StatsEnabled());
+  RecordStat("kept", 1.0, 0);
+  EXPECT_EQ(StatsRegistry::Global().Snapshot().size(), 1u);
+}
+
+TEST_F(StatsTest, MergePreservesEveryView) {
+  StatValue a, b;
+  a.Add(1.0);
+  a.Add(4.0);
+  b.Add(0.25);
+  a.Merge(b);
+  EXPECT_EQ(a.count, 3u);
+  EXPECT_DOUBLE_EQ(a.sum, 5.25);
+  EXPECT_DOUBLE_EQ(a.min, 0.25);
+  EXPECT_DOUBLE_EQ(a.max, 4.0);
+  EXPECT_DOUBLE_EQ(a.last, 0.25);
+  EXPECT_EQ(a.hist[StatValue::HistBucket(0.25)], 1u);
+  EXPECT_EQ(a.hist[StatValue::HistBucket(4.0)], 1u);
+}
+
+}  // namespace
+}  // namespace ecg::obs

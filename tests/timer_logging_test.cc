@@ -65,5 +65,19 @@ TEST(LoggingTest, CheckAbortsOnFalseCondition) {
   EXPECT_DEATH({ ECG_CHECK(false) << "boom"; }, "Check failed");
 }
 
+TEST(LoggingTest, CheckAbortsWithoutStreamedMessage) {
+  // The abort is structural (LogMessage's fatal flag), not dependent on
+  // the caller streaming anything into the check.
+  EXPECT_DEATH({ ECG_CHECK(2 + 2 == 5); },
+               "Check failed, aborting: 2 \\+ 2 == 5");
+}
+
+TEST(LoggingTest, CheckAbortsEvenBelowLogGate) {
+  const LogLevel old_level = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_DEATH({ ECG_CHECK(false) << "gated?"; }, "Check failed");
+  SetLogLevel(old_level);
+}
+
 }  // namespace
 }  // namespace ecg

@@ -245,6 +245,46 @@ TEST(TrainerTest, SimulatedTimeAccountsComputeAndComm) {
   EXPECT_EQ(r->epochs.size(), 5u);
 }
 
+TEST(TrainerTest, EpochsCarryPhaseBreakdown) {
+  const graph::Graph g = TinyGraph();
+  TrainOptions opt = BaseOptions(3);
+  auto r = TrainDistributed(g, 3, opt);
+  ASSERT_TRUE(r.ok());
+  for (const auto& e : r->epochs) {
+    ASSERT_FALSE(e.phase_seconds.empty());
+    // Phases are summed across the 3 workers, so the breakdown is bounded
+    // by 3x the lock-step epoch time (sim_seconds is the max over
+    // workers, read at finalize — allow sub-percent accounting jitter
+    // from clock charges that straddle the epoch barrier).
+    double total = 0.0;
+    for (const auto& [name, seconds] : e.phase_seconds) {
+      EXPECT_GE(seconds, 0.0) << name;
+      total += seconds;
+    }
+    EXPECT_GT(total, 0.0);
+    EXPECT_LE(total, 3.0 * e.sim_seconds * 1.01 + 1e-9);
+    EXPECT_GT(e.PhaseSeconds("fp_compute"), 0.0);
+    EXPECT_GT(e.PhaseSeconds("fp_exchange"), 0.0);
+    EXPECT_GT(e.PhaseSeconds("param_sync"), 0.0);
+    EXPECT_DOUBLE_EQ(e.PhaseSeconds("no_such_phase"), 0.0);
+  }
+}
+
+TEST(TrainerTest, ConvergenceEpochOnDegenerateCurves) {
+  TrainResult empty;
+  EXPECT_EQ(empty.ConvergenceEpoch(), 0u);
+  EXPECT_DOUBLE_EQ(empty.ConvergenceSeconds(), 0.0);
+
+  TrainResult one;
+  EpochMetrics m;
+  m.val_acc = 0.7;
+  m.sim_seconds = 2.0;
+  one.epochs.push_back(m);
+  one.best_val_acc = 0.7;
+  EXPECT_EQ(one.ConvergenceEpoch(), 0u);
+  EXPECT_DOUBLE_EQ(one.ConvergenceSeconds(), 2.0);
+}
+
 TEST(TrainerTest, ConvergenceHelpersSummarizeCurve) {
   TrainResult r;
   r.best_val_acc = 0.9;

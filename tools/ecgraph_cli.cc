@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/trace.h"
 #include "core/halo.h"
 #include "core/trainer.h"
 #include "graph/datasets.h"
@@ -167,6 +168,11 @@ int CmdTrain(const std::string& name,
 
   ecg::core::DistributedTrainer trainer(*g, *partition, opt);
   auto r = trainer.Train();
+  // Write the telemetry even on a failed run — a trace of the epochs that
+  // did complete is exactly what debugs the failure.
+  const Status flush = ecg::obs::FlushObservability();
+  if (!flush.ok()) std::fprintf(stderr, "warning: %s\n",
+                                flush.ToString().c_str());
   if (!r.ok()) return Fail(r.status());
   std::printf("\nmodel        %s, %d layers, hidden %u\n",
               ecg::core::GnnKindName(opt.model.kind), opt.model.num_layers,
@@ -188,17 +194,31 @@ void Usage() {
                "  generate <dataset> <out.ecg>\n"
                "  partition <dataset|file.ecg> <workers> "
                "[hash|metis|streaming]\n"
-               "  train <dataset|file.ecg> [key=value ...]\n");
+               "  train <dataset|file.ecg> [key=value ...]\n"
+               "\n"
+               "observability flags (any command, position-independent):\n"
+               "  --trace_out=PATH    Chrome-trace JSON (open in "
+               "ui.perfetto.dev or chrome://tracing)\n"
+               "  --trace_level=N     0=off, 1=phase spans (default with "
+               "--trace_out), 2=+codec detail\n"
+               "  --stats_out=PATH    per-epoch JSONL of compression/"
+               "timing stats\n"
+               "  --log_level=LEVEL   debug|info|warning|error\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  ecg::obs::InitObservabilityFromArgs(&argc, argv);
   if (argc < 2) {
     Usage();
     return 1;
   }
   const std::string cmd = argv[1];
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+    Usage();
+    return 0;
+  }
   if (cmd == "info" && argc >= 3) return CmdInfo(argv[2]);
   if (cmd == "generate" && argc >= 4) return CmdGenerate(argv[2], argv[3]);
   if (cmd == "partition" && argc >= 4) {
