@@ -1,0 +1,167 @@
+// Chaos bench: accuracy and makespan under an escalating fault schedule.
+//
+// Sweeps message-loss rates (drop + corruption) over EC-Graph's compressed
+// training and reports, per rate, the best validation accuracy, the
+// simulated makespan, and the fault/degradation counters — quantifying how
+// far the prediction-fallback degradation path (DESIGN.md §10) bends
+// before it breaks. A final scenario injects a mid-training worker crash
+// to measure the checkpoint/restore overhead on the same run.
+//
+// Usage: bench_chaos [--dataset=NAME] [--epochs=N] [--json=PATH]
+// plus the shared observability/fault flags (see --help of ecgraph).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/trainer.h"
+#include "dist/fault.h"
+
+using ecg::bench::kDefaultWorkers;
+
+namespace {
+
+struct ChaosRow {
+  std::string label;
+  std::string spec;
+  double best_val_acc = 0.0;
+  double sim_seconds = 0.0;
+  uint64_t retried = 0, lost = 0;
+  uint64_t degraded_fp = 0, degraded_bp = 0;
+  uint64_t crashes = 0, restores = 0;
+};
+
+ChaosRow RunOne(const ecg::graph::Graph& g, const std::string& label,
+                const std::string& spec, uint32_t epochs) {
+  ecg::core::TrainOptions opt;
+  opt.model = ecg::bench::ModelFor("cora-sim", 2);
+  opt.fp_mode = ecg::core::FpMode::kReqEc;
+  opt.bp_mode = ecg::core::BpMode::kResEc;
+  opt.exchange.fp_bits = 4;
+  opt.exchange.bp_bits = 4;
+  opt.epochs = epochs;
+
+  ChaosRow row;
+  row.label = label;
+  row.spec = spec;
+  if (spec.empty()) {
+    auto r = ecg::core::TrainDistributed(g, kDefaultWorkers, opt);
+    r.status().CheckOk();
+    row.best_val_acc = r->best_val_acc;
+    row.sim_seconds = r->total_sim_seconds;
+    return row;
+  }
+
+  auto inj = ecg::dist::FaultInjector::Parse(spec);
+  inj.status().CheckOk();
+  ecg::dist::ScopedFaultInjector scoped(&*inj);
+  auto r = ecg::core::TrainDistributed(g, kDefaultWorkers, opt);
+  r.status().CheckOk();
+  row.best_val_acc = r->best_val_acc;
+  row.sim_seconds = r->total_sim_seconds;
+  const auto& c = inj->counters();
+  row.retried = c.retried.load();
+  row.lost = c.lost.load();
+  row.degraded_fp = c.degraded_pdt.load() + c.degraded_stale.load();
+  row.degraded_bp = c.degraded_resec.load();
+  row.crashes = c.crashes.load();
+  row.restores = c.restores.load();
+  return row;
+}
+
+void PrintRow(const ChaosRow& r) {
+  std::printf(
+      "%-14s val=%.4f makespan=%-10s retried=%-6llu lost=%-6llu "
+      "deg_fp=%-6llu deg_bp=%-6llu crashes=%llu restores=%llu\n",
+      r.label.c_str(), r.best_val_acc,
+      ecg::bench::FormatSeconds(r.sim_seconds).c_str(),
+      static_cast<unsigned long long>(r.retried),
+      static_cast<unsigned long long>(r.lost),
+      static_cast<unsigned long long>(r.degraded_fp),
+      static_cast<unsigned long long>(r.degraded_bp),
+      static_cast<unsigned long long>(r.crashes),
+      static_cast<unsigned long long>(r.restores));
+  std::fflush(stdout);
+}
+
+void WriteJson(const std::string& path, const std::vector<ChaosRow>& rows) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench_chaos: cannot write %s\n", path.c_str());
+    return;
+  }
+  for (const ChaosRow& r : rows) {
+    out << "{\"label\":\"" << r.label << "\",\"spec\":\"" << r.spec
+        << "\",\"best_val_acc\":" << r.best_val_acc
+        << ",\"sim_seconds\":" << r.sim_seconds
+        << ",\"retried\":" << r.retried << ",\"lost\":" << r.lost
+        << ",\"degraded_fp\":" << r.degraded_fp
+        << ",\"degraded_bp\":" << r.degraded_bp
+        << ",\"crashes\":" << r.crashes << ",\"restores\":" << r.restores
+        << "}\n";
+  }
+  std::printf("wrote %zu rows to %s\n", rows.size(), path.c_str());
+}
+
+std::string FlagValue(int* argc, char** argv, const char* prefix) {
+  std::string value;
+  int w = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], prefix, std::strlen(prefix)) == 0) {
+      value = argv[i] + std::strlen(prefix);
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  *argc = w;
+  return value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ecg::bench::InitBench(&argc, &argv[0]);
+  const std::string dataset_flag = FlagValue(&argc, argv, "--dataset=");
+  const std::string epochs_flag = FlagValue(&argc, argv, "--epochs=");
+  const std::string json_path = FlagValue(&argc, argv, "--json=");
+  const std::string dataset =
+      dataset_flag.empty() ? "cora-sim" : dataset_flag;
+  const ecg::bench::BenchDataset d = ecg::bench::GetBenchDataset(dataset);
+  const uint32_t epochs =
+      epochs_flag.empty()
+          ? ecg::bench::ScaledEpochs(d.convergence_epochs)
+          : static_cast<uint32_t>(std::stoul(epochs_flag));
+
+  ecg::bench::PrintHeader(
+      "Chaos sweep — ReqEC/ResEC accuracy and makespan vs fault rate (" +
+      dataset + ", " + std::to_string(epochs) + " epochs, 6 workers)");
+  const ecg::graph::Graph& g = ecg::bench::LoadGraphCached(dataset);
+
+  std::vector<ChaosRow> rows;
+  rows.push_back(RunOne(g, "fault-free", "", epochs));
+  PrintRow(rows.back());
+  for (double p : {0.01, 0.02, 0.05, 0.10, 0.20}) {
+    char spec[96], label[32];
+    std::snprintf(spec, sizeof(spec),
+                  "drop=%.3f,corrupt=%.3f,seed=7,retries=2", p, p / 5.0);
+    std::snprintf(label, sizeof(label), "loss=%.0f%%", p * 100.0);
+    rows.push_back(RunOne(g, label, spec, epochs));
+    PrintRow(rows.back());
+  }
+  // Crash scenario: one worker dies mid-run; every epoch checkpoints and
+  // the restore replays from the latest one. The makespan delta against
+  // the fault-free row is the full recovery cost.
+  {
+    char spec[96];
+    std::snprintf(spec, sizeof(spec), "crash@epoch=%u:worker=1,restart=5",
+                  epochs / 2);
+    rows.push_back(RunOne(g, "crash@mid", spec, epochs));
+    PrintRow(rows.back());
+  }
+
+  if (!json_path.empty()) WriteJson(json_path, rows);
+  return 0;
+}

@@ -1,0 +1,59 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace ecg {
+namespace {
+
+/// Slice-by-4 lookup tables, generated once at first use. Software CRC at
+/// ~1 byte/cycle is plenty: the envelope is only framed when fault
+/// injection is enabled, never on the default hot path.
+struct Crc32cTables {
+  uint32_t t[4][256];
+
+  Crc32cTables() {
+    constexpr uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFF];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFF];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFF];
+    }
+  }
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const uint8_t* data, size_t size, uint32_t seed) {
+  const Crc32cTables& tb = Tables();
+  uint32_t crc = ~seed;
+  while (size >= 4) {
+    crc ^= static_cast<uint32_t>(data[0]) |
+           (static_cast<uint32_t>(data[1]) << 8) |
+           (static_cast<uint32_t>(data[2]) << 16) |
+           (static_cast<uint32_t>(data[3]) << 24);
+    crc = tb.t[3][crc & 0xFF] ^ tb.t[2][(crc >> 8) & 0xFF] ^
+          tb.t[1][(crc >> 16) & 0xFF] ^ tb.t[0][crc >> 24];
+    data += 4;
+    size -= 4;
+  }
+  while (size > 0) {
+    crc = (crc >> 8) ^ tb.t[0][(crc ^ *data) & 0xFF];
+    ++data;
+    --size;
+  }
+  return ~crc;
+}
+
+}  // namespace ecg

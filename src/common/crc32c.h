@@ -1,0 +1,18 @@
+#ifndef ECGRAPH_COMMON_CRC32C_H_
+#define ECGRAPH_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ecg {
+
+/// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) over
+/// `size` bytes, starting from `seed` (0 for a fresh checksum). This is the
+/// checksum the framed wire envelope uses to detect payload corruption on
+/// the halo-exchange transport; the Castagnoli polynomial is the one used
+/// by iSCSI/ext4/RocksDB because of its strong burst-error detection.
+uint32_t Crc32c(const uint8_t* data, size_t size, uint32_t seed = 0);
+
+}  // namespace ecg
+
+#endif  // ECGRAPH_COMMON_CRC32C_H_

@@ -623,8 +623,10 @@ Status QuantizedMatrix::ParseFrom(ecg::ByteReader* r, QuantizedMatrix* out) {
   out->bits = bits8;
   out->implicit_midpoints = implicit != 0;
   if (!IsSupportedBitWidth(out->bits)) {
-    return Status::InvalidArgument("corrupt quantized matrix: bits=" +
-                                   std::to_string(out->bits));
+    return Status::InvalidArgument(
+        "corrupt quantized matrix: unsupported bit width " +
+        std::to_string(out->bits) + " (expected 1/2/4/8/16) for " +
+        std::to_string(out->rows) + "x" + std::to_string(out->cols));
   }
   if (out->implicit_midpoints) {
     ECG_RETURN_IF_ERROR(r->GetF32(&out->min_value));
@@ -636,9 +638,20 @@ Status QuantizedMatrix::ParseFrom(ecg::ByteReader* r, QuantizedMatrix* out) {
   }
   ECG_RETURN_IF_ERROR(r->GetU32Vector(&out->packed_ids));
   const size_t count = static_cast<size_t>(out->rows) * out->cols;
-  if (out->bucket_values.size() != (1u << out->bits) ||
-      out->packed_ids.size() != PackedWordCount(count, out->bits)) {
-    return Status::InvalidArgument("corrupt quantized matrix: sizes");
+  if (out->bucket_values.size() != (1u << out->bits)) {
+    return Status::InvalidArgument(
+        "corrupt quantized matrix: bucket table has " +
+        std::to_string(out->bucket_values.size()) + " entries, expected " +
+        std::to_string(1u << out->bits) + " for bits=" +
+        std::to_string(out->bits));
+  }
+  if (out->packed_ids.size() != PackedWordCount(count, out->bits)) {
+    return Status::InvalidArgument(
+        "corrupt quantized matrix: packed ids hold " +
+        std::to_string(out->packed_ids.size()) + " words, expected " +
+        std::to_string(PackedWordCount(count, out->bits)) + " for " +
+        std::to_string(out->rows) + "x" + std::to_string(out->cols) +
+        " at bits=" + std::to_string(out->bits));
   }
   return Status::OK();
 }

@@ -22,13 +22,12 @@ using tensor::Matrix;
 /// by peer id, only active-peer slots are ever touched.
 using PeerBuffers = std::vector<std::vector<uint8_t>>;
 
-PeerBuffers RecvFromActivePeers(dist::WorkerContext* ctx,
-                                const WorkerPlan& plan, uint64_t tag) {
-  PeerBuffers bufs(ctx->num_workers());
-  for (uint32_t p = 0; p < ctx->num_workers(); ++p) {
-    if (ActivePeer(plan, p)) bufs[p] = ctx->Recv(p, tag);
-  }
-  return bufs;
+/// Books one BP degradation event on the receive side: the gradient halo
+/// rows from `peer` never arrived, so they stay zero this epoch (g_halo is
+/// reset every epoch) — the gradient contribution is simply skipped.
+void CountBpSkipped(uint32_t epoch, uint16_t layer, uint32_t peer) {
+  obs::RecordStat("fault.degraded_skip", 1.0, epoch, layer,
+                  static_cast<int32_t>(peer));
 }
 
 void SendToActivePeers(dist::WorkerContext* ctx, const WorkerPlan& plan,
@@ -59,6 +58,9 @@ void RecordBpSendStats(uint32_t epoch, uint16_t layer, uint32_t peer,
 /// Non-cp backward: raw float32 gradient rows.
 class ExactBpExchanger : public BpExchanger {
  public:
+  explicit ExactBpExchanger(const ExchangeConfig& config)
+      : allow_loss_(config.fault_fallback) {}
+
   Status Exchange(dist::WorkerContext* ctx, const WorkerPlan& plan,
                   uint32_t epoch, uint16_t layer, const Matrix& g_owned,
                   Matrix* g_halo) override {
@@ -77,11 +79,16 @@ class ExactBpExchanger : public BpExchanger {
           return Status::OK();
         }));
     SendToActivePeers(ctx, plan, tag, &out);
-    PeerBuffers in = RecvFromActivePeers(ctx, plan, tag);
+    ECG_ASSIGN_OR_RETURN(PeerRecvResult in, TryRecvFromActivePeers(
+                             ctx, plan, tag, allow_loss_));
     ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
         plan, ctx->num_workers(), [&](uint32_t p) -> Status {
           ECG_TRACE_SCOPE_DETAIL("bp_decode", ctx->worker_id(), layer);
-          ByteReader r(in[p]);
+          if (in.lost[p]) {
+            CountBpSkipped(epoch, layer, p);
+            return Status::OK();
+          }
+          ByteReader r(in.bufs[p]);
           Matrix rows;
           ECG_RETURN_IF_ERROR(DecodeMatrix(&r, &rows));
           return AssignRows(rows, plan.recv_halo_rows[p], g_halo);
@@ -89,6 +96,9 @@ class ExactBpExchanger : public BpExchanger {
     ctx->EndCommPhase("bp_comm");
     return Status::OK();
   }
+
+ private:
+  const bool allow_loss_;
 };
 
 /// Cp-bp-B: quantize gradients with getMaxMin bounds (Algorithm 6 lines
@@ -125,11 +135,16 @@ class CompressedBpExchanger : public BpExchanger {
           return Status::OK();
         }));
     SendToActivePeers(ctx, plan, tag, &out);
-    PeerBuffers in = RecvFromActivePeers(ctx, plan, tag);
+    ECG_ASSIGN_OR_RETURN(PeerRecvResult in, TryRecvFromActivePeers(
+                             ctx, plan, tag, config_.fault_fallback));
     ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
         plan, ctx->num_workers(), [&](uint32_t p) -> Status {
           ECG_TRACE_SCOPE_DETAIL("bp_decode", ctx->worker_id(), layer);
-          ByteReader r(in[p]);
+          if (in.lost[p]) {
+            CountBpSkipped(epoch, layer, p);
+            return Status::OK();
+          }
+          ByteReader r(in.bufs[p]);
           QuantizedMatrix q;
           ECG_RETURN_IF_ERROR(QuantizedMatrix::ParseFrom(&r, &q));
           return compress::DequantizeInto(q, plan.recv_halo_rows[p], g_halo);
@@ -164,6 +179,7 @@ class ResEcBpExchanger : public BpExchanger {
     ECG_CHECK(layer < delta_.size()) << "ResEC layer out of range";
     const uint64_t tag = MessageHub::MakeTag(epoch, layer, kTagBpData);
     QuantizerOptions qopts{config_.bp_bits, config_.value_mode};
+    dist::FaultInjector* injector = ctx->fault_injector();
     // Fused error-feedback-then-compress per peer (each peer's residual
     // state is disjoint, so the whole encode fans out in parallel).
     PeerBuffers out(ctx->num_workers());
@@ -179,9 +195,22 @@ class ResEcBpExchanger : public BpExchanger {
           ECG_ASSIGN_OR_RETURN(QuantizedMatrix q,
                                compress::Quantize(g_cpt, qopts));
           ECG_ASSIGN_OR_RETURN(Matrix decoded, compress::Dequantize(q));
-          // δ^t = (G + δ^{t-1}) − C(G + δ^{t-1})  (Eq. 11).
-          delta = std::move(g_cpt);
-          tensor::SubInPlace(&delta, decoded);
+          if (config_.fault_fallback && injector != nullptr &&
+              injector->PermanentlyLost(ctx->worker_id(), p, tag)) {
+            // The receiver will exhaust its retries and get nothing, i.e.
+            // the effective transmitted message is 0 — so the residual is
+            // the entire compensated gradient: δ^t = G_cpt (Eqs. 11-12
+            // fold the whole loss into the next epoch's message).
+            delta = std::move(g_cpt);
+            injector->counters().degraded_resec.fetch_add(
+                1, std::memory_order_relaxed);
+            obs::RecordStat("fault.degraded_resec", 1.0, epoch, layer,
+                            static_cast<int32_t>(p));
+          } else {
+            // δ^t = (G + δ^{t-1}) − C(G + δ^{t-1})  (Eq. 11).
+            delta = std::move(g_cpt);
+            tensor::SubInPlace(&delta, decoded);
+          }
           ByteWriter w(&out[p]);
           q.AppendTo(&w);
           if (obs::StatsEnabled()) {
@@ -200,11 +229,19 @@ class ResEcBpExchanger : public BpExchanger {
           return Status::OK();
         }));
     SendToActivePeers(ctx, plan, tag, &out);
-    PeerBuffers in = RecvFromActivePeers(ctx, plan, tag);
+    ECG_ASSIGN_OR_RETURN(PeerRecvResult in, TryRecvFromActivePeers(
+                             ctx, plan, tag, config_.fault_fallback));
     ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
         plan, ctx->num_workers(), [&](uint32_t p) -> Status {
           ECG_TRACE_SCOPE_DETAIL("bp_decode", ctx->worker_id(), layer);
-          ByteReader r(in[p]);
+          if (in.lost[p]) {
+            // The sender detected the same permanent loss (same seeded
+            // schedule) and kept the full G_cpt in its residual; skipping
+            // here is what makes the compensation bookkeeping balance.
+            CountBpSkipped(epoch, layer, p);
+            return Status::OK();
+          }
+          ByteReader r(in.bufs[p]);
           QuantizedMatrix q;
           ECG_RETURN_IF_ERROR(QuantizedMatrix::ParseFrom(&r, &q));
           return compress::DequantizeInto(q, plan.recv_halo_rows[p], g_halo);
@@ -216,6 +253,23 @@ class ResEcBpExchanger : public BpExchanger {
   /// Residual magnitude toward a peer (Theorem-1 validation hook).
   double DeltaSquaredNorm(uint16_t layer, uint32_t peer) const {
     return delta_[layer][peer].SquaredNorm();
+  }
+
+  /// Checkpoint format: every per-(layer, peer) residual matrix in index
+  /// order — the error-feedback state Theorem 1's bound lives on.
+  void SaveState(ByteWriter* w) const override {
+    for (const auto& per_layer : delta_) {
+      for (const Matrix& delta : per_layer) EncodeMatrix(delta, w);
+    }
+  }
+
+  Status LoadState(ByteReader* r) override {
+    for (auto& per_layer : delta_) {
+      for (Matrix& delta : per_layer) {
+        ECG_RETURN_IF_ERROR(DecodeMatrix(r, &delta));
+      }
+    }
+    return Status::OK();
   }
 
  private:
@@ -231,7 +285,7 @@ std::unique_ptr<BpExchanger> MakeBpExchanger(BpMode mode,
                                              const WorkerPlan& plan) {
   switch (mode) {
     case BpMode::kExact:
-      return std::make_unique<ExactBpExchanger>();
+      return std::make_unique<ExactBpExchanger>(config);
     case BpMode::kCompressed:
       return std::make_unique<CompressedBpExchanger>(config);
     case BpMode::kResEc:

@@ -1,0 +1,179 @@
+#include "core/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/bytes.h"
+#include "common/crc32c.h"
+#include "common/logging.h"
+
+namespace ecg::core {
+namespace {
+
+constexpr uint32_t kCheckpointMagic = 0x4B474345u;  // "ECGK"
+constexpr uint8_t kCheckpointVersion = 1;
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(uint32_t num_workers, std::string dir)
+    : num_workers_(num_workers), dir_(std::move(dir)) {
+  ECG_CHECK(num_workers_ >= 1) << "checkpoint store needs >= 1 worker";
+}
+
+void CheckpointStore::Begin(uint32_t next_epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  staging_.next_epoch = next_epoch;
+  staging_.global.clear();
+  staging_.workers.assign(num_workers_, {});
+}
+
+void CheckpointStore::PutGlobal(std::vector<uint8_t> blob) {
+  std::lock_guard<std::mutex> lock(mu_);
+  staging_.global = std::move(blob);
+}
+
+void CheckpointStore::PutWorker(uint32_t worker, std::vector<uint8_t> blob) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ECG_CHECK(worker < num_workers_)
+      << "checkpoint section from unknown worker " << worker;
+  ECG_CHECK(staging_.workers.size() == num_workers_)
+      << "PutWorker before Begin";
+  staging_.workers[worker] = std::move(blob);
+}
+
+Status CheckpointStore::Commit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ECG_CHECK(staging_.workers.size() == num_workers_)
+      << "Commit before Begin";
+  latest_ = std::move(staging_);
+  staging_ = Snapshot{};
+  has_latest_ = true;
+  if (dir_.empty()) return Status::OK();
+  return WriteFileLocked();
+}
+
+bool CheckpointStore::has_checkpoint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return has_latest_;
+}
+
+uint32_t CheckpointStore::next_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ECG_CHECK(has_latest_) << "next_epoch with no committed checkpoint";
+  return latest_.next_epoch;
+}
+
+std::vector<uint8_t> CheckpointStore::global() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ECG_CHECK(has_latest_) << "global with no committed checkpoint";
+  return latest_.global;
+}
+
+std::vector<uint8_t> CheckpointStore::worker_blob(uint32_t worker) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ECG_CHECK(has_latest_) << "worker_blob with no committed checkpoint";
+  ECG_CHECK(worker < num_workers_) << "worker_blob index out of range";
+  return latest_.workers[worker];
+}
+
+std::string CheckpointStore::LatestPath() const {
+  if (dir_.empty()) return "";
+  return dir_ + "/checkpoint_latest.bin";
+}
+
+Status CheckpointStore::WriteFileLocked() const {
+  std::vector<uint8_t> body;
+  ByteWriter w(&body);
+  w.PutU32(latest_.next_epoch);
+  w.PutU32(num_workers_);
+  w.PutBytes(latest_.global);
+  for (const auto& blob : latest_.workers) w.PutBytes(blob);
+
+  std::vector<uint8_t> file;
+  ByteWriter fw(&file);
+  fw.PutU32(kCheckpointMagic);
+  fw.PutU8(kCheckpointVersion);
+  fw.PutU32(Crc32c(body.data(), body.size()));
+  fw.PutU64(body.size());
+  file.insert(file.end(), body.begin(), body.end());
+
+  const std::string path = LatestPath();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IoError("cannot open checkpoint temp file " + tmp);
+    }
+    out.write(reinterpret_cast<const char*>(file.data()),
+              static_cast<std::streamsize>(file.size()));
+    if (!out) {
+      return Status::IoError("short write to checkpoint temp file " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
+Status CheckpointStore::LoadFromFile(const std::string& path) {
+  std::vector<uint8_t> file;
+  {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in) return Status::IoError("cannot open checkpoint file " + path);
+    const std::streamsize size = in.tellg();
+    in.seekg(0);
+    file.resize(static_cast<size_t>(size));
+    in.read(reinterpret_cast<char*>(file.data()), size);
+    if (!in) return Status::IoError("short read from checkpoint " + path);
+  }
+  ByteReader r(file);
+  uint32_t magic = 0, crc = 0;
+  uint8_t version = 0;
+  uint64_t body_size = 0;
+  ECG_RETURN_IF_ERROR(r.GetU32(&magic));
+  ECG_RETURN_IF_ERROR(r.GetU8(&version));
+  ECG_RETURN_IF_ERROR(r.GetU32(&crc));
+  ECG_RETURN_IF_ERROR(r.GetU64(&body_size));
+  if (magic != kCheckpointMagic) {
+    return Status::InvalidArgument(path + " is not a checkpoint file");
+  }
+  if (version != kCheckpointVersion) {
+    return Status::InvalidArgument(
+        "checkpoint version mismatch: got " + std::to_string(version) +
+        " want " + std::to_string(kCheckpointVersion));
+  }
+  if (body_size != r.remaining()) {
+    return Status::InvalidArgument(
+        "checkpoint body size mismatch: header says " +
+        std::to_string(body_size) + " bytes, " +
+        std::to_string(r.remaining()) + " present");
+  }
+  const uint8_t* body = file.data() + (file.size() - body_size);
+  const uint32_t actual = Crc32c(body, body_size);
+  if (actual != crc) {
+    return Status::InvalidArgument("checkpoint CRC mismatch in " + path);
+  }
+
+  Snapshot snap;
+  uint32_t workers = 0;
+  ECG_RETURN_IF_ERROR(r.GetU32(&snap.next_epoch));
+  ECG_RETURN_IF_ERROR(r.GetU32(&workers));
+  if (workers != num_workers_) {
+    return Status::InvalidArgument(
+        "checkpoint has " + std::to_string(workers) + " workers, store has " +
+        std::to_string(num_workers_));
+  }
+  ECG_RETURN_IF_ERROR(r.GetBytes(&snap.global));
+  snap.workers.resize(num_workers_);
+  for (uint32_t i = 0; i < num_workers_; ++i) {
+    ECG_RETURN_IF_ERROR(r.GetBytes(&snap.workers[i]));
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  latest_ = std::move(snap);
+  has_latest_ = true;
+  return Status::OK();
+}
+
+}  // namespace ecg::core

@@ -1,0 +1,88 @@
+#ifndef ECGRAPH_CORE_CHECKPOINT_H_
+#define ECGRAPH_CORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ecg::core {
+
+/// Epoch checkpoint for crash recovery inside one SimulatedCluster::Run.
+///
+/// A checkpoint is assembled cooperatively between two BSP barriers at the
+/// end of an epoch: worker 0 opens a staging snapshot (Begin) and deposits
+/// the global section (parameter-server weights + Adam moments), every
+/// worker deposits its own section (FP/BP exchanger compensation state),
+/// and worker 0 seals it (Commit). Commit atomically replaces the
+/// in-memory "latest" snapshot — restore always sees either the previous
+/// complete checkpoint or the new one, never a half-written mix — and,
+/// when a directory was given, mirrors it to disk via write-to-temp +
+/// rename so a crash mid-write cannot corrupt the on-disk copy.
+///
+/// The store itself is transport-agnostic bytes; the trainer owns the
+/// meaning of the sections.
+class CheckpointStore {
+ public:
+  /// `dir` empty = in-memory only (the common case for tests and the
+  /// simulated cluster, whose workers share one address space).
+  explicit CheckpointStore(uint32_t num_workers, std::string dir = "");
+
+  uint32_t num_workers() const { return num_workers_; }
+
+  /// Worker 0: opens a staging snapshot for a checkpoint that resumes at
+  /// `next_epoch`. Clears any previous staging state.
+  void Begin(uint32_t next_epoch);
+
+  /// Worker 0: deposits the global section (parameter servers).
+  void PutGlobal(std::vector<uint8_t> blob);
+
+  /// Any worker: deposits its per-worker section (exchanger state).
+  void PutWorker(uint32_t worker, std::vector<uint8_t> blob);
+
+  /// Worker 0, after all deposits: publishes staging as the latest
+  /// restorable snapshot. The in-memory publish cannot fail; the returned
+  /// status reports the optional disk mirror (a failed mirror leaves the
+  /// in-memory checkpoint valid).
+  Status Commit();
+
+  bool has_checkpoint() const;
+  /// Epoch the latest checkpoint resumes at.
+  uint32_t next_epoch() const;
+  /// Read-only views of the latest snapshot's sections. The references
+  /// stay valid until the next Commit; callers read them between barriers
+  /// while no checkpoint is in flight.
+  std::vector<uint8_t> global() const;
+  std::vector<uint8_t> worker_blob(uint32_t worker) const;
+
+  /// Path of the on-disk mirror ("" when in-memory only).
+  std::string LatestPath() const;
+
+  /// Loads a snapshot previously written by Commit's disk mirror into the
+  /// latest slot (cold-start restore). Validates magic, version, worker
+  /// count, and the whole-file CRC32C.
+  Status LoadFromFile(const std::string& path);
+
+ private:
+  struct Snapshot {
+    uint32_t next_epoch = 0;
+    std::vector<uint8_t> global;
+    std::vector<std::vector<uint8_t>> workers;
+  };
+
+  Status WriteFileLocked() const;
+
+  const uint32_t num_workers_;
+  const std::string dir_;
+
+  mutable std::mutex mu_;
+  Snapshot staging_;
+  Snapshot latest_;
+  bool has_latest_ = false;
+};
+
+}  // namespace ecg::core
+
+#endif  // ECGRAPH_CORE_CHECKPOINT_H_

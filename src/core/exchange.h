@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/thread_pool.h"
 #include "compress/quantize.h"
 #include "core/halo.h"
@@ -87,7 +88,46 @@ struct ExchangeConfig {
   SelectorGranularity selector = SelectorGranularity::kVertex;
   /// DistGNN delay rounds r (only used by FpMode::kDelayed).
   uint32_t delay_rounds = 5;
+  /// Degrade gracefully when a halo message is permanently lost under
+  /// fault injection (all retries exhausted): FP falls back to the
+  /// requester-side pdt prediction (ReqEC, zero wire bytes — exactly
+  /// Eq. 8's candidate) or to the stale cached halo rows (other modes);
+  /// BP skips the lost gradient, and ResEC folds the whole compensated
+  /// gradient into the responder's residual so Eqs. 11-12 absorb it next
+  /// epoch. When false, a lost message is a training error.
+  bool fault_fallback = true;
 };
+
+/// Result of a loss-tolerant halo fan-in. `bufs[p]` holds the payload of
+/// every peer whose message arrived; `lost[p]` marks peers whose message
+/// was permanently lost (retries exhausted) and must be covered by a
+/// degradation path.
+struct PeerRecvResult {
+  std::vector<std::vector<uint8_t>> bufs;
+  std::vector<bool> lost;
+  bool any_lost = false;
+};
+
+/// Receives from every active peer with bounded waits. A permanently lost
+/// message (ResourceExhausted from the transport's retry protocol) is
+/// tolerated when `allow_loss` is set and reported via `lost`; any other
+/// failure — including loss with fallback disabled — propagates.
+inline Result<PeerRecvResult> TryRecvFromActivePeers(
+    dist::WorkerContext* ctx, const WorkerPlan& plan, uint64_t tag,
+    bool allow_loss) {
+  PeerRecvResult out;
+  out.bufs.resize(ctx->num_workers());
+  out.lost.assign(ctx->num_workers(), false);
+  for (uint32_t p = 0; p < ctx->num_workers(); ++p) {
+    if (!ActivePeer(plan, p)) continue;
+    Status s = ctx->TryRecv(p, tag, &out.bufs[p]);
+    if (s.ok()) continue;
+    if (!allow_loss || s.code() != StatusCode::kResourceExhausted) return s;
+    out.lost[p] = true;
+    out.any_lost = true;
+  }
+  return out;
+}
 
 /// Wire-tag kinds (combined with epoch/layer in MessageHub::MakeTag).
 enum ExchangeTagKind : uint16_t {
@@ -112,6 +152,12 @@ class FpExchanger {
   /// Current compression bits toward peer `p` (for logging/benches);
   /// 32 means uncompressed.
   virtual int BitsTowards(uint32_t peer) const { return 32; }
+
+  /// Serializes the exchanger's compensation state (ReqEC trend baselines,
+  /// Bit-Tuner widths) into the epoch checkpoint. Stateless exchangers
+  /// write nothing.
+  virtual void SaveState(ByteWriter* w) const {}
+  virtual Status LoadState(ByteReader* r) { return Status::OK(); }
 };
 
 /// Fetches the halo rows of G^layer each epoch during BP.
@@ -123,6 +169,11 @@ class BpExchanger {
                           uint32_t epoch, uint16_t layer,
                           const tensor::Matrix& g_owned,
                           tensor::Matrix* g_halo) = 0;
+
+  /// Serializes the error-feedback state (ResEC residuals) into the epoch
+  /// checkpoint. Stateless exchangers write nothing.
+  virtual void SaveState(ByteWriter* w) const {}
+  virtual Status LoadState(ByteReader* r) { return Status::OK(); }
 };
 
 /// Factories. `num_layers` lets stateful exchangers pre-size per-layer

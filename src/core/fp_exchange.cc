@@ -26,15 +26,19 @@ using tensor::Matrix;
 /// by peer id, only active-peer slots are ever touched.
 using PeerBuffers = std::vector<std::vector<uint8_t>>;
 
-/// Blocking-receives every active peer's payload (the hub is the only
-/// sequential point), so decoding can then fan out across peers.
-PeerBuffers RecvFromActivePeers(dist::WorkerContext* ctx,
-                                const WorkerPlan& plan, uint64_t tag) {
-  PeerBuffers bufs(ctx->num_workers());
-  for (uint32_t p = 0; p < ctx->num_workers(); ++p) {
-    if (ActivePeer(plan, p)) bufs[p] = ctx->Recv(p, tag);
+/// Books one FP degradation event: the halo rows from `peer` could not be
+/// delivered, so the requester kept its stale cached rows (stale=true) or
+/// reconstructed the pdt prediction (stale=false).
+void CountFpDegraded(dist::WorkerContext* ctx, uint32_t epoch,
+                     uint16_t layer, uint32_t peer, bool stale) {
+  dist::FaultInjector* injector = ctx->fault_injector();
+  if (injector != nullptr) {
+    auto& counter = stale ? injector->counters().degraded_stale
+                          : injector->counters().degraded_pdt;
+    counter.fetch_add(1, std::memory_order_relaxed);
   }
-  return bufs;
+  obs::RecordStat(stale ? "fault.degraded_stale" : "fault.degraded_pdt",
+                  1.0, epoch, layer, static_cast<int32_t>(peer));
 }
 
 /// Hands the per-peer buffers built by a parallel encode loop to the hub.
@@ -86,6 +90,9 @@ void RecordSelectorStats(const std::vector<uint32_t>& slt, uint32_t epoch,
 /// Non-cp: ship raw float32 rows every epoch.
 class ExactFpExchanger : public FpExchanger {
  public:
+  explicit ExactFpExchanger(const ExchangeConfig& config)
+      : allow_loss_(config.fault_fallback) {}
+
   Status Exchange(dist::WorkerContext* ctx, const WorkerPlan& plan,
                   uint32_t epoch, uint16_t layer, const Matrix& h_owned,
                   Matrix* h_halo) override {
@@ -104,11 +111,18 @@ class ExactFpExchanger : public FpExchanger {
           return Status::OK();
         }));
     SendToActivePeers(ctx, plan, tag, &out);
-    PeerBuffers in = RecvFromActivePeers(ctx, plan, tag);
+    ECG_ASSIGN_OR_RETURN(PeerRecvResult in, TryRecvFromActivePeers(
+                             ctx, plan, tag, allow_loss_));
     ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
         plan, ctx->num_workers(), [&](uint32_t p) -> Status {
           ECG_TRACE_SCOPE_DETAIL("fp_decode", ctx->worker_id(), layer);
-          ByteReader r(in[p]);
+          if (in.lost[p]) {
+            // Lost halo update: keep the stale cached rows (h_halo
+            // persists across epochs) — bounded staleness, not a crash.
+            CountFpDegraded(ctx, epoch, layer, p, /*stale=*/true);
+            return Status::OK();
+          }
+          ByteReader r(in.bufs[p]);
           Matrix rows;
           ECG_RETURN_IF_ERROR(DecodeMatrix(&r, &rows));
           return AssignRows(rows, plan.recv_halo_rows[p], h_halo);
@@ -116,6 +130,9 @@ class ExactFpExchanger : public FpExchanger {
     ctx->EndCommPhase("fp_comm");
     return Status::OK();
   }
+
+ private:
+  const bool allow_loss_;
 };
 
 /// Cp-fp-B: bucket quantization, no compensation.
@@ -152,11 +169,16 @@ class CompressedFpExchanger : public FpExchanger {
         }));
     SendToActivePeers(ctx, plan, tag, &out);
     // Fused receive path: decode straight into the halo rows.
-    PeerBuffers in = RecvFromActivePeers(ctx, plan, tag);
+    ECG_ASSIGN_OR_RETURN(PeerRecvResult in, TryRecvFromActivePeers(
+                             ctx, plan, tag, config_.fault_fallback));
     ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
         plan, ctx->num_workers(), [&](uint32_t p) -> Status {
           ECG_TRACE_SCOPE_DETAIL("fp_decode", ctx->worker_id(), layer);
-          ByteReader r(in[p]);
+          if (in.lost[p]) {
+            CountFpDegraded(ctx, epoch, layer, p, /*stale=*/true);
+            return Status::OK();
+          }
+          ByteReader r(in.bufs[p]);
           QuantizedMatrix q;
           ECG_RETURN_IF_ERROR(QuantizedMatrix::ParseFrom(&r, &q));
           return compress::DequantizeInto(q, plan.recv_halo_rows[p], h_halo);
@@ -178,7 +200,8 @@ class CompressedFpExchanger : public FpExchanger {
 class DelayedFpExchanger : public FpExchanger {
  public:
   explicit DelayedFpExchanger(const ExchangeConfig& config)
-      : r_(std::max<uint32_t>(1, config.delay_rounds)) {}
+      : r_(std::max<uint32_t>(1, config.delay_rounds)),
+        allow_loss_(config.fault_fallback) {}
 
   Status Exchange(dist::WorkerContext* ctx, const WorkerPlan& plan,
                   uint32_t epoch, uint16_t layer, const Matrix& h_owned,
@@ -208,10 +231,17 @@ class DelayedFpExchanger : public FpExchanger {
           return Status::OK();
         }));
     SendToActivePeers(ctx, plan, tag, &out);
-    PeerBuffers in = RecvFromActivePeers(ctx, plan, tag);
+    ECG_ASSIGN_OR_RETURN(PeerRecvResult in, TryRecvFromActivePeers(
+                             ctx, plan, tag, allow_loss_));
     ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
         plan, ctx->num_workers(), [&](uint32_t p) -> Status {
-          ByteReader r(in[p]);
+          if (in.lost[p]) {
+            // Lost refresh: the whole halo slice stays one round staler —
+            // the same degradation DistGNN's schedule already embraces.
+            CountFpDegraded(ctx, epoch, layer, p, /*stale=*/true);
+            return Status::OK();
+          }
+          ByteReader r(in.bufs[p]);
           std::vector<uint32_t> positions;
           ECG_RETURN_IF_ERROR(r.GetU32Vector(&positions));
           Matrix rows;
@@ -234,6 +264,7 @@ class DelayedFpExchanger : public FpExchanger {
 
  private:
   const uint32_t r_;
+  const bool allow_loss_;
 };
 
 /// The paper's ReqEC-FP (Algorithms 3 and 4): trend snapshots every T_tr
@@ -279,17 +310,32 @@ class ReqEcFpExchanger : public FpExchanger {
     // 2) Respond (Algorithm 4). Requests are drained first, then every
     //    peer's response — candidate construction, selector, quantize —
     //    is built in parallel (the per-peer responder state is disjoint).
-    PeerBuffers reqs = RecvFromActivePeers(ctx, plan, req_tag);
+    //    A lost request degrades to the configured default bit width (the
+    //    response carries its bits inline, so the requester still decodes).
+    ECG_ASSIGN_OR_RETURN(PeerRecvResult reqs, TryRecvFromActivePeers(
+                             ctx, plan, req_tag, config_.fault_fallback));
     PeerBuffers out(ctx->num_workers());
+    dist::FaultInjector* injector = ctx->fault_injector();
     ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
         plan, ctx->num_workers(), [&](uint32_t p) -> Status {
           ECG_TRACE_SCOPE_DETAIL("fp_encode", ctx->worker_id(), layer);
-          ByteReader rr(reqs[p]);
-          uint8_t peer_bits = 0;
-          ECG_RETURN_IF_ERROR(rr.GetU8(&peer_bits));
+          int peer_bits = config_.fp_bits;
+          if (!reqs.lost[p]) {
+            ByteReader rr(reqs.bufs[p]);
+            uint8_t b = 0;
+            ECG_RETURN_IF_ERROR(rr.GetU8(&b));
+            peer_bits = b;
+          }
+          // Both ends evaluate the fault schedule, so the responder knows
+          // — without any extra message — when its response can never be
+          // delivered. On a trend epoch it must then keep the old baseline:
+          // the requester will keep predicting from the old one too.
+          const bool deliverable =
+              injector == nullptr ||
+              !injector->PermanentlyLost(ctx->worker_id(), p, data_tag);
           ECG_RETURN_IF_ERROR(BuildResponse(plan, p, epoch, layer,
                                             trend_epoch, step, peer_bits,
-                                            h_owned, &out[p]));
+                                            deliverable, h_owned, &out[p]));
           if (obs::StatsEnabled()) {
             RecordFpSendStats(epoch, layer, p, plan.send_rows[p].size(),
                               h_owned.cols(), out[p].size(),
@@ -300,13 +346,20 @@ class ReqEcFpExchanger : public FpExchanger {
     SendToActivePeers(ctx, plan, data_tag, &out);
 
     // 3) Parse responses (Algorithm 3) — per-peer requester state and halo
-    //    row ranges are disjoint, so peers decode in parallel too.
-    PeerBuffers in = RecvFromActivePeers(ctx, plan, data_tag);
+    //    row ranges are disjoint, so peers decode in parallel too. A lost
+    //    response degrades to the pdt candidate (Eq. 8: H_last + step·M_cr,
+    //    reconstructible from requester state with zero wire bytes).
+    ECG_ASSIGN_OR_RETURN(PeerRecvResult in, TryRecvFromActivePeers(
+                             ctx, plan, data_tag, config_.fault_fallback));
     ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
         plan, ctx->num_workers(), [&](uint32_t p) -> Status {
           ECG_TRACE_SCOPE_DETAIL("fp_decode", ctx->worker_id(), layer);
-          return ParseResponse(plan, p, layer, trend_epoch, step, in[p],
-                               h_halo);
+          if (in.lost[p]) {
+            return DegradeLostResponse(ctx, plan, p, epoch, layer, step,
+                                       h_halo);
+          }
+          return ParseResponse(plan, p, layer, trend_epoch, step,
+                               in.bufs[p], h_halo);
         }));
     ctx->EndCommPhase("fp_comm");
 
@@ -337,6 +390,56 @@ class ReqEcFpExchanger : public FpExchanger {
     return bits_towards_[peer];
   }
 
+  /// Checkpoint format: per (layer, peer) the responder and requester
+  /// trend snapshots, then the Bit-Tuner widths and last predicted
+  /// proportions. Everything the paper's compensation depends on.
+  void SaveState(ByteWriter* w) const override {
+    for (uint16_t l = 0; l < num_layers_; ++l) {
+      for (size_t p = 0; p < responder_[l].size(); ++p) {
+        const ResponderState& rs = responder_[l][p];
+        w->PutU8(rs.have_trend ? 1 : 0);
+        EncodeMatrix(rs.h_last, w);
+        EncodeMatrix(rs.m_cr, w);
+        const RequesterState& qs = requester_[l][p];
+        w->PutU8(qs.have_trend ? 1 : 0);
+        EncodeMatrix(qs.h_last, w);
+        EncodeMatrix(qs.m_cr, w);
+      }
+    }
+    std::vector<uint32_t> bits(bits_towards_.begin(), bits_towards_.end());
+    w->PutU32Vector(bits);
+    w->PutF32Vector(proportion_from_);
+  }
+
+  Status LoadState(ByteReader* r) override {
+    for (uint16_t l = 0; l < num_layers_; ++l) {
+      for (size_t p = 0; p < responder_[l].size(); ++p) {
+        ResponderState& rs = responder_[l][p];
+        uint8_t have = 0;
+        ECG_RETURN_IF_ERROR(r->GetU8(&have));
+        rs.have_trend = have != 0;
+        ECG_RETURN_IF_ERROR(DecodeMatrix(r, &rs.h_last));
+        ECG_RETURN_IF_ERROR(DecodeMatrix(r, &rs.m_cr));
+        RequesterState& qs = requester_[l][p];
+        ECG_RETURN_IF_ERROR(r->GetU8(&have));
+        qs.have_trend = have != 0;
+        ECG_RETURN_IF_ERROR(DecodeMatrix(r, &qs.h_last));
+        ECG_RETURN_IF_ERROR(DecodeMatrix(r, &qs.m_cr));
+      }
+    }
+    std::vector<uint32_t> bits;
+    ECG_RETURN_IF_ERROR(r->GetU32Vector(&bits));
+    if (bits.size() != bits_towards_.size()) {
+      return Status::InvalidArgument(
+          "ReqEC checkpoint bit widths: expected " +
+          std::to_string(bits_towards_.size()) + " peers, got " +
+          std::to_string(bits.size()));
+    }
+    bits_towards_.assign(bits.begin(), bits.end());
+    ECG_RETURN_IF_ERROR(r->GetF32Vector(&proportion_from_));
+    return Status::OK();
+  }
+
  private:
   /// Message kinds inside an FP data payload.
   enum ResponseKind : uint8_t {
@@ -362,7 +465,7 @@ class ReqEcFpExchanger : public FpExchanger {
 
   Status BuildResponse(const WorkerPlan& plan, uint32_t peer, uint32_t epoch,
                        uint16_t layer, bool trend_epoch, uint32_t step,
-                       int peer_bits, const Matrix& h_owned,
+                       int peer_bits, bool deliverable, const Matrix& h_owned,
                        std::vector<uint8_t>* buf) {
     ResponderState& st = responder_[layer][peer];
     ByteWriter w(buf);
@@ -377,9 +480,11 @@ class ReqEcFpExchanger : public FpExchanger {
         tensor::ScaleInPlace(&m_cr,
                              1.0f / static_cast<float>(config_.trend_period));
       }
-      st.h_last = h_send;
-      st.m_cr = m_cr;
-      st.have_trend = true;
+      if (deliverable) {
+        st.h_last = h_send;
+        st.m_cr = m_cr;
+        st.have_trend = true;
+      }
       w.PutU8(kTrend);
       EncodeMatrix(h_send, &w);
       EncodeMatrix(m_cr, &w);
@@ -588,6 +693,37 @@ class ReqEcFpExchanger : public FpExchanger {
     return Status::OK();
   }
 
+  /// Zero-byte fallback for a permanently lost response: reconstruct the
+  /// pdt candidate from the requester-side trend baseline (Eq. 8). Before
+  /// the first trend snapshot there is no baseline, so the stale cached
+  /// rows stand in.
+  Status DegradeLostResponse(dist::WorkerContext* ctx, const WorkerPlan& plan,
+                             uint32_t peer, uint32_t epoch, uint16_t layer,
+                             uint32_t step, Matrix* h_halo) {
+    RequesterState& st = requester_[layer][peer];
+    const auto& halo_rows = plan.recv_halo_rows[peer];
+    if (!st.have_trend) {
+      CountFpDegraded(ctx, epoch, layer, peer, /*stale=*/true);
+      return Status::OK();
+    }
+    if (st.h_last.rows() != halo_rows.size()) {
+      return Status::Internal(
+          "pdt fallback baseline has " + std::to_string(st.h_last.rows()) +
+          " rows for " + std::to_string(halo_rows.size()) + " halo rows");
+    }
+    const size_t dim = st.h_last.cols();
+    for (size_t i = 0; i < halo_rows.size(); ++i) {
+      float* out = h_halo->Row(halo_rows[i]);
+      const float* last = st.h_last.Row(i);
+      const float* rate = st.m_cr.Row(i);
+      for (size_t c = 0; c < dim; ++c) {
+        out[c] = last[c] + rate[c] * static_cast<float>(step);
+      }
+    }
+    CountFpDegraded(ctx, epoch, layer, peer, /*stale=*/false);
+    return Status::OK();
+  }
+
   Status ParseResponse(const WorkerPlan& plan, uint32_t peer, uint16_t layer,
                        bool trend_epoch, uint32_t step,
                        const std::vector<uint8_t>& buf, Matrix* h_halo) {
@@ -700,7 +836,7 @@ std::unique_ptr<FpExchanger> MakeFpExchanger(FpMode mode,
                                              const WorkerPlan& plan) {
   switch (mode) {
     case FpMode::kExact:
-      return std::make_unique<ExactFpExchanger>();
+      return std::make_unique<ExactFpExchanger>(config);
     case FpMode::kCompressed:
       return std::make_unique<CompressedFpExchanger>(config);
     case FpMode::kDelayed:

@@ -32,6 +32,10 @@ struct MetricsBoard {
   double last_clock = 0.0;
   uint64_t last_comm_bytes = 0;
   uint64_t last_param_bytes = 0;
+  /// Pre-epoch-0 baselines (SetEpochBaseline), kept so RollbackTo can
+  /// rebuild the last_* values from the retained epochs' deltas.
+  double base_clock = 0.0;
+  uint64_t base_comm_bytes = 0;
   /// Per-phase simulated seconds of the epoch in flight (cleared by
   /// FinalizeEpoch into EpochMetrics::phase_seconds).
   std::map<std::string, double> phase_acc;
@@ -60,6 +64,45 @@ struct MetricsBoard {
     std::lock_guard<std::mutex> lock(mu);
     last_clock = clock;
     last_comm_bytes = comm_bytes;
+    base_clock = clock;
+    base_comm_bytes = comm_bytes;
+  }
+
+  /// Crash recovery (worker 0, between the restore barriers): forgets every
+  /// finalized epoch past the first `keep_epochs` and clears the epoch in
+  /// flight. The simulated clock cannot rewind, so the delta baselines are
+  /// recomputed from the kept epochs' sums — everything between the
+  /// checkpoint and the restore (the wasted epochs plus the restart
+  /// downtime) then lands in the first re-run epoch's sim_seconds, keeping
+  /// the reported makespan honest about what the crash cost.
+  void RollbackTo(uint32_t keep_epochs) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (epochs.size() > keep_epochs) epochs.resize(keep_epochs);
+    loss_sum = 0.0;
+    for (int i = 0; i < 3; ++i) correct[i] = totals[i] = 0;
+    phase_acc.clear();
+    last_clock = base_clock;
+    last_comm_bytes = base_comm_bytes;
+    last_param_bytes = 0;
+    best_val = -1.0;
+    test_at_best_val = 0.0;
+    best_epoch = 0;
+    epochs_since_best = 0;
+    for (size_t e = 0; e < epochs.size(); ++e) {
+      const EpochMetrics& m = epochs[e];
+      last_clock += m.sim_seconds;
+      last_comm_bytes += m.comm_bytes;
+      last_param_bytes += m.param_bytes;
+      if (m.val_acc > best_val) {
+        best_val = m.val_acc;
+        test_at_best_val = m.test_acc;
+        best_epoch = static_cast<uint32_t>(e);
+        epochs_since_best = 0;
+      } else {
+        ++epochs_since_best;
+      }
+    }
+    stop.store(false, std::memory_order_relaxed);
   }
 
   /// Adds one worker's simulated seconds of a named phase for the epoch in

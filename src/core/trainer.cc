@@ -10,10 +10,12 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "common/trace.h"
+#include "core/checkpoint.h"
 #include "core/halo.h"
 #include "core/metrics_board.h"
 #include "core/wire_util.h"
 #include "dist/cluster.h"
+#include "dist/fault.h"
 #include "tensor/nn.h"
 #include "tensor/ops.h"
 
@@ -78,6 +80,27 @@ Result<TrainResult> DistributedTrainer::Train() {
 
   SimulatedCluster cluster(workers, options_.network, options_.machine);
 
+  // Fault tolerance wiring: the process-wide injector (from --faults /
+  // ScopedFaultInjector) attaches to this job's hub, switching the
+  // transport to framed envelopes with bounded, retrying receives. A crash
+  // schedule forces checkpointing on (every epoch unless configured
+  // coarser) so the restore path always has a snapshot to rewind to.
+  dist::FaultInjector* injector = dist::GlobalFaultInjector();
+  cluster.hub().set_fault_injector(injector);
+  uint32_t checkpoint_every = options_.checkpoint_every;
+  if (checkpoint_every == 0 && injector != nullptr &&
+      injector->HasCrashSchedule()) {
+    checkpoint_every = 1;
+  }
+  std::unique_ptr<CheckpointStore> ckpt;
+  if (checkpoint_every > 0) {
+    ckpt = std::make_unique<CheckpointStore>(workers,
+                                             options_.checkpoint_dir);
+  }
+  // Worker 0's crash verdict for the epoch about to start, published to
+  // the other workers across a barrier.
+  std::atomic<bool> crash_pending{false};
+
   auto worker_fn = [&](WorkerContext* ctx) -> Status {
     ThreadPool::SetSerialMode(true);
     const WorkerPlan& plan = plans[ctx->worker_id()];
@@ -133,9 +156,92 @@ Result<TrainResult> DistributedTrainer::Train() {
     }
     ctx->BarrierSync();
 
+    // Cooperative epoch checkpoint, taken between two barriers: worker 0
+    // stages the snapshot and deposits the global section (parameter
+    // servers), every worker deposits its exchanger compensation state,
+    // worker 0 seals it.
+    auto take_checkpoint = [&](uint32_t next_epoch) {
+      if (ctx->worker_id() == 0) ckpt->Begin(next_epoch);
+      ctx->BarrierSync();
+      std::vector<uint8_t> blob;
+      ByteWriter bw(&blob);
+      fp_ex->SaveState(&bw);
+      bp_ex->SaveState(&bw);
+      ckpt->PutWorker(ctx->worker_id(), std::move(blob));
+      if (ctx->worker_id() == 0) {
+        std::vector<uint8_t> global;
+        ByteWriter gw(&global);
+        ps.SaveTo(&gw);
+        ckpt->PutGlobal(std::move(global));
+      }
+      ctx->BarrierSync();
+      if (ctx->worker_id() == 0) {
+        const Status mirrored = ckpt->Commit();
+        if (!mirrored.ok()) {
+          ECG_LOG(Warning) << "checkpoint disk mirror failed: "
+                           << mirrored.ToString();
+        }
+        if (injector != nullptr) {
+          injector->counters().checkpoints.fetch_add(
+              1, std::memory_order_relaxed);
+        }
+        if (obs::StatsEnabled()) {
+          obs::RecordStat("ckpt.save", 1.0, next_epoch);
+        }
+      }
+    };
+
+    // Crash recovery: rewind model, optimizer, and compensation state to
+    // the latest checkpoint. Every worker pays the modelled restart
+    // downtime — BSP lock-step means one dead worker stalls the cluster.
+    auto restore_checkpoint = [&]() -> Status {
+      {
+        const std::vector<uint8_t> blob =
+            ckpt->worker_blob(ctx->worker_id());
+        ByteReader r(blob);
+        ECG_RETURN_IF_ERROR(fp_ex->LoadState(&r));
+        ECG_RETURN_IF_ERROR(bp_ex->LoadState(&r));
+      }
+      if (ctx->worker_id() == 0) {
+        const std::vector<uint8_t> global = ckpt->global();
+        ByteReader r(global);
+        ECG_RETURN_IF_ERROR(ps.LoadFrom(&r));
+        board.RollbackTo(ckpt->next_epoch());
+      }
+      ctx->ChargeCommSeconds(injector->restart_seconds());
+      return Status::OK();
+    };
+
+    // The initial checkpoint makes a crash during any epoch recoverable,
+    // even before the first periodic checkpoint lands.
+    if (ckpt != nullptr) take_checkpoint(0);
+
     // ---- Epoch loop ---------------------------------------------------
+    // A while-loop instead of a for: a crash restore rewinds `epoch` to
+    // the latest checkpoint; fault-free runs step through it identically.
     Matrix cat, grads_logits;
-    for (uint32_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    uint32_t epoch = 0;
+    while (epoch < options_.epochs) {
+      if (ckpt != nullptr && injector != nullptr) {
+        if (ctx->worker_id() == 0) {
+          crash_pending.store(injector->TakeCrash(epoch),
+                              std::memory_order_relaxed);
+        }
+        ctx->BarrierSync();
+        if (crash_pending.load(std::memory_order_relaxed)) {
+          ECG_RETURN_IF_ERROR(restore_checkpoint());
+          ctx->BarrierSync();
+          if (ctx->worker_id() == 0) {
+            injector->counters().restores.fetch_add(
+                1, std::memory_order_relaxed);
+            if (obs::StatsEnabled()) {
+              obs::RecordStat("ckpt.restore", 1.0, epoch);
+            }
+          }
+          epoch = ckpt->next_epoch();
+          continue;
+        }
+      }
       // Forward propagation (Algorithm 1).
       for (int l = 1; l <= L; ++l) {
         Matrix* wl = &w[l - 1];
@@ -308,6 +414,15 @@ Result<TrainResult> DistributedTrainer::Train() {
         ctx->BarrierSync();
       }
 
+      // Epoch checkpoint: the barrier above guarantees every push of the
+      // epoch is applied, so the parameter servers hold exactly the
+      // "start of epoch+1" state the exchangers snapshot alongside.
+      if (ckpt != nullptr && (epoch + 1) % checkpoint_every == 0 &&
+          epoch + 1 < options_.epochs) {
+        Phase phase(ctx, &board, epoch, "checkpoint");
+        take_checkpoint(epoch + 1);
+      }
+
       if (ctx->worker_id() == 0) {
         board.FinalizeEpoch(epoch, ctx->total_seconds(),
                             cluster.stats().TotalBytes(), global_train,
@@ -321,6 +436,7 @@ Result<TrainResult> DistributedTrainer::Train() {
       }
       ctx->BarrierSync();
       if (board.stop.load(std::memory_order_relaxed)) break;
+      ++epoch;
     }
     return Status::OK();
   };

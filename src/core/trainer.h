@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -35,6 +36,14 @@ struct TrainOptions {
   uint32_t patience = 0;
   /// Print a progress line every N epochs (0 = silent).
   uint32_t log_every = 0;
+  /// Take an epoch checkpoint (model + optimizer + compensation state)
+  /// every N epochs. 0 = automatic: checkpoint every epoch when the active
+  /// fault schedule contains a crash, otherwise never. An injected worker
+  /// crash restores the whole job from the latest checkpoint.
+  uint32_t checkpoint_every = 0;
+  /// Mirror the latest checkpoint to this directory (atomic rename);
+  /// empty = in-memory only.
+  std::string checkpoint_dir;
 };
 
 /// Distributed full-batch GCN training on a simulated CPU cluster: the

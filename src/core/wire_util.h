@@ -2,6 +2,7 @@
 #define ECGRAPH_CORE_WIRE_UTIL_H_
 
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "common/bytes.h"
@@ -25,10 +26,17 @@ inline Status DecodeMatrix(ByteReader* r, tensor::Matrix* out) {
   ECG_RETURN_IF_ERROR(r->GetU32(&cols));
   ECG_RETURN_IF_ERROR(r->GetU64(&count));
   if (count != static_cast<uint64_t>(rows) * cols) {
-    return Status::InvalidArgument("matrix wire size mismatch");
+    return Status::InvalidArgument(
+        "matrix wire size mismatch: header says " + std::to_string(rows) +
+        "x" + std::to_string(cols) + " (" +
+        std::to_string(static_cast<uint64_t>(rows) * cols) +
+        " elements) but carries " + std::to_string(count));
   }
   if (count * sizeof(float) > r->remaining()) {
-    return Status::OutOfRange("matrix payload exceeds buffer");
+    return Status::OutOfRange(
+        "matrix payload exceeds buffer: needs " +
+        std::to_string(count * sizeof(float)) + " bytes, " +
+        std::to_string(r->remaining()) + " remain");
   }
   out->Reset(rows, cols);
   return r->GetF32Array(out->data(), count);

@@ -30,10 +30,23 @@ std::vector<uint8_t> WorkerContext::Recv(uint32_t from, uint64_t tag) {
   return payload;
 }
 
+Status WorkerContext::TryRecv(uint32_t from, uint64_t tag,
+                              std::vector<uint8_t>* out) {
+  RecvOutcome outcome;
+  Status status = hub_->TryRecv(worker_id_, from, tag, out, &outcome);
+  phase_penalty_seconds_ += outcome.penalty_seconds;
+  if (status.ok()) {
+    phase_recv_bytes_ += out->size();
+    ++phase_recv_msgs_;
+  }
+  return status;
+}
+
 void WorkerContext::EndCommPhase(const char* phase) {
   const double seconds =
       net_.PhaseSeconds(phase_sent_bytes_, phase_sent_msgs_,
-                        phase_recv_bytes_, phase_recv_msgs_);
+                        phase_recv_bytes_, phase_recv_msgs_) +
+      phase_penalty_seconds_;
   if (obs::TraceEnabled() && seconds > 0.0) {
     obs::Tracer::Global().RecordSimSpan(phase, worker_id_, -1,
                                         total_seconds(), seconds);
@@ -41,6 +54,7 @@ void WorkerContext::EndCommPhase(const char* phase) {
   comm_seconds_ += seconds;
   phase_sent_bytes_ = phase_sent_msgs_ = 0;
   phase_recv_bytes_ = phase_recv_msgs_ = 0;
+  phase_penalty_seconds_ = 0.0;
 }
 
 void WorkerContext::BarrierSync() { cluster_->BarrierSyncImpl(this); }

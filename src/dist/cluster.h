@@ -28,11 +28,23 @@ class WorkerContext {
   uint32_t num_workers() const { return num_workers_; }
   const NetworkModel& net() const { return net_; }
 
+  /// The hub's fault injector, or nullptr when faults are off. Exchangers
+  /// consult it to agree — deterministically, with no extra messages —
+  /// on which of their sends can never be delivered (PermanentlyLost) so
+  /// responder-side compensation state stays consistent with the peer.
+  FaultInjector* fault_injector() const { return hub_->fault_injector(); }
+
   /// Sends a payload to `to`; traffic is attributed to the current phase.
   void Send(uint32_t to, uint64_t tag, std::vector<uint8_t> payload);
 
   /// Blocking receive of the (from, tag) message.
   std::vector<uint8_t> Recv(uint32_t from, uint64_t tag);
+
+  /// Bounded receive (see MessageHub::TryRecv). With no fault injector on
+  /// the hub this blocks exactly like Recv and always returns OK. Retry
+  /// backoff and injected delays are charged to the current comm phase so
+  /// chaos runs report honest makespans.
+  Status TryRecv(uint32_t from, uint64_t tag, std::vector<uint8_t>* out);
 
   /// Adds measured single-core compute seconds to this worker's clock,
   /// scaled by the machine model's multi-core speedup. When tracing is on,
@@ -73,6 +85,9 @@ class WorkerContext {
   uint64_t phase_sent_msgs_ = 0;
   uint64_t phase_recv_bytes_ = 0;
   uint64_t phase_recv_msgs_ = 0;
+  // Simulated seconds of fault-induced retry backoff and injected delay
+  // accumulated this phase (TryRecv), folded in by EndCommPhase().
+  double phase_penalty_seconds_ = 0.0;
 
   double compute_seconds_ = 0.0;
   double comm_seconds_ = 0.0;

@@ -1,35 +1,324 @@
 #include "dist/comm.h"
 
+#include <chrono>
+#include <cstring>
+#include <sstream>
+
+#include "common/bytes.h"
+#include "common/crc32c.h"
 #include "common/logging.h"
+#include "common/stats.h"
 
 namespace ecg::dist {
+namespace {
+
+/// Deterministic bit corruption for the kCorrupt fault: flips one bit in
+/// the payload region (past the header, so the CRC — not the field checks —
+/// is what must catch it) at a position derived from the tag and attempt.
+void CorruptFrame(std::vector<uint8_t>* frame, uint64_t tag,
+                  uint32_t attempt) {
+  if (frame->size() <= MessageHub::kEnvelopeBytes) {
+    // Header-only frame (empty payload): flip a length byte instead.
+    (*frame)[frame->size() - 5] ^= 0x10;
+    return;
+  }
+  const size_t span = frame->size() - MessageHub::kEnvelopeBytes;
+  const size_t pos =
+      MessageHub::kEnvelopeBytes + ((tag ^ (attempt * 0x9E3779B9u)) % span);
+  (*frame)[pos] ^= 1u << (attempt % 8);
+}
+
+}  // namespace
+
+std::vector<uint8_t> MessageHub::FrameEnvelope(
+    uint64_t tag, uint32_t attempt, const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> frame;
+  frame.reserve(kEnvelopeBytes + payload.size());
+  ByteWriter w(&frame);
+  w.PutU32(kEnvelopeMagic);
+  w.PutU8(kEnvelopeVersion);
+  w.PutU8(0);  // flags (reserved)
+  w.PutU32(attempt);
+  w.PutU64(tag);
+  w.PutU64(payload.size());
+  w.PutU32(Crc32c(payload.data(), payload.size()));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+Status MessageHub::ParseEnvelope(const std::vector<uint8_t>& frame,
+                                 uint64_t tag,
+                                 std::vector<uint8_t>* payload) {
+  if (frame.size() < kEnvelopeBytes) {
+    return Status::InvalidArgument(
+        "envelope truncated: " + std::to_string(frame.size()) + " bytes < " +
+        std::to_string(kEnvelopeBytes) + "-byte header");
+  }
+  ByteReader r(frame);
+  uint32_t magic = 0, attempt = 0, crc = 0;
+  uint8_t version = 0, flags = 0;
+  uint64_t tag_echo = 0, length = 0;
+  ECG_RETURN_IF_ERROR(r.GetU32(&magic));
+  ECG_RETURN_IF_ERROR(r.GetU8(&version));
+  ECG_RETURN_IF_ERROR(r.GetU8(&flags));
+  ECG_RETURN_IF_ERROR(r.GetU32(&attempt));
+  ECG_RETURN_IF_ERROR(r.GetU64(&tag_echo));
+  ECG_RETURN_IF_ERROR(r.GetU64(&length));
+  ECG_RETURN_IF_ERROR(r.GetU32(&crc));
+  if (magic != kEnvelopeMagic) {
+    std::ostringstream os;
+    os << "envelope magic mismatch: got 0x" << std::hex << magic
+       << " want 0x" << kEnvelopeMagic;
+    return Status::InvalidArgument(os.str());
+  }
+  if (version != kEnvelopeVersion) {
+    return Status::InvalidArgument(
+        "envelope version mismatch: got " + std::to_string(version) +
+        " want " + std::to_string(kEnvelopeVersion));
+  }
+  if (tag_echo != tag) {
+    return Status::InvalidArgument(
+        "envelope tag echo mismatch: got " + std::to_string(tag_echo) +
+        " want " + std::to_string(tag));
+  }
+  if (length != frame.size() - kEnvelopeBytes) {
+    return Status::InvalidArgument(
+        "envelope length mismatch: header says " + std::to_string(length) +
+        " bytes, frame carries " +
+        std::to_string(frame.size() - kEnvelopeBytes));
+  }
+  const uint8_t* body = frame.data() + kEnvelopeBytes;
+  const uint32_t actual_crc = Crc32c(body, length);
+  if (actual_crc != crc) {
+    std::ostringstream os;
+    os << "envelope CRC mismatch: got 0x" << std::hex << actual_crc
+       << " want 0x" << crc << " over " << std::dec << length << " bytes";
+    return Status::InvalidArgument(os.str());
+  }
+  payload->assign(body, body + length);
+  return Status::OK();
+}
+
+void MessageHub::DeliverAttempt(Mailbox& box, uint32_t from, uint32_t to,
+                                uint64_t tag, uint32_t attempt,
+                                const std::vector<uint8_t>& frame) {
+  const FaultDecision decision = injector_->OnAttempt(from, to, tag, attempt);
+  FaultCounters& counters = injector_->counters();
+  const uint32_t epoch = TagEpoch(tag);
+  const int32_t layer = static_cast<int32_t>(TagLayer(tag));
+  if (decision.drop) {
+    counters.dropped.fetch_add(1, std::memory_order_relaxed);
+    obs::RecordStat("fault.dropped", 1.0, epoch, layer,
+                    static_cast<int32_t>(from));
+    return;  // the attempt vanishes; the receiver times out or NACKs
+  }
+  const auto key = std::make_pair(from, tag);
+  Delivery delivery;
+  delivery.bytes = frame;
+  delivery.delay_seconds = decision.delay_seconds;
+  if (decision.corrupt) {
+    counters.corrupted.fetch_add(1, std::memory_order_relaxed);
+    obs::RecordStat("fault.corrupted", 1.0, epoch, layer,
+                    static_cast<int32_t>(from));
+    // Re-frame with the right attempt echo, then flip bits: the receiver
+    // must detect this via the CRC, not via a stale attempt field.
+    CorruptFrame(&delivery.bytes, tag, attempt);
+  }
+  if (decision.delay_seconds > 0.0) {
+    counters.delayed.fetch_add(1, std::memory_order_relaxed);
+    obs::RecordStat("fault.delayed", 1.0, epoch, layer,
+                    static_cast<int32_t>(from));
+  }
+  if (decision.duplicate) {
+    counters.duplicated.fetch_add(1, std::memory_order_relaxed);
+    obs::RecordStat("fault.duplicated", 1.0, epoch, layer,
+                    static_cast<int32_t>(from));
+    box.messages[key].push_back(delivery);
+  }
+  box.messages[key].push_back(std::move(delivery));
+}
 
 void MessageHub::Send(uint32_t from, uint32_t to, uint64_t tag,
                       std::vector<uint8_t> payload) {
-  ECG_CHECK(from < parties_ && to < parties_) << "bad worker id in Send";
+  ECG_CHECK(from < parties_ && to < parties_)
+      << "Send worker id out of range: from=" << from << " to=" << to
+      << " parties=" << parties_;
   stats_.RecordSend(from, to, payload.size());
   Mailbox& box = boxes_[to];
-  {
+  if (injector_ == nullptr) {
+    // Fault-free fast path: raw payload, no framing, no copies retained.
     std::lock_guard<std::mutex> lock(box.mu);
     const auto key = std::make_pair(from, tag);
     ECG_CHECK(box.messages.find(key) == box.messages.end())
         << "duplicate message from " << from << " tag " << tag;
-    box.messages.emplace(key, std::move(payload));
+    box.messages[key].push_back(Delivery{std::move(payload), 0.0});
+    box.cv.notify_all();
+    return;
+  }
+  std::vector<uint8_t> frame = FrameEnvelope(tag, /*attempt=*/0, payload);
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    const auto key = std::make_pair(from, tag);
+    ECG_CHECK(box.retained.find(key) == box.retained.end())
+        << "duplicate message from " << from << " tag " << tag;
+    Retained& slot = box.retained[key];
+    slot.frame = frame;
+    slot.last_attempt = 0;
+    DeliverAttempt(box, from, to, tag, /*attempt=*/0, frame);
   }
   box.cv.notify_all();
 }
 
 std::vector<uint8_t> MessageHub::Recv(uint32_t to, uint32_t from,
                                       uint64_t tag) {
-  ECG_CHECK(from < parties_ && to < parties_) << "bad worker id in Recv";
+  ECG_CHECK(from < parties_ && to < parties_)
+      << "Recv worker id out of range: to=" << to << " from=" << from
+      << " parties=" << parties_;
+  if (injector_ != nullptr) {
+    // The payload is framed when an injector is attached, so even traffic
+    // the fault model exempts (preprocessing) must go through envelope
+    // parsing. TryRecv handles both.
+    std::vector<uint8_t> payload;
+    Status status = TryRecv(to, from, tag, &payload);
+    ECG_CHECK(status.ok()) << "blocking Recv on fault-injected hub failed: "
+                           << status.ToString() << " (use TryRecv)";
+    return payload;
+  }
   Mailbox& box = boxes_[to];
   std::unique_lock<std::mutex> lock(box.mu);
   const auto key = std::make_pair(from, tag);
+#ifndef NDEBUG
+  // Debug-build stall diagnostic: if the message does not arrive within the
+  // threshold, dump every pending (from, epoch, layer, kind) in the mailbox
+  // once — almost always a tag-mismatch bug — then keep waiting.
+  constexpr auto kStallThreshold = std::chrono::seconds(10);
+  if (!box.cv.wait_for(lock, kStallThreshold,
+                       [&] { return box.messages.count(key) > 0; })) {
+    std::ostringstream os;
+    os << "Recv stalled >10s: worker " << to << " waiting on from=" << from
+       << " epoch=" << TagEpoch(tag) << " layer=" << TagLayer(tag)
+       << " kind=" << TagKind(tag) << "; pending mailbox tags:";
+    if (box.messages.empty()) os << " (none)";
+    for (const auto& [k, queue] : box.messages) {
+      os << " [from=" << k.first << " epoch=" << TagEpoch(k.second)
+         << " layer=" << TagLayer(k.second) << " kind=" << TagKind(k.second)
+         << " n=" << queue.size() << "]";
+    }
+    ECG_LOG(Warning) << os.str();
+  }
+#endif
   box.cv.wait(lock, [&] { return box.messages.count(key) > 0; });
   auto it = box.messages.find(key);
-  std::vector<uint8_t> payload = std::move(it->second);
+  std::vector<uint8_t> payload = std::move(it->second.front().bytes);
   box.messages.erase(it);
   return payload;
+}
+
+Status MessageHub::TryRecv(uint32_t to, uint32_t from, uint64_t tag,
+                           std::vector<uint8_t>* out, RecvOutcome* outcome) {
+  ECG_CHECK(from < parties_ && to < parties_)
+      << "TryRecv worker id out of range: to=" << to << " from=" << from
+      << " parties=" << parties_;
+  RecvOutcome local;
+  RecvOutcome& oc = outcome != nullptr ? *outcome : local;
+  oc = RecvOutcome{};
+  if (injector_ == nullptr) {
+    *out = Recv(to, from, tag);
+    return Status::OK();
+  }
+
+  FaultCounters& counters = injector_->counters();
+  const uint32_t max_retries = injector_->max_retries();
+  const auto attempt_timeout =
+      std::chrono::milliseconds(injector_->recv_timeout_ms());
+  // Overall real-time budget: a sender that never calls Send at all (a hung
+  // peer, not a faulty link) must not hang us forever either.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        attempt_timeout * (max_retries + 2);
+
+  Mailbox& box = boxes_[to];
+  const auto key = std::make_pair(from, tag);
+  std::unique_lock<std::mutex> lock(box.mu);
+  uint32_t attempt = 0;
+  oc.attempts = 0;
+  while (true) {
+    // Wait until either a delivery is queued or the sender's retained slot
+    // proves attempt `attempt` was already applied (i.e. it was dropped:
+    // applied but nothing queued).
+    const bool signalled = box.cv.wait_until(lock, deadline, [&] {
+      if (box.messages.count(key) > 0) return true;
+      auto it = box.retained.find(key);
+      return it != box.retained.end() && it->second.last_attempt >= attempt;
+    });
+    if (!signalled) {
+      // Nobody ever sent: distinct from fault-schedule loss.
+      return Status::IoError(
+          "TryRecv deadline: no sender for to=" + std::to_string(to) +
+          " from=" + std::to_string(from) +
+          " epoch=" + std::to_string(TagEpoch(tag)) +
+          " layer=" + std::to_string(TagLayer(tag)) +
+          " kind=" + std::to_string(TagKind(tag)));
+    }
+
+    auto qit = box.messages.find(key);
+    bool attempt_failed = false;
+    if (qit != box.messages.end()) {
+      Delivery delivery = qit->second.pop_front();
+      if (qit->second.empty()) box.messages.erase(qit);
+      oc.attempts += 1;
+      oc.penalty_seconds += delivery.delay_seconds;
+      Status parsed = ParseEnvelope(delivery.bytes, tag, out);
+      if (parsed.ok()) {
+        // Success: drain duplicate deliveries of the same message and drop
+        // the retransmit buffer.
+        box.messages.erase(key);
+        box.retained.erase(key);
+        return Status::OK();
+      }
+      ECG_LOG(Debug) << "TryRecv attempt " << attempt
+                     << " failed validation: " << parsed.ToString();
+      attempt_failed = true;
+    } else {
+      // Retained proves the attempt was applied but nothing arrived — it
+      // was dropped. Counts as a consumed attempt without a timeout wait.
+      oc.attempts += 1;
+      attempt_failed = true;
+    }
+
+    if (attempt_failed) {
+      if (attempt >= max_retries) {
+        box.messages.erase(key);
+        box.retained.erase(key);
+        counters.lost.fetch_add(1, std::memory_order_relaxed);
+        obs::RecordStat("fault.lost", 1.0, TagEpoch(tag), TagLayer(tag),
+                        static_cast<int32_t>(from));
+        return Status::ResourceExhausted(
+            "message lost after " + std::to_string(max_retries + 1) +
+            " attempts: from=" + std::to_string(from) +
+            " epoch=" + std::to_string(TagEpoch(tag)) +
+            " layer=" + std::to_string(TagLayer(tag)) +
+            " kind=" + std::to_string(TagKind(tag)));
+      }
+      // NACK: re-request the retained pristine frame. The retransmission
+      // draws its own fault decision, and its backoff is charged to the
+      // simulated clock.
+      ++attempt;
+      auto rit = box.retained.find(key);
+      ECG_CHECK(rit != box.retained.end())
+          << "retransmit buffer missing for from=" << from << " tag=" << tag;
+      rit->second.last_attempt = attempt;
+      counters.retried.fetch_add(1, std::memory_order_relaxed);
+      obs::RecordStat("fault.retried", 1.0, TagEpoch(tag), TagLayer(tag),
+                      static_cast<int32_t>(from));
+      oc.penalty_seconds += injector_->retry_backoff_seconds();
+      std::vector<uint8_t> frame =
+          FrameEnvelope(tag, attempt,
+                        std::vector<uint8_t>(
+                            rit->second.frame.begin() + kEnvelopeBytes,
+                            rit->second.frame.end()));
+      DeliverAttempt(box, from, to, tag, attempt, frame);
+    }
+  }
 }
 
 }  // namespace ecg::dist

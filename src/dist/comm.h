@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "dist/fault.h"
 
 namespace ecg::dist {
 
@@ -62,11 +63,29 @@ class CommStats {
   std::vector<uint64_t> messages_received_;
 };
 
+/// What one bounded receive cost beyond the happy path. The simulated
+/// seconds accumulate retry backoff and injected delivery delays; the
+/// caller charges them to its modelled comm clock so chaos runs report
+/// honest makespans.
+struct RecvOutcome {
+  uint32_t attempts = 1;        // delivery attempts consumed (1 = clean)
+  double penalty_seconds = 0.0;  // simulated backoff + injected delay
+};
+
 /// In-memory point-to-point transport between simulated workers. Messages
 /// are byte buffers addressed by (from, to, tag); Recv blocks until the
 /// matching message arrives. Tags disambiguate (epoch, layer, direction)
 /// so a fast worker can never consume a slow worker's message for the
 /// wrong superstep.
+///
+/// When a FaultInjector is attached (set_fault_injector), every payload is
+/// wrapped in a framed envelope (magic, version, attempt, tag echo, length,
+/// CRC32C) and delivery attempts consult the injector: drops leave the
+/// mailbox empty, corruption flips payload bits that the CRC catches at
+/// parse time, duplicates enqueue twice, delays ride along as simulated
+/// seconds. The pristine frame is retained sender-side so TryRecv can run a
+/// bounded NACK/retransmit protocol; with no injector the wire format and
+/// blocking behavior are byte-identical to the fault-free build.
 class MessageHub {
  public:
   explicit MessageHub(uint32_t parties)
@@ -78,13 +97,35 @@ class MessageHub {
   uint32_t parties() const { return parties_; }
   CommStats& stats() { return stats_; }
 
+  /// Attaches the fault injector (not owned; nullptr detaches and restores
+  /// the exact fault-free transport). Must be called before workers start
+  /// exchanging — the framing decision is read on every Send/Recv.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
+
   /// Delivers `payload` to worker `to`. Never blocks (unbounded queues).
+  /// Traffic accounting records the logical payload size in both modes so
+  /// fault-injected runs report comparable communication volumes.
   void Send(uint32_t from, uint32_t to, uint64_t tag,
             std::vector<uint8_t> payload);
 
   /// Blocks until the (from, tag) message addressed to `to` arrives and
-  /// returns its payload.
+  /// returns its payload. Requires the fault-free transport (no injector);
+  /// use TryRecv when faults may be active.
   std::vector<uint8_t> Recv(uint32_t to, uint32_t from, uint64_t tag);
+
+  /// Bounded receive. With no injector attached this is exactly Recv
+  /// (blocking, always OK). With an injector it waits up to the injector's
+  /// per-attempt timeout, validates the envelope, and on a failed attempt
+  /// (drop detected, corrupt frame) NACKs a retransmission of the retained
+  /// pristine frame — the retransmitted attempt draws its own fault
+  /// decision — up to max_retries times. Returns ResourceExhausted when
+  /// every attempt failed (the caller degrades) or IoError when no sender
+  /// ever showed up within the overall deadline. `outcome` (optional)
+  /// reports attempts used and the simulated seconds of backoff/delay the
+  /// caller must charge to its comm clock.
+  Status TryRecv(uint32_t to, uint32_t from, uint64_t tag,
+                 std::vector<uint8_t>* out, RecvOutcome* outcome = nullptr);
 
   /// Builds a collision-free tag from superstep coordinates.
   static uint64_t MakeTag(uint32_t epoch, uint16_t layer, uint16_t kind) {
@@ -101,17 +142,90 @@ class MessageHub {
   static uint16_t TagLayer(uint64_t tag) {
     return static_cast<uint16_t>((tag >> 16) & 0xFFFF);
   }
+  static uint16_t TagKind(uint64_t tag) {
+    return static_cast<uint16_t>(tag & 0xFFFF);
+  }
+
+  /// Framed envelope header size in bytes (magic u32, version u8, flags u8,
+  /// attempt u32, tag u64, payload length u64, payload CRC32C u32).
+  static constexpr size_t kEnvelopeBytes = 30;
+  static constexpr uint32_t kEnvelopeMagic = 0x46474345u;  // "ECGF"
+  static constexpr uint8_t kEnvelopeVersion = 1;
+
+  /// Wraps `payload` in the framed envelope. Exposed for tests.
+  static std::vector<uint8_t> FrameEnvelope(uint64_t tag, uint32_t attempt,
+                                            const std::vector<uint8_t>& payload);
+
+  /// Validates and strips the envelope: checks magic, version, tag echo,
+  /// length, and payload CRC. Exposed for tests.
+  static Status ParseEnvelope(const std::vector<uint8_t>& frame, uint64_t tag,
+                              std::vector<uint8_t>* payload);
 
  private:
+  /// One queued delivery. `delay_seconds` is the injected latency the
+  /// receiver charges to its simulated comm clock when it pops the message.
+  struct Delivery {
+    std::vector<uint8_t> bytes;
+    double delay_seconds = 0.0;
+  };
+
+  /// Per-(from, tag) delivery queue. A tag almost always carries exactly
+  /// one delivery — only injected duplicates ever queue a second — so the
+  /// first delivery lives inline in the map node and extras overflow to a
+  /// lazily-allocated vector. This keeps the fault-free path free of any
+  /// per-message allocation beyond the seed transport's map node (measured
+  /// by bench_microkernels --fault_overhead).
+  struct DeliveryQueue {
+    Delivery first;
+    bool has_first = false;
+    std::vector<Delivery> overflow;
+
+    bool empty() const { return !has_first && overflow.empty(); }
+    void push_back(Delivery d) {
+      if (empty()) {
+        first = std::move(d);
+        has_first = true;
+      } else {
+        overflow.push_back(std::move(d));
+      }
+    }
+    Delivery& front() { return has_first ? first : overflow.front(); }
+    Delivery pop_front() {
+      if (has_first) {
+        has_first = false;
+        return std::move(first);
+      }
+      Delivery d = std::move(overflow.front());
+      overflow.erase(overflow.begin());
+      return d;
+    }
+  };
+
+  /// Sender-retained pristine frame for NACK retransmission. `last_attempt`
+  /// is the highest attempt index already applied; the receiver uses
+  /// last_attempt >= its current attempt plus an empty queue to conclude
+  /// "that attempt was dropped" without waiting out the timeout.
+  struct Retained {
+    std::vector<uint8_t> frame;
+    uint32_t last_attempt = 0;
+  };
+
   struct Mailbox {
     std::mutex mu;
     std::condition_variable cv;
-    std::map<std::pair<uint32_t, uint64_t>, std::vector<uint8_t>> messages;
+    std::map<std::pair<uint32_t, uint64_t>, DeliveryQueue> messages;
+    std::map<std::pair<uint32_t, uint64_t>, Retained> retained;
   };
+
+  /// Applies the injector's verdict for one delivery attempt of the retained
+  /// frame and enqueues the surviving copies. Caller holds box.mu.
+  void DeliverAttempt(Mailbox& box, uint32_t from, uint32_t to, uint64_t tag,
+                      uint32_t attempt, const std::vector<uint8_t>& frame);
 
   const uint32_t parties_;
   std::vector<Mailbox> boxes_;
   CommStats stats_;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace ecg::dist

@@ -1,0 +1,345 @@
+#include "dist/fault.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+#include "dist/comm.h"
+
+namespace ecg::dist {
+namespace {
+
+/// splitmix64 finalizer: the per-decision hash. Good avalanche, so nearby
+/// (tag, attempt) coordinates give independent-looking draws.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+bool ParseInt(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtol(s.c_str(), &end, 10);
+  return end == s.c_str() + s.size();
+}
+
+std::vector<std::string> SplitOn(const std::string& s, const char* seps) {
+  std::vector<std::string> parts;
+  size_t begin = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || std::strchr(seps, s[i]) != nullptr) {
+      if (i > begin) parts.push_back(s.substr(begin, i - begin));
+      begin = i + 1;
+    }
+  }
+  return parts;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kCorrupt:
+      return "corrupt";
+    case FaultKind::kDuplicate:
+      return "dup";
+    case FaultKind::kDelay:
+      return "delay";
+    case FaultKind::kStraggle:
+      return "straggle";
+    case FaultKind::kCrash:
+      return "crash";
+  }
+  return "?";
+}
+
+Result<FaultInjector> FaultInjector::Parse(const std::string& spec) {
+  FaultInjector injector;
+  for (const std::string& clause : SplitOn(spec, ";,")) {
+    // Split "kind=arg@filters" into head and filter list.
+    const size_t at = clause.find('@');
+    const std::string head = clause.substr(0, at);
+    const std::string filters =
+        at == std::string::npos ? "" : clause.substr(at + 1);
+
+    const size_t eq = head.find('=');
+    const std::string key = head.substr(0, eq);
+    const std::string arg =
+        eq == std::string::npos ? "" : head.substr(eq + 1);
+
+    // Config keys first (no filters allowed).
+    if (key == "seed" || key == "retries" || key == "timeout_ms") {
+      int64_t v = 0;
+      if (!ParseInt(arg, &v) || v < 0) {
+        return Status::InvalidArgument("faults: bad integer for '" + key +
+                                       "': '" + arg + "'");
+      }
+      if (key == "seed") injector.seed_ = static_cast<uint64_t>(v);
+      if (key == "retries") injector.max_retries_ = static_cast<uint32_t>(v);
+      if (key == "timeout_ms") {
+        injector.recv_timeout_ms_ = static_cast<uint32_t>(v);
+      }
+      continue;
+    }
+    if (key == "backoff" || key == "restart") {
+      double v = 0;
+      if (!ParseDouble(arg, &v) || v < 0) {
+        return Status::InvalidArgument("faults: bad seconds for '" + key +
+                                       "': '" + arg + "'");
+      }
+      if (key == "backoff") injector.retry_backoff_seconds_ = v;
+      if (key == "restart") injector.restart_seconds_ = v;
+      continue;
+    }
+
+    FaultRule rule;
+    if (key == "drop") rule.kind = FaultKind::kDrop;
+    else if (key == "corrupt") rule.kind = FaultKind::kCorrupt;
+    else if (key == "dup") rule.kind = FaultKind::kDuplicate;
+    else if (key == "delay") rule.kind = FaultKind::kDelay;
+    else if (key == "straggle") rule.kind = FaultKind::kStraggle;
+    else if (key == "crash") rule.kind = FaultKind::kCrash;
+    else {
+      return Status::InvalidArgument("faults: unknown clause '" + key +
+                                     "' (drop|corrupt|dup|delay|straggle|"
+                                     "crash|seed|retries|timeout_ms|"
+                                     "backoff|restart)");
+    }
+    if (!arg.empty() && !ParseDouble(arg, &rule.probability)) {
+      return Status::InvalidArgument("faults: bad probability for '" + key +
+                                     "': '" + arg + "'");
+    }
+    if (rule.probability < 0.0 || rule.probability > 1.0) {
+      return Status::InvalidArgument("faults: probability out of [0,1] for '" +
+                                     key + "'");
+    }
+    if (rule.kind == FaultKind::kDelay || rule.kind == FaultKind::kStraggle) {
+      rule.seconds = 0.001;  // default latency; override with secs=
+    }
+
+    for (const std::string& f : SplitOn(filters, ":")) {
+      const size_t feq = f.find('=');
+      if (feq == std::string::npos) {
+        return Status::InvalidArgument("faults: filter '" + f +
+                                       "' is not key=value");
+      }
+      const std::string fk = f.substr(0, feq);
+      const std::string fv = f.substr(feq + 1);
+      if (fk == "epoch") {
+        const size_t dash = fv.find('-');
+        int64_t lo = 0, hi = 0;
+        if (dash == std::string::npos) {
+          if (!ParseInt(fv, &lo)) {
+            return Status::InvalidArgument("faults: bad epoch '" + fv + "'");
+          }
+          hi = lo;
+        } else if (!ParseInt(fv.substr(0, dash), &lo) ||
+                   !ParseInt(fv.substr(dash + 1), &hi)) {
+          return Status::InvalidArgument("faults: bad epoch range '" + fv +
+                                         "'");
+        }
+        rule.epoch_lo = lo;
+        rule.epoch_hi = hi;
+      } else if (fk == "layer" || fk == "from" || fk == "to" ||
+                 fk == "worker") {
+        int64_t v = 0;
+        if (!ParseInt(fv, &v)) {
+          return Status::InvalidArgument("faults: bad integer filter '" + f +
+                                         "'");
+        }
+        if (fk == "layer") rule.layer = static_cast<int32_t>(v);
+        if (fk == "from" || fk == "worker") {
+          rule.from = static_cast<int32_t>(v);
+        }
+        if (fk == "to") rule.to = static_cast<int32_t>(v);
+      } else if (fk == "secs") {
+        if (!ParseDouble(fv, &rule.seconds)) {
+          return Status::InvalidArgument("faults: bad secs '" + fv + "'");
+        }
+      } else {
+        return Status::InvalidArgument(
+            "faults: unknown filter '" + fk +
+            "' (epoch|layer|from|to|worker|secs)");
+      }
+    }
+    if (rule.kind == FaultKind::kCrash &&
+        (rule.from < 0 || rule.epoch_lo < 0)) {
+      return Status::InvalidArgument(
+          "faults: crash needs worker= and epoch= filters");
+    }
+    injector.rules_.push_back(rule);
+  }
+  return injector;
+}
+
+void FaultInjector::AddRule(const FaultRule& rule) {
+  rules_.push_back(rule);
+}
+
+double FaultInjector::DrawUniform(size_t rule_index, FaultKind kind,
+                                  uint32_t from, uint32_t to, uint64_t tag,
+                                  uint32_t attempt) const {
+  // Pure function of the schedule seed and the full coordinates of the
+  // decision: thread interleaving cannot change the fault schedule, and
+  // sender/receiver can both evaluate it.
+  uint64_t h = Mix64(seed_ ^ (0xFA017EC5ULL + rule_index));
+  h = Mix64(h ^ (static_cast<uint64_t>(kind) << 56) ^ tag);
+  h = Mix64(h ^ (static_cast<uint64_t>(from) << 32) ^ to);
+  h = Mix64(h ^ attempt);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+FaultDecision FaultInjector::OnAttempt(uint32_t from, uint32_t to,
+                                       uint64_t tag,
+                                       uint32_t attempt) const {
+  FaultDecision decision;
+  const uint32_t epoch = MessageHub::TagEpoch(tag);
+  if (epoch == 0xFFFFFFFFu) return decision;  // preprocessing is exempt
+  const int32_t layer = static_cast<int32_t>(MessageHub::TagLayer(tag));
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    const FaultRule& r = rules_[i];
+    if (r.kind == FaultKind::kCrash) continue;
+    if (r.epoch_lo >= 0 &&
+        (epoch < r.epoch_lo || epoch > r.epoch_hi)) {
+      continue;
+    }
+    if (r.layer >= 0 && layer != r.layer) continue;
+    if (r.from >= 0 && static_cast<int32_t>(from) != r.from) continue;
+    if (r.to >= 0 && static_cast<int32_t>(to) != r.to) continue;
+    if (DrawUniform(i, r.kind, from, to, tag, attempt) >= r.probability) {
+      continue;
+    }
+    switch (r.kind) {
+      case FaultKind::kDrop:
+        decision.drop = true;
+        break;
+      case FaultKind::kCorrupt:
+        decision.corrupt = true;
+        break;
+      case FaultKind::kDuplicate:
+        decision.duplicate = true;
+        break;
+      case FaultKind::kDelay:
+      case FaultKind::kStraggle:
+        decision.delay_seconds += r.seconds;
+        break;
+      case FaultKind::kCrash:
+        break;
+    }
+  }
+  return decision;
+}
+
+bool FaultInjector::PermanentlyLost(uint32_t from, uint32_t to,
+                                    uint64_t tag) const {
+  if (rules_.empty()) return false;
+  for (uint32_t attempt = 0; attempt <= max_retries_; ++attempt) {
+    if (!OnAttempt(from, to, tag, attempt).FailsAttempt()) return false;
+  }
+  return true;
+}
+
+bool FaultInjector::HasCrashSchedule() const {
+  for (const FaultRule& r : rules_) {
+    if (r.kind == FaultKind::kCrash) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::TakeCrash(uint32_t epoch) {
+  std::lock_guard<std::mutex> lock(crash_mu_);
+  for (uint32_t i = 0; i < rules_.size(); ++i) {
+    const FaultRule& r = rules_[i];
+    if (r.kind != FaultKind::kCrash) continue;
+    if (epoch < r.epoch_lo || epoch > r.epoch_hi) continue;
+    const auto key = std::make_pair(epoch, i);
+    if (fired_crashes_.count(key)) continue;  // already fired; re-run is ok
+    fired_crashes_.insert(key);
+    counters_.crashes.fetch_add(1, std::memory_order_relaxed);
+    ECG_LOG(Warning) << "fault: injected crash of worker " << r.from
+                     << " at epoch " << epoch;
+    return true;
+  }
+  return false;
+}
+
+namespace internal {
+std::atomic<FaultInjector*> g_fault_injector{nullptr};
+}  // namespace internal
+
+FaultInjector* SetGlobalFaultInjector(FaultInjector* injector) {
+  return internal::g_fault_injector.exchange(injector,
+                                             std::memory_order_acq_rel);
+}
+
+namespace {
+
+/// Matches "--name=value" (or "--name value" is not supported, mirroring
+/// the observability flag parser's conventions).
+bool ConsumeFaultFlag(const char* arg, const char* name, std::string* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int InitFaultsFromArgs(int* argc, char** argv) {
+  std::string spec, timeout_ms, retries;
+  if (const char* env = std::getenv("ECG_FAULTS")) spec = env;
+  if (const char* env = std::getenv("ECG_RECV_TIMEOUT_MS")) timeout_ms = env;
+  if (const char* env = std::getenv("ECG_MAX_RETRIES")) retries = env;
+
+  int kept = 1;
+  int consumed = 0;
+  for (int i = 1; i < *argc; ++i) {
+    if (ConsumeFaultFlag(argv[i], "--faults", &spec) ||
+        ConsumeFaultFlag(argv[i], "--recv_timeout_ms", &timeout_ms) ||
+        ConsumeFaultFlag(argv[i], "--max_retries", &retries)) {
+      ++consumed;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  if (kept < *argc) argv[kept] = nullptr;
+  *argc = kept;
+
+  if (spec.empty() && timeout_ms.empty() && retries.empty()) return consumed;
+
+  // Build (or rebuild) the process-lifetime injector. A timeout/retry
+  // override without a schedule still installs an (empty) injector: that
+  // enables the framed transport and bounded Recv without injecting any
+  // faults — the hang-prevention configuration.
+  auto r = FaultInjector::Parse(spec);
+  ECG_CHECK(r.ok()) << r.status().ToString();
+  if (!timeout_ms.empty()) {
+    r->set_recv_timeout_ms(
+        static_cast<uint32_t>(std::atoi(timeout_ms.c_str())));
+  }
+  if (!retries.empty()) {
+    r->set_max_retries(static_cast<uint32_t>(std::atoi(retries.c_str())));
+  }
+  static FaultInjector* process_injector = nullptr;
+  FaultInjector* fresh = new FaultInjector(std::move(*r));
+  SetGlobalFaultInjector(fresh);
+  delete process_injector;  // only ever frees an injector a prior Init made
+  process_injector = fresh;
+  return consumed;
+}
+
+}  // namespace ecg::dist

@@ -1,0 +1,230 @@
+#ifndef ECGRAPH_DIST_FAULT_H_
+#define ECGRAPH_DIST_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ecg::dist {
+
+/// Fault kinds the injector can impose on the simulated transport.
+///   * kDrop      — a delivery attempt is silently discarded;
+///   * kCorrupt   — deterministic bit flips in the framed bytes (the
+///                  envelope CRC / tag echo detects them at Recv);
+///   * kDuplicate — the message is delivered twice;
+///   * kDelay     — the message arrives `seconds` late on the simulated
+///                  clock (charged to the receiver's comm clock);
+///   * kStraggle  — like kDelay but keyed on the *sending worker*: every
+///                  message that worker sends while the rule matches is
+///                  late, modelling a slow machine;
+///   * kCrash     — a worker fails at the start of the matching epoch; the
+///                  trainer restores the whole job from the last epoch
+///                  checkpoint (BSP lock-step: one dead worker stalls all).
+enum class FaultKind : uint8_t {
+  kDrop = 0,
+  kCorrupt,
+  kDuplicate,
+  kDelay,
+  kStraggle,
+  kCrash,
+};
+
+const char* FaultKindName(FaultKind kind);
+
+/// One clause of the fault schedule. Filters with value -1 are wildcards;
+/// epochs match the inclusive range [epoch_lo, epoch_hi]. `probability`
+/// applies per delivery *attempt* (the retransmission attempts of one
+/// logical message draw independently, so a retry can succeed where the
+/// first delivery was dropped — or a targeted probability-1 rule can keep
+/// dropping every attempt, forcing the degradation path).
+struct FaultRule {
+  FaultKind kind = FaultKind::kDrop;
+  double probability = 1.0;
+  /// Delay magnitude in simulated seconds (kDelay / kStraggle).
+  double seconds = 0.0;
+  int64_t epoch_lo = -1;
+  int64_t epoch_hi = -1;
+  int32_t layer = -1;
+  int32_t from = -1;  // sending worker (also the victim of kStraggle/kCrash)
+  int32_t to = -1;    // receiving worker
+};
+
+/// What the injector decided for one delivery attempt.
+struct FaultDecision {
+  bool drop = false;
+  bool corrupt = false;
+  bool duplicate = false;
+  double delay_seconds = 0.0;
+
+  bool FailsAttempt() const { return drop || corrupt; }
+};
+
+/// Monotonic event counters, readable without enabling the stats registry
+/// (tests and the chaos bench assert on them directly). All relaxed: the
+/// counts are diagnostics, not synchronization.
+struct FaultCounters {
+  std::atomic<uint64_t> dropped{0};
+  std::atomic<uint64_t> corrupted{0};
+  std::atomic<uint64_t> duplicated{0};
+  std::atomic<uint64_t> delayed{0};
+  std::atomic<uint64_t> retried{0};
+  std::atomic<uint64_t> lost{0};            // all retries exhausted
+  std::atomic<uint64_t> degraded_pdt{0};    // FP fell back to prediction
+  std::atomic<uint64_t> degraded_stale{0};  // FP kept stale halo rows
+  std::atomic<uint64_t> degraded_resec{0};  // BP loss folded into residual
+  std::atomic<uint64_t> crashes{0};
+  std::atomic<uint64_t> checkpoints{0};
+  std::atomic<uint64_t> restores{0};
+};
+
+/// Deterministic, seed-driven fault schedule for the simulated cluster.
+///
+/// Every decision is a pure function of (seed, rule, message coordinates,
+/// attempt index) — no hidden RNG state — so the same seed produces the
+/// same fault schedule regardless of thread interleaving, and both ends of
+/// a link can independently agree on whether a message is permanently lost
+/// (the responder uses that to fold an undeliverable gradient into its
+/// ResEC residual, and ReqEC to keep both trend baselines consistent).
+///
+/// Schedule grammar (`Parse`): clauses separated by ';' or ','. Each clause
+/// is `kind=arg[@filter[:filter...]]` or a config key:
+///   drop=P | corrupt=P | dup=P           probability per delivery attempt
+///   delay=P | straggle=P                 probability; latency via secs=
+///   crash[=1]                            needs worker= and epoch= filters
+///   seed=N                               schedule seed (default 1)
+///   retries=N                            max redelivery attempts (def. 3)
+///   timeout_ms=N                         per-attempt Recv deadline (real
+///                                        milliseconds, default 2000)
+///   backoff=S                            simulated seconds charged per
+///                                        retry (default 0.001)
+///   restart=S                            simulated seconds a crash
+///                                        recovery costs (default 5)
+/// Filters: epoch=N or epoch=A-B, layer=N, from=N, to=N, worker=N
+/// (alias for from), secs=F (delay magnitude, default 0.001).
+/// Example: "drop=0.05,corrupt=0.01,seed=7" or
+/// "crash@epoch=5:worker=1;drop=1@epoch=3:layer=1:from=0:to=1".
+class FaultInjector {
+ public:
+  static Result<FaultInjector> Parse(const std::string& spec);
+
+  FaultInjector() = default;
+
+  /// Movable so it can travel through Result<FaultInjector>. Moving takes
+  /// the schedule and configuration; the counters and crash bookkeeping
+  /// start fresh (moving a live, mid-run injector is not supported).
+  FaultInjector(FaultInjector&& other) noexcept
+      : seed_(other.seed_),
+        max_retries_(other.max_retries_),
+        recv_timeout_ms_(other.recv_timeout_ms_),
+        retry_backoff_seconds_(other.retry_backoff_seconds_),
+        restart_seconds_(other.restart_seconds_),
+        rules_(std::move(other.rules_)),
+        fired_crashes_(std::move(other.fired_crashes_)) {}
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  void AddRule(const FaultRule& rule);
+  const std::vector<FaultRule>& rules() const { return rules_; }
+
+  void set_seed(uint64_t seed) { seed_ = seed; }
+  uint64_t seed() const { return seed_; }
+
+  uint32_t max_retries() const { return max_retries_; }
+  void set_max_retries(uint32_t n) { max_retries_ = n; }
+  uint32_t recv_timeout_ms() const { return recv_timeout_ms_; }
+  void set_recv_timeout_ms(uint32_t ms) { recv_timeout_ms_ = ms; }
+  double retry_backoff_seconds() const { return retry_backoff_seconds_; }
+  void set_retry_backoff_seconds(double s) { retry_backoff_seconds_ = s; }
+  double restart_seconds() const { return restart_seconds_; }
+  void set_restart_seconds(double s) { restart_seconds_ = s; }
+
+  /// The combined verdict for delivery attempt `attempt` of the message
+  /// (from, to, tag). Preprocessing-time exchanges (tag epoch ==
+  /// 0xFFFFFFFF) are exempt: the fault model targets the per-epoch hot
+  /// path, not one-off setup traffic.
+  FaultDecision OnAttempt(uint32_t from, uint32_t to, uint64_t tag,
+                          uint32_t attempt) const;
+
+  /// True iff every delivery attempt 0..max_retries of the message fails
+  /// (drop or corrupt) — i.e. the receiver will exhaust its retries and
+  /// degrade. Deterministic, so sender and receiver agree without any
+  /// extra communication.
+  bool PermanentlyLost(uint32_t from, uint32_t to, uint64_t tag) const;
+
+  bool HasCrashSchedule() const;
+
+  /// One-shot crash query for the epoch about to start: returns true the
+  /// first time a scheduled crash for `epoch` is observed and never again
+  /// (the post-restore re-run of the same epoch proceeds normally). Called
+  /// by worker 0 only, between BSP barriers.
+  bool TakeCrash(uint32_t epoch);
+
+  FaultCounters& counters() { return counters_; }
+  const FaultCounters& counters() const { return counters_; }
+
+ private:
+  double DrawUniform(size_t rule_index, FaultKind kind, uint32_t from,
+                     uint32_t to, uint64_t tag, uint32_t attempt) const;
+
+  uint64_t seed_ = 1;
+  uint32_t max_retries_ = 3;
+  uint32_t recv_timeout_ms_ = 2000;
+  double retry_backoff_seconds_ = 0.001;
+  double restart_seconds_ = 5.0;
+  std::vector<FaultRule> rules_;
+
+  std::mutex crash_mu_;
+  std::set<std::pair<uint32_t, uint32_t>> fired_crashes_;  // (epoch, rule)
+
+  mutable FaultCounters counters_;
+};
+
+namespace internal {
+extern std::atomic<FaultInjector*> g_fault_injector;
+}  // namespace internal
+
+/// Process-wide injector hook. Like the tracer, the disabled path is one
+/// relaxed atomic load and a predictable branch; nullptr means no faults.
+inline FaultInjector* GlobalFaultInjector() {
+  return internal::g_fault_injector.load(std::memory_order_acquire);
+}
+inline bool FaultsEnabled() { return GlobalFaultInjector() != nullptr; }
+
+/// Installs `injector` as the process-wide injector (not owned; pass
+/// nullptr to disable). Returns the previous injector.
+FaultInjector* SetGlobalFaultInjector(FaultInjector* injector);
+
+/// RAII installer for tests and benches.
+class ScopedFaultInjector {
+ public:
+  explicit ScopedFaultInjector(FaultInjector* injector)
+      : previous_(SetGlobalFaultInjector(injector)) {}
+  ~ScopedFaultInjector() { SetGlobalFaultInjector(previous_); }
+  ScopedFaultInjector(const ScopedFaultInjector&) = delete;
+  ScopedFaultInjector& operator=(const ScopedFaultInjector&) = delete;
+
+ private:
+  FaultInjector* previous_;
+};
+
+/// Consumes the fault-tolerance flags from (argc, argv), mirroring
+/// InitObservabilityFromArgs (recognized flags are removed in place):
+///   --faults=SPEC         fault schedule (grammar above); installs a
+///                         process-lifetime global injector
+///   --recv_timeout_ms=N   per-attempt Recv deadline override
+///   --max_retries=N       redelivery attempts override
+/// Environment variables ECG_FAULTS / ECG_RECV_TIMEOUT_MS /
+/// ECG_MAX_RETRIES supply defaults when the flags are absent. Returns the
+/// number of argv entries consumed; a malformed spec is a fatal error
+/// (the run would silently test nothing otherwise).
+int InitFaultsFromArgs(int* argc, char** argv);
+
+}  // namespace ecg::dist
+
+#endif  // ECGRAPH_DIST_FAULT_H_

@@ -88,4 +88,39 @@ void ParameterServerGroup::ApplyLocked() {
   pushes_this_epoch_ = 0;
 }
 
+void ParameterServerGroup::SaveTo(ByteWriter* w) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  w->PutU32(static_cast<uint32_t>(weights_.size()));
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    tensor::SaveMatrix(weights_[l], w);
+    tensor::SaveMatrix(biases_[l], w);
+    w_opt_[l].SaveTo(w);
+    b_opt_[l].SaveTo(w);
+  }
+}
+
+Status ParameterServerGroup::LoadFrom(ByteReader* r) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t layers = 0;
+  ECG_RETURN_IF_ERROR(r->GetU32(&layers));
+  if (layers != weights_.size()) {
+    return Status::InvalidArgument(
+        "parameter checkpoint has " + std::to_string(layers) +
+        " layers, server group holds " + std::to_string(weights_.size()));
+  }
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    ECG_RETURN_IF_ERROR(tensor::LoadMatrix(r, &weights_[l]));
+    ECG_RETURN_IF_ERROR(tensor::LoadMatrix(r, &biases_[l]));
+    ECG_RETURN_IF_ERROR(w_opt_[l].LoadFrom(r));
+    ECG_RETURN_IF_ERROR(b_opt_[l].LoadFrom(r));
+  }
+  for (uint32_t w = 0; w < num_workers_; ++w) {
+    pending_dw_[w].clear();
+    pending_db_[w].clear();
+    pushed_[w] = false;
+  }
+  pushes_this_epoch_ = 0;
+  return Status::OK();
+}
+
 }  // namespace ecg::dist

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/status.h"
 #include "dist/network_model.h"
 #include "tensor/matrix.h"
@@ -63,6 +64,14 @@ class ParameterServerGroup {
   /// Read-only access for tests (current global parameters).
   const tensor::Matrix& weight(size_t layer) const { return weights_[layer]; }
   const tensor::Matrix& bias(size_t layer) const { return biases_[layer]; }
+
+  /// Serializes every layer's weights, biases, and Adam moments into an
+  /// epoch checkpoint. Called between epochs (no pushes pending).
+  void SaveTo(ByteWriter* w) const;
+
+  /// Restores the state written by SaveTo and clears any pending push
+  /// bookkeeping, so the restored epoch re-runs from a clean barrier.
+  Status LoadFrom(ByteReader* r);
 
  private:
   void ApplyLocked();

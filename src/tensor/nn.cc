@@ -115,4 +115,48 @@ void AdamState::Step(const Matrix& grad, float lr, Matrix* param) {
   }
 }
 
+void SaveMatrix(const Matrix& m, ByteWriter* w) {
+  w->PutU32(static_cast<uint32_t>(m.rows()));
+  w->PutU32(static_cast<uint32_t>(m.cols()));
+  w->PutU64(m.size());
+  w->PutF32Array(m.data(), m.size());
+}
+
+Status LoadMatrix(ByteReader* r, Matrix* out) {
+  uint32_t rows = 0, cols = 0;
+  uint64_t count = 0;
+  ECG_RETURN_IF_ERROR(r->GetU32(&rows));
+  ECG_RETURN_IF_ERROR(r->GetU32(&cols));
+  ECG_RETURN_IF_ERROR(r->GetU64(&count));
+  if (count != static_cast<uint64_t>(rows) * cols) {
+    return Status::InvalidArgument(
+        "matrix checkpoint size mismatch: header says " +
+        std::to_string(rows) + "x" + std::to_string(cols) +
+        " but carries " + std::to_string(count) + " elements");
+  }
+  if (count * sizeof(float) > r->remaining()) {
+    return Status::OutOfRange(
+        "matrix checkpoint exceeds buffer: needs " +
+        std::to_string(count * sizeof(float)) + " bytes, " +
+        std::to_string(r->remaining()) + " remain");
+  }
+  out->Reset(rows, cols);
+  return r->GetF32Array(out->data(), count);
+}
+
+void AdamState::SaveTo(ByteWriter* w) const {
+  SaveMatrix(m_, w);
+  SaveMatrix(v_, w);
+  w->PutU64(static_cast<uint64_t>(t_));
+}
+
+Status AdamState::LoadFrom(ByteReader* r) {
+  ECG_RETURN_IF_ERROR(LoadMatrix(r, &m_));
+  ECG_RETURN_IF_ERROR(LoadMatrix(r, &v_));
+  uint64_t t = 0;
+  ECG_RETURN_IF_ERROR(r->GetU64(&t));
+  t_ = static_cast<int64_t>(t);
+  return Status::OK();
+}
+
 }  // namespace ecg::tensor

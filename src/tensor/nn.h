@@ -4,7 +4,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/random.h"
+#include "common/status.h"
 #include "tensor/matrix.h"
 
 namespace ecg::tensor {
@@ -40,6 +42,11 @@ double Accuracy(const Matrix& logits, const std::vector<int32_t>& labels,
 /// Glorot/Xavier uniform init: U(-s, s) with s = sqrt(6/(fan_in+fan_out)).
 void XavierInit(Matrix* w, Rng* rng);
 
+/// Serializes a matrix as (u32 rows, u32 cols, u64 count, raw f32s) — the
+/// same layout the halo wire codec uses, reused by epoch checkpoints.
+void SaveMatrix(const Matrix& m, ByteWriter* w);
+Status LoadMatrix(ByteReader* r, Matrix* out);
+
 /// State and step of the Adam optimizer for one parameter tensor.
 class AdamState {
  public:
@@ -48,6 +55,11 @@ class AdamState {
 
   /// Applies one Adam step: param -= lr * mhat / (sqrt(vhat) + eps).
   void Step(const Matrix& grad, float lr, Matrix* param);
+
+  /// Serializes (m, v, t) so a restored run continues the exact moment
+  /// schedule (bias correction depends on t).
+  void SaveTo(ByteWriter* w) const;
+  Status LoadFrom(ByteReader* r);
 
   float beta1 = 0.9f;
   float beta2 = 0.999f;

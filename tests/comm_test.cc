@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -47,6 +48,104 @@ TEST(MessageHubTest, MakeTagIsCollisionFreeAcrossFields) {
   EXPECT_NE(t1, t2);
   EXPECT_NE(t2, t3);
   EXPECT_NE(t1, t3);
+}
+
+TEST(MessageHubTest, TagRoundTripsEpochLayerKind) {
+  const uint32_t epochs[] = {0u, 1u, 57u, 0xFFFFFFFEu, 0xFFFFFFFFu};
+  const uint16_t layers[] = {0, 1, 3, 0xFFFF};
+  const uint16_t kinds[] = {0, 1, 2, 3, 0xFFFF};
+  for (uint32_t e : epochs) {
+    for (uint16_t l : layers) {
+      for (uint16_t k : kinds) {
+        const uint64_t tag = MessageHub::MakeTag(e, l, k);
+        EXPECT_EQ(MessageHub::TagEpoch(tag), e);
+        EXPECT_EQ(MessageHub::TagLayer(tag), l);
+        EXPECT_EQ(MessageHub::TagKind(tag), k);
+      }
+    }
+  }
+}
+
+TEST(MessageHubTest, MakeTagCollisionFreeOverCoordinateSweep) {
+  // Every (epoch, layer, kind) triple a training job can produce must map
+  // to a distinct tag — a collision would cross-deliver supersteps.
+  std::set<uint64_t> seen;
+  size_t count = 0;
+  for (uint32_t e = 0; e < 50; ++e) {
+    for (uint16_t l = 0; l < 8; ++l) {
+      for (uint16_t k = 1; k <= 3; ++k) {
+        seen.insert(MessageHub::MakeTag(e, l, k));
+        ++count;
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), count);
+}
+
+TEST(EnvelopeTest, FrameParseRoundTrip) {
+  const uint64_t tag = MessageHub::MakeTag(3, 1, 2);
+  const std::vector<uint8_t> payload = {1, 2, 3, 4, 5, 250, 0, 7};
+  const auto frame = MessageHub::FrameEnvelope(tag, /*attempt=*/2, payload);
+  EXPECT_EQ(frame.size(), MessageHub::kEnvelopeBytes + payload.size());
+  std::vector<uint8_t> decoded;
+  ASSERT_TRUE(MessageHub::ParseEnvelope(frame, tag, &decoded).ok());
+  EXPECT_EQ(decoded, payload);
+}
+
+TEST(EnvelopeTest, EmptyPayloadRoundTrips) {
+  const uint64_t tag = MessageHub::MakeTag(0, 0, 1);
+  const auto frame = MessageHub::FrameEnvelope(tag, 0, {});
+  std::vector<uint8_t> decoded = {9};
+  ASSERT_TRUE(MessageHub::ParseEnvelope(frame, tag, &decoded).ok());
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(EnvelopeTest, TagEchoMismatchDetected) {
+  const uint64_t tag = MessageHub::MakeTag(3, 1, 2);
+  const auto frame = MessageHub::FrameEnvelope(tag, 0, {1, 2, 3});
+  std::vector<uint8_t> decoded;
+  const Status s = MessageHub::ParseEnvelope(
+      frame, MessageHub::MakeTag(3, 1, 3), &decoded);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("tag echo"), std::string::npos);
+}
+
+TEST(EnvelopeTest, PayloadBitFlipCaughtByCrc) {
+  const uint64_t tag = MessageHub::MakeTag(7, 0, 2);
+  std::vector<uint8_t> payload(64, 0xAB);
+  auto frame = MessageHub::FrameEnvelope(tag, 0, payload);
+  frame[MessageHub::kEnvelopeBytes + 17] ^= 0x04;
+  std::vector<uint8_t> decoded;
+  const Status s = MessageHub::ParseEnvelope(frame, tag, &decoded);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("CRC"), std::string::npos);
+}
+
+TEST(EnvelopeTest, TruncatedFrameDetected) {
+  const uint64_t tag = MessageHub::MakeTag(1, 1, 1);
+  auto frame = MessageHub::FrameEnvelope(tag, 0, {1, 2, 3, 4});
+  frame.resize(frame.size() - 2);  // lose payload bytes
+  std::vector<uint8_t> decoded;
+  EXPECT_EQ(MessageHub::ParseEnvelope(frame, tag, &decoded).code(),
+            StatusCode::kInvalidArgument);
+  frame.resize(MessageHub::kEnvelopeBytes - 3);  // lose header bytes too
+  EXPECT_EQ(MessageHub::ParseEnvelope(frame, tag, &decoded).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MessageHubDeathTest, SendRejectsOutOfRangeWorkerIds) {
+  MessageHub hub(2);
+  EXPECT_DEATH(hub.Send(0, 5, 1, {1}), "out of range");
+  EXPECT_DEATH(hub.Send(2, 0, 1, {1}), "out of range");
+}
+
+TEST(MessageHubDeathTest, RecvRejectsOutOfRangeWorkerIds) {
+  MessageHub hub(2);
+  hub.Send(0, 1, 1, {1});
+  EXPECT_DEATH(hub.Recv(3, 0, 1), "out of range");
+  EXPECT_DEATH(hub.Recv(1, 9, 1), "out of range");
+  std::vector<uint8_t> out;
+  EXPECT_DEATH((void)hub.TryRecv(1, 9, 1, &out), "out of range");
 }
 
 TEST(MessageHubTest, RecvBlocksUntilSendArrives) {

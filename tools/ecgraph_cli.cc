@@ -10,7 +10,7 @@
 //       Distributed training. Keys: workers, epochs, layers, hidden,
 //       model(gcn|sage), fp(exact|cp|reqec|delayed), bp(exact|cp|resec),
 //       fp_bits, bp_bits, adapt(0|1), partitioner(hash|metis|streaming),
-//       patience, lr.
+//       patience, lr, checkpoint_every, checkpoint_dir.
 //
 // Exit code 0 on success; errors print the Status and exit 1.
 
@@ -24,6 +24,7 @@
 #include "common/trace.h"
 #include "core/halo.h"
 #include "core/trainer.h"
+#include "dist/fault.h"
 #include "graph/datasets.h"
 #include "graph/graph_io.h"
 #include "graph/partition.h"
@@ -159,6 +160,9 @@ int CmdTrain(const std::string& name,
   opt.exchange.adaptive_bits = Get(kv, "adapt", "0") == "1";
   opt.log_every =
       static_cast<uint32_t>(std::atoi(Get(kv, "log_every", "10").c_str()));
+  opt.checkpoint_every = static_cast<uint32_t>(
+      std::atoi(Get(kv, "checkpoint_every", "0").c_str()));
+  opt.checkpoint_dir = Get(kv, "checkpoint_dir", "");
 
   const uint32_t workers =
       static_cast<uint32_t>(std::atoi(Get(kv, "workers", "6").c_str()));
@@ -184,6 +188,25 @@ int CmdTrain(const std::string& name,
   std::printf("avg-epoch    %.4fs (simulated)\n", r->avg_epoch_seconds);
   std::printf("total-comm   %.2f MB\n",
               r->total_comm_bytes / (1024.0 * 1024.0));
+  if (const ecg::dist::FaultInjector* inj = ecg::dist::GlobalFaultInjector()) {
+    const ecg::dist::FaultCounters& c = inj->counters();
+    std::printf("faults       dropped=%llu corrupted=%llu duplicated=%llu "
+                "delayed=%llu retried=%llu lost=%llu\n",
+                static_cast<unsigned long long>(c.dropped.load()),
+                static_cast<unsigned long long>(c.corrupted.load()),
+                static_cast<unsigned long long>(c.duplicated.load()),
+                static_cast<unsigned long long>(c.delayed.load()),
+                static_cast<unsigned long long>(c.retried.load()),
+                static_cast<unsigned long long>(c.lost.load()));
+    std::printf("degraded     fp_pdt=%llu fp_stale=%llu bp_resec=%llu\n",
+                static_cast<unsigned long long>(c.degraded_pdt.load()),
+                static_cast<unsigned long long>(c.degraded_stale.load()),
+                static_cast<unsigned long long>(c.degraded_resec.load()));
+    std::printf("recovery     checkpoints=%llu crashes=%llu restores=%llu\n",
+                static_cast<unsigned long long>(c.checkpoints.load()),
+                static_cast<unsigned long long>(c.crashes.load()),
+                static_cast<unsigned long long>(c.restores.load()));
+  }
   return 0;
 }
 
@@ -196,6 +219,12 @@ void Usage() {
                "[hash|metis|streaming]\n"
                "  train <dataset|file.ecg> [key=value ...]\n"
                "\n"
+               "train keys for fault tolerance:\n"
+               "  checkpoint_every=N  epoch checkpoint cadence (0 = auto: "
+               "every epoch iff a crash is scheduled)\n"
+               "  checkpoint_dir=DIR  mirror the latest checkpoint to "
+               "DIR/checkpoint_latest.bin (atomic rename)\n"
+               "\n"
                "observability flags (any command, position-independent):\n"
                "  --trace_out=PATH    Chrome-trace JSON (open in "
                "ui.perfetto.dev or chrome://tracing)\n"
@@ -203,13 +232,31 @@ void Usage() {
                "--trace_out), 2=+codec detail\n"
                "  --stats_out=PATH    per-epoch JSONL of compression/"
                "timing stats\n"
-               "  --log_level=LEVEL   debug|info|warning|error\n");
+               "  --log_level=LEVEL   debug|info|warning|error\n"
+               "\n"
+               "fault-injection flags (chaos testing the halo exchange):\n"
+               "  --faults=SPEC       deterministic fault schedule, e.g.\n"
+               "                      'drop=0.05,corrupt=0.01,seed=7' or\n"
+               "                      'crash@epoch=5:worker=1'. Clauses:\n"
+               "                      drop|corrupt|dup|delay|straggle=P,\n"
+               "                      crash; filters @epoch=A[-B]:layer=N:"
+               "from=N:to=N:secs=F;\n"
+               "                      config seed|retries|timeout_ms|"
+               "backoff|restart=V\n"
+               "  --recv_timeout_ms=N per-attempt Recv deadline "
+               "(default 2000)\n"
+               "  --max_retries=N     redelivery attempts per message "
+               "(default 3)\n"
+               "With faults active, train prints fault/degradation/recovery "
+               "counters,\nand --stats_out gains per-epoch fault.* and "
+               "ckpt.* rows.\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   ecg::obs::InitObservabilityFromArgs(&argc, argv);
+  ecg::dist::InitFaultsFromArgs(&argc, argv);
   if (argc < 2) {
     Usage();
     return 1;
