@@ -238,7 +238,7 @@ Result<core::TrainResult> TrainMlCentered(const graph::Graph& g,
             0.5);
       }
       ctx->ChargeCompute(cpu.ElapsedSeconds());
-      board.AddLocal(local_loss, correct, totals);
+      board.AddLocal(ctx->worker_id(), local_loss, correct, totals);
 
       std::vector<Matrix> dw(L), db(L);
       Matrix grad = std::move(grads);

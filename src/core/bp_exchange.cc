@@ -61,9 +61,9 @@ class ExactBpExchanger : public BpExchanger {
   explicit ExactBpExchanger(const ExchangeConfig& config)
       : allow_loss_(config.fault_fallback) {}
 
-  Status Exchange(dist::WorkerContext* ctx, const WorkerPlan& plan,
-                  uint32_t epoch, uint16_t layer, const Matrix& g_owned,
-                  Matrix* g_halo) override {
+  Status Start(dist::WorkerContext* ctx, const WorkerPlan& plan,
+               uint32_t epoch, uint16_t layer,
+               const Matrix& g_owned) override {
     const uint64_t tag = MessageHub::MakeTag(epoch, layer, kTagBpData);
     PeerBuffers out(ctx->num_workers());
     ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
@@ -79,9 +79,15 @@ class ExactBpExchanger : public BpExchanger {
           return Status::OK();
         }));
     SendToActivePeers(ctx, plan, tag, &out);
+    return Status::OK();
+  }
+
+  Status Finish(dist::WorkerContext* ctx, const WorkerPlan& plan,
+                uint32_t epoch, uint16_t layer, Matrix* g_halo) override {
+    const uint64_t tag = MessageHub::MakeTag(epoch, layer, kTagBpData);
     ECG_ASSIGN_OR_RETURN(PeerRecvResult in, TryRecvFromActivePeers(
                              ctx, plan, tag, allow_loss_));
-    ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
+    return ForEachActivePeerParallel(
         plan, ctx->num_workers(), [&](uint32_t p) -> Status {
           ECG_TRACE_SCOPE_DETAIL("bp_decode", ctx->worker_id(), layer);
           if (in.lost[p]) {
@@ -92,9 +98,7 @@ class ExactBpExchanger : public BpExchanger {
           Matrix rows;
           ECG_RETURN_IF_ERROR(DecodeMatrix(&r, &rows));
           return AssignRows(rows, plan.recv_halo_rows[p], g_halo);
-        }));
-    ctx->EndCommPhase("bp_comm");
-    return Status::OK();
+        });
   }
 
  private:
@@ -108,9 +112,9 @@ class CompressedBpExchanger : public BpExchanger {
   explicit CompressedBpExchanger(const ExchangeConfig& config)
       : config_(config) {}
 
-  Status Exchange(dist::WorkerContext* ctx, const WorkerPlan& plan,
-                  uint32_t epoch, uint16_t layer, const Matrix& g_owned,
-                  Matrix* g_halo) override {
+  Status Start(dist::WorkerContext* ctx, const WorkerPlan& plan,
+               uint32_t epoch, uint16_t layer,
+               const Matrix& g_owned) override {
     const uint64_t tag = MessageHub::MakeTag(epoch, layer, kTagBpData);
     QuantizerOptions qopts{config_.bp_bits, config_.value_mode};
     // Fused: quantize each peer's gradient rows straight out of g_owned
@@ -135,9 +139,15 @@ class CompressedBpExchanger : public BpExchanger {
           return Status::OK();
         }));
     SendToActivePeers(ctx, plan, tag, &out);
+    return Status::OK();
+  }
+
+  Status Finish(dist::WorkerContext* ctx, const WorkerPlan& plan,
+                uint32_t epoch, uint16_t layer, Matrix* g_halo) override {
+    const uint64_t tag = MessageHub::MakeTag(epoch, layer, kTagBpData);
     ECG_ASSIGN_OR_RETURN(PeerRecvResult in, TryRecvFromActivePeers(
                              ctx, plan, tag, config_.fault_fallback));
-    ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
+    return ForEachActivePeerParallel(
         plan, ctx->num_workers(), [&](uint32_t p) -> Status {
           ECG_TRACE_SCOPE_DETAIL("bp_decode", ctx->worker_id(), layer);
           if (in.lost[p]) {
@@ -148,9 +158,7 @@ class CompressedBpExchanger : public BpExchanger {
           QuantizedMatrix q;
           ECG_RETURN_IF_ERROR(QuantizedMatrix::ParseFrom(&r, &q));
           return compress::DequantizeInto(q, plan.recv_halo_rows[p], g_halo);
-        }));
-    ctx->EndCommPhase("bp_comm");
-    return Status::OK();
+        });
   }
 
  private:
@@ -173,9 +181,9 @@ class ResEcBpExchanger : public BpExchanger {
     }
   }
 
-  Status Exchange(dist::WorkerContext* ctx, const WorkerPlan& plan,
-                  uint32_t epoch, uint16_t layer, const Matrix& g_owned,
-                  Matrix* g_halo) override {
+  Status Start(dist::WorkerContext* ctx, const WorkerPlan& plan,
+               uint32_t epoch, uint16_t layer,
+               const Matrix& g_owned) override {
     ECG_CHECK(layer < delta_.size()) << "ResEC layer out of range";
     const uint64_t tag = MessageHub::MakeTag(epoch, layer, kTagBpData);
     QuantizerOptions qopts{config_.bp_bits, config_.value_mode};
@@ -229,9 +237,15 @@ class ResEcBpExchanger : public BpExchanger {
           return Status::OK();
         }));
     SendToActivePeers(ctx, plan, tag, &out);
+    return Status::OK();
+  }
+
+  Status Finish(dist::WorkerContext* ctx, const WorkerPlan& plan,
+                uint32_t epoch, uint16_t layer, Matrix* g_halo) override {
+    const uint64_t tag = MessageHub::MakeTag(epoch, layer, kTagBpData);
     ECG_ASSIGN_OR_RETURN(PeerRecvResult in, TryRecvFromActivePeers(
                              ctx, plan, tag, config_.fault_fallback));
-    ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
+    return ForEachActivePeerParallel(
         plan, ctx->num_workers(), [&](uint32_t p) -> Status {
           ECG_TRACE_SCOPE_DETAIL("bp_decode", ctx->worker_id(), layer);
           if (in.lost[p]) {
@@ -245,9 +259,7 @@ class ResEcBpExchanger : public BpExchanger {
           QuantizedMatrix q;
           ECG_RETURN_IF_ERROR(QuantizedMatrix::ParseFrom(&r, &q));
           return compress::DequantizeInto(q, plan.recv_halo_rows[p], g_halo);
-        }));
-    ctx->EndCommPhase("bp_comm");
-    return Status::OK();
+        });
   }
 
   /// Residual magnitude toward a peer (Theorem-1 validation hook).

@@ -1,6 +1,7 @@
 #ifndef ECGRAPH_CORE_EXCHANGE_H_
 #define ECGRAPH_CORE_EXCHANGE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -108,24 +109,50 @@ struct PeerRecvResult {
   bool any_lost = false;
 };
 
-/// Receives from every active peer with bounded waits. A permanently lost
-/// message (ResourceExhausted from the transport's retry protocol) is
-/// tolerated when `allow_loss` is set and reported via `lost`; any other
-/// failure — including loss with fallback disabled — propagates.
+/// Receives from every active peer with bounded waits, consuming peers in
+/// *arrival order* (MessageHub::TryRecvAny) rather than fixed ascending
+/// peer id — a slow or faulty peer no longer head-of-line blocks the fast
+/// ones. The receiver waits on all peers concurrently, so the fault
+/// penalties (retry backoff, injected delay) are charged as the MAX across
+/// peers, not the sum. A permanently lost message (ResourceExhausted from
+/// the transport's retry protocol) is tolerated when `allow_loss` is set
+/// and reported via `lost`; any other failure — including loss with
+/// fallback disabled — propagates.
 inline Result<PeerRecvResult> TryRecvFromActivePeers(
     dist::WorkerContext* ctx, const WorkerPlan& plan, uint64_t tag,
     bool allow_loss) {
   PeerRecvResult out;
   out.bufs.resize(ctx->num_workers());
   out.lost.assign(ctx->num_workers(), false);
+  std::vector<uint32_t> pending;
   for (uint32_t p = 0; p < ctx->num_workers(); ++p) {
-    if (!ActivePeer(plan, p)) continue;
-    Status s = ctx->TryRecv(p, tag, &out.bufs[p]);
-    if (s.ok()) continue;
-    if (!allow_loss || s.code() != StatusCode::kResourceExhausted) return s;
-    out.lost[p] = true;
-    out.any_lost = true;
+    if (ActivePeer(plan, p)) pending.push_back(p);
   }
+  double max_penalty = 0.0;
+  while (!pending.empty()) {
+    uint32_t from = 0;
+    std::vector<uint8_t> buf;
+    double penalty = 0.0;
+    Status s = ctx->TryRecvAny(pending, tag, &from, &buf, &penalty);
+    if (s.ok() || s.code() == StatusCode::kResourceExhausted) {
+      max_penalty = std::max(max_penalty, penalty);
+      pending.erase(std::find(pending.begin(), pending.end(), from));
+      if (s.ok()) {
+        out.bufs[from] = std::move(buf);
+        continue;
+      }
+      if (!allow_loss) {
+        ctx->ChargePhasePenalty(max_penalty);
+        return s;
+      }
+      out.lost[from] = true;
+      out.any_lost = true;
+      continue;
+    }
+    ctx->ChargePhasePenalty(max_penalty);
+    return s;
+  }
+  ctx->ChargePhasePenalty(max_penalty);
   return out;
 }
 
@@ -144,10 +171,36 @@ class FpExchanger {
  public:
   virtual ~FpExchanger() = default;
 
-  virtual Status Exchange(dist::WorkerContext* ctx, const WorkerPlan& plan,
-                          uint32_t epoch, uint16_t layer,
-                          const tensor::Matrix& h_owned,
-                          tensor::Matrix* h_halo) = 0;
+  /// Split-phase API for overlapped schedules. Start encodes and SENDS
+  /// everything this exchange will put on the wire (for ReqEC that means
+  /// the whole request/respond handshake: it also *drains* the peers'
+  /// requests and ships the responses). Start may mutate responder-side
+  /// compensation state; it must not touch h_halo. Between Start and
+  /// Finish the caller may run arbitrary compute — the comm phase counters
+  /// keep accumulating until the caller ends the phase.
+  virtual Status Start(dist::WorkerContext* ctx, const WorkerPlan& plan,
+                       uint32_t epoch, uint16_t layer,
+                       const tensor::Matrix& h_owned) = 0;
+
+  /// Receives (in arrival order) and decodes into h_halo, updating
+  /// requester-side compensation state. Does NOT end the comm phase: the
+  /// caller charges it, with overlap credit when compute ran in between
+  /// (WorkerContext::EndCommPhaseOverlapped).
+  virtual Status Finish(dist::WorkerContext* ctx, const WorkerPlan& plan,
+                        uint32_t epoch, uint16_t layer,
+                        tensor::Matrix* h_halo) = 0;
+
+  /// One-shot exchange: Start + Finish + EndCommPhase("fp_comm"). Every
+  /// pre-split call site and the non-overlapped schedule use this; by
+  /// construction it is equivalent to the split-phase path.
+  Status Exchange(dist::WorkerContext* ctx, const WorkerPlan& plan,
+                  uint32_t epoch, uint16_t layer,
+                  const tensor::Matrix& h_owned, tensor::Matrix* h_halo) {
+    ECG_RETURN_IF_ERROR(Start(ctx, plan, epoch, layer, h_owned));
+    ECG_RETURN_IF_ERROR(Finish(ctx, plan, epoch, layer, h_halo));
+    ctx->EndCommPhase("fp_comm");
+    return Status::OK();
+  }
 
   /// Current compression bits toward peer `p` (for logging/benches);
   /// 32 means uncompressed.
@@ -165,10 +218,26 @@ class BpExchanger {
  public:
   virtual ~BpExchanger() = default;
 
-  virtual Status Exchange(dist::WorkerContext* ctx, const WorkerPlan& plan,
-                          uint32_t epoch, uint16_t layer,
-                          const tensor::Matrix& g_owned,
-                          tensor::Matrix* g_halo) = 0;
+  /// Split-phase API, mirroring FpExchanger. Start encodes and sends
+  /// (ResEC mutates its residual state here — the residual update depends
+  /// only on the outgoing gradient); Finish receives in arrival order and
+  /// decodes into g_halo without ending the comm phase.
+  virtual Status Start(dist::WorkerContext* ctx, const WorkerPlan& plan,
+                       uint32_t epoch, uint16_t layer,
+                       const tensor::Matrix& g_owned) = 0;
+  virtual Status Finish(dist::WorkerContext* ctx, const WorkerPlan& plan,
+                        uint32_t epoch, uint16_t layer,
+                        tensor::Matrix* g_halo) = 0;
+
+  /// One-shot exchange: Start + Finish + EndCommPhase("bp_comm").
+  Status Exchange(dist::WorkerContext* ctx, const WorkerPlan& plan,
+                  uint32_t epoch, uint16_t layer,
+                  const tensor::Matrix& g_owned, tensor::Matrix* g_halo) {
+    ECG_RETURN_IF_ERROR(Start(ctx, plan, epoch, layer, g_owned));
+    ECG_RETURN_IF_ERROR(Finish(ctx, plan, epoch, layer, g_halo));
+    ctx->EndCommPhase("bp_comm");
+    return Status::OK();
+  }
 
   /// Serializes the error-feedback state (ResEC residuals) into the epoch
   /// checkpoint. Stateless exchangers write nothing.

@@ -93,9 +93,9 @@ class ExactFpExchanger : public FpExchanger {
   explicit ExactFpExchanger(const ExchangeConfig& config)
       : allow_loss_(config.fault_fallback) {}
 
-  Status Exchange(dist::WorkerContext* ctx, const WorkerPlan& plan,
-                  uint32_t epoch, uint16_t layer, const Matrix& h_owned,
-                  Matrix* h_halo) override {
+  Status Start(dist::WorkerContext* ctx, const WorkerPlan& plan,
+               uint32_t epoch, uint16_t layer,
+               const Matrix& h_owned) override {
     const uint64_t tag = MessageHub::MakeTag(epoch, layer, kTagFpData);
     PeerBuffers out(ctx->num_workers());
     ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
@@ -111,9 +111,15 @@ class ExactFpExchanger : public FpExchanger {
           return Status::OK();
         }));
     SendToActivePeers(ctx, plan, tag, &out);
+    return Status::OK();
+  }
+
+  Status Finish(dist::WorkerContext* ctx, const WorkerPlan& plan,
+                uint32_t epoch, uint16_t layer, Matrix* h_halo) override {
+    const uint64_t tag = MessageHub::MakeTag(epoch, layer, kTagFpData);
     ECG_ASSIGN_OR_RETURN(PeerRecvResult in, TryRecvFromActivePeers(
                              ctx, plan, tag, allow_loss_));
-    ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
+    return ForEachActivePeerParallel(
         plan, ctx->num_workers(), [&](uint32_t p) -> Status {
           ECG_TRACE_SCOPE_DETAIL("fp_decode", ctx->worker_id(), layer);
           if (in.lost[p]) {
@@ -126,9 +132,7 @@ class ExactFpExchanger : public FpExchanger {
           Matrix rows;
           ECG_RETURN_IF_ERROR(DecodeMatrix(&r, &rows));
           return AssignRows(rows, plan.recv_halo_rows[p], h_halo);
-        }));
-    ctx->EndCommPhase("fp_comm");
-    return Status::OK();
+        });
   }
 
  private:
@@ -141,9 +145,9 @@ class CompressedFpExchanger : public FpExchanger {
   explicit CompressedFpExchanger(const ExchangeConfig& config)
       : config_(config) {}
 
-  Status Exchange(dist::WorkerContext* ctx, const WorkerPlan& plan,
-                  uint32_t epoch, uint16_t layer, const Matrix& h_owned,
-                  Matrix* h_halo) override {
+  Status Start(dist::WorkerContext* ctx, const WorkerPlan& plan,
+               uint32_t epoch, uint16_t layer,
+               const Matrix& h_owned) override {
     const uint64_t tag = MessageHub::MakeTag(epoch, layer, kTagFpData);
     QuantizerOptions qopts{config_.fp_bits, config_.value_mode};
     // Fused send path: quantize each peer's row subset straight out of
@@ -168,10 +172,16 @@ class CompressedFpExchanger : public FpExchanger {
           return Status::OK();
         }));
     SendToActivePeers(ctx, plan, tag, &out);
+    return Status::OK();
+  }
+
+  Status Finish(dist::WorkerContext* ctx, const WorkerPlan& plan,
+                uint32_t epoch, uint16_t layer, Matrix* h_halo) override {
+    const uint64_t tag = MessageHub::MakeTag(epoch, layer, kTagFpData);
     // Fused receive path: decode straight into the halo rows.
     ECG_ASSIGN_OR_RETURN(PeerRecvResult in, TryRecvFromActivePeers(
                              ctx, plan, tag, config_.fault_fallback));
-    ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
+    return ForEachActivePeerParallel(
         plan, ctx->num_workers(), [&](uint32_t p) -> Status {
           ECG_TRACE_SCOPE_DETAIL("fp_decode", ctx->worker_id(), layer);
           if (in.lost[p]) {
@@ -182,9 +192,7 @@ class CompressedFpExchanger : public FpExchanger {
           QuantizedMatrix q;
           ECG_RETURN_IF_ERROR(QuantizedMatrix::ParseFrom(&r, &q));
           return compress::DequantizeInto(q, plan.recv_halo_rows[p], h_halo);
-        }));
-    ctx->EndCommPhase("fp_comm");
-    return Status::OK();
+        });
   }
 
   int BitsTowards(uint32_t) const override { return config_.fp_bits; }
@@ -203,9 +211,9 @@ class DelayedFpExchanger : public FpExchanger {
       : r_(std::max<uint32_t>(1, config.delay_rounds)),
         allow_loss_(config.fault_fallback) {}
 
-  Status Exchange(dist::WorkerContext* ctx, const WorkerPlan& plan,
-                  uint32_t epoch, uint16_t layer, const Matrix& h_owned,
-                  Matrix* h_halo) override {
+  Status Start(dist::WorkerContext* ctx, const WorkerPlan& plan,
+               uint32_t epoch, uint16_t layer,
+               const Matrix& h_owned) override {
     const uint64_t tag = MessageHub::MakeTag(epoch, layer, kTagFpData);
     PeerBuffers out(ctx->num_workers());
     ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
@@ -231,9 +239,15 @@ class DelayedFpExchanger : public FpExchanger {
           return Status::OK();
         }));
     SendToActivePeers(ctx, plan, tag, &out);
+    return Status::OK();
+  }
+
+  Status Finish(dist::WorkerContext* ctx, const WorkerPlan& plan,
+                uint32_t epoch, uint16_t layer, Matrix* h_halo) override {
+    const uint64_t tag = MessageHub::MakeTag(epoch, layer, kTagFpData);
     ECG_ASSIGN_OR_RETURN(PeerRecvResult in, TryRecvFromActivePeers(
                              ctx, plan, tag, allow_loss_));
-    ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
+    return ForEachActivePeerParallel(
         plan, ctx->num_workers(), [&](uint32_t p) -> Status {
           if (in.lost[p]) {
             // Lost refresh: the whole halo slice stays one round staler —
@@ -257,9 +271,7 @@ class DelayedFpExchanger : public FpExchanger {
             targets.push_back(halo_rows[i]);
           }
           return AssignRows(rows, targets, h_halo);
-        }));
-    ctx->EndCommPhase("fp_comm");
-    return Status::OK();
+        });
   }
 
  private:
@@ -287,9 +299,9 @@ class ReqEcFpExchanger : public FpExchanger {
     proportion_from_.assign(workers, 0.0f);
   }
 
-  Status Exchange(dist::WorkerContext* ctx, const WorkerPlan& plan,
-                  uint32_t epoch, uint16_t layer, const Matrix& h_owned,
-                  Matrix* h_halo) override {
+  Status Start(dist::WorkerContext* ctx, const WorkerPlan& plan,
+               uint32_t epoch, uint16_t layer,
+               const Matrix& h_owned) override {
     ECG_CHECK(layer < num_layers_) << "ReqEC layer out of range";
     const uint64_t req_tag = MessageHub::MakeTag(epoch, layer, kTagFpRequest);
     const uint64_t data_tag = MessageHub::MakeTag(epoch, layer, kTagFpData);
@@ -344,6 +356,15 @@ class ReqEcFpExchanger : public FpExchanger {
           return Status::OK();
         }));
     SendToActivePeers(ctx, plan, data_tag, &out);
+    return Status::OK();
+  }
+
+  Status Finish(dist::WorkerContext* ctx, const WorkerPlan& plan,
+                uint32_t epoch, uint16_t layer, Matrix* h_halo) override {
+    ECG_CHECK(layer < num_layers_) << "ReqEC layer out of range";
+    const uint64_t data_tag = MessageHub::MakeTag(epoch, layer, kTagFpData);
+    const bool trend_epoch = (epoch + 1) % config_.trend_period == 0;
+    const uint32_t step = epoch % config_.trend_period + 1;
 
     // 3) Parse responses (Algorithm 3) — per-peer requester state and halo
     //    row ranges are disjoint, so peers decode in parallel too. A lost
@@ -361,7 +382,6 @@ class ReqEcFpExchanger : public FpExchanger {
           return ParseResponse(plan, p, layer, trend_epoch, step,
                                in.bufs[p], h_halo);
         }));
-    ctx->EndCommPhase("fp_comm");
 
     // 4) Bit-Tuner, once per epoch after the last exchanged FP layer
     //    (Algorithm 3 lines 13-18).

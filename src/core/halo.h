@@ -57,9 +57,38 @@ struct WorkerPlan {
   /// on the same sparsity.
   tensor::CsrMatrix adj_bp;
 
+  /// Interior/boundary row split for overlapped execution (the AdaQP
+  /// central/marginal vertex distinction): a local row is *interior* when
+  /// every adjacency column it touches is owned, so its aggregation needs
+  /// no halo data and can run while the exchange is still in flight.
+  /// Boundary rows touch at least one halo column. interior_rows and
+  /// boundary_rows together enumerate every local row exactly once,
+  /// ascending.
+  std::vector<uint32_t> interior_rows;
+  std::vector<uint32_t> boundary_rows;
+
+  /// Row-partitioned slices of `adj`: adj_interior is
+  /// owned.size() x owned.size() holding only interior rows' nonzeros
+  /// (interior rows reference owned columns only, so it multiplies
+  /// H_owned directly); adj_boundary is owned.size() x cat_rows() holding
+  /// only boundary rows' nonzeros. Per-row nonzero order matches `adj`
+  /// exactly, so SpMMRows over the two slices reproduces SpMM bitwise.
+  tensor::CsrMatrix adj_interior;
+  tensor::CsrMatrix adj_boundary;
+  /// Same split for adj_bp (populated iff adj_bp is; same sparsity as adj
+  /// so the interior/boundary classification is shared).
+  tensor::CsrMatrix adj_bp_interior;
+  tensor::CsrMatrix adj_bp_boundary;
+
   /// The aggregation slice BP should use.
   const tensor::CsrMatrix& bp_adj() const {
     return adj_bp.nnz() > 0 ? adj_bp : adj;
+  }
+  const tensor::CsrMatrix& bp_adj_interior() const {
+    return adj_bp.nnz() > 0 ? adj_bp_interior : adj_interior;
+  }
+  const tensor::CsrMatrix& bp_adj_boundary() const {
+    return adj_bp.nnz() > 0 ? adj_bp_boundary : adj_boundary;
   }
 
   size_t num_owned() const { return owned.size(); }

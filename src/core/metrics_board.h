@@ -21,7 +21,12 @@ namespace ecg::core::internal {
 /// locals before worker 0 finalizes the epoch).
 struct MetricsBoard {
   std::mutex mu;
-  double loss_sum = 0.0;
+  /// Per-worker loss contributions, reduced in worker-id order by
+  /// FinalizeEpoch. An arrival-order `sum +=` would make the reported loss
+  /// depend on thread scheduling in the last ULP; worker-id order keeps the
+  /// whole training curve bit-reproducible (same policy as the parameter
+  /// server's gradient reduction).
+  std::vector<double> loss_of;
   uint64_t correct[3] = {0, 0, 0};  // train, val, test
   uint64_t totals[3] = {0, 0, 0};
   std::atomic<uint64_t> param_bytes{0};
@@ -46,9 +51,11 @@ struct MetricsBoard {
   uint32_t epochs_since_best = 0;
   std::atomic<bool> stop{false};
 
-  void AddLocal(double loss, const uint64_t c[3], const uint64_t t[3]) {
+  void AddLocal(uint32_t worker, double loss, const uint64_t c[3],
+                const uint64_t t[3]) {
     std::lock_guard<std::mutex> lock(mu);
-    loss_sum += loss;
+    if (loss_of.size() <= worker) loss_of.resize(worker + 1, 0.0);
+    loss_of[worker] += loss;
     for (int i = 0; i < 3; ++i) {
       correct[i] += c[i];
       totals[i] += t[i];
@@ -78,7 +85,7 @@ struct MetricsBoard {
   void RollbackTo(uint32_t keep_epochs) {
     std::lock_guard<std::mutex> lock(mu);
     if (epochs.size() > keep_epochs) epochs.resize(keep_epochs);
-    loss_sum = 0.0;
+    loss_of.assign(loss_of.size(), 0.0);
     for (int i = 0; i < 3; ++i) correct[i] = totals[i] = 0;
     phase_acc.clear();
     last_clock = base_clock;
@@ -124,6 +131,8 @@ struct MetricsBoard {
                      size_t global_train, uint32_t patience) {
     std::lock_guard<std::mutex> lock(mu);
     EpochMetrics m;
+    double loss_sum = 0.0;  // worker-id order: deterministic float reduction
+    for (double part : loss_of) loss_sum += part;
     m.loss = loss_sum / static_cast<double>(global_train);
     for (int s = 0; s < 3; ++s) {
       const double acc =
@@ -142,7 +151,7 @@ struct MetricsBoard {
     m.phase_seconds.assign(phase_acc.begin(), phase_acc.end());
     phase_acc.clear();
     epochs.push_back(m);
-    loss_sum = 0.0;
+    loss_of.assign(loss_of.size(), 0.0);
     for (int i = 0; i < 3; ++i) correct[i] = totals[i] = 0;
 
     if (m.val_acc > best_val) {

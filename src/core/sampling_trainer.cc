@@ -239,6 +239,48 @@ Result<TrainResult> SamplingTrainer::Train() {
                         dims[0] * sizeof(float));
           }
           ctx->ChargeCompute(cpu.ElapsedSeconds());
+        } else if (options_.overlap) {
+          // Split-phase: send H^(l-1) first, aggregate the interior rows
+          // (fully-owned neighborhoods) while the messages fly, then wait
+          // only for the boundary rows' halo.
+          {
+            Phase phase(ctx, &board, epoch, "fp_exchange");
+            ECG_TRACE_SCOPE("fp_exchange", me, l - 1);
+            ECG_RETURN_IF_ERROR(fp_ex->Start(ctx, plan, epoch,
+                                             static_cast<uint16_t>(l - 1),
+                                             h_owned[l - 1]));
+          }
+          double credit = 0.0;
+          {
+            Phase phase(ctx, &board, epoch, "fp_compute");
+            ECG_TRACE_SCOPE("fp_compute", me, l);
+            cpu.Reset();
+            p_cache[l].Reset(plan.num_owned(), dims[l - 1]);
+            plan.adj_interior.SpMMRows(h_owned[l - 1], plan.interior_rows,
+                                       &p_cache[l]);
+            // Interior rows of Z = P·W complete before Finish too.
+            z_cache[l].Reset(plan.num_owned(), dims[l]);
+            tensor::GemmRows(p_cache[l], w[l - 1], plan.interior_rows,
+                             &z_cache[l]);
+            credit = ctx->ChargeCompute(cpu.ElapsedSeconds());
+          }
+          {
+            Phase phase(ctx, &board, epoch, "fp_exchange");
+            ECG_TRACE_SCOPE("fp_finish", me, l - 1);
+            ECG_RETURN_IF_ERROR(fp_ex->Finish(ctx, plan, epoch,
+                                              static_cast<uint16_t>(l - 1),
+                                              &halo));
+            double comm_s = 0.0;
+            const double hidden =
+                ctx->EndCommPhaseOverlapped("fp_comm", credit, &comm_s);
+            if (obs::StatsEnabled()) {
+              obs::RecordStat("overlap.hidden_seconds", hidden, epoch, l - 1);
+              if (comm_s > 0.0) {
+                obs::RecordStat("overlap.frac", hidden / comm_s, epoch,
+                                l - 1);
+              }
+            }
+          }
         } else {
           Phase phase(ctx, &board, epoch, "fp_exchange");
           ECG_TRACE_SCOPE("fp_exchange", me, l - 1);
@@ -246,13 +288,20 @@ Result<TrainResult> SamplingTrainer::Train() {
                                               static_cast<uint16_t>(l - 1),
                                               h_owned[l - 1], &halo));
         }
+        const bool split_fp = l > 1 && options_.overlap;
         {
           Phase phase(ctx, &board, epoch, "fp_compute");
           ECG_TRACE_SCOPE("fp_compute", me, l);
           cpu.Reset();
           BuildCat(h_owned[l - 1], halo, &cat);
-          plan.adj.SpMM(cat, &p_cache[l]);
-          tensor::Gemm(p_cache[l], w[l - 1], &z_cache[l]);
+          if (split_fp) {
+            plan.adj_boundary.SpMMRows(cat, plan.boundary_rows, &p_cache[l]);
+            tensor::GemmRows(p_cache[l], w[l - 1], plan.boundary_rows,
+                             &z_cache[l]);
+          } else {
+            plan.adj.SpMM(cat, &p_cache[l]);
+            tensor::Gemm(p_cache[l], w[l - 1], &z_cache[l]);
+          }
           tensor::AddRowBias(&z_cache[l], bias[l - 1]);
           h_owned[l] = z_cache[l];
           if (l < L) tensor::ReluInPlace(&h_owned[l]);
@@ -278,14 +327,15 @@ Result<TrainResult> SamplingTrainer::Train() {
         }
         ctx->ChargeCompute(cpu.ElapsedSeconds());
       }
-      board.AddLocal(local_loss, correct, totals);
+      board.AddLocal(ctx->worker_id(), local_loss, correct, totals);
 
       // --- Backward on the same sampled structure ------------------------
       std::vector<Matrix> dw(L), db(L);
       Matrix g = std::move(grads_logits);
       for (int l = L; l >= 1; --l) {
         const WorkerPlan& plan = shared.per_layer[l - 1][me];
-        {
+        const bool overlap_bp = options_.overlap && l > 1;
+        if (!overlap_bp) {
           Phase phase(ctx, &board, epoch, "bp_compute");
           ECG_TRACE_SCOPE("bp_compute", me, l);
           cpu.Reset();
@@ -295,7 +345,47 @@ Result<TrainResult> SamplingTrainer::Train() {
         }
         if (l > 1) {
           Matrix g_halo(plan.num_halo(), dims[l]);
-          {
+          Matrix t, g_prev;
+          if (overlap_bp) {
+            // Split-phase mirror of FP: dW/db and the interior rows of the
+            // gradient aggregation hide the wire time of the G exchange.
+            {
+              Phase phase(ctx, &board, epoch, "bp_exchange");
+              ECG_TRACE_SCOPE("bp_exchange", me, l);
+              ECG_RETURN_IF_ERROR(bp_ex->Start(ctx, plan, epoch,
+                                               static_cast<uint16_t>(l), g));
+            }
+            double credit = 0.0;
+            {
+              Phase phase(ctx, &board, epoch, "bp_compute");
+              ECG_TRACE_SCOPE("bp_compute", me, l);
+              cpu.Reset();
+              tensor::GemmTransposeA(p_cache[l], g, &dw[l - 1]);
+              db[l - 1] = tensor::ColumnSums(g);
+              t.Reset(plan.num_owned(), dims[l]);
+              plan.adj_interior.SpMMRows(g, plan.interior_rows, &t);
+              g_prev.Reset(plan.num_owned(), dims[l - 1]);
+              tensor::GemmTransposeBRows(t, w[l - 1], plan.interior_rows,
+                                         &g_prev);
+              credit = ctx->ChargeCompute(cpu.ElapsedSeconds());
+            }
+            {
+              Phase phase(ctx, &board, epoch, "bp_exchange");
+              ECG_TRACE_SCOPE("bp_finish", me, l);
+              ECG_RETURN_IF_ERROR(bp_ex->Finish(ctx, plan, epoch,
+                                                static_cast<uint16_t>(l),
+                                                &g_halo));
+              double comm_s = 0.0;
+              const double hidden =
+                  ctx->EndCommPhaseOverlapped("bp_comm", credit, &comm_s);
+              if (obs::StatsEnabled()) {
+                obs::RecordStat("overlap.hidden_seconds", hidden, epoch, l);
+                if (comm_s > 0.0) {
+                  obs::RecordStat("overlap.frac", hidden / comm_s, epoch, l);
+                }
+              }
+            }
+          } else {
             Phase phase(ctx, &board, epoch, "bp_exchange");
             ECG_TRACE_SCOPE("bp_exchange", me, l);
             ECG_RETURN_IF_ERROR(bp_ex->Exchange(ctx, plan, epoch,
@@ -306,10 +396,14 @@ Result<TrainResult> SamplingTrainer::Train() {
           ECG_TRACE_SCOPE("bp_compute", me, l);
           cpu.Reset();
           BuildCat(g, g_halo, &cat);
-          Matrix t;
-          plan.adj.SpMM(cat, &t);
-          Matrix g_prev;
-          tensor::GemmTransposeB(t, w[l - 1], &g_prev);
+          if (overlap_bp) {
+            plan.adj_boundary.SpMMRows(cat, plan.boundary_rows, &t);
+            tensor::GemmTransposeBRows(t, w[l - 1], plan.boundary_rows,
+                                       &g_prev);
+          } else {
+            plan.adj.SpMM(cat, &t);
+            tensor::GemmTransposeB(t, w[l - 1], &g_prev);
+          }
           const Matrix mask = tensor::ReluGrad(z_cache[l - 1]);
           tensor::HadamardInPlace(&g_prev, mask);
           g = std::move(g_prev);

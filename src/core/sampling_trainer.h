@@ -44,6 +44,10 @@ struct SamplingTrainOptions {
   BpMode bp_mode = BpMode::kCompressed;
   ExchangeConfig exchange;
   bool online_sampling = false;
+  /// Overlap halo exchanges with interior aggregation (split-phase
+  /// schedule, see TrainOptions::overlap). Per-epoch sampled plans carry
+  /// their own interior/boundary split, so the same pipelining applies.
+  bool overlap = true;
   uint32_t num_servers = 1;
   uint32_t epochs = 100;
   dist::NetworkModel network;

@@ -242,7 +242,13 @@ Result<TrainResult> DistributedTrainer::Train() {
           continue;
         }
       }
-      // Forward propagation (Algorithm 1).
+      // Forward propagation (Algorithm 1). With overlap on, the exchange
+      // of H^(l-1) is Started as soon as H^(l-1) exists; the interior rows
+      // — owned rows whose whole in-neighborhood is owned — aggregate
+      // while the messages are in flight, and only the boundary rows wait
+      // for Finish. The comm phase then charges max(0, comm − interior
+      // compute). Both schedules produce bitwise-identical activations.
+      bool fp_pending = false;  // split-phase exchange of layer l-1 in flight
       for (int l = 1; l <= L; ++l) {
         Matrix* wl = &w[l - 1];
         Matrix* bl = &bias[l - 1];
@@ -261,8 +267,62 @@ Result<TrainResult> DistributedTrainer::Train() {
         if (l == 1 && !options_.cache_features) {
           Phase phase(ctx, &board, epoch, "fp_exchange");
           ECG_TRACE_SCOPE("fp_exchange", ctx->worker_id(), 0);
-          ECG_RETURN_IF_ERROR(
-              fp_ex->Exchange(ctx, plan, epoch, 0, h_owned[0], &h_halo[0]));
+          if (options_.overlap) {
+            ECG_RETURN_IF_ERROR(
+                fp_ex->Start(ctx, plan, epoch, 0, h_owned[0]));
+            fp_pending = true;
+          } else {
+            ECG_RETURN_IF_ERROR(
+                fp_ex->Exchange(ctx, plan, epoch, 0, h_owned[0], &h_halo[0]));
+          }
+        }
+
+        Matrix agg;  // SAGE aggregation target; outlives the split phases
+        const bool split_fp = fp_pending;
+        if (fp_pending) {
+          // Interior aggregation reads only owned rows, so it runs under
+          // the in-flight exchange and earns comm-hiding credit.
+          double credit = 0.0;
+          {
+            Phase phase(ctx, &board, epoch, "fp_compute");
+            ECG_TRACE_SCOPE("fp_compute", ctx->worker_id(), l);
+            cpu.Reset();
+            if (sage) {
+              agg.Reset(plan.num_owned(), dims[l - 1]);
+              plan.adj_interior.SpMMRows(h_owned[l - 1], plan.interior_rows,
+                                         &agg);
+            } else {
+              p_cache[l].Reset(plan.num_owned(), dims[l - 1]);
+              plan.adj_interior.SpMMRows(h_owned[l - 1], plan.interior_rows,
+                                         &p_cache[l]);
+              // The transform is row-decomposable too: interior rows of Z
+              // go through W while the wire is busy, boundary rows after
+              // Finish. (SAGE stacks [H | agg] first, so its transform
+              // waits for the halo.)
+              z_cache[l].Reset(plan.num_owned(), dims[l]);
+              tensor::GemmRows(p_cache[l], *wl, plan.interior_rows,
+                               &z_cache[l]);
+            }
+            credit = ctx->ChargeCompute(cpu.ElapsedSeconds());
+          }
+          {
+            Phase phase(ctx, &board, epoch, "fp_exchange");
+            ECG_TRACE_SCOPE("fp_finish", ctx->worker_id(), l - 1);
+            ECG_RETURN_IF_ERROR(fp_ex->Finish(ctx, plan, epoch,
+                                              static_cast<uint16_t>(l - 1),
+                                              &h_halo[l - 1]));
+            double comm_s = 0.0;
+            const double hidden =
+                ctx->EndCommPhaseOverlapped("fp_comm", credit, &comm_s);
+            if (obs::StatsEnabled()) {
+              obs::RecordStat("overlap.hidden_seconds", hidden, epoch, l - 1);
+              if (comm_s > 0.0) {
+                obs::RecordStat("overlap.frac", hidden / comm_s, epoch,
+                                l - 1);
+              }
+            }
+          }
+          fp_pending = false;
         }
         {
           Phase phase(ctx, &board, epoch, "fp_compute");
@@ -271,13 +331,21 @@ Result<TrainResult> DistributedTrainer::Train() {
           BuildCat(h_owned[l - 1], h_halo[l - 1], &cat);
           if (sage) {
             // Z = [H | mean_N(H)] W + b; the stacked input is cached for dW.
-            Matrix agg;
-            plan.adj.SpMM(cat, &agg);
+            if (split_fp) {
+              plan.adj_boundary.SpMMRows(cat, plan.boundary_rows, &agg);
+            } else {
+              plan.adj.SpMM(cat, &agg);
+            }
             p_cache[l] = tensor::ConcatCols(h_owned[l - 1], agg);
+            tensor::Gemm(p_cache[l], *wl, &z_cache[l]);
+          } else if (split_fp) {
+            plan.adj_boundary.SpMMRows(cat, plan.boundary_rows, &p_cache[l]);
+            tensor::GemmRows(p_cache[l], *wl, plan.boundary_rows,
+                             &z_cache[l]);
           } else {
             plan.adj.SpMM(cat, &p_cache[l]);
+            tensor::Gemm(p_cache[l], *wl, &z_cache[l]);
           }
-          tensor::Gemm(p_cache[l], *wl, &z_cache[l]);
           tensor::AddRowBias(&z_cache[l], *bl);
           h_owned[l] = z_cache[l];
           if (l < L) tensor::ReluInPlace(&h_owned[l]);
@@ -287,9 +355,16 @@ Result<TrainResult> DistributedTrainer::Train() {
         if (l < L) {
           Phase phase(ctx, &board, epoch, "fp_exchange");
           ECG_TRACE_SCOPE("fp_exchange", ctx->worker_id(), l);
-          ECG_RETURN_IF_ERROR(
-              fp_ex->Exchange(ctx, plan, epoch, static_cast<uint16_t>(l),
-                              h_owned[l], &h_halo[l]));
+          if (options_.overlap) {
+            ECG_RETURN_IF_ERROR(fp_ex->Start(ctx, plan, epoch,
+                                             static_cast<uint16_t>(l),
+                                             h_owned[l]));
+            fp_pending = true;
+          } else {
+            ECG_RETURN_IF_ERROR(
+                fp_ex->Exchange(ctx, plan, epoch, static_cast<uint16_t>(l),
+                                h_owned[l], &h_halo[l]));
+          }
         }
       }
 
@@ -312,13 +387,17 @@ Result<TrainResult> DistributedTrainer::Train() {
         }
         ctx->ChargeCompute(cpu.ElapsedSeconds());
       }
-      board.AddLocal(local_loss, correct, totals);
+      board.AddLocal(ctx->worker_id(), local_loss, correct, totals);
 
       // Backward propagation (Algorithm 2).
       std::vector<Matrix> dw(L), db(L);
       Matrix g = std::move(grads_logits);  // G^L (loss grad already merged)
       for (int l = L; l >= 1; --l) {
-        {
+        // With overlap on and an exchange ahead (l > 1), dW/db move after
+        // Start so they hide wire time too; they read only already-local
+        // matrices, so the reorder cannot change any value.
+        const bool overlap_bp = options_.overlap && l > 1;
+        if (!overlap_bp) {
           Phase phase(ctx, &board, epoch, "bp_compute");
           ECG_TRACE_SCOPE("bp_compute", ctx->worker_id(), l);
           cpu.Reset();
@@ -328,6 +407,26 @@ Result<TrainResult> DistributedTrainer::Train() {
         }
 
         if (l > 1) {
+          // Books the overlapped comm charge and the overlap.* stats once
+          // the exchange of layer l is finished.
+          auto finish_bp = [&](double credit) -> Status {
+            Phase phase(ctx, &board, epoch, "bp_exchange");
+            ECG_TRACE_SCOPE("bp_finish", ctx->worker_id(), l);
+            ECG_RETURN_IF_ERROR(bp_ex->Finish(ctx, plan, epoch,
+                                              static_cast<uint16_t>(l),
+                                              &g_halo[l]));
+            double comm_s = 0.0;
+            const double hidden =
+                ctx->EndCommPhaseOverlapped("bp_comm", credit, &comm_s);
+            if (obs::StatsEnabled()) {
+              obs::RecordStat("overlap.hidden_seconds", hidden, epoch, l);
+              if (comm_s > 0.0) {
+                obs::RecordStat("overlap.frac", hidden / comm_s, epoch, l);
+              }
+            }
+            return Status::OK();
+          };
+
           Matrix g_prev;
           if (sage) {
             // dL/d[H|P] = G W^T splits into a direct self term and an
@@ -346,40 +445,111 @@ Result<TrainResult> DistributedTrainer::Train() {
             }
 
             g_halo[l].Reset(plan.num_halo(), dims[l - 1]);
-            {
-              Phase phase(ctx, &board, epoch, "bp_exchange");
-              ECG_TRACE_SCOPE("bp_exchange", ctx->worker_id(), l);
-              ECG_RETURN_IF_ERROR(bp_ex->Exchange(ctx, plan, epoch,
-                                                  static_cast<uint16_t>(l),
-                                                  t_agg, &g_halo[l]));
-            }
-            {
-              Phase phase(ctx, &board, epoch, "bp_compute");
-              ECG_TRACE_SCOPE("bp_compute", ctx->worker_id(), l);
-              cpu.Reset();
-              BuildCat(t_agg, g_halo[l], &cat);
-              plan.bp_adj().SpMM(cat, &g_prev);
-              tensor::AddInPlace(&g_prev, t_self);
-              ctx->ChargeCompute(cpu.ElapsedSeconds());
+            if (!overlap_bp) {
+              {
+                Phase phase(ctx, &board, epoch, "bp_exchange");
+                ECG_TRACE_SCOPE("bp_exchange", ctx->worker_id(), l);
+                ECG_RETURN_IF_ERROR(bp_ex->Exchange(ctx, plan, epoch,
+                                                    static_cast<uint16_t>(l),
+                                                    t_agg, &g_halo[l]));
+              }
+              {
+                Phase phase(ctx, &board, epoch, "bp_compute");
+                ECG_TRACE_SCOPE("bp_compute", ctx->worker_id(), l);
+                cpu.Reset();
+                BuildCat(t_agg, g_halo[l], &cat);
+                plan.bp_adj().SpMM(cat, &g_prev);
+                tensor::AddInPlace(&g_prev, t_self);
+                ctx->ChargeCompute(cpu.ElapsedSeconds());
+              }
+            } else {
+              double credit = 0.0;
+              {
+                Phase phase(ctx, &board, epoch, "bp_exchange");
+                ECG_TRACE_SCOPE("bp_exchange", ctx->worker_id(), l);
+                ECG_RETURN_IF_ERROR(bp_ex->Start(ctx, plan, epoch,
+                                                 static_cast<uint16_t>(l),
+                                                 t_agg));
+              }
+              {
+                Phase phase(ctx, &board, epoch, "bp_compute");
+                ECG_TRACE_SCOPE("bp_compute", ctx->worker_id(), l);
+                cpu.Reset();
+                tensor::GemmTransposeA(p_cache[l], g, &dw[l - 1]);
+                db[l - 1] = tensor::ColumnSums(g);
+                g_prev.Reset(plan.num_owned(), dims[l - 1]);
+                plan.bp_adj_interior().SpMMRows(t_agg, plan.interior_rows,
+                                                &g_prev);
+                credit = ctx->ChargeCompute(cpu.ElapsedSeconds());
+              }
+              ECG_RETURN_IF_ERROR(finish_bp(credit));
+              {
+                Phase phase(ctx, &board, epoch, "bp_compute");
+                ECG_TRACE_SCOPE("bp_compute", ctx->worker_id(), l);
+                cpu.Reset();
+                BuildCat(t_agg, g_halo[l], &cat);
+                plan.bp_adj_boundary().SpMMRows(cat, plan.boundary_rows,
+                                                &g_prev);
+                tensor::AddInPlace(&g_prev, t_self);
+                ctx->ChargeCompute(cpu.ElapsedSeconds());
+              }
             }
           } else {
             g_halo[l].Reset(plan.num_halo(), dims[l]);
-            {
-              Phase phase(ctx, &board, epoch, "bp_exchange");
-              ECG_TRACE_SCOPE("bp_exchange", ctx->worker_id(), l);
-              ECG_RETURN_IF_ERROR(bp_ex->Exchange(ctx, plan, epoch,
-                                                  static_cast<uint16_t>(l),
-                                                  g, &g_halo[l]));
-            }
-            {
-              Phase phase(ctx, &board, epoch, "bp_compute");
-              ECG_TRACE_SCOPE("bp_compute", ctx->worker_id(), l);
-              cpu.Reset();
-              BuildCat(g, g_halo[l], &cat);
+            if (!overlap_bp) {
+              {
+                Phase phase(ctx, &board, epoch, "bp_exchange");
+                ECG_TRACE_SCOPE("bp_exchange", ctx->worker_id(), l);
+                ECG_RETURN_IF_ERROR(bp_ex->Exchange(ctx, plan, epoch,
+                                                    static_cast<uint16_t>(l),
+                                                    g, &g_halo[l]));
+              }
+              {
+                Phase phase(ctx, &board, epoch, "bp_compute");
+                ECG_TRACE_SCOPE("bp_compute", ctx->worker_id(), l);
+                cpu.Reset();
+                BuildCat(g, g_halo[l], &cat);
+                Matrix t;
+                plan.adj.SpMM(cat, &t);
+                tensor::GemmTransposeB(t, w[l - 1], &g_prev);
+                ctx->ChargeCompute(cpu.ElapsedSeconds());
+              }
+            } else {
+              double credit = 0.0;
               Matrix t;
-              plan.adj.SpMM(cat, &t);
-              tensor::GemmTransposeB(t, w[l - 1], &g_prev);
-              ctx->ChargeCompute(cpu.ElapsedSeconds());
+              {
+                Phase phase(ctx, &board, epoch, "bp_exchange");
+                ECG_TRACE_SCOPE("bp_exchange", ctx->worker_id(), l);
+                ECG_RETURN_IF_ERROR(bp_ex->Start(ctx, plan, epoch,
+                                                 static_cast<uint16_t>(l),
+                                                 g));
+              }
+              {
+                Phase phase(ctx, &board, epoch, "bp_compute");
+                ECG_TRACE_SCOPE("bp_compute", ctx->worker_id(), l);
+                cpu.Reset();
+                tensor::GemmTransposeA(p_cache[l], g, &dw[l - 1]);
+                db[l - 1] = tensor::ColumnSums(g);
+                t.Reset(plan.num_owned(), dims[l]);
+                plan.adj_interior.SpMMRows(g, plan.interior_rows, &t);
+                // Interior rows of G^(l-1) = rows of t · W^T: complete
+                // before Finish, so the projection earns credit too.
+                g_prev.Reset(plan.num_owned(), dims[l - 1]);
+                tensor::GemmTransposeBRows(t, w[l - 1], plan.interior_rows,
+                                           &g_prev);
+                credit = ctx->ChargeCompute(cpu.ElapsedSeconds());
+              }
+              ECG_RETURN_IF_ERROR(finish_bp(credit));
+              {
+                Phase phase(ctx, &board, epoch, "bp_compute");
+                ECG_TRACE_SCOPE("bp_compute", ctx->worker_id(), l);
+                cpu.Reset();
+                BuildCat(g, g_halo[l], &cat);
+                plan.adj_boundary.SpMMRows(cat, plan.boundary_rows, &t);
+                tensor::GemmTransposeBRows(t, w[l - 1], plan.boundary_rows,
+                                           &g_prev);
+                ctx->ChargeCompute(cpu.ElapsedSeconds());
+              }
             }
           }
           {

@@ -31,6 +31,14 @@ struct TrainOptions {
   /// the H^0 halo is shipped exactly once during preprocessing instead of
   /// re-fetched every epoch.
   bool cache_features = true;
+  /// Overlap halo exchanges with interior compute (split-phase schedule):
+  /// each exchange is Started as soon as its layer's activations are ready,
+  /// the aggregation of the rows whose neighborhoods are fully owned runs
+  /// while the messages are in flight, and the exchange is Finished just
+  /// before the boundary rows need the halo. The comm clock then charges
+  /// max(0, comm − overlapped compute). Results are bitwise identical to
+  /// the sequential schedule; `false` restores it exactly.
+  bool overlap = true;
   /// Early stopping: stop when val accuracy hasn't improved for `patience`
   /// epochs (0 disables). All workers stop together.
   uint32_t patience = 0;

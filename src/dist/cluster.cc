@@ -42,19 +42,51 @@ Status WorkerContext::TryRecv(uint32_t from, uint64_t tag,
   return status;
 }
 
+Status WorkerContext::TryRecvAny(const std::vector<uint32_t>& froms,
+                                 uint64_t tag, uint32_t* from_out,
+                                 std::vector<uint8_t>* out,
+                                 double* penalty_seconds) {
+  RecvOutcome outcome;
+  Status status =
+      hub_->TryRecvAny(worker_id_, froms, tag, from_out, out, &outcome);
+  if (penalty_seconds != nullptr) *penalty_seconds = outcome.penalty_seconds;
+  if (status.ok()) {
+    phase_recv_bytes_ += out->size();
+    ++phase_recv_msgs_;
+  }
+  return status;
+}
+
 void WorkerContext::EndCommPhase(const char* phase) {
+  EndCommPhaseOverlapped(phase, 0.0);
+}
+
+double WorkerContext::EndCommPhaseOverlapped(const char* phase,
+                                             double overlap_credit_seconds,
+                                             double* phase_comm_seconds) {
   const double seconds =
       net_.PhaseSeconds(phase_sent_bytes_, phase_sent_msgs_,
                         phase_recv_bytes_, phase_recv_msgs_) +
       phase_penalty_seconds_;
-  if (obs::TraceEnabled() && seconds > 0.0) {
-    obs::Tracer::Global().RecordSimSpan(phase, worker_id_, -1,
-                                        total_seconds(), seconds);
+  if (phase_comm_seconds != nullptr) *phase_comm_seconds = seconds;
+  const double hidden = std::min(seconds, overlap_credit_seconds);
+  const double charged = seconds - hidden;
+  if (obs::TraceEnabled() && hidden > 0.0) {
+    // The hidden wire time ran concurrently with already-charged compute:
+    // draw it under the compute span it hid behind.
+    obs::Tracer::Global().RecordSimSpan("overlap_hidden", worker_id_, -1,
+                                        std::max(0.0, total_seconds() - hidden),
+                                        hidden);
   }
-  comm_seconds_ += seconds;
+  if (obs::TraceEnabled() && charged > 0.0) {
+    obs::Tracer::Global().RecordSimSpan(phase, worker_id_, -1,
+                                        total_seconds(), charged);
+  }
+  comm_seconds_ += charged;
   phase_sent_bytes_ = phase_sent_msgs_ = 0;
   phase_recv_bytes_ = phase_recv_msgs_ = 0;
   phase_penalty_seconds_ = 0.0;
+  return hidden;
 }
 
 void WorkerContext::BarrierSync() { cluster_->BarrierSyncImpl(this); }

@@ -46,16 +46,34 @@ class WorkerContext {
   /// chaos runs report honest makespans.
   Status TryRecv(uint32_t from, uint64_t tag, std::vector<uint8_t>* out);
 
+  /// Arrival-order bounded receive over a candidate peer set (see
+  /// MessageHub::TryRecvAny). Unlike TryRecv, the fault penalty is NOT
+  /// folded into the phase automatically: a receiver fanning in from many
+  /// peers waits on them concurrently, so the caller collects the per-peer
+  /// penalties, takes the max, and charges it once via ChargePhasePenalty.
+  /// `*penalty_seconds` (optional) reports this call's penalty.
+  Status TryRecvAny(const std::vector<uint32_t>& froms, uint64_t tag,
+                    uint32_t* from_out, std::vector<uint8_t>* out,
+                    double* penalty_seconds = nullptr);
+
+  /// Adds fault-induced wait seconds (retry backoff, injected delay) to the
+  /// current comm phase. Fan-in callers charge the max across concurrently
+  /// awaited peers, not the sum.
+  void ChargePhasePenalty(double seconds) { phase_penalty_seconds_ += seconds; }
+
   /// Adds measured single-core compute seconds to this worker's clock,
   /// scaled by the machine model's multi-core speedup. When tracing is on,
   /// the charge lands as a span on this worker's simulated-clock track.
-  void ChargeCompute(double single_core_seconds) {
+  /// Returns the charged (machine-scaled) seconds so overlapped schedules
+  /// can credit them against an in-flight exchange.
+  double ChargeCompute(double single_core_seconds) {
     const double charged = machine_.ComputeSeconds(single_core_seconds);
     if (obs::TraceEnabled() && charged > 0.0) {
       obs::Tracer::Global().RecordSimSpan("compute", worker_id_, -1,
                                           total_seconds(), charged);
     }
     compute_seconds_ += charged;
+    return charged;
   }
 
   /// Adds modelled seconds directly (parameter-server pulls/pushes, which
@@ -68,6 +86,17 @@ class WorkerContext {
   /// `phase` names the span on the simulated-clock trace track; it must be
   /// a string literal (the tracer stores the pointer, not a copy).
   void EndCommPhase(const char* phase = "comm");
+
+  /// Ends the current communication phase with overlap credit: compute that
+  /// ran while the exchange was in flight hides up to its own duration of
+  /// the wire time, so the phase charges max(0, comm − credit). Returns the
+  /// hidden seconds (min(comm, credit)) for overlap.* stats;
+  /// `*phase_comm_seconds` (optional) reports the full modelled comm time
+  /// of the phase before the credit. With credit 0 this is exactly
+  /// EndCommPhase.
+  double EndCommPhaseOverlapped(const char* phase,
+                                double overlap_credit_seconds,
+                                double* phase_comm_seconds = nullptr);
 
   /// BSP barrier that also propagates the slowest worker's simulated time
   /// to everyone.

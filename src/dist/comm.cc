@@ -227,6 +227,17 @@ Status MessageHub::TryRecv(uint32_t to, uint32_t from, uint64_t tag,
     return Status::OK();
   }
 
+  Mailbox& box = boxes_[to];
+  std::unique_lock<std::mutex> lock(box.mu);
+  return ResolveFramedLocked(box, lock, to, from, tag, out, oc);
+}
+
+Status MessageHub::ResolveFramedLocked(Mailbox& box,
+                                       std::unique_lock<std::mutex>& lock,
+                                       uint32_t to, uint32_t from,
+                                       uint64_t tag,
+                                       std::vector<uint8_t>* out,
+                                       RecvOutcome& oc) {
   FaultCounters& counters = injector_->counters();
   const uint32_t max_retries = injector_->max_retries();
   const auto attempt_timeout =
@@ -236,9 +247,7 @@ Status MessageHub::TryRecv(uint32_t to, uint32_t from, uint64_t tag,
   const auto deadline = std::chrono::steady_clock::now() +
                         attempt_timeout * (max_retries + 2);
 
-  Mailbox& box = boxes_[to];
   const auto key = std::make_pair(from, tag);
-  std::unique_lock<std::mutex> lock(box.mu);
   uint32_t attempt = 0;
   oc.attempts = 0;
   while (true) {
@@ -319,6 +328,96 @@ Status MessageHub::TryRecv(uint32_t to, uint32_t from, uint64_t tag,
       DeliverAttempt(box, from, to, tag, attempt, frame);
     }
   }
+}
+
+Status MessageHub::TryRecvAny(uint32_t to,
+                              const std::vector<uint32_t>& froms,
+                              uint64_t tag, uint32_t* from_out,
+                              std::vector<uint8_t>* out,
+                              RecvOutcome* outcome) {
+  ECG_CHECK(to < parties_) << "TryRecvAny worker id out of range: to=" << to
+                           << " parties=" << parties_;
+  for (uint32_t from : froms) {
+    ECG_CHECK(from < parties_)
+        << "TryRecvAny worker id out of range: from=" << from
+        << " parties=" << parties_;
+  }
+  if (froms.empty()) {
+    return Status::InvalidArgument("TryRecvAny: empty candidate set");
+  }
+  RecvOutcome local;
+  RecvOutcome& oc = outcome != nullptr ? *outcome : local;
+  oc = RecvOutcome{};
+
+  Mailbox& box = boxes_[to];
+  std::unique_lock<std::mutex> lock(box.mu);
+  if (injector_ == nullptr) {
+    // Fault-free transport: block until any candidate's message is queued
+    // (same unbounded-wait semantics as Recv).
+    box.cv.wait(lock, [&] {
+      for (uint32_t from : froms) {
+        if (box.messages.count(std::make_pair(from, tag)) > 0) return true;
+      }
+      return false;
+    });
+    for (uint32_t from : froms) {
+      auto it = box.messages.find(std::make_pair(from, tag));
+      if (it == box.messages.end()) continue;
+      *from_out = from;
+      *out = std::move(it->second.front().bytes);
+      box.messages.erase(it);
+      return Status::OK();
+    }
+    ECG_CHECK(false) << "TryRecvAny woke without a ready peer";
+    return Status::IoError("unreachable");
+  }
+
+  const uint32_t max_retries = injector_->max_retries();
+  const auto attempt_timeout =
+      std::chrono::milliseconds(injector_->recv_timeout_ms());
+  const auto deadline = std::chrono::steady_clock::now() +
+                        attempt_timeout * (max_retries + 2);
+  // A peer is "ready" once a delivery is queued or its retained slot exists
+  // (Send installs the slot before the first delivery attempt, so its
+  // presence is proof the sender has sent — a missing queue entry then
+  // means the attempt was dropped and the NACK path can run without any
+  // further waiting).
+  const bool signalled = box.cv.wait_until(lock, deadline, [&] {
+    for (uint32_t from : froms) {
+      const auto key = std::make_pair(from, tag);
+      if (box.messages.count(key) > 0) return true;
+      if (box.retained.count(key) > 0) return true;
+    }
+    return false;
+  });
+  if (!signalled) {
+    return Status::IoError(
+        "TryRecvAny deadline: no sender for to=" + std::to_string(to) +
+        " among " + std::to_string(froms.size()) +
+        " peers, epoch=" + std::to_string(TagEpoch(tag)) +
+        " layer=" + std::to_string(TagLayer(tag)) +
+        " kind=" + std::to_string(TagKind(tag)));
+  }
+  // Prefer a peer with a clean queued delivery over one with only drop
+  // evidence so undamaged arrivals resolve first.
+  uint32_t chosen = parties_;
+  for (uint32_t from : froms) {
+    if (box.messages.count(std::make_pair(from, tag)) > 0) {
+      chosen = from;
+      break;
+    }
+  }
+  if (chosen == parties_) {
+    for (uint32_t from : froms) {
+      if (box.retained.count(std::make_pair(from, tag)) > 0) {
+        chosen = from;
+        break;
+      }
+    }
+  }
+  ECG_CHECK(chosen != parties_) << "TryRecvAny woke without a ready peer";
+  *from_out = chosen;
+  return ResolveFramedLocked(box, lock, to, chosen, tag, out, oc);
 }
 
 }  // namespace ecg::dist

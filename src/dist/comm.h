@@ -127,6 +127,20 @@ class MessageHub {
   Status TryRecv(uint32_t to, uint32_t from, uint64_t tag,
                  std::vector<uint8_t>* out, RecvOutcome* outcome = nullptr);
 
+  /// Arrival-order receive: blocks until *any* of the candidate `froms`
+  /// peers is ready on `tag` — a delivery is queued, or (with an injector)
+  /// the sender's retained slot proves its attempt was applied — then
+  /// resolves that one peer with the full TryRecv NACK/retransmit protocol.
+  /// Peers with a clean queued delivery are preferred over peers with only
+  /// drop evidence, so fast arrivals are consumed first instead of
+  /// head-of-line blocking behind a slow or faulty peer. `*from_out` names
+  /// the resolved peer on OK and on ResourceExhausted (so the caller can
+  /// retire it from its pending set and degrade just that peer); it is
+  /// untouched on IoError (nobody sent within the deadline).
+  Status TryRecvAny(uint32_t to, const std::vector<uint32_t>& froms,
+                    uint64_t tag, uint32_t* from_out,
+                    std::vector<uint8_t>* out, RecvOutcome* outcome = nullptr);
+
   /// Builds a collision-free tag from superstep coordinates.
   static uint64_t MakeTag(uint32_t epoch, uint16_t layer, uint16_t kind) {
     return (static_cast<uint64_t>(epoch) << 32) |
@@ -221,6 +235,14 @@ class MessageHub {
   /// frame and enqueues the surviving copies. Caller holds box.mu.
   void DeliverAttempt(Mailbox& box, uint32_t from, uint32_t to, uint64_t tag,
                       uint32_t attempt, const std::vector<uint8_t>& frame);
+
+  /// The framed NACK/retransmit loop shared by TryRecv and TryRecvAny:
+  /// resolves one (from, tag) stream to either a validated payload, loss
+  /// (ResourceExhausted), or a no-sender deadline (IoError). Requires an
+  /// attached injector; caller holds `lock` on box.mu.
+  Status ResolveFramedLocked(Mailbox& box, std::unique_lock<std::mutex>& lock,
+                             uint32_t to, uint32_t from, uint64_t tag,
+                             std::vector<uint8_t>* out, RecvOutcome& oc);
 
   const uint32_t parties_;
   std::vector<Mailbox> boxes_;

@@ -95,6 +95,7 @@ Result<Partition> MetisLikePartition(const Graph& g, uint32_t num_parts,
   // cuts than BFS region growing.
   StreamingOptions stream_opt;
   stream_opt.seed = options.seed;
+  stream_opt.max_imbalance = options.max_imbalance;
   ECG_ASSIGN_OR_RETURN(Partition init, StreamingPartition(g, num_parts,
                                                           stream_opt));
   p.owner = std::move(init.owner);
@@ -116,7 +117,7 @@ Result<Partition> MetisLikePartition(const Graph& g, uint32_t num_parts,
     double best_weight = part_weight[from];
     for (uint32_t cand = 0; cand < num_parts; ++cand) {
       if (cand == from || part_size[cand] + 1 > max_size) continue;
-      if (part_weight[cand] + g.Degree(v) > target_weight) continue;
+      if (part_weight[cand] + g.Degree(v) > max_weight) continue;
       if (part_weight[cand] < best_weight) {
         best_weight = part_weight[cand];
         best = cand;
@@ -204,8 +205,8 @@ Result<Partition> StreamingPartition(const Graph& g, uint32_t num_parts,
 
   std::vector<uint32_t> part_size(num_parts, 0);
   std::vector<uint32_t> neigh_count(num_parts, 0);
-  const uint32_t hard_cap =
-      static_cast<uint32_t>(1.1 * n / num_parts) + 1;
+  const uint32_t hard_cap = static_cast<uint32_t>(
+      options.max_imbalance * n / num_parts) + 1;
   for (uint32_t v : order) {
     std::vector<uint32_t> touched;
     for (uint32_t u : g.Neighbors(v)) {

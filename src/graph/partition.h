@@ -52,6 +52,9 @@ Result<Partition> MetisLikePartition(const Graph& g, uint32_t num_parts,
 struct StreamingOptions {
   /// Balance exponent gamma (> 1); Fennel's default 1.5.
   double gamma = 1.5;
+  /// Hard cap on part size as a multiple of the ideal n/k (the Fennel
+  /// score only softly discourages imbalance, so a cap is still needed).
+  double max_imbalance = 1.1;
   uint64_t seed = 29;
 };
 Result<Partition> StreamingPartition(const Graph& g, uint32_t num_parts,

@@ -82,6 +82,27 @@ void CsrMatrix::SpMM(const Matrix& x, Matrix* y) const {
   });
 }
 
+void CsrMatrix::SpMMRows(const Matrix& x, const std::vector<uint32_t>& row_ids,
+                         Matrix* y) const {
+  ECG_CHECK(x.rows() == cols_) << "SpMMRows dim mismatch: csr cols " << cols_
+                               << " vs dense rows " << x.rows();
+  ECG_CHECK(y->rows() == rows_ && y->cols() == x.cols())
+      << "SpMMRows output must be pre-sized to " << rows_ << "x" << x.cols();
+  const size_t n = x.cols();
+  ThreadPool::Global().ParallelFor(
+      row_ids.size(), 64, [&](size_t begin, size_t end) {
+        for (size_t k = begin; k < end; ++k) {
+          const uint32_t r = row_ids[k];
+          float* yrow = y->Row(r);
+          for (uint64_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+            const float v = values_[i];
+            const float* xrow = x.Row(col_idx_[i]);
+            for (size_t j = 0; j < n; ++j) yrow[j] += v * xrow[j];
+          }
+        }
+      });
+}
+
 CsrMatrix CsrMatrix::Transposed() const {
   CsrMatrix t;
   t.rows_ = cols_;

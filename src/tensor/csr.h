@@ -35,6 +35,13 @@ class CsrMatrix {
   /// y = this * x (rows x x.cols()); threaded over rows.
   void SpMM(const Matrix& x, Matrix* y) const;
 
+  /// Computes only the listed rows of y = this * x, accumulating into the
+  /// already-sized y (the caller Resets once; other rows are untouched).
+  /// The inner loop matches SpMM exactly so a row computed here is bitwise
+  /// identical to the same row from a full SpMM.
+  void SpMMRows(const Matrix& x, const std::vector<uint32_t>& row_ids,
+                Matrix* y) const;
+
   /// Returns the transpose (cols x rows) with the same nnz.
   CsrMatrix Transposed() const;
 

@@ -47,6 +47,33 @@ void Gemm(const Matrix& a, const Matrix& b, Matrix* c) {
       });
 }
 
+void GemmRows(const Matrix& a, const Matrix& b,
+              const std::vector<uint32_t>& row_ids, Matrix* c) {
+  ECG_CHECK(a.cols() == b.rows()) << "GemmRows inner dim mismatch: "
+                                  << a.cols() << " vs " << b.rows();
+  ECG_CHECK(c->rows() == a.rows() && c->cols() == b.cols())
+      << "GemmRows output must be pre-sized to " << a.rows() << "x"
+      << b.cols();
+  const size_t n = b.cols();
+  const size_t k_dim = a.cols();
+  ThreadPool::Global().ParallelFor(
+      row_ids.size(), kRowGrain, [&](size_t begin, size_t end) {
+        for (size_t r = begin; r < end; ++r) {
+          const size_t i = row_ids[r];
+          const float* arow = a.Row(i);
+          float* crow = c->Row(i);
+          // Same ikj loop as Gemm: a row partition of calls is bitwise
+          // identical to the full product.
+          for (size_t k = 0; k < k_dim; ++k) {
+            const float av = arow[k];
+            if (av == 0.0f) continue;
+            const float* brow = b.Row(k);
+            for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+          }
+        }
+      });
+}
+
 void GemmTransposeA(const Matrix& a, const Matrix& b, Matrix* c) {
   ECG_CHECK(a.rows() == b.rows()) << "GemmTransposeA dim mismatch";
   // C (a.cols x b.cols) = sum over rows r of outer(a.Row(r), b.Row(r)).
@@ -75,6 +102,29 @@ void GemmTransposeB(const Matrix& a, const Matrix& b, Matrix* c) {
   ThreadPool::Global().ParallelFor(
       a.rows(), kRowGrain, [&](size_t begin, size_t end) {
         for (size_t i = begin; i < end; ++i) {
+          const float* arow = a.Row(i);
+          float* crow = c->Row(i);
+          for (size_t j = 0; j < b.rows(); ++j) {
+            const float* brow = b.Row(j);
+            float acc = 0.0f;
+            for (size_t k = 0; k < k_dim; ++k) acc += arow[k] * brow[k];
+            crow[j] = acc;
+          }
+        }
+      });
+}
+
+void GemmTransposeBRows(const Matrix& a, const Matrix& b,
+                        const std::vector<uint32_t>& row_ids, Matrix* c) {
+  ECG_CHECK(a.cols() == b.cols()) << "GemmTransposeBRows dim mismatch";
+  ECG_CHECK(c->rows() == a.rows() && c->cols() == b.rows())
+      << "GemmTransposeBRows output must be pre-sized to " << a.rows() << "x"
+      << b.rows();
+  const size_t k_dim = a.cols();
+  ThreadPool::Global().ParallelFor(
+      row_ids.size(), kRowGrain, [&](size_t begin, size_t end) {
+        for (size_t r = begin; r < end; ++r) {
+          const size_t i = row_ids[r];
           const float* arow = a.Row(i);
           float* crow = c->Row(i);
           for (size_t j = 0; j < b.rows(); ++j) {

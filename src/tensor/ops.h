@@ -15,11 +15,25 @@ namespace ecg::tensor {
 /// C = A * B. Threaded over rows of A via the global thread pool.
 void Gemm(const Matrix& a, const Matrix& b, Matrix* c);
 
+/// Rows `row_ids` of C = A * B; the other rows of C are untouched. C must
+/// be pre-sized (a.rows() x b.cols()) and the target rows zeroed (Reset).
+/// Per-row arithmetic matches Gemm exactly, so computing a partition of
+/// the rows in any number of calls is bitwise identical to one Gemm —
+/// overlapped schedules transform interior rows under an in-flight
+/// exchange and boundary rows after it.
+void GemmRows(const Matrix& a, const Matrix& b,
+              const std::vector<uint32_t>& row_ids, Matrix* c);
+
 /// C = A^T * B, where A is rows x cols and C is cols x b.cols().
 void GemmTransposeA(const Matrix& a, const Matrix& b, Matrix* c);
 
 /// C = A * B^T.
 void GemmTransposeB(const Matrix& a, const Matrix& b, Matrix* c);
+
+/// Rows `row_ids` of C = A * B^T; same contract as GemmRows (pre-sized C,
+/// row partition across calls ≡ one GemmTransposeB bit-for-bit).
+void GemmTransposeBRows(const Matrix& a, const Matrix& b,
+                        const std::vector<uint32_t>& row_ids, Matrix* c);
 
 /// Returns A^T as a new matrix.
 Matrix Transpose(const Matrix& a);

@@ -263,6 +263,51 @@ TEST(ChaosHubTest, StragglerDelaysEverySendOfTheSlowWorker) {
   EXPECT_DOUBLE_EQ(outcome.penalty_seconds, 0.0);
 }
 
+TEST(ChaosHubTest, ConcurrentPeerDelaysChargeMaxNotSum) {
+  // Two peers each delay their halo message to worker 0 by 50 ms. The
+  // fan-in waits on all peers concurrently (arrival-order TryRecvAny), so
+  // the wait costs ~50 ms of simulated time — summing the per-peer
+  // penalties to ~100 ms would model a receiver that waits for each peer
+  // one after another, which the split-phase receive explicitly avoids.
+  auto inj = FaultInjector::Parse("delay=1@secs=0.05:to=0");
+  ASSERT_TRUE(inj.ok());
+  ScopedFaultInjector scoped(&*inj);
+
+  // Triangle: 3 workers, one vertex each; worker 0 receives from both.
+  const std::vector<std::pair<uint32_t, uint32_t>> edges = {
+      {0, 1}, {1, 2}, {2, 0}};
+  tensor::Matrix features(3, 4);
+  auto g = graph::Graph::Build(3, edges, std::move(features), {0, 0, 0}, 1);
+  ASSERT_TRUE(g.ok());
+  graph::Partition part;
+  part.num_parts = 3;
+  part.owner = {0, 1, 2};
+  part.members = {{0}, {1}, {2}};
+  std::vector<core::WorkerPlan> plans;
+  ASSERT_TRUE(core::BuildWorkerPlans(*g, part, &plans).ok());
+
+  dist::SimulatedCluster cluster(3, dist::NetworkModel{});
+  cluster.hub().set_fault_injector(&*inj);
+  double comm[3] = {0.0, 0.0, 0.0};
+  auto status = cluster.Run([&](dist::WorkerContext* ctx) -> Status {
+    const core::WorkerPlan& plan = plans[ctx->worker_id()];
+    auto ex = core::MakeFpExchanger(core::FpMode::kExact, {}, 2, plan);
+    tensor::Matrix owned(plan.num_owned(), 4);
+    tensor::Matrix halo(plan.num_halo(), 4);
+    ECG_RETURN_IF_ERROR(ex->Exchange(ctx, plan, 1, 1, owned, &halo));
+    comm[ctx->worker_id()] = ctx->comm_seconds();
+    return Status::OK();
+  });
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_EQ(inj->counters().delayed.load(), 2u);
+  // The 50 ms delay is charged once (plus sub-millisecond wire time), not
+  // once per delayed peer.
+  EXPECT_GE(comm[0], 0.05);
+  EXPECT_LT(comm[0], 0.08);
+  EXPECT_LT(comm[1], 0.01);
+  EXPECT_LT(comm[2], 0.01);
+}
+
 TEST(ChaosHubTest, TimeoutWithoutSenderIsIoError) {
   auto inj = FaultInjector::Parse("timeout_ms=50,retries=0");
   ASSERT_TRUE(inj.ok());
@@ -348,10 +393,10 @@ TEST(MetricsBoardTest, RollbackForgetsEpochsAndRecomputesBest) {
   core::internal::MetricsBoard board;
   board.SetEpochBaseline(10.0, 1000);
   const uint64_t c1[3] = {8, 6, 5}, t1[3] = {10, 10, 10};
-  board.AddLocal(2.0, c1, t1);
+  board.AddLocal(0, 2.0, c1, t1);
   board.FinalizeEpoch(0, 11.0, 1500, 10, 0);
   const uint64_t c2[3] = {9, 9, 7}, t2[3] = {10, 10, 10};
-  board.AddLocal(1.0, c2, t2);
+  board.AddLocal(0, 1.0, c2, t2);
   board.FinalizeEpoch(1, 12.5, 2200, 10, 0);
   ASSERT_EQ(board.epochs.size(), 2u);
   EXPECT_DOUBLE_EQ(board.best_val, 0.9);
@@ -364,7 +409,7 @@ TEST(MetricsBoardTest, RollbackForgetsEpochsAndRecomputesBest) {
   // Baselines rewound to "end of kept epochs": the next finalize books
   // everything since epoch 0 ended.
   const uint64_t c3[3] = {10, 8, 8}, t3[3] = {10, 10, 10};
-  board.AddLocal(0.5, c3, t3);
+  board.AddLocal(0, 0.5, c3, t3);
   board.FinalizeEpoch(1, 20.0, 5000, 10, 0);
   ASSERT_EQ(board.epochs.size(), 2u);
   EXPECT_DOUBLE_EQ(board.epochs[1].sim_seconds, 9.0);   // 20 - 11

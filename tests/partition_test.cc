@@ -141,6 +141,67 @@ TEST(PartitionTest, StreamingDeterministicAndValidated) {
             StatusCode::kInvalidArgument);
 }
 
+/// Regression: Phase 1b used to drain overweight parts against
+/// `target_weight` while the overweight trigger and Phase 2 both used
+/// `max_weight` — the drain rejected almost every candidate part (any part
+/// near the ideal weight already exceeded target), so on degree-skewed
+/// graphs the heaviest part kept its whole degree surplus. Rebalancing
+/// must bring every part's degree weight under the advertised cap.
+TEST(PartitionTest, MetisRebalanceBoundsPartDegreeWeight) {
+  SbmConfig c;
+  c.num_vertices = 1200;
+  c.num_classes = 6;
+  c.avg_degree = 10.0;
+  c.feature_dim = 4;
+  c.homophily = 0.95;
+  c.degree_skew = 0.8;  // heavy-tailed degrees concentrate weight
+  c.seed = 21;
+  const Graph g = *GenerateSbm(c);
+
+  for (uint32_t parts : {2u, 4u, 8u}) {
+    MetisLikeOptions opt;
+    auto p = MetisLikePartition(g, parts, opt);
+    ASSERT_TRUE(p.ok()) << "parts=" << parts;
+    CheckIsPartition(*p, g.num_vertices());
+    const double max_weight =
+        static_cast<double>(g.num_edges()) / parts * opt.max_imbalance;
+    std::vector<double> part_weight(parts, 0.0);
+    for (uint32_t v = 0; v < g.num_vertices(); ++v) {
+      part_weight[p->owner[v]] += g.Degree(v);
+    }
+    for (uint32_t part = 0; part < parts; ++part) {
+      EXPECT_LE(part_weight[part], max_weight)
+          << "parts=" << parts << " part=" << part;
+    }
+  }
+}
+
+/// StreamingOptions::max_imbalance must drive the hard cap (it was a
+/// hard-coded 1.1 before): a tight cap yields a tight balance factor, and
+/// MetisLike's Phase-1 seed inherits the caller's cap.
+TEST(PartitionTest, StreamingHonorsMaxImbalanceOption) {
+  const Graph g = ClusteredGraph();
+  const uint32_t parts = 4;
+  StreamingOptions tight;
+  tight.max_imbalance = 1.02;
+  auto p = StreamingPartition(g, parts, tight);
+  ASSERT_TRUE(p.ok());
+  CheckIsPartition(*p, g.num_vertices());
+  const size_t cap = static_cast<size_t>(
+      tight.max_imbalance * g.num_vertices() / parts) + 1;
+  for (const auto& members : p->members) {
+    EXPECT_LE(members.size(), cap);
+  }
+
+  // A looser cap must actually loosen the constraint (the option is live,
+  // not decorative): the partitions differ once the cap differs.
+  StreamingOptions loose = tight;
+  loose.max_imbalance = 1.5;
+  auto q = StreamingPartition(g, parts, loose);
+  ASSERT_TRUE(q.ok());
+  EXPECT_NE(p->owner, q->owner);
+}
+
 TEST(PartitionTest, MetisDeterministicGivenSeed) {
   const Graph g = ClusteredGraph();
   MetisLikeOptions opt;

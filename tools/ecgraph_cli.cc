@@ -10,7 +10,7 @@
 //       Distributed training. Keys: workers, epochs, layers, hidden,
 //       model(gcn|sage), fp(exact|cp|reqec|delayed), bp(exact|cp|resec),
 //       fp_bits, bp_bits, adapt(0|1), partitioner(hash|metis|streaming),
-//       patience, lr, checkpoint_every, checkpoint_dir.
+//       patience, lr, overlap(on|off), checkpoint_every, checkpoint_dir.
 //
 // Exit code 0 on success; errors print the Status and exit 1.
 
@@ -158,6 +158,11 @@ int CmdTrain(const std::string& name,
   opt.exchange.fp_bits = std::atoi(Get(kv, "fp_bits", "2").c_str());
   opt.exchange.bp_bits = std::atoi(Get(kv, "bp_bits", "2").c_str());
   opt.exchange.adaptive_bits = Get(kv, "adapt", "0") == "1";
+  const std::string overlap = Get(kv, "overlap", "on");
+  if (overlap == "on") opt.overlap = true;
+  else if (overlap == "off") opt.overlap = false;
+  else return Fail(Status::InvalidArgument("bad overlap value " + overlap +
+                                           " (on|off)"));
   opt.log_every =
       static_cast<uint32_t>(std::atoi(Get(kv, "log_every", "10").c_str()));
   opt.checkpoint_every = static_cast<uint32_t>(
@@ -218,6 +223,14 @@ void Usage() {
                "  partition <dataset|file.ecg> <workers> "
                "[hash|metis|streaming]\n"
                "  train <dataset|file.ecg> [key=value ...]\n"
+               "\n"
+               "train scheduling:\n"
+               "  overlap=on|off      split-phase halo exchange overlapped "
+               "with interior\n"
+               "                      aggregation (default on; results are "
+               "bitwise identical,\n"
+               "                      off restores the sequential "
+               "schedule)\n"
                "\n"
                "train keys for fault tolerance:\n"
                "  checkpoint_every=N  epoch checkpoint cadence (0 = auto: "
