@@ -20,12 +20,15 @@
 #include <utility>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "common/bitpack.h"
 #include "common/bytes.h"
+#include "common/kernels.h"
 #include "common/logging.h"
 #include "common/trace.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
+#include "compress/int8_gemm.h"
 #include "compress/quantize.h"
 #include "core/trainer.h"
 #include "dist/comm.h"
@@ -279,7 +282,8 @@ int RunCompressComparison(const std::string& json_path) {
     std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
     return 1;
   }
-  out << "{\n  \"matrix\": {\"rows\": " << kRows << ", \"cols\": " << kCols
+  out << "{\n  \"stamp\": " << ecg::bench::BenchStampJson()
+      << ",\n  \"matrix\": {\"rows\": " << kRows << ", \"cols\": " << kCols
       << "},\n  \"threads\": " << threads << ",\n  \"reps\": " << kReps
       << ",\n  \"configs\": [";
 
@@ -320,7 +324,101 @@ int RunCompressComparison(const std::string& json_path) {
         bits, seed_ms, fused1_ms, seed_ms / fused1_ms, threads, fusedn_ms,
         seed_ms / fusedn_ms);
   }
-  out << "\n  ]\n}\n";
+  out << "\n  ],";
+
+  // Kernel-registry section: the runtime-dispatched variant vs the forced
+  // scalar reference on the same fused round trip (the dispatch gain the
+  // per-arch TUs buy over the portable build), plus the fused int8
+  // packed-domain GEMM against its dequantize-then-float-GEMM equivalent.
+  out << "\n  \"registry\": {\n    \"auto_variant\": \""
+      << ecg::kern::ActiveName() << "\",\n    \"variants\": [";
+  {
+    bool vfirst = true;
+    for (const ecg::kern::Kernels* v : ecg::kern::AvailableVariants()) {
+      out << (vfirst ? "" : ", ") << "\"" << v->name << "\"";
+      vfirst = false;
+    }
+  }
+  out << "],\n    \"roundtrips\": [";
+  bool rt_first = true;
+  for (int bits : {2, 8}) {
+    QuantizerOptions opts{bits, BucketValueMode::kMidpoint};
+    ecg::ThreadPool::SetSerialMode(true);
+    const double auto_ms = BestOfMs(kReps, [&] {
+      auto d = ecg::compress::Dequantize(*ecg::compress::Quantize(m, opts));
+      benchmark::DoNotOptimize(d->data());
+    });
+    ECG_CHECK(ecg::kern::ForceVariant("scalar"));
+    const double scalar_ms = BestOfMs(kReps, [&] {
+      auto d = ecg::compress::Dequantize(*ecg::compress::Quantize(m, opts));
+      benchmark::DoNotOptimize(d->data());
+    });
+    ECG_CHECK(ecg::kern::ForceVariant("auto"));
+    ecg::ThreadPool::SetSerialMode(false);
+    out << (rt_first ? "" : ",") << "\n      {\"bits\": " << bits
+        << ", \"auto_1thread_roundtrip_ms\": " << auto_ms
+        << ", \"scalar_1thread_roundtrip_ms\": " << scalar_ms
+        << ", \"speedup_auto_vs_scalar\": " << scalar_ms / auto_ms << "}";
+    rt_first = false;
+    std::printf("registry bits=%d  %s %.3f ms | scalar %.3f ms (%.2fx)\n",
+                bits, ecg::kern::ActiveName(), auto_ms, scalar_ms,
+                scalar_ms / auto_ms);
+  }
+  out << "\n    ],";
+
+  // Int8 packed-domain GEMM gate: boundary-row transform at B=8 — the
+  // fused DequantGemmRows consuming the packed payload vs DequantizeInto
+  // followed by float GemmRows. Min-of-3 on the full pool, budget >= 1.5x.
+  {
+    constexpr size_t kN = 256;
+    constexpr int kGemmReps = 3;
+    const Matrix w = RandomMatrix(kCols, kN, 13);
+    std::vector<uint32_t> rows(kRows);
+    for (size_t i = 0; i < kRows; ++i) rows[i] = static_cast<uint32_t>(i);
+    auto q8 = ecg::compress::QuantizeRows(
+        m, rows, QuantizerOptions{8, BucketValueMode::kMidpoint});
+    q8.status().CheckOk();
+    const ecg::compress::Int8Panel panel = ecg::compress::PackWeightPanel(w);
+    Matrix scratch(kRows, kCols);
+    Matrix c_ref(kRows, kN), c_fused(kRows, kN);
+
+    ecg::compress::DequantizeInto(*q8, rows, &scratch).CheckOk();  // warm
+    ecg::tensor::GemmRows(scratch, w, rows, &c_ref);
+    ecg::compress::DequantGemmRows(*q8, panel, rows, &c_fused).CheckOk();
+    double max_abs_err = 0.0;
+    for (size_t i = 0; i < c_ref.size(); ++i) {
+      max_abs_err = std::max(
+          max_abs_err, std::fabs(static_cast<double>(c_ref.data()[i]) -
+                                 c_fused.data()[i]));
+    }
+
+    const double ref_ms = BestOfMs(kGemmReps, [&] {
+      c_ref.Reset(kRows, kN);
+      ecg::compress::DequantizeInto(*q8, rows, &scratch).CheckOk();
+      ecg::tensor::GemmRows(scratch, w, rows, &c_ref);
+      benchmark::DoNotOptimize(c_ref.data());
+    });
+    const double fused_ms = BestOfMs(kGemmReps, [&] {
+      c_fused.Reset(kRows, kN);
+      ecg::compress::DequantGemmRows(*q8, panel, rows, &c_fused).CheckOk();
+      benchmark::DoNotOptimize(c_fused.data());
+    });
+    const double speedup = ref_ms / fused_ms;
+    const bool int8_pass = speedup >= 1.5;
+    out << "\n    \"int8_gemm\": {\"rows\": " << kRows << ", \"k\": " << kCols
+        << ", \"n\": " << kN << ", \"bits\": 8, \"reps\": " << kGemmReps
+        << ",\n      \"dequant_then_float_gemm_ms\": " << ref_ms
+        << ",\n      \"fused_dequant_gemm_ms\": " << fused_ms
+        << ",\n      \"speedup\": " << speedup
+        << ",\n      \"max_abs_error\": " << max_abs_err
+        << ",\n      \"budget_speedup\": 1.5,\n      \"pass\": "
+        << (int8_pass ? "true" : "false") << "}\n  }\n}\n";
+    std::printf(
+        "int8 gemm B=8 %zux%zux%zu: dequant+gemm %.3f ms | fused %.3f ms "
+        "(%.2fx, max err %.2e) -> %s\n",
+        kRows, kCols, kN, ref_ms, fused_ms, speedup, max_abs_err,
+        int8_pass ? "PASS (>=1.5x)" : "FAIL (<1.5x)");
+  }
   return 0;
 }
 
@@ -386,7 +484,8 @@ int RunTraceOverhead(const std::string& json_path) {
     std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
     return 1;
   }
-  out << "{\n  \"matrix\": {\"rows\": " << kRows << ", \"cols\": " << kCols
+  out << "{\n  \"stamp\": " << ecg::bench::BenchStampJson()
+      << ",\n  \"matrix\": {\"rows\": " << kRows << ", \"cols\": " << kCols
       << "},\n  \"bits\": " << kBits << ",\n  \"reps\": " << kReps
       << ",\n  \"bare_roundtrip_ms\": " << bare_ms
       << ",\n  \"traced_disabled_roundtrip_ms\": " << disabled_ms
@@ -529,7 +628,8 @@ int RunFaultOverhead(const std::string& json_path) {
     std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
     return 1;
   }
-  out << "{\n  \"reps\": " << kReps << ",\n  \"rows\": [";
+  out << "{\n  \"stamp\": " << ecg::bench::BenchStampJson()
+      << ",\n  \"reps\": " << kReps << ",\n  \"rows\": [";
   bool first = true;
   for (const FaultOverheadRow* r : {&small, &real}) {
     out << (first ? "" : ",") << "\n    {\"payload_bytes\": "
@@ -657,7 +757,8 @@ int RunOverlapBench(const std::string& json_path) {
     std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
     return 1;
   }
-  out << "{\n  \"rows\": [";
+  out << "{\n  \"stamp\": " << ecg::bench::BenchStampJson()
+      << ",\n  \"rows\": [";
   bool first = true;
   for (const OverlapRow* r : {&w4, &w8}) {
     out << (first ? "" : ",") << "\n    {\"workers\": " << r->workers
@@ -685,6 +786,30 @@ int main(int argc, char** argv) {
   ecg::obs::InitObservabilityFromArgs(&argc, argv);
   for (int i = 1; i < argc; ++i) {
     const std::string arg(argv[i]);
+    if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "bench_microkernels [mode] [google-benchmark args]\n"
+          "modes (each writes a BENCH_*.json stamped with commit/kernel "
+          "variant/threads):\n"
+          "  --compress_json[=PATH]   fused codec vs seed pipeline; also "
+          "the kernel-registry\n"
+          "                           auto-vs-scalar round trips and the "
+          "fused int8 GEMM gate\n"
+          "                           (the trainers' --int8_gemm path, "
+          "budget >= 1.5x)\n"
+          "  --trace_overhead[=PATH]  observability hook cost (budget < "
+          "2%%)\n"
+          "  --fault_overhead[=PATH]  fault-injection hook cost (budget < "
+          "1%%)\n"
+          "  --overlap[=PATH]         overlapped vs sequential makespan "
+          "(budget >= 10%%)\n"
+          "kernel dispatch:\n"
+          "  --kernels=NAME           force a registry variant: "
+          "scalar|avx2|avx512|neon|auto\n"
+          "  ECG_KERNELS=NAME         environment equivalent (flag wins)\n"
+          "Without a mode, runs the google-benchmark micro-kernel suite.\n");
+      return 0;
+    }
     if (arg.rfind("--compress_json", 0) == 0) {
       std::string path = "BENCH_compress.json";
       const auto eq = arg.find('=');

@@ -50,6 +50,14 @@ uint32_t ScaledEpochs(uint32_t epochs);
 /// and a stats JSONL of its runs. Telemetry is flushed at process exit.
 void InitBench(int* argc, char** argv);
 
+/// One-line JSON object identifying the run environment, embedded as the
+/// "stamp" key of every BENCH_*.json a bench binary writes:
+///   {"commit": "<git short hash or unknown>",
+///    "kernels": "<dispatch-selected kern variant>", "threads": N}
+/// Call it at JSON-emission time so a --kernels/ECG_KERNELS override is
+/// reflected.
+std::string BenchStampJson();
+
 /// Loads a dataset replica, caching across calls within the process.
 const graph::Graph& LoadGraphCached(const std::string& name);
 

@@ -1,7 +1,8 @@
 #include "common/bitpack.h"
 
-#include <algorithm>
 #include <string>
+
+#include "common/kernels.h"
 
 namespace ecg {
 
@@ -20,26 +21,20 @@ Status PackBits(const std::vector<uint32_t>& values, int bits,
     return Status::InvalidArgument("unsupported bit width " +
                                    std::to_string(bits));
   }
+  // Range-check up front so the packing kernel can assume clean inputs;
+  // a separate pass over the values is branch-predictable and cheaper
+  // than a conditional inside the pack loop.
   const uint32_t max_value = (1u << bits) - 1;
-  const size_t per_word = 32 / static_cast<size_t>(bits);
-  out->assign(PackedWordCount(values.size(), bits), 0u);
-  // Every supported width divides 32, so each output word closes over
-  // exactly per_word inputs; the word index and shift stay in registers
-  // instead of costing a div/mod per element.
-  size_t i = 0;
-  for (size_t w = 0; w < out->size(); ++w) {
-    const size_t n = std::min(per_word, values.size() - i);
-    uint32_t word = 0;
-    for (size_t j = 0; j < n; ++j, ++i) {
-      if (values[i] > max_value) {
-        return Status::OutOfRange("value " + std::to_string(values[i]) +
-                                  " does not fit in " + std::to_string(bits) +
-                                  " bits");
-      }
-      word |= values[i] << (j * static_cast<size_t>(bits));
+  for (uint32_t v : values) {
+    if (v > max_value) {
+      return Status::OutOfRange("value " + std::to_string(v) +
+                                " does not fit in " + std::to_string(bits) +
+                                " bits");
     }
-    (*out)[w] = word;
   }
+  out->assign(PackedWordCount(values.size(), bits), 0u);
+  kern::Active().bitpack_pack(values.data(), values.size(), bits,
+                              out->data());
   return Status::OK();
 }
 
@@ -52,18 +47,8 @@ Status UnpackBits(const std::vector<uint32_t>& packed, size_t count, int bits,
   if (packed.size() < PackedWordCount(count, bits)) {
     return Status::InvalidArgument("packed buffer too small for count");
   }
-  const uint32_t mask = (1u << bits) - 1;
-  const size_t per_word = 32 / static_cast<size_t>(bits);
   out->resize(count);
-  size_t i = 0;
-  for (size_t w = 0; i < count; ++w) {
-    uint32_t word = packed[w];
-    const size_t n = std::min(per_word, count - i);
-    for (size_t j = 0; j < n; ++j, ++i) {
-      (*out)[i] = word & mask;
-      word >>= bits;
-    }
-  }
+  kern::Active().bitpack_unpack(packed.data(), count, bits, out->data());
   return Status::OK();
 }
 

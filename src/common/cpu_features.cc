@@ -1,0 +1,39 @@
+#include "common/cpu_features.h"
+
+#if defined(__aarch64__) && defined(__linux__)
+#include <sys/auxv.h>
+#ifndef HWCAP_ASIMD
+#define HWCAP_ASIMD (1 << 1)
+#endif
+#endif
+
+namespace ecg::kern {
+namespace {
+
+CpuFeatures Probe() {
+  CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_cpu_init();
+  f.avx2 = __builtin_cpu_supports("avx2");
+  f.avx512 = __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512bw") &&
+             __builtin_cpu_supports("avx512vl");
+#elif defined(__aarch64__)
+#if defined(__linux__)
+  f.neon = (getauxval(AT_HWCAP) & HWCAP_ASIMD) != 0;
+#else
+  // AdvSIMD is architecturally mandatory on AArch64.
+  f.neon = true;
+#endif
+#endif
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& DetectCpuFeatures() {
+  static const CpuFeatures features = Probe();
+  return features;
+}
+
+}  // namespace ecg::kern

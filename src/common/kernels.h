@@ -1,0 +1,99 @@
+#ifndef ECGRAPH_COMMON_KERNELS_H_
+#define ECGRAPH_COMMON_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ecg::kern {
+
+/// Runtime-dispatched kernel registry. Every hot inner loop of the
+/// compression pipeline (quantize pack, dequantize unpack, min/max
+/// reduction, bit packing) and the int8 packed-domain GEMM goes through
+/// one of the function pointers below. The same implementation source
+/// (kernels_impl.inc) is compiled once per architecture variant — scalar,
+/// AVX2, AVX-512, NEON — each in its own translation unit with per-file
+/// arch flags, and the table matching the host CPU (or the ECG_KERNELS
+/// override) is selected at first use.
+///
+/// Bit-exactness contract: for identical inputs, every variant of every
+/// kernel in this table produces byte-identical outputs to the scalar
+/// variant. This holds structurally: the float kernels are element-wise
+/// (no reductions that could reassociate) and all variant TUs compile
+/// with -ffp-contract=off, so wider SIMD only changes instruction
+/// selection, never arithmetic; the integer kernels (bitpack, int8 GEMM
+/// accumulation) are exact in any evaluation order. The intrinsic paths
+/// that diverge from the portable source (the int8 dot product) are
+/// integer-only. tests/kern_test.cc enforces the contract across every
+/// registered variant.
+struct Kernels {
+  /// Registry name: "scalar", "avx2", "avx512" or "neon".
+  const char* name;
+
+  /// Quantize hot loop for a contiguous buffer: clamps each element of
+  /// data[word_begin*per_word, ...) to a bucket id in [0, 2^bits) via
+  /// rel = (v - mn) * inv_width (min-then-max clamp order: NaN maps to
+  /// the top bucket) and packs the ids little-endian into
+  /// packed[word_begin, word_end). bits in {1, 2, 4, 8, 16}.
+  void (*pack_flat)(int bits, const float* data, size_t count,
+                    size_t word_begin, size_t word_end, float mn,
+                    float inv_width, uint32_t* packed);
+
+  /// Dequantize hot loop: decodes the ids backing
+  /// packed[word_begin, word_end) through the 2^bits-entry table into
+  /// data (flat indexing). bits in {1, 2, 4, 8, 16}.
+  void (*unpack_flat)(int bits, const uint32_t* packed, size_t count,
+                      size_t word_begin, size_t word_end, const float* table,
+                      float* data);
+
+  /// Serial min/max over data[0, count); count must be > 0. NaNs lose
+  /// every comparison (same contract as the quantizer's reduction; the
+  /// finite-ness check downstream is on the bounds).
+  void (*minmax)(const float* data, size_t count, float* mn, float* mx);
+
+  /// Bitpack word loop: packs values[0, count) (each < 2^bits,
+  /// caller-validated) little-endian into out words. bits in
+  /// {1, 2, 4, 8, 16}.
+  void (*bitpack_pack)(const uint32_t* values, size_t count, int bits,
+                       uint32_t* out);
+
+  /// Bitpack decode loop: unpacks count ids from packed into out.
+  void (*bitpack_unpack)(const uint32_t* packed, size_t count, int bits,
+                         uint32_t* out);
+
+  /// Int8 GEMM inner loop: acc[j] += sum_k a[k] * wt[j*wt_stride + k]
+  /// for j in [0, n). Products and sums are exact in int32 (|a*b| <=
+  /// 128*127, so k up to ~130k cannot overflow), hence bit-identical
+  /// across variants regardless of accumulation order.
+  void (*gemm_s8_row)(const int8_t* a, const int8_t* wt, size_t k, size_t n,
+                      size_t wt_stride, int32_t* acc);
+
+  /// Decodes count packed bucket ids (bits <= 8) into centered int8:
+  /// out[i] = id[i] - 128 (mod 256, i.e. id XOR 0x80).
+  void (*unpack_ids_s8)(int bits, const uint32_t* packed, size_t count,
+                        int8_t* out);
+};
+
+/// The table the runtime dispatch (or a force) selected. First call
+/// resolves the ECG_KERNELS environment override ("scalar" | "avx2" |
+/// "avx512" | "neon" | "auto"); unknown or unsupported values log a
+/// warning and fall back to auto. Thread-safe.
+const Kernels& Active();
+
+/// Name of the active table (for telemetry / bench stamps).
+const char* ActiveName();
+
+/// Variants compiled into this binary AND supported by the host CPU, in
+/// dispatch preference order (widest first, scalar last).
+std::vector<const Kernels*> AvailableVariants();
+
+/// Forces the active table by name for the rest of the process (the
+/// --kernels= flag and the property tests). "auto" or "" clears the
+/// force. Returns false (and leaves the selection unchanged) if the name
+/// is unknown, not compiled in, or unsupported on this host.
+bool ForceVariant(const std::string& name);
+
+}  // namespace ecg::kern
+
+#endif  // ECGRAPH_COMMON_KERNELS_H_

@@ -1,0 +1,7 @@
+// AVX-512 variant: compiled with -mavx512f -mavx512bw -mavx512vl, the
+// subset runtime dispatch checks for (cpu_features.h).
+#define ECG_KERN_NS kern_avx512
+#define ECG_KERN_VARIANT_NAME "avx512"
+#define ECG_KERN_GETTER GetKernels_avx512
+#define ECG_KERN_ALLOW_SIMD 1
+#include "common/kernels_impl.inc"

@@ -1,0 +1,8 @@
+// NEON variant (AArch64): AdvSIMD is baseline on aarch64, so no extra
+// arch flags are needed — this TU exists so ECG_KERNELS=neon names a
+// distinct table and future NEON intrinsic paths have a home.
+#define ECG_KERN_NS kern_neon
+#define ECG_KERN_VARIANT_NAME "neon"
+#define ECG_KERN_GETTER GetKernels_neon
+#define ECG_KERN_ALLOW_SIMD 1
+#include "common/kernels_impl.inc"

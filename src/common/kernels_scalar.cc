@@ -1,0 +1,6 @@
+// Portable reference variant: no arch flags, no intrinsics. Every other
+// variant must produce byte-identical outputs to this TU (kernels.h).
+#define ECG_KERN_NS kern_scalar
+#define ECG_KERN_VARIANT_NAME "scalar"
+#define ECG_KERN_GETTER GetKernels_scalar
+#include "common/kernels_impl.inc"

@@ -8,6 +8,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "common/kernels.h"
 #include "common/logging.h"
 #include "common/stats.h"
 
@@ -241,7 +242,7 @@ void FlushAtExit() { (void)FlushObservability(); }
 }  // namespace
 
 int InitObservabilityFromArgs(int* argc, char** argv) {
-  std::string trace_out, stats_out, trace_level, log_level;
+  std::string trace_out, stats_out, trace_level, log_level, kernels;
   if (const char* env = std::getenv("ECG_TRACE_OUT")) trace_out = env;
   if (const char* env = std::getenv("ECG_STATS_OUT")) stats_out = env;
   if (const char* env = std::getenv("ECG_TRACE_LEVEL")) trace_level = env;
@@ -253,7 +254,8 @@ int InitObservabilityFromArgs(int* argc, char** argv) {
     if (ConsumeFlag(argv[i], "--trace_out", &trace_out) ||
         ConsumeFlag(argv[i], "--stats_out", &stats_out) ||
         ConsumeFlag(argv[i], "--trace_level", &trace_level) ||
-        ConsumeFlag(argv[i], "--log_level", &log_level)) {
+        ConsumeFlag(argv[i], "--log_level", &log_level) ||
+        ConsumeFlag(argv[i], "--kernels", &kernels)) {
       ++consumed;
     } else {
       argv[kept++] = argv[i];
@@ -261,6 +263,14 @@ int InitObservabilityFromArgs(int* argc, char** argv) {
   }
   if (kept < *argc) argv[kept] = nullptr;
   *argc = kept;
+
+  // --kernels overrides the ECG_KERNELS environment variable (which the
+  // registry resolves itself on first dispatch).
+  if (!kernels.empty() && !kern::ForceVariant(kernels)) {
+    ECG_LOG(Warning) << "--kernels='" << kernels
+                     << "' is unknown or unsupported on this CPU; using "
+                        "auto dispatch (scalar|avx2|avx512|neon|auto)";
+  }
 
   if (!log_level.empty()) {
     if (log_level == "debug") {

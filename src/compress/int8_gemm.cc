@@ -1,0 +1,136 @@
+#include "compress/int8_gemm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/kernels.h"
+#include "common/thread_pool.h"
+
+namespace ecg::compress {
+
+namespace {
+
+/// Minimum rows per parallel chunk of the fused kernel (matches the
+/// quantizer's row-wise grain).
+constexpr size_t kRowGrain = 16;
+
+}  // namespace
+
+Int8Panel PackWeightPanel(const tensor::Matrix& w) {
+  Int8Panel p;
+  p.k = w.rows();
+  p.n = w.cols();
+  p.k_padded = (p.k + 63) & ~static_cast<size_t>(63);
+  p.wq.assign(p.n * p.k_padded, 0);
+  p.scale.assign(p.n, 0.0f);
+  p.colsum.assign(p.n, 0.0f);
+  if (p.k == 0 || p.n == 0) return p;
+
+  // Column max-abs and sums in one row-major pass (double accumulation so
+  // colsum — the exact term of the decomposition — carries no float
+  // cancellation of its own).
+  std::vector<float> max_abs(p.n, 0.0f);
+  std::vector<double> sums(p.n, 0.0);
+  for (size_t kk = 0; kk < p.k; ++kk) {
+    const float* row = w.Row(kk);
+    for (size_t j = 0; j < p.n; ++j) {
+      const float av = std::fabs(row[j]);
+      if (av > max_abs[j]) max_abs[j] = av;
+      sums[j] += static_cast<double>(row[j]);
+    }
+  }
+  for (size_t j = 0; j < p.n; ++j) {
+    p.scale[j] = max_abs[j] / 127.0f;
+    p.colsum[j] = static_cast<float>(sums[j]);
+  }
+
+  // Second pass: round-to-nearest symmetric quantization into the
+  // transposed, zero-padded panel.
+  for (size_t kk = 0; kk < p.k; ++kk) {
+    const float* row = w.Row(kk);
+    for (size_t j = 0; j < p.n; ++j) {
+      if (p.scale[j] == 0.0f) continue;
+      const long q = std::lround(row[j] / p.scale[j]);
+      p.wq[j * p.k_padded + kk] = static_cast<int8_t>(
+          std::clamp<long>(q, -127, 127));
+    }
+  }
+  return p;
+}
+
+bool Int8GemmSupported(const QuantizedMatrix& q) {
+  return q.implicit_midpoints && q.bits >= 1 && q.bits <= 8 &&
+         (static_cast<size_t>(q.cols) * q.bits) % 32 == 0;
+}
+
+Status DequantGemmRows(const QuantizedMatrix& q, const Int8Panel& panel,
+                       const std::vector<uint32_t>& rows, tensor::Matrix* c) {
+  if (!Int8GemmSupported(q)) {
+    return Status::InvalidArgument(
+        "DequantGemmRows needs implicit midpoints, bits <= 8 and "
+        "word-aligned rows");
+  }
+  if (rows.size() != q.rows || q.cols != panel.k || c->cols() != panel.n) {
+    return Status::InvalidArgument("DequantGemmRows shape mismatch");
+  }
+  for (uint32_t r : rows) {
+    if (r >= c->rows()) {
+      return Status::OutOfRange("DequantGemmRows target row " +
+                                std::to_string(r) + " out of range");
+    }
+  }
+  if (rows.empty()) return Status::OK();
+
+  const size_t cols = q.cols;
+  const size_t n = panel.n;
+  const size_t row_words = cols * static_cast<size_t>(q.bits) / 32;
+  const float width = q.bucket_width;
+  const float c_mid = q.min_value + width * 0.5f;
+  // beta_j folds the centering offset and the affine part of the dequant
+  // into one per-column constant: (128*width + c) * colsum_j.
+  std::vector<float> beta(n);
+  std::vector<float> gamma(n);  // width * sw_j
+  for (size_t j = 0; j < n; ++j) {
+    beta[j] = (128.0f * width + c_mid) * panel.colsum[j];
+    gamma[j] = width * panel.scale[j];
+  }
+
+  const kern::Kernels& k = kern::Active();
+  const uint32_t* packed = q.packed_ids.data();
+  const int8_t* wq = panel.wq.data();
+  const size_t k_padded = panel.k_padded;
+  ThreadPool::Global().ParallelFor(
+      rows.size(), kRowGrain, [&](size_t begin, size_t end) {
+        // Per-chunk scratch: centered int8 activations (zero-padded to
+        // k_padded; the padded weight region is zero too, so the pad
+        // contributes nothing) and the exact int32 accumulators.
+        std::vector<int8_t> a(k_padded, 0);
+        std::vector<int32_t> acc(n);
+        for (size_t i = begin; i < end; ++i) {
+          k.unpack_ids_s8(q.bits, packed + i * row_words, cols, a.data());
+          std::fill(acc.begin(), acc.end(), 0);
+          k.gemm_s8_row(a.data(), wq, k_padded, n, k_padded, acc.data());
+          float* out = c->Row(rows[i]);
+          for (size_t j = 0; j < n; ++j) {
+            out[j] += gamma[j] * static_cast<float>(acc[j]) + beta[j];
+          }
+        }
+      });
+  return Status::OK();
+}
+
+bool Int8GemmRows(const tensor::Matrix& a, const tensor::Matrix& w,
+                  const std::vector<uint32_t>& rows, tensor::Matrix* c) {
+  if (rows.empty()) return true;
+  if ((a.cols() * 8) % 32 != 0) return false;
+  QuantizerOptions opt;
+  opt.bits = 8;
+  opt.value_mode = BucketValueMode::kMidpoint;
+  Result<QuantizedMatrix> q = QuantizeRows(a, rows, opt);
+  if (!q.ok()) return false;
+  const Int8Panel panel = PackWeightPanel(w);
+  return DequantGemmRows(*q, panel, rows, c).ok();
+}
+
+}  // namespace ecg::compress

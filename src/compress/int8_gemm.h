@@ -1,0 +1,76 @@
+#ifndef ECGRAPH_COMPRESS_INT8_GEMM_H_
+#define ECGRAPH_COMPRESS_INT8_GEMM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "compress/quantize.h"
+#include "tensor/matrix.h"
+
+namespace ecg::compress {
+
+/// Packed-domain GEMM for quantized activations: computes rows of
+/// Dequant(Q) * W straight from the packed bucket ids, skipping the float
+/// materialization of the quantized operand.
+///
+/// Math. With implicit midpoints, element k of a quantized row decodes to
+///   v_k = width * id_k + c,  c = min + width / 2.
+/// Centering a_k = id_k - 128 (id XOR 0x80, exact) gives
+///   out_j = sum_k v_k * w_kj
+///         = width * sum_k a_k * w_kj + (128 * width + c) * colsum_j.
+/// The weight column is quantized symmetrically (w_kj ~ sw_j * wq_kj with
+/// |wq| <= 127), so the dot product runs entirely in int8 with an exact
+/// int32 accumulator:
+///   out_j ~ width * sw_j * S_j + beta_j,
+///   S_j = sum_k a_k * wq_kj (int32, exact),  beta_j = (128*width + c) * colsum_j.
+/// colsum_j = sum_k w_kj is computed from the *unquantized* weights, so the
+/// only approximation is the weight quantization — the activation side is
+/// exact. At B=8 the end-to-end activation->output path therefore matches
+/// the dequantize-then-float-GEMM reference to ~1e-2 relative error on
+/// trained GCN weights (the kern ctest label bounds the effect on
+/// convergence).
+struct Int8Panel {
+  size_t k = 0;         ///< Inner dimension (weight rows).
+  size_t n = 0;         ///< Output dimension (weight cols).
+  size_t k_padded = 0;  ///< k rounded up to 64 so SIMD loops have no tail.
+  /// Quantized weights, transposed: column j of W is wq[j*k_padded ..],
+  /// zero-padded to k_padded.
+  std::vector<int8_t> wq;
+  /// Per-column symmetric scale sw_j = max_k |w_kj| / 127 (0 for an
+  /// all-zero column).
+  std::vector<float> scale;
+  /// Exact per-column sums of the unquantized weights.
+  std::vector<float> colsum;
+};
+
+/// Quantizes `w` (k x n) into the transposed int8 panel layout the fused
+/// kernel consumes. O(k*n); amortized against the O(rows*k*n) GEMM.
+Int8Panel PackWeightPanel(const tensor::Matrix& w);
+
+/// True when DequantGemmRows can consume this payload: implicit midpoints,
+/// bits <= 8, and word-aligned rows ((cols * bits) % 32 == 0) so each row's
+/// packed ids start on a word boundary.
+bool Int8GemmSupported(const QuantizedMatrix& q);
+
+/// Fused dequantize + GEMM: c->Row(rows[i]) += Dequant(q row i) * W for
+/// every i, consuming the packed bucket ids directly. Same target-row
+/// contract as tensor::GemmRows: c pre-sized with the target rows zeroed by
+/// the caller, rows.size() == q.rows. Requires Int8GemmSupported(q),
+/// q.cols == panel.k and c->cols() == panel.n. The int8 inner loop is
+/// dispatched through the ecg::kern registry.
+Status DequantGemmRows(const QuantizedMatrix& q, const Int8Panel& panel,
+                       const std::vector<uint32_t>& rows, tensor::Matrix* c);
+
+/// Convenience wrapper for the trainers' boundary-row transform: quantizes
+/// rows `rows` of `a` at 8 bits (implicit midpoints), packs `w`, and runs
+/// the fused kernel into the same rows of c (which must be pre-sized and
+/// zeroed, as for GemmRows). Returns false with c untouched when the shape
+/// is unsupported (e.g. cols not a multiple of 4) or quantization fails —
+/// the caller falls back to the float path.
+bool Int8GemmRows(const tensor::Matrix& a, const tensor::Matrix& w,
+                  const std::vector<uint32_t>& rows, tensor::Matrix* c);
+
+}  // namespace ecg::compress
+
+#endif  // ECGRAPH_COMPRESS_INT8_GEMM_H_

@@ -1,13 +1,13 @@
 #include "compress/quantize.h"
 
 #include <algorithm>
-#include <bit>
 #include <cmath>
 #include <cstring>
 #include <mutex>
 #include <string>
 
 #include "common/bitpack.h"
+#include "common/kernels.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
 
@@ -134,47 +134,6 @@ void PackWords(Cursor cursor, size_t count, size_t word_begin,
   }
 }
 
-/// Vectorizable fast path of the pack kernel for a contiguous buffer with
-/// no histogram: bucket ids for a block of whole words are computed in the
-/// float domain (clamp to [0, top] via min/max, which SSE handles without
-/// branches) into a small stack buffer, then combined with compile-time
-/// shifts. The min-then-max clamp order reproduces BucketOf exactly,
-/// including its NaN-maps-to-top behavior.
-template <int BITS>
-void PackWordsFlat(const float* data, size_t count, size_t word_begin,
-                   size_t word_end, float mn, float inv_width,
-                   uint32_t* packed) {
-  constexpr size_t kPerWord = 32 / static_cast<size_t>(BITS);
-  constexpr uint32_t kTop = (1u << BITS) - 1;
-  constexpr size_t kBlockWords = 16;
-  constexpr size_t kBlockElems = kBlockWords * kPerWord;
-  const float topf = static_cast<float>(kTop);
-  int32_t ids[kBlockElems];
-  size_t w = word_begin;
-  while (w + kBlockWords <= word_end &&
-         (w + kBlockWords) * kPerWord <= count) {
-    const float* p = data + w * kPerWord;
-    for (size_t e = 0; e < kBlockElems; ++e) {
-      float rel = (p[e] - mn) * inv_width;
-      rel = rel < topf ? rel : topf;
-      rel = rel > 0.0f ? rel : 0.0f;
-      ids[e] = static_cast<int32_t>(rel);
-    }
-    for (size_t b = 0; b < kBlockWords; ++b) {
-      uint32_t word = 0;
-      for (size_t j = 0; j < kPerWord; ++j) {
-        word |= static_cast<uint32_t>(ids[b * kPerWord + j]) << (j * BITS);
-      }
-      packed[w + b] = word;
-    }
-    w += kBlockWords;
-  }
-  if (w < word_end) {
-    PackWords<BITS>(FlatCursor{data + w * kPerWord}, count, w, word_end, mn,
-                    inv_width, packed, nullptr);
-  }
-}
-
 /// Runtime-to-compile-time bit-width dispatch for the pack kernel.
 template <typename Cursor>
 void PackWordsDispatch(int bits, Cursor cursor, size_t count,
@@ -206,177 +165,8 @@ void PackWordsDispatch(int bits, Cursor cursor, size_t count,
   }
 }
 
-/// On little-endian hosts the packed-word layout for byte-multiple widths
-/// is simply a uint8_t/uint16_t array, so packing degenerates to one flat
-/// vectorizable clamp+convert+narrow loop (tail bytes of the final word
-/// stay at their zero initialization).
-template <typename T>
-void PackWordsFlatNarrow(const float* data, size_t count, size_t word_begin,
-                         size_t word_end, float mn, float inv_width,
-                         uint32_t* packed) {
-  constexpr size_t kPerWord = sizeof(uint32_t) / sizeof(T);
-  constexpr uint32_t kTop = (1u << (8 * sizeof(T))) - 1;
-  const float topf = static_cast<float>(kTop);
-  T* out = reinterpret_cast<T*>(packed);
-  const size_t end = std::min(count, word_end * kPerWord);
-  for (size_t i = word_begin * kPerWord; i < end; ++i) {
-    float rel = (data[i] - mn) * inv_width;
-    rel = rel < topf ? rel : topf;
-    rel = rel > 0.0f ? rel : 0.0f;
-    out[i] = static_cast<T>(static_cast<int32_t>(rel));
-  }
-}
-
-/// Little-endian flat-decode twin of PackWordsFlatNarrow.
-template <typename T>
-void UnpackWordsNarrow(const uint32_t* packed, size_t count,
-                       size_t word_begin, size_t word_end, const float* table,
-                       float* data) {
-  constexpr size_t kPerWord = sizeof(uint32_t) / sizeof(T);
-  const T* in = reinterpret_cast<const T*>(packed);
-  const size_t end = std::min(count, word_end * kPerWord);
-  for (size_t i = word_begin * kPerWord; i < end; ++i) {
-    data[i] = table[in[i]];
-  }
-}
-
-constexpr bool kLittleEndian = std::endian::native == std::endian::little;
-
-void PackWordsFlatDispatch(int bits, const float* data, size_t count,
-                           size_t word_begin, size_t word_end, float mn,
-                           float inv_width, uint32_t* packed) {
-  if (kLittleEndian && bits == 8) {
-    PackWordsFlatNarrow<uint8_t>(data, count, word_begin, word_end, mn,
-                                 inv_width, packed);
-    return;
-  }
-  if (kLittleEndian && bits == 16) {
-    PackWordsFlatNarrow<uint16_t>(data, count, word_begin, word_end, mn,
-                                  inv_width, packed);
-    return;
-  }
-  switch (bits) {
-    case 1:
-      PackWordsFlat<1>(data, count, word_begin, word_end, mn, inv_width,
-                       packed);
-      break;
-    case 2:
-      PackWordsFlat<2>(data, count, word_begin, word_end, mn, inv_width,
-                       packed);
-      break;
-    case 4:
-      PackWordsFlat<4>(data, count, word_begin, word_end, mn, inv_width,
-                       packed);
-      break;
-    case 8:
-      PackWordsFlat<8>(data, count, word_begin, word_end, mn, inv_width,
-                       packed);
-      break;
-    case 16:
-      PackWordsFlat<16>(data, count, word_begin, word_end, mn, inv_width,
-                        packed);
-      break;
-    default:
-      ECG_CHECK(false) << "unreachable bit width " << bits;
-  }
-}
-
-/// The fused dequantize inner loop: unpack + table lookup for the elements
-/// backing packed words [word_begin, word_end), unrolled per word.
-template <int BITS>
-void UnpackWords(const uint32_t* packed, size_t count, size_t word_begin,
-                 size_t word_end, const float* table, float* data) {
-  constexpr size_t kPerWord = 32 / static_cast<size_t>(BITS);
-  constexpr uint32_t kMask = (1u << BITS) - 1;
-  size_t i = word_begin * kPerWord;
-  for (size_t w = word_begin; w < word_end; ++w) {
-    const uint32_t word = packed[w];
-    const size_t n = std::min(kPerWord, count - i);
-    if (n == kPerWord) {
-      for (size_t j = 0; j < kPerWord; ++j) {
-        data[i + j] = table[(word >> (j * BITS)) & kMask];
-      }
-      i += kPerWord;
-    } else {
-      for (size_t j = 0; j < n; ++j, ++i) {
-        data[i] = table[(word >> (j * BITS)) & kMask];
-      }
-    }
-  }
-}
-
-/// Dequantize fast path for sub-byte widths: expands the bucket table into
-/// a 256-entry per-byte LUT (each byte decodes to 8/BITS floats copied
-/// with one constant-size memcpy), so a full word costs 4 table rows
-/// instead of 32/BITS dependent shift+mask+lookup chains. Values come from
-/// the same table, so results are bit-identical to UnpackWords.
-template <int BITS>
-void UnpackWordsLut(const uint32_t* packed, size_t count, size_t word_begin,
-                    size_t word_end, const float* table, float* data) {
-  static_assert(BITS <= 4, "per-byte LUT only pays off below one byte");
-  constexpr size_t kPerWord = 32 / static_cast<size_t>(BITS);
-  constexpr size_t kPerByte = 8 / static_cast<size_t>(BITS);
-  constexpr uint32_t kMask = (1u << BITS) - 1;
-  float lut[256 * kPerByte];
-  for (uint32_t byte = 0; byte < 256; ++byte) {
-    for (size_t j = 0; j < kPerByte; ++j) {
-      lut[byte * kPerByte + j] = table[(byte >> (j * BITS)) & kMask];
-    }
-  }
-  size_t i = word_begin * kPerWord;
-  for (size_t w = word_begin; w < word_end; ++w) {
-    const uint32_t word = packed[w];
-    if (count - i >= kPerWord) {
-      float* out = data + i;
-      for (size_t b = 0; b < 4; ++b) {
-        std::memcpy(out + b * kPerByte,
-                    lut + ((word >> (8 * b)) & 0xFFu) * kPerByte,
-                    kPerByte * sizeof(float));
-      }
-      i += kPerWord;
-    } else {
-      for (size_t j = 0; i < count; ++j, ++i) {
-        data[i] = table[(word >> (j * BITS)) & kMask];
-      }
-    }
-  }
-}
-
-void UnpackWordsDispatch(int bits, const uint32_t* packed, size_t count,
-                         size_t word_begin, size_t word_end,
-                         const float* table, float* data) {
-  if (kLittleEndian && bits == 8) {
-    UnpackWordsNarrow<uint8_t>(packed, count, word_begin, word_end, table,
-                               data);
-    return;
-  }
-  if (kLittleEndian && bits == 16) {
-    UnpackWordsNarrow<uint16_t>(packed, count, word_begin, word_end, table,
-                                data);
-    return;
-  }
-  switch (bits) {
-    case 1:
-      UnpackWordsLut<1>(packed, count, word_begin, word_end, table, data);
-      break;
-    case 2:
-      UnpackWordsLut<2>(packed, count, word_begin, word_end, table, data);
-      break;
-    case 4:
-      UnpackWordsLut<4>(packed, count, word_begin, word_end, table, data);
-      break;
-    case 8:
-      UnpackWords<8>(packed, count, word_begin, word_end, table, data);
-      break;
-    case 16:
-      UnpackWords<16>(packed, count, word_begin, word_end, table, data);
-      break;
-    default:
-      ECG_CHECK(false) << "unreachable bit width " << bits;
-  }
-}
-
-/// Parallel min/max over a contiguous buffer. Merging per-chunk bounds is
+/// Parallel min/max over a contiguous buffer; the per-chunk scan is the
+/// dispatched kern::minmax kernel. Merging per-chunk bounds is
 /// commutative, so the result is exact regardless of chunking. NaNs lose
 /// every comparison and are skipped unless they land first in a chunk —
 /// same contract as the std::minmax_element scan this replaces; the
@@ -384,32 +174,11 @@ void UnpackWordsDispatch(int bits, const uint32_t* packed, size_t count,
 void MinMaxFlat(const float* data, size_t count, float* mn_out, float* mx_out) {
   std::mutex mu;
   float g_mn = data[0], g_mx = data[0];
+  const kern::Kernels& k = kern::Active();
   ThreadPool::Global().ParallelFor(
       count, kElemGrain, [&](size_t begin, size_t end) {
-        float mn = data[begin], mx = data[begin];
-        size_t i = begin;
-        // Eight independent accumulator lanes break the loop-carried
-        // min/max dependency so the scan pipelines (and vectorizes).
-        if (end - begin >= 16) {
-          float mns[8], mxs[8];
-          for (size_t j = 0; j < 8; ++j) mns[j] = mxs[j] = data[begin + j];
-          for (i = begin + 8; i + 8 <= end; i += 8) {
-            for (size_t j = 0; j < 8; ++j) {
-              const float v = data[i + j];
-              mns[j] = v < mns[j] ? v : mns[j];
-              mxs[j] = v > mxs[j] ? v : mxs[j];
-            }
-          }
-          for (size_t j = 0; j < 8; ++j) {
-            mn = mns[j] < mn ? mns[j] : mn;
-            mx = mxs[j] > mx ? mxs[j] : mx;
-          }
-        }
-        for (; i < end; ++i) {
-          const float v = data[i];
-          if (v < mn) mn = v;
-          if (v > mx) mx = v;
-        }
+        float mn, mx;
+        k.minmax(data + begin, end - begin, &mn, &mx);
         std::lock_guard<std::mutex> lock(mu);
         if (mn < g_mn) g_mn = mn;
         if (mx > g_mx) g_mx = mx;
@@ -524,8 +293,11 @@ Result<QuantizedMatrix> QuantizeImpl(const tensor::Matrix& m,
                               FlatCursor{m.data() + wb * per_word}, count, wb,
                               we, mn, inv_width, q.packed_ids.data(), hist);
           } else {
-            PackWordsFlatDispatch(options.bits, m.data(), count, wb, we, mn,
-                                  inv_width, q.packed_ids.data());
+            // Contiguous input, no histogram: the dispatched flat kernel
+            // (vectorizable block clamp + compile-time shifts; scalar and
+            // SIMD variants are bit-identical by contract).
+            kern::Active().pack_flat(options.bits, m.data(), count, wb, we,
+                                     mn, inv_width, q.packed_ids.data());
           }
         }
       });
@@ -676,9 +448,10 @@ Result<tensor::Matrix> Dequantize(const QuantizedMatrix& q) {
   const float* table = q.bucket_values.data();
   const uint32_t* packed = q.packed_ids.data();
   float* data = out.data();
+  const kern::Kernels& k = kern::Active();
   ThreadPool::Global().ParallelFor(
       q.packed_ids.size(), kWordGrain, [&](size_t wb, size_t we) {
-        UnpackWordsDispatch(q.bits, packed, count, wb, we, table, data);
+        k.unpack_flat(q.bits, packed, count, wb, we, table, data);
       });
   return out;
 }

@@ -10,6 +10,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "common/trace.h"
+#include "compress/int8_gemm.h"
 #include "core/exchange.h"
 #include "core/halo.h"
 #include "core/metrics_board.h"
@@ -296,8 +297,14 @@ Result<TrainResult> SamplingTrainer::Train() {
           BuildCat(h_owned[l - 1], halo, &cat);
           if (split_fp) {
             plan.adj_boundary.SpMMRows(cat, plan.boundary_rows, &p_cache[l]);
-            tensor::GemmRows(p_cache[l], w[l - 1], plan.boundary_rows,
-                             &z_cache[l]);
+            // Int8 packed-domain boundary transform; falls back to float
+            // GemmRows when off or unsupported (see trainer.cc).
+            if (!(options_.int8_gemm &&
+                  compress::Int8GemmRows(p_cache[l], w[l - 1],
+                                         plan.boundary_rows, &z_cache[l]))) {
+              tensor::GemmRows(p_cache[l], w[l - 1], plan.boundary_rows,
+                               &z_cache[l]);
+            }
           } else {
             plan.adj.SpMM(cat, &p_cache[l]);
             tensor::Gemm(p_cache[l], w[l - 1], &z_cache[l]);

@@ -48,6 +48,8 @@ struct SamplingTrainOptions {
   /// schedule, see TrainOptions::overlap). Per-epoch sampled plans carry
   /// their own interior/boundary split, so the same pipelining applies.
   bool overlap = true;
+  /// Int8 packed-domain boundary-row transform (see TrainOptions::int8_gemm).
+  bool int8_gemm = false;
   uint32_t num_servers = 1;
   uint32_t epochs = 100;
   dist::NetworkModel network;

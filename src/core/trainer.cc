@@ -10,6 +10,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "common/trace.h"
+#include "compress/int8_gemm.h"
 #include "core/checkpoint.h"
 #include "core/halo.h"
 #include "core/metrics_board.h"
@@ -340,8 +341,16 @@ Result<TrainResult> DistributedTrainer::Train() {
             tensor::Gemm(p_cache[l], *wl, &z_cache[l]);
           } else if (split_fp) {
             plan.adj_boundary.SpMMRows(cat, plan.boundary_rows, &p_cache[l]);
-            tensor::GemmRows(p_cache[l], *wl, plan.boundary_rows,
-                             &z_cache[l]);
+            // With int8_gemm on, the boundary-row transform re-quantizes
+            // the aggregated rows at 8 bits and runs fused in the packed
+            // domain (no float materialization of the quantized operand);
+            // unsupported shapes fall through to the float kernel.
+            if (!(options_.int8_gemm &&
+                  compress::Int8GemmRows(p_cache[l], *wl, plan.boundary_rows,
+                                         &z_cache[l]))) {
+              tensor::GemmRows(p_cache[l], *wl, plan.boundary_rows,
+                               &z_cache[l]);
+            }
           } else {
             plan.adj.SpMM(cat, &p_cache[l]);
             tensor::Gemm(p_cache[l], *wl, &z_cache[l]);

@@ -10,7 +10,8 @@
 //       Distributed training. Keys: workers, epochs, layers, hidden,
 //       model(gcn|sage), fp(exact|cp|reqec|delayed), bp(exact|cp|resec),
 //       fp_bits, bp_bits, adapt(0|1), partitioner(hash|metis|streaming),
-//       patience, lr, overlap(on|off), checkpoint_every, checkpoint_dir.
+//       patience, lr, overlap(on|off), int8_gemm(on|off),
+//       checkpoint_every, checkpoint_dir.
 //
 // Exit code 0 on success; errors print the Status and exit 1.
 
@@ -163,6 +164,11 @@ int CmdTrain(const std::string& name,
   else if (overlap == "off") opt.overlap = false;
   else return Fail(Status::InvalidArgument("bad overlap value " + overlap +
                                            " (on|off)"));
+  const std::string int8_gemm = Get(kv, "int8_gemm", "off");
+  if (int8_gemm == "on") opt.int8_gemm = true;
+  else if (int8_gemm == "off") opt.int8_gemm = false;
+  else return Fail(Status::InvalidArgument("bad int8_gemm value " +
+                                           int8_gemm + " (on|off)"));
   opt.log_every =
       static_cast<uint32_t>(std::atoi(Get(kv, "log_every", "10").c_str()));
   opt.checkpoint_every = static_cast<uint32_t>(
@@ -231,6 +237,18 @@ void Usage() {
                "bitwise identical,\n"
                "                      off restores the sequential "
                "schedule)\n"
+               "  int8_gemm=on|off    boundary-row transform in the int8 "
+               "packed domain\n"
+               "                      (default off; trades weight-"
+               "quantization error for\n"
+               "                      GEMM throughput, falls back to float "
+               "on unsupported shapes)\n"
+               "\n"
+               "kernel dispatch (any command):\n"
+               "  --kernels=NAME      force a kernel registry variant: "
+               "scalar|avx2|avx512|neon|auto\n"
+               "  ECG_KERNELS=NAME    environment equivalent of --kernels "
+               "(flag wins)\n"
                "\n"
                "train keys for fault tolerance:\n"
                "  checkpoint_every=N  epoch checkpoint cadence (0 = auto: "
