@@ -30,6 +30,7 @@ struct ChaosRow {
   double best_val_acc = 0.0;
   double sim_seconds = 0.0;
   uint64_t retried = 0, lost = 0;
+  uint64_t nacks = 0, retransmit_bytes = 0;
   uint64_t degraded_fp = 0, degraded_bp = 0;
   uint64_t crashes = 0, restores = 0;
 };
@@ -65,6 +66,8 @@ ChaosRow RunOne(const ecg::graph::Graph& g, const std::string& label,
   const auto& c = inj->counters();
   row.retried = c.retried.load();
   row.lost = c.lost.load();
+  row.nacks = c.nacks.load();
+  row.retransmit_bytes = c.retransmit_bytes.load();
   row.degraded_fp = c.degraded_pdt.load() + c.degraded_stale.load();
   row.degraded_bp = c.degraded_resec.load();
   row.crashes = c.crashes.load();
@@ -74,11 +77,14 @@ ChaosRow RunOne(const ecg::graph::Graph& g, const std::string& label,
 
 void PrintRow(const ChaosRow& r) {
   std::printf(
-      "%-14s val=%.4f makespan=%-10s retried=%-6llu lost=%-6llu "
+      "%-14s val=%.4f makespan=%-10s retried=%-6llu nacks=%-6llu "
+      "retx_kb=%-8.1f lost=%-6llu "
       "deg_fp=%-6llu deg_bp=%-6llu crashes=%llu restores=%llu\n",
       r.label.c_str(), r.best_val_acc,
       ecg::bench::FormatSeconds(r.sim_seconds).c_str(),
       static_cast<unsigned long long>(r.retried),
+      static_cast<unsigned long long>(r.nacks),
+      r.retransmit_bytes / 1024.0,
       static_cast<unsigned long long>(r.lost),
       static_cast<unsigned long long>(r.degraded_fp),
       static_cast<unsigned long long>(r.degraded_bp),
@@ -97,7 +103,9 @@ void WriteJson(const std::string& path, const std::vector<ChaosRow>& rows) {
     out << "{\"label\":\"" << r.label << "\",\"spec\":\"" << r.spec
         << "\",\"best_val_acc\":" << r.best_val_acc
         << ",\"sim_seconds\":" << r.sim_seconds
-        << ",\"retried\":" << r.retried << ",\"lost\":" << r.lost
+        << ",\"retried\":" << r.retried << ",\"nacks\":" << r.nacks
+        << ",\"retransmit_bytes\":" << r.retransmit_bytes
+        << ",\"lost\":" << r.lost
         << ",\"degraded_fp\":" << r.degraded_fp
         << ",\"degraded_bp\":" << r.degraded_bp
         << ",\"crashes\":" << r.crashes << ",\"restores\":" << r.restores

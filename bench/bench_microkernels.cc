@@ -25,6 +25,8 @@
 #include "common/bytes.h"
 #include "common/kernels.h"
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/stats.h"
 #include "common/trace.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
@@ -504,6 +506,223 @@ int RunTraceOverhead(const std::string& json_path) {
 }
 
 // ---------------------------------------------------------------------------
+// --metrics_overhead mode: cost of the metrics-plane hooks (PR 7). Two
+// levels:
+//   * micro — the fused quantize round trip instrumented the way the
+//     exchangers instrument it (a StatsEnabled-gated RecordStat, a
+//     MetricsEnabled-gated histogram Observe). With the plane off, the
+//     hooks must cost < 0.5% over the bare loop (one relaxed load and a
+//     predictable branch each, no allocation). A/B-timing a 0.4 ms pass
+//     cannot resolve a two-load cost against scheduler noise, so the gate
+//     divides an amplified hook-only loop (2^20 iterations) by the bare
+//     pass; the A/B numbers are still reported for context.
+//   * train — wall-clock of a small distributed train with the metrics
+//     plane on (live registry + bridge) vs the same train with only
+//     memory-mode stats. The baseline already pays the stats
+//     instrumentation (saturation scans, residual norms — budgeted when
+//     that plane landed); the delta is what the *metrics* plane adds per
+//     epoch, and must stay < 2%. min-of-reps on both sides absorbs
+//     scheduler noise; a fully-dark run is also timed for context.
+// Emits BENCH_obs.json; the CI obs-gate job fails on either budget.
+// ---------------------------------------------------------------------------
+
+/// One small distributed train per call; the fixture (graph, partition,
+/// options) is built once so repeated calls time only the train.
+class TrainOverheadFixture {
+ public:
+  TrainOverheadFixture() {
+    ecg::graph::SbmConfig c;
+    c.num_vertices = 4000;
+    c.num_classes = 4;
+    c.avg_degree = 6.0;
+    c.feature_dim = 32;
+    c.homophily = 0.8;
+    c.degree_skew = 0.0;
+    c.seed = 11;
+    auto g = ecg::graph::GenerateSbm(c);
+    ECG_CHECK(g.ok()) << g.status();
+    g_ = std::move(*g);
+    ECG_CHECK(ecg::graph::AssignSplits(&g_, 2000, 1000, 1000, 5).ok());
+    auto part = ecg::graph::HashPartition(g_, 4);
+    ECG_CHECK(part.ok()) << part.status();
+    part_ = std::move(*part);
+    opt_.model.num_layers = 2;
+    opt_.model.hidden_dim = 64;
+    opt_.fp_mode = ecg::core::FpMode::kCompressed;
+    opt_.bp_mode = ecg::core::BpMode::kResEc;
+    // Long enough that fixed-cost scheduler hiccups (~1 ms) are small
+    // against the run, short enough for several paired rounds.
+    opt_.epochs = 8;
+  }
+
+  double WallSeconds() {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto r = ecg::core::DistributedTrainer(g_, part_, opt_).Train();
+    const auto t1 = std::chrono::steady_clock::now();
+    ECG_CHECK(r.ok()) << r.status();
+    return std::chrono::duration<double>(t1 - t0).count();
+  }
+
+ private:
+  ecg::graph::Graph g_;
+  ecg::graph::Partition part_;
+  ecg::core::TrainOptions opt_;
+};
+
+int RunMetricsOverhead(const std::string& json_path) {
+  constexpr size_t kRows = 4096, kCols = 128;
+  constexpr int kBits = 2;
+  constexpr int kReps = 30;
+  const Matrix m = RandomMatrix(kRows, kCols, 12);
+  QuantizerOptions opts{kBits, BucketValueMode::kMidpoint};
+  ecg::ThreadPool::SetSerialMode(true);
+  ecg::obs::MetricsRegistry::Global().Disable();
+  ecg::obs::StatsRegistry::Global().Disable();
+
+  const auto bare_pass = [&] {
+    auto q = ecg::compress::Quantize(m, opts);
+    auto d = ecg::compress::Dequantize(*q);
+    benchmark::DoNotOptimize(d->data());
+  };
+  const auto hooked_pass = [&] {
+    // Hook density as in fp_exchange: one stat record per codec half,
+    // one histogram observation per pass.
+    auto q = ecg::compress::Quantize(m, opts);
+    if (ecg::obs::StatsEnabled()) {
+      ecg::obs::RecordStat("fp.bench_encode_values",
+                           static_cast<double>(m.size()), 0, 0);
+    }
+    auto d = ecg::compress::Dequantize(*q);
+    if (ecg::obs::MetricsEnabled()) {
+      ecg::obs::MetricsRegistry::Global()
+          .GetHistogram("ecg_bench_roundtrip_values",
+                        "Values pushed through the bench round trip.", {})
+          ->Observe(static_cast<double>(m.size()));
+    }
+    benchmark::DoNotOptimize(d->data());
+  };
+
+  bare_pass();
+  hooked_pass();  // warm both paths
+  // Interleaved rounds: bare and hooked share thermal/scheduler weather,
+  // so the min-of-mins difference isolates the hook cost instead of the
+  // machine's mood at two different moments.
+  double bare_ms = std::numeric_limits<double>::infinity();
+  double disabled_ms = std::numeric_limits<double>::infinity();
+  for (int round = 0; round < 4; ++round) {
+    bare_ms = std::min(bare_ms, BestOfMs(kReps, bare_pass));
+    disabled_ms = std::min(disabled_ms, BestOfMs(kReps, hooked_pass));
+  }
+  // Amplified measurement of the two disabled hooks a pass executes.
+  constexpr int kHookIters = 1 << 20;
+  const auto hook_only = [&] {
+    for (int i = 0; i < kHookIters; ++i) {
+      bool seen = ecg::obs::StatsEnabled();
+      benchmark::DoNotOptimize(seen);
+      seen = ecg::obs::MetricsEnabled();
+      benchmark::DoNotOptimize(seen);
+    }
+  };
+  hook_only();
+  const double hook_pair_ns =
+      BestOfMs(10, hook_only) * 1e6 / kHookIters;  // both hooks, one iter
+  ecg::obs::MetricsRegistry::Global().Enable();
+  ecg::obs::StatsRegistry::Global().Enable("");
+  const double enabled_ms = BestOfMs(kReps, hooked_pass);
+  ecg::obs::MetricsRegistry::Global().Disable();
+  ecg::obs::StatsRegistry::Global().Disable();
+  ecg::obs::MetricsRegistry::Global().Reset();
+  ecg::obs::StatsRegistry::Global().Reset();
+  ecg::ThreadPool::SetSerialMode(false);
+
+  // Train-level. Dark run first (context), then interleaved rounds of the
+  // stats-only baseline and stats + metrics: the pair differs only by the
+  // metrics plane, and sharing each round's scheduler weather keeps the
+  // delta attributable to it. Serial mode takes the thread-pool scheduler
+  // out of the measurement: a 2% budget is meaningless when pool jitter
+  // alone is ±4% of a run this short.
+  ecg::ThreadPool::SetSerialMode(true);
+  TrainOverheadFixture train;
+  double train_dark_s = std::numeric_limits<double>::infinity();
+  double train_base_s = std::numeric_limits<double>::infinity();
+  double train_on_s = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 2; ++rep) {
+    train_dark_s = std::min(train_dark_s, train.WallSeconds());
+  }
+  // Median of the per-round (on - base) deltas: each pair shares its
+  // round's weather, and the median shrugs off the rounds where a
+  // descheduling event hit one side.
+  constexpr int kTrainRounds = 7;
+  std::vector<double> deltas;
+  deltas.reserve(kTrainRounds);
+  for (int rep = 0; rep < kTrainRounds; ++rep) {
+    ecg::obs::StatsRegistry::Global().Enable("");
+    const double base = train.WallSeconds();
+    ecg::obs::MetricsRegistry::Global().Enable();
+    const double on = train.WallSeconds();
+    ecg::obs::MetricsRegistry::Global().Disable();
+    train_base_s = std::min(train_base_s, base);
+    train_on_s = std::min(train_on_s, on);
+    deltas.push_back(on - base);
+  }
+  std::sort(deltas.begin(), deltas.end());
+  const double median_delta_s = deltas[deltas.size() / 2];
+  ecg::obs::StatsRegistry::Global().Disable();
+  ecg::obs::MetricsRegistry::Global().Reset();
+  ecg::obs::StatsRegistry::Global().Reset();
+  ecg::ThreadPool::SetSerialMode(false);
+
+  // Gate on the amplified hook cost relative to a real codec pass; the
+  // A/B difference below is reported but too noise-prone to gate on.
+  const double disabled_pct = hook_pair_ns / (bare_ms * 1e6) * 100.0;
+  const double ab_disabled_pct = (disabled_ms / bare_ms - 1.0) * 100.0;
+  const double enabled_pct = (enabled_ms / bare_ms - 1.0) * 100.0;
+  const double train_pct = median_delta_s / train_base_s * 100.0;
+  const bool disabled_pass = disabled_pct < 0.5;
+  const bool train_pass = train_pct < 2.0;
+  const bool pass = disabled_pass && train_pass;
+
+  std::ofstream out(json_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+    return 1;
+  }
+  out << "{\n  \"stamp\": " << ecg::bench::BenchStampJson()
+      << ",\n  \"micro\": {\"rows\": " << kRows << ", \"cols\": " << kCols
+      << ", \"bits\": " << kBits << ", \"reps\": " << kReps
+      << ",\n    \"bare_roundtrip_ms\": " << bare_ms
+      << ",\n    \"hooked_disabled_roundtrip_ms\": " << disabled_ms
+      << ",\n    \"hooked_enabled_roundtrip_ms\": " << enabled_ms
+      << ",\n    \"hook_pair_ns\": " << hook_pair_ns
+      << ",\n    \"disabled_overhead_pct\": " << disabled_pct
+      << ",\n    \"ab_disabled_overhead_pct\": " << ab_disabled_pct
+      << ",\n    \"enabled_overhead_pct\": " << enabled_pct
+      << ",\n    \"disabled_budget_pct\": 0.5"
+      << ",\n    \"disabled_pass\": " << (disabled_pass ? "true" : "false")
+      << "},\n  \"train\": {\"rounds\": 7"
+      << ",\n    \"dark_wall_seconds\": " << train_dark_s
+      << ",\n    \"stats_only_wall_seconds\": " << train_base_s
+      << ",\n    \"stats_and_metrics_wall_seconds\": " << train_on_s
+      << ",\n    \"median_paired_delta_seconds\": " << median_delta_s
+      << ",\n    \"metrics_overhead_pct\": " << train_pct
+      << ",\n    \"metrics_budget_pct\": 2.0"
+      << ",\n    \"enabled_pass\": " << (train_pass ? "true" : "false")
+      << "},\n  \"pass\": " << (pass ? "true" : "false") << "\n}\n";
+  std::printf(
+      "metrics overhead (micro): bare %.3f ms | hooks off %.3f ms "
+      "(A/B %+.2f%%, amplified %.4f%%) | hooks on %.3f ms (%+.2f%%)\n",
+      bare_ms, disabled_ms, ab_disabled_pct, disabled_pct, enabled_ms,
+      enabled_pct);
+  std::printf(
+      "metrics overhead (train): dark %.3f s | stats %.3f s | "
+      "stats+metrics %.3f s (metrics median-paired %+.2f%%)\n",
+      train_dark_s, train_base_s, train_on_s, train_pct);
+  std::printf("metrics budgets (off < 0.5%% micro, on < 2%% train): %s\n",
+              pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
 // --fault_overhead mode: cost of the fault-injection hooks on the message
 // hub hot path. Four variants of the same Send/Recv loop:
 //   * seedref   — an inline replica of the pre-fault-tolerance hub (plain
@@ -799,6 +1018,8 @@ int main(int argc, char** argv) {
           "budget >= 1.5x)\n"
           "  --trace_overhead[=PATH]  observability hook cost (budget < "
           "2%%)\n"
+          "  --metrics_overhead[=PATH] metrics-plane hook cost (off < "
+          "0.5%% micro, on < 2%% train)\n"
           "  --fault_overhead[=PATH]  fault-injection hook cost (budget < "
           "1%%)\n"
           "  --overlap[=PATH]         overlapped vs sequential makespan "
@@ -821,6 +1042,12 @@ int main(int argc, char** argv) {
       const auto eq = arg.find('=');
       if (eq != std::string::npos) path = arg.substr(eq + 1);
       return RunTraceOverhead(path);
+    }
+    if (arg.rfind("--metrics_overhead", 0) == 0) {
+      std::string path = "BENCH_obs.json";
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) path = arg.substr(eq + 1);
+      return RunMetricsOverhead(path);
     }
     if (arg.rfind("--fault_overhead", 0) == 0) {
       std::string path = "BENCH_fault_overhead.json";

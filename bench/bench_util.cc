@@ -6,6 +6,7 @@
 
 #include "common/kernels.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
 
@@ -63,22 +64,10 @@ void InitBench(int* argc, char** argv) {
 }
 
 std::string BenchStampJson() {
-  std::string commit = "unknown";
-  if (FILE* p = popen("git rev-parse --short=12 HEAD 2>/dev/null", "r")) {
-    char buf[64] = {0};
-    if (std::fgets(buf, sizeof(buf), p) != nullptr) {
-      std::string s(buf);
-      while (!s.empty() && (s.back() == '\n' || s.back() == '\r')) {
-        s.pop_back();
-      }
-      if (!s.empty()) commit = s;
-    }
-    pclose(p);
-  }
   char out[160];
   std::snprintf(out, sizeof(out),
                 "{\"commit\": \"%s\", \"kernels\": \"%s\", \"threads\": %zu}",
-                commit.c_str(), kern::ActiveName(),
+                obs::BuildCommit().c_str(), kern::ActiveName(),
                 ThreadPool::Global().num_threads());
   return out;
 }

@@ -1,0 +1,263 @@
+#include "common/json_lite.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+namespace ecg::json {
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double JsonValue::GetNumber(const std::string& key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->type == Type::kNumber) ? v->number : fallback;
+}
+
+std::string JsonValue::GetString(const std::string& key,
+                                 const std::string& fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->type == Type::kString) ? v->string_value
+                                                    : fallback;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text.c_str()) {}
+
+  Result<JsonValue> Run() {
+    JsonValue v;
+    Status st = ParseValue(&v, /*depth=*/0);
+    if (!st.ok()) return st;
+    SkipWs();
+    if (*s_ != '\0') return Fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Fail(const char* what) const {
+    return Status::InvalidArgument(std::string("json: ") + what);
+  }
+
+  void SkipWs() {
+    while (*s_ == ' ' || *s_ == '\t' || *s_ == '\n' || *s_ == '\r') ++s_;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWs();
+    switch (*s_) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return ParseString(&out->string_value);
+      case 't':
+        if (std::strncmp(s_, "true", 4) != 0) return Fail("bad literal");
+        s_ += 4;
+        out->type = JsonValue::Type::kBool;
+        out->bool_value = true;
+        return Status::OK();
+      case 'f':
+        if (std::strncmp(s_, "false", 5) != 0) return Fail("bad literal");
+        s_ += 5;
+        out->type = JsonValue::Type::kBool;
+        out->bool_value = false;
+        return Status::OK();
+      case 'n':
+        if (std::strncmp(s_, "null", 4) != 0) return Fail("bad literal");
+        s_ += 4;
+        out->type = JsonValue::Type::kNull;
+        return Status::OK();
+      case '\0':
+        return Fail("unexpected end of input");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    out->type = JsonValue::Type::kObject;
+    ++s_;  // '{'
+    SkipWs();
+    if (*s_ == '}') {
+      ++s_;
+      return Status::OK();
+    }
+    while (true) {
+      SkipWs();
+      if (*s_ != '"') return Fail("object key must be a string");
+      std::string key;
+      Status st = ParseString(&key);
+      if (!st.ok()) return st;
+      SkipWs();
+      if (*s_ != ':') return Fail("expected ':' after object key");
+      ++s_;
+      JsonValue v;
+      st = ParseValue(&v, depth + 1);
+      if (!st.ok()) return st;
+      out->object.emplace_back(std::move(key), std::move(v));
+      SkipWs();
+      if (*s_ == ',') {
+        ++s_;
+        continue;
+      }
+      if (*s_ == '}') {
+        ++s_;
+        return Status::OK();
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    out->type = JsonValue::Type::kArray;
+    ++s_;  // '['
+    SkipWs();
+    if (*s_ == ']') {
+      ++s_;
+      return Status::OK();
+    }
+    while (true) {
+      JsonValue v;
+      Status st = ParseValue(&v, depth + 1);
+      if (!st.ok()) return st;
+      out->array.push_back(std::move(v));
+      SkipWs();
+      if (*s_ == ',') {
+        ++s_;
+        continue;
+      }
+      if (*s_ == ']') {
+        ++s_;
+        return Status::OK();
+      }
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++s_;  // opening quote
+    out->clear();
+    while (true) {
+      const char c = *s_;
+      if (c == '\0') return Fail("unterminated string");
+      if (c == '"') {
+        ++s_;
+        return Status::OK();
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("raw control character in string");
+      }
+      if (c != '\\') {
+        *out += c;
+        ++s_;
+        continue;
+      }
+      ++s_;  // backslash
+      switch (*s_) {
+        case '"':
+          *out += '"';
+          break;
+        case '\\':
+          *out += '\\';
+          break;
+        case '/':
+          *out += '/';
+          break;
+        case 'b':
+          *out += '\b';
+          break;
+        case 'f':
+          *out += '\f';
+          break;
+        case 'n':
+          *out += '\n';
+          break;
+        case 'r':
+          *out += '\r';
+          break;
+        case 't':
+          *out += '\t';
+          break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 1; i <= 4; ++i) {
+            const char h = s_[i];
+            if (!std::isxdigit(static_cast<unsigned char>(h))) {
+              return Fail("bad \\u escape");
+            }
+            code = code * 16 +
+                   static_cast<unsigned>(
+                       h <= '9' ? h - '0' : (h | 0x20) - 'a' + 10);
+          }
+          s_ += 4;
+          // Encode as UTF-8; surrogate pairs are passed through as two
+          // 3-byte sequences (fine for our own ASCII-dominated artifacts).
+          if (code < 0x80) {
+            *out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            *out += static_cast<char>(0xC0 | (code >> 6));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            *out += static_cast<char>(0xE0 | (code >> 12));
+            *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return Fail("bad escape character");
+      }
+      ++s_;
+    }
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const char* start = s_;
+    if (*s_ == '-') ++s_;
+    if (!std::isdigit(static_cast<unsigned char>(*s_))) {
+      return Fail("bad number");
+    }
+    while (std::isdigit(static_cast<unsigned char>(*s_))) ++s_;
+    if (*s_ == '.') {
+      ++s_;
+      if (!std::isdigit(static_cast<unsigned char>(*s_))) {
+        return Fail("bad number fraction");
+      }
+      while (std::isdigit(static_cast<unsigned char>(*s_))) ++s_;
+    }
+    if (*s_ == 'e' || *s_ == 'E') {
+      ++s_;
+      if (*s_ == '+' || *s_ == '-') ++s_;
+      if (!std::isdigit(static_cast<unsigned char>(*s_))) {
+        return Fail("bad number exponent");
+      }
+      while (std::isdigit(static_cast<unsigned char>(*s_))) ++s_;
+    }
+    out->type = JsonValue::Type::kNumber;
+    out->number = std::strtod(start, nullptr);
+    return Status::OK();
+  }
+
+  const char* s_;
+};
+
+}  // namespace
+
+Result<JsonValue> Parse(const std::string& text) {
+  return Parser(text).Run();
+}
+
+}  // namespace ecg::json

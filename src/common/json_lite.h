@@ -1,0 +1,48 @@
+#ifndef ECGRAPH_COMMON_JSON_LITE_H_
+#define ECGRAPH_COMMON_JSON_LITE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ecg::json {
+
+/// Minimal JSON document model for the offline tooling that reads our own
+/// emitted artifacts (Chrome traces, flight-recorder dumps, BENCH_*.json).
+/// Strict on structure (a trailing comma or unterminated string is an
+/// error — doubling as a validity checker in tests), permissive on
+/// numbers (everything through strtod). Not a streaming parser: documents
+/// are bounded (traces cap their rings), so one in-memory tree is fine.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  // insertion order
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_number() const { return type == Type::kNumber; }
+
+  /// Object member lookup (first match); nullptr when absent or not an
+  /// object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Convenience accessors with defaults for absent/mistyped members.
+  double GetNumber(const std::string& key, double fallback = 0.0) const;
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const;
+};
+
+/// Parses one JSON document; trailing garbage after the value is an error.
+Result<JsonValue> Parse(const std::string& text);
+
+}  // namespace ecg::json
+
+#endif  // ECGRAPH_COMMON_JSON_LITE_H_

@@ -5,6 +5,7 @@
 
 #include "common/cpu_features.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace ecg::kern {
 
@@ -69,13 +70,28 @@ const Kernels* ResolveInitial() {
   return SelectAuto();
 }
 
+/// One gauge sample per dispatch decision. Selection happens once (or on an
+/// explicit ForceVariant), so this never touches the per-call hot path.
+void PublishDispatch(const Kernels* k) {
+  if (k == nullptr || !obs::MetricsEnabled()) return;
+  obs::MetricsRegistry::Global()
+      .GetCounter("ecg_kern_dispatch_total",
+                  "SIMD kernel table selections, by chosen variant.",
+                  {{"kernel_variant", k->name}})
+      ->Inc();
+}
+
 }  // namespace
 
 const Kernels& Active() {
   if (const Kernels* forced = g_forced.load(std::memory_order_acquire)) {
     return *forced;
   }
-  static const Kernels* initial = ResolveInitial();
+  static const Kernels* initial = [] {
+    const Kernels* k = ResolveInitial();
+    PublishDispatch(k);
+    return k;
+  }();
   return *initial;
 }
 
@@ -105,6 +121,7 @@ bool ForceVariant(const std::string& name) {
   const Kernels* k = Lookup(name);
   if (k == nullptr) return false;
   g_forced.store(k, std::memory_order_release);
+  PublishDispatch(k);
   return true;
 }
 

@@ -36,6 +36,14 @@ LogLevel GetLogLevel() {
 
 namespace internal {
 
+namespace {
+std::atomic<FatalHandler> g_fatal_handler{nullptr};
+}  // namespace
+
+void SetFatalHandler(FatalHandler handler) {
+  g_fatal_handler.store(handler, std::memory_order_release);
+}
+
 LogMessage::LogMessage(LogLevel level, const char* file, int line,
                        bool fatal)
     : enabled_(fatal || static_cast<int>(level) >=
@@ -58,7 +66,14 @@ LogMessage::~LogMessage() {
     std::fwrite(line.data(), 1, line.size(), stderr);
     std::fflush(stderr);
   }
-  if (fatal_) std::abort();
+  if (fatal_) {
+    // Give the flight recorder (if armed) a post-mortem before dying.
+    if (FatalHandler handler =
+            g_fatal_handler.load(std::memory_order_acquire)) {
+      handler(stream_.str().c_str());
+    }
+    std::abort();
+  }
 }
 
 }  // namespace internal

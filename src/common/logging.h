@@ -15,6 +15,13 @@ LogLevel GetLogLevel();
 
 namespace internal {
 
+/// Hook invoked with the formatted message right before a fatal
+/// LogMessage (ECG_CHECK failure) aborts. The flight recorder installs
+/// its dump here; nullptr uninstalls. The handler runs on the failing
+/// thread and must itself tolerate failing (the abort happens regardless).
+using FatalHandler = void (*)(const char* message);
+void SetFatalHandler(FatalHandler handler);
+
 /// Collects one log line and emits it (with timestamp and level tag) to
 /// stderr on destruction. Emission of a full line is atomic across threads.
 class LogMessage {

@@ -1,0 +1,348 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/kernels.h"
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace ecg::obs {
+
+namespace internal {
+std::atomic<bool> g_metrics_enabled{false};
+}  // namespace internal
+
+namespace {
+
+/// Lock-free double accumulation: CAS on the bit pattern. Contention is
+/// rare (handles are per-(name,labels) cells) so the loop almost always
+/// succeeds first try.
+void AtomicAddDouble(std::atomic<uint64_t>* bits, double v) {
+  uint64_t old_bits = bits->load(std::memory_order_relaxed);
+  while (true) {
+    const double updated = std::bit_cast<double>(old_bits) + v;
+    if (bits->compare_exchange_weak(old_bits, std::bit_cast<uint64_t>(updated),
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+/// Exposition number formatting: integers exact (counts, byte totals),
+/// everything else shortest-ish %.10g.
+std::string FormatValue(double v) {
+  char buf[40];
+  if (std::isfinite(v) && v == std::rint(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else if (std::isinf(v)) {
+    return v > 0 ? "+Inf" : "-Inf";
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+  }
+  return buf;
+}
+
+std::string EscapeLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string EscapeHelp(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void Counter::Inc(double v) { AtomicAddDouble(&bits_, v); }
+
+double Counter::Value() const {
+  return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+}
+
+void Gauge::Set(double v) {
+  bits_.store(std::bit_cast<uint64_t>(v), std::memory_order_relaxed);
+}
+
+double Gauge::Value() const {
+  return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+}
+
+int Histogram::BucketIndex(double v) {
+  if (!(v > 0.0)) return 0;  // zero, negative, NaN
+  if (std::isinf(v)) return kNumBuckets - 1;
+  int frexp_exp = 0;
+  const double m = std::frexp(v, &frexp_exp);  // v = m * 2^E, m in [0.5, 1)
+  (void)m;
+  const int e = frexp_exp - 1;  // v in [2^e, 2^(e+1))
+  if (e < kMinExp) return 0;
+  if (e >= kMaxExp) return kNumBuckets - 1;
+  // Fraction above the octave base, scaled to sub-buckets.
+  const double frac = std::ldexp(v, -e) - 1.0;  // in [0, 1)
+  int sub = static_cast<int>(frac * kSubBuckets);
+  sub = std::clamp(sub, 0, kSubBuckets - 1);
+  return 1 + (e - kMinExp) * kSubBuckets + sub;
+}
+
+double Histogram::BucketUpperBound(int bucket) {
+  if (bucket <= 0) return std::ldexp(1.0, kMinExp);
+  if (bucket >= kNumBuckets - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const int e = kMinExp + (bucket - 1) / kSubBuckets;
+  const int sub = (bucket - 1) % kSubBuckets;
+  return std::ldexp(1.0 + static_cast<double>(sub + 1) / kSubBuckets, e);
+}
+
+void Histogram::Observe(double v) {
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&sum_bits_, v);
+}
+
+uint64_t Histogram::TotalCount() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double Histogram::Sum() const {
+  return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+}
+
+void Histogram::SnapshotBuckets(uint64_t out[kNumBuckets]) const {
+  for (int b = 0; b < kNumBuckets; ++b) {
+    out[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+}
+
+double Histogram::Quantile(double q) const {
+  uint64_t snap[kNumBuckets];
+  SnapshotBuckets(snap);
+  uint64_t total = 0;
+  for (int b = 0; b < kNumBuckets; ++b) total += snap[b];
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // rank-th smallest sample, 1-based, with rank = ceil(q * total).
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(total))));
+  uint64_t cum = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    cum += snap[b];
+    if (cum >= rank) return BucketUpperBound(b);
+  }
+  return BucketUpperBound(kNumBuckets - 1);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked
+  return *registry;
+}
+
+void MetricsRegistry::Enable() {
+  internal::g_metrics_enabled.store(true, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::Disable() {
+  internal::g_metrics_enabled.store(false, std::memory_order_relaxed);
+}
+
+std::string SerializeLabels(MetricLabels labels) {
+  std::sort(labels.begin(), labels.end());
+  std::string out;
+  for (const auto& [k, v] : labels) {
+    if (!out.empty()) out += ",";
+    out += k + "=\"" + EscapeLabelValue(v) + "\"";
+  }
+  return out;
+}
+
+MetricsRegistry::Family* MetricsRegistry::FamilyFor(const std::string& name,
+                                                    const std::string& help,
+                                                    Kind kind) {
+  auto [it, inserted] = families_.try_emplace(name);
+  if (inserted) {
+    it->second.kind = kind;
+    it->second.help = help;
+  } else {
+    ECG_CHECK(it->second.kind == kind)
+        << "metric '" << name << "' re-registered with a different type";
+  }
+  return &it->second;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help,
+                                     MetricLabels labels) {
+  const std::string key = SerializeLabels(std::move(labels));
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* fam = FamilyFor(name, help, Kind::kCounter);
+  auto [it, inserted] = fam->counters.try_emplace(key);
+  if (inserted) it->second = std::make_unique<Counter>();
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help,
+                                 MetricLabels labels) {
+  const std::string key = SerializeLabels(std::move(labels));
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* fam = FamilyFor(name, help, Kind::kGauge);
+  auto [it, inserted] = fam->gauges.try_emplace(key);
+  if (inserted) it->second = std::make_unique<Gauge>();
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         MetricLabels labels) {
+  const std::string key = SerializeLabels(std::move(labels));
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* fam = FamilyFor(name, help, Kind::kHistogram);
+  auto [it, inserted] = fam->hists.try_emplace(key);
+  if (inserted) it->second = std::make_unique<Histogram>();
+  return it->second.get();
+}
+
+namespace {
+
+void WriteSample(std::ostream& os, const std::string& name,
+                 const std::string& labels, const std::string& value) {
+  os << name;
+  if (!labels.empty()) os << "{" << labels << "}";
+  os << " " << value << "\n";
+}
+
+}  // namespace
+
+void MetricsRegistry::WritePrometheus(std::ostream& os) const {
+  // Run identity first, so a scrape is self-describing.
+  os << "# HELP ecg_build_info Build and dispatch identity; value is "
+        "always 1.\n# TYPE ecg_build_info gauge\n";
+  os << "ecg_build_info{commit=\"" << EscapeLabelValue(BuildCommit())
+     << "\",kernel_variant=\"" << kern::ActiveName() << "\",threads=\""
+     << ThreadPool::Global().num_threads() << "\"} 1\n";
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, fam] : families_) {
+    os << "# HELP " << name << " " << EscapeHelp(fam.help) << "\n";
+    os << "# TYPE " << name << " "
+       << (fam.kind == Kind::kCounter
+               ? "counter"
+               : fam.kind == Kind::kGauge ? "gauge" : "histogram")
+       << "\n";
+    switch (fam.kind) {
+      case Kind::kCounter:
+        for (const auto& [labels, cell] : fam.counters) {
+          WriteSample(os, name, labels, FormatValue(cell->Value()));
+        }
+        break;
+      case Kind::kGauge:
+        for (const auto& [labels, cell] : fam.gauges) {
+          WriteSample(os, name, labels, FormatValue(cell->Value()));
+        }
+        break;
+      case Kind::kHistogram:
+        for (const auto& [labels, cell] : fam.hists) {
+          uint64_t snap[Histogram::kNumBuckets];
+          cell->SnapshotBuckets(snap);
+          uint64_t cum = 0;
+          const std::string sep = labels.empty() ? "" : ",";
+          for (int b = 0; b < Histogram::kNumBuckets - 1; ++b) {
+            if (snap[b] == 0) continue;  // sparse: skip empty buckets
+            cum += snap[b];
+            WriteSample(os, name + "_bucket",
+                        labels + sep + "le=\"" +
+                            FormatValue(Histogram::BucketUpperBound(b)) +
+                            "\"",
+                        std::to_string(cum));
+          }
+          cum += snap[Histogram::kNumBuckets - 1];
+          WriteSample(os, name + "_bucket", labels + sep + "le=\"+Inf\"",
+                      std::to_string(cum));
+          WriteSample(os, name + "_sum", labels, FormatValue(cell->Sum()));
+          WriteSample(os, name + "_count", labels, std::to_string(cum));
+        }
+        break;
+    }
+  }
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::ostringstream oss;
+  WritePrometheus(oss);
+  return oss.str();
+}
+
+Status MetricsRegistry::WriteSnapshotFile(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      return Status::Internal("cannot open metrics snapshot '" + tmp + "'");
+    }
+    WritePrometheus(out);
+    if (!out.good()) {
+      return Status::Internal("short write to metrics snapshot '" + tmp +
+                              "'");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Internal("cannot rename metrics snapshot into '" + path +
+                            "'");
+  }
+  return Status::OK();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  families_.clear();
+}
+
+const std::string& BuildCommit() {
+  static const std::string* commit = [] {
+    std::string c = "unknown";
+    if (FILE* p = popen("git rev-parse --short=12 HEAD 2>/dev/null", "r")) {
+      char buf[64] = {0};
+      if (std::fgets(buf, sizeof(buf), p) != nullptr) {
+        std::string s(buf);
+        while (!s.empty() && (s.back() == '\n' || s.back() == '\r')) {
+          s.pop_back();
+        }
+        if (!s.empty()) c = s;
+      }
+      pclose(p);
+    }
+    return new std::string(std::move(c));
+  }();
+  return *commit;
+}
+
+}  // namespace ecg::obs

@@ -1,0 +1,177 @@
+#ifndef ECGRAPH_COMMON_METRICS_H_
+#define ECGRAPH_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ecg::obs {
+
+/// The live metrics plane (DESIGN.md §13). Unlike StatsRegistry — which is
+/// a post-hoc per-epoch JSONL dump — this registry is continuously
+/// queryable (Prometheus text over HTTP, or a file snapshot) and keeps
+/// latency *distributions*, not just sums. Handles are acquired once
+/// (mutex, string keys) and then recorded into lock-free (atomic adds), so
+/// steady-state instrumentation never contends and never allocates.
+
+namespace internal {
+/// Global enable gate; one relaxed load on every instrumentation site.
+extern std::atomic<bool> g_metrics_enabled;
+}  // namespace internal
+
+/// True when the metrics plane is collecting. Instrumentation sites must be
+/// shaped `if (MetricsEnabled()) {...}` so a disabled plane costs a single
+/// predictable branch and zero allocations.
+inline bool MetricsEnabled() {
+  return internal::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+/// Label set attached to a metric cell. Keys are sorted at acquisition;
+/// the `le` key is reserved for histogram buckets.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing value (wire bytes, message counts, NACKs).
+class Counter {
+ public:
+  void Inc(double v = 1.0);
+  double Value() const;
+
+ private:
+  std::atomic<uint64_t> bits_{0};  // double stored via bit_cast + CAS
+};
+
+/// Last-write-wins value (loss, learning-rate, queue depth).
+class Gauge {
+ public:
+  void Set(double v);
+  double Value() const;
+
+ private:
+  std::atomic<uint64_t> bits_{0};
+};
+
+/// Log-bucketed histogram in the HdrHistogram style: each power-of-two
+/// octave of the value range is split into 2^kSubBits linear sub-buckets,
+/// so any recorded value lands in a bucket whose width is at most
+/// 2^-kSubBits (~3.1%) of the value. Bucket counters are atomics: threads
+/// record concurrently without locks, and a cross-thread merge (or a
+/// snapshot for quantiles) is exact in counts — p50/p90/p99/p999 computed
+/// from merged buckets equal the quantiles of the union of all threads'
+/// samples, to within one bucket's width.
+class Histogram {
+ public:
+  static constexpr int kSubBits = 5;
+  static constexpr int kSubBuckets = 1 << kSubBits;
+  /// Covered range: [2^kMinExp, 2^kMaxExp) ≈ [9.3e-10, 1.7e10]. Bucket 0
+  /// catches zero / negative / underflow; the last bucket is overflow.
+  static constexpr int kMinExp = -30;
+  static constexpr int kMaxExp = 34;
+  static constexpr int kNumBuckets = (kMaxExp - kMinExp) * kSubBuckets + 2;
+
+  void Observe(double v);
+
+  uint64_t TotalCount() const;
+  double Sum() const;
+
+  /// Quantile from the current bucket contents: the upper bound of the
+  /// bucket containing the ceil(q*count)-th smallest sample (0 when
+  /// empty). Always >= the exact sample quantile and within a relative
+  /// 2^-kSubBits of it for in-range values.
+  double Quantile(double q) const;
+
+  /// Maps a value to its bucket index / a bucket to its inclusive upper
+  /// bound (+inf for the overflow bucket). Exposed for tests and the
+  /// exposition writer.
+  static int BucketIndex(double v);
+  static double BucketUpperBound(int bucket);
+
+  /// Consistent read of all buckets (counts) for exposition/merge.
+  void SnapshotBuckets(uint64_t out[kNumBuckets]) const;
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_bits_{0};  // double via CAS add
+};
+
+/// Process-wide registry. Families are keyed by metric name; cells by
+/// label set. Pointers returned by Get* stay valid for the process
+/// lifetime (the registry is intentionally leaked, like Tracer), so hot
+/// sites can cache them.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  /// Turns the instrumentation gate on/off. Enable() leaves previously
+  /// recorded values in place (a scrape plane accumulates); use Reset()
+  /// for test isolation.
+  void Enable();
+  void Disable();
+
+  /// Handle acquisition: creates the family/cell on first use. A name
+  /// must keep one consistent type — mixing types on one name aborts
+  /// (programming error). `help` is kept from the first acquisition.
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      MetricLabels labels = {});
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  MetricLabels labels = {});
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          MetricLabels labels = {});
+
+  /// Prometheus text exposition format 0.0.4: HELP/TYPE per family, one
+  /// line per cell (histograms expand to cumulative _bucket/_sum/_count).
+  /// Starts with an `ecg_build_info{commit,kernel_variant,threads} 1`
+  /// gauge identifying the run. Families and cells are emitted in sorted
+  /// order, so output is deterministic given deterministic values.
+  void WritePrometheus(std::ostream& os) const;
+  std::string PrometheusText() const;
+
+  /// Writes PrometheusText() to `path` atomically (tmp + rename) — the
+  /// --metrics_out CI snapshot mode.
+  Status WriteSnapshotFile(const std::string& path) const;
+
+  /// Drops every family and cell (invalidates outstanding handles — test
+  /// isolation only, never during recording).
+  void Reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  enum class Kind : uint8_t { kCounter, kGauge, kHistogram };
+  struct Family {
+    Kind kind;
+    std::string help;
+    // One map populated per family, keyed by the serialized label set
+    // (which doubles as the exposition label string).
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> hists;
+  };
+
+  Family* FamilyFor(const std::string& name, const std::string& help,
+                    Kind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+};
+
+/// Git commit this binary reports in `ecg_build_info`, bench stamps, the
+/// stats JSONL header, and flight-recorder dumps ("unknown" outside a git
+/// checkout). Resolved once per process and cached.
+const std::string& BuildCommit();
+
+/// Serializes labels canonically: sorted by key, values escaped per the
+/// exposition format. Returns e.g. `layer="0",peer="3"` (no braces).
+std::string SerializeLabels(MetricLabels labels);
+
+}  // namespace ecg::obs
+
+#endif  // ECGRAPH_COMMON_METRICS_H_

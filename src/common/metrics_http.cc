@@ -1,0 +1,145 @@
+#include "common/metrics_http.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+
+namespace ecg::obs {
+
+namespace {
+
+/// Blocking write of the whole buffer (best effort; the peer may close).
+void WriteAll(int fd, const char* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd, data + off, len - off);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+void Respond(int fd, const char* status_line, const char* content_type,
+             const std::string& body) {
+  std::string head = std::string("HTTP/1.1 ") + status_line +
+                     "\r\nContent-Type: " + content_type +
+                     "\r\nContent-Length: " + std::to_string(body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  WriteAll(fd, head.data(), head.size());
+  WriteAll(fd, body.data(), body.size());
+}
+
+/// Reads the request head (up to a small cap) and extracts the path of a
+/// GET request ("" when malformed).
+std::string ReadRequestPath(int fd) {
+  char buf[2048];
+  size_t len = 0;
+  while (len < sizeof(buf) - 1) {
+    const ssize_t n = ::read(fd, buf + len, sizeof(buf) - 1 - len);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    len += static_cast<size_t>(n);
+    buf[len] = '\0';
+    if (std::strstr(buf, "\r\n\r\n") != nullptr) break;
+  }
+  buf[len] = '\0';
+  if (std::strncmp(buf, "GET ", 4) != 0) return "";
+  const char* start = buf + 4;
+  const char* end = std::strchr(start, ' ');
+  if (end == nullptr) return "";
+  return std::string(start, end);
+}
+
+}  // namespace
+
+MetricsHttpServer& MetricsHttpServer::Global() {
+  static MetricsHttpServer* server = new MetricsHttpServer();  // leaked
+  return *server;
+}
+
+Status MetricsHttpServer::Start(uint16_t port) {
+  if (running()) return Status::InvalidArgument("metrics server already running");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("metrics server socket(): ") +
+                            std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("metrics server bind(:" + std::to_string(port) +
+                            "): " + err);
+  }
+  if (::listen(fd, 16) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("metrics server listen(): " + err);
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("metrics server getsockname(): " + err);
+  }
+  listen_fd_ = fd;
+  stop_.store(false, std::memory_order_release);
+  port_.store(ntohs(addr.sin_port), std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread(&MetricsHttpServer::Serve, this);
+  return Status::OK();
+}
+
+void MetricsHttpServer::Serve() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/200);
+    if (ready <= 0) continue;  // timeout / EINTR: re-check stop flag
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    const std::string path = ReadRequestPath(conn);
+    if (path == "/metrics" || path == "/") {
+      Respond(conn, "200 OK", "text/plain; version=0.0.4; charset=utf-8",
+              MetricsRegistry::Global().PrometheusText());
+    } else if (path == "/healthz") {
+      Respond(conn, "200 OK", "text/plain", "ok\n");
+    } else if (path.empty()) {
+      Respond(conn, "400 Bad Request", "text/plain", "bad request\n");
+    } else {
+      Respond(conn, "404 Not Found", "text/plain", "not found\n");
+    }
+    ::shutdown(conn, SHUT_RDWR);
+    ::close(conn);
+  }
+}
+
+void MetricsHttpServer::Stop() {
+  if (!running()) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  port_.store(0, std::memory_order_release);
+  running_.store(false, std::memory_order_release);
+}
+
+}  // namespace ecg::obs

@@ -1,0 +1,49 @@
+#ifndef ECGRAPH_COMMON_METRICS_HTTP_H_
+#define ECGRAPH_COMMON_METRICS_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "common/status.h"
+
+namespace ecg::obs {
+
+/// Minimal embedded HTTP/1.1 exposition endpoint for the metrics plane:
+/// serves `GET /metrics` (Prometheus text format 0.0.4) and `GET /healthz`
+/// from a single background accept thread. No keep-alive, no TLS, no
+/// request body handling — it exists so `curl :PORT/metrics` and a
+/// Prometheus scraper work against a training run, nothing more.
+class MetricsHttpServer {
+ public:
+  /// Process-wide instance (leaked, like the registries).
+  static MetricsHttpServer& Global();
+
+  /// Binds `port` on all interfaces and starts the accept thread. Port 0
+  /// picks an ephemeral port — read it back with port() (tests). Fails if
+  /// already running or the bind/listen fails.
+  Status Start(uint16_t port);
+
+  /// Stops the accept thread and closes the socket. Safe to call when not
+  /// running. Blocks until the thread has joined.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Actual bound port (0 when not running).
+  uint16_t port() const { return port_.load(std::memory_order_acquire); }
+
+ private:
+  MetricsHttpServer() = default;
+  void Serve();
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<uint16_t> port_{0};
+  int listen_fd_ = -1;
+};
+
+}  // namespace ecg::obs
+
+#endif  // ECGRAPH_COMMON_METRICS_HTTP_H_

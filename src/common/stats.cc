@@ -4,7 +4,13 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <utility>
 #include <vector>
+
+#include "common/flight_recorder.h"
+#include "common/kernels.h"
+#include "common/metrics.h"
+#include "common/thread_pool.h"
 
 namespace ecg::obs {
 
@@ -53,8 +59,14 @@ void StatsRegistry::Enable(const std::string& jsonl_path) {
     std::lock_guard<std::mutex> lock(mu_);
     path_ = jsonl_path;
     if (!jsonl_path.empty()) {
-      // Truncate once at enable; epoch flushes append.
-      std::ofstream(jsonl_path, std::ios::trunc);
+      // Truncate once at enable; epoch flushes append. The first row is a
+      // header stamping the run environment (same identity the benches
+      // embed in their BENCH_*.json "stamp").
+      std::ofstream out(jsonl_path, std::ios::trunc);
+      out << "{\"header\":true,\"commit\":\"" << JsonEscape(BuildCommit())
+          << "\",\"kernels\":\"" << kern::ActiveName()
+          << "\",\"threads\":" << ThreadPool::Global().num_threads()
+          << "}\n";
     }
   }
   enabled_.store(true, std::memory_order_relaxed);
@@ -66,8 +78,35 @@ void StatsRegistry::Disable() {
 
 void StatsRegistry::Record(const std::string& name, double value,
                            uint32_t epoch, int32_t layer, int32_t peer) {
-  std::lock_guard<std::mutex> lock(mu_);
-  live_[StatKey{name, epoch, layer, peer}].Add(value);
+  Histogram* bridged = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    live_[StatKey{name, epoch, layer, peer}].Add(value);
+    // Bridge into the live metrics plane: every stat series doubles as a
+    // Prometheus histogram labelled by (layer, peer) — epoch is
+    // deliberately dropped (a scrape series per epoch would be unbounded
+    // cardinality; the time dimension is the scraper's job). This one hook
+    // is what makes exchangers, trainers, the param server and the fault
+    // transport all visible live without touching each call site. Handle
+    // acquisition (string building, metrics-registry lock) happens once
+    // per series; steady state is the cache hit below.
+    if (MetricsEnabled()) {
+      Histogram*& slot = bridge_[std::make_tuple(name, layer, peer)];
+      if (slot == nullptr) {
+        std::string metric = "ecg_";
+        metric.reserve(metric.size() + name.size());
+        for (char c : name) metric += (c == '.' || c == '-') ? '_' : c;
+        MetricLabels labels;
+        if (layer >= 0) labels.emplace_back("layer", std::to_string(layer));
+        if (peer >= 0) labels.emplace_back("peer", std::to_string(peer));
+        slot = MetricsRegistry::Global().GetHistogram(
+            metric, "Bridged from stat series '" + name + "'.",
+            std::move(labels));
+      }
+      bridged = slot;
+    }
+  }
+  if (bridged != nullptr) bridged->Observe(value);
 }
 
 namespace {
@@ -188,6 +227,7 @@ void StatsRegistry::Reset() {
   live_.clear();
   summary_.clear();
   path_.clear();
+  bridge_.clear();
 }
 
 }  // namespace ecg::obs

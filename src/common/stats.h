@@ -7,8 +7,11 @@
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <tuple>
 
 namespace ecg::obs {
+
+class Histogram;  // common/metrics.h; the bridge caches handles to it
 
 /// Sentinel for "not epoch-scoped" (also what preprocessing-time exchanges
 /// record; such rows are emitted with the final summary, not per epoch).
@@ -108,6 +111,12 @@ class StatsRegistry {
   std::map<StatKey, StatValue> live_;
   std::map<std::string, StatValue> summary_;
   std::string path_;
+  /// Metrics-bridge handle cache, keyed by (name, layer, peer) — the
+  /// coordinates that survive into the metric's labels. Handle acquisition
+  /// builds strings and locks the metrics registry; with the cache, the
+  /// steady-state bridge is one map hit under `mu_` plus a lock-free
+  /// Observe. Cleared by Reset (handles die with MetricsRegistry::Reset).
+  std::map<std::tuple<std::string, int32_t, int32_t>, Histogram*> bridge_;
 };
 
 /// One-liner used by instrumentation sites: a single branch when stats

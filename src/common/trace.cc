@@ -8,8 +8,11 @@
 #include <cstring>
 #include <fstream>
 
+#include "common/flight_recorder.h"
 #include "common/kernels.h"
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/metrics_http.h"
 #include "common/stats.h"
 
 namespace ecg::obs {
@@ -100,10 +103,13 @@ void Tracer::RecordComplete(const char* name, uint32_t worker,
   e.name = name;
   e.ts_us = ts_us;
   e.dur_us = dur_us;
+  e.flow_id = 0;
   e.worker = worker;
   e.layer = layer;
+  e.peer = 0;
   e.tid = buf->tid;
   e.domain = TraceDomain::kReal;
+  e.flow = FlowPhase::kNone;
   buf->count.store(n + 1, std::memory_order_release);
 }
 
@@ -115,11 +121,38 @@ void Tracer::RecordSimSpan(const char* name, uint32_t worker, int32_t layer,
   e.name = name;
   e.ts_us = static_cast<uint64_t>(sim_start_seconds * 1e6);
   e.dur_us = static_cast<uint64_t>(sim_dur_seconds * 1e6);
+  e.flow_id = 0;
   e.worker = worker;
   e.layer = layer;
+  e.peer = 0;
   e.tid = buf->tid;
   e.domain = TraceDomain::kSim;
+  e.flow = FlowPhase::kNone;
   buf->count.store(n + 1, std::memory_order_release);
+}
+
+void Tracer::RecordFlow(FlowPhase phase, const char* name, uint32_t worker,
+                        uint32_t peer, int32_t layer, uint64_t flow_id) {
+  ThreadBuffer* buf = BufferForThisThread();
+  const uint64_t n = buf->count.load(std::memory_order_relaxed);
+  TraceEvent& e = buf->events[n % buf->events.size()];
+  e.name = name;
+  e.ts_us = NowUs();
+  e.dur_us = 0;
+  e.flow_id = flow_id;
+  e.worker = worker;
+  e.layer = layer;
+  e.peer = peer;
+  e.tid = buf->tid;
+  e.domain = TraceDomain::kReal;
+  e.flow = phase;
+  buf->count.store(n + 1, std::memory_order_release);
+}
+
+void Tracer::TagCurrentThread(uint32_t worker) {
+  ThreadBuffer* buf = BufferForThisThread();
+  std::lock_guard<std::mutex> lock(mu_);
+  worker_by_tid_[buf->tid] = worker;
 }
 
 std::vector<TraceEvent> Tracer::Snapshot() const {
@@ -170,6 +203,11 @@ Status Tracer::WriteChromeTrace(const std::string& path) const {
     return Status::Internal("cannot open trace output '" + path + "'");
   }
   const std::vector<TraceEvent> events = Snapshot();
+  std::map<uint32_t, uint32_t> worker_by_tid;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    worker_by_tid = worker_by_tid_;
+  }
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
   // Process/thread naming metadata so the two clock domains read as two
   // labelled tracks in the viewer.
@@ -188,11 +226,44 @@ Status Tracer::WriteChromeTrace(const std::string& path) const {
     if (tid >= named.size()) named.resize(tid + 1, false);
     if (!named[tid]) {
       named[tid] = true;
-      std::snprintf(buf, sizeof(buf),
-                    ",\n{\"ph\":\"M\",\"pid\":%d,\"tid\":%u,"
-                    "\"name\":\"thread_name\",\"args\":{\"name\":\"%s%u\"}}",
-                    sim ? 2 : 1, tid, sim ? "sim-worker-" : "thread-", tid);
+      // Real-time tracks tagged by SetCurrentThreadWorker become
+      // per-worker tracks ("worker-N"); untagged threads (driver, pool)
+      // keep their registration index.
+      const auto tag = worker_by_tid.find(tid);
+      if (!sim && tag != worker_by_tid.end()) {
+        std::snprintf(buf, sizeof(buf),
+                      ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":%u,"
+                      "\"name\":\"thread_name\","
+                      "\"args\":{\"name\":\"worker-%u\"}}",
+                      tid, tag->second);
+      } else {
+        std::snprintf(buf, sizeof(buf),
+                      ",\n{\"ph\":\"M\",\"pid\":%d,\"tid\":%u,"
+                      "\"name\":\"thread_name\",\"args\":{\"name\":\"%s%u\"}}",
+                      sim ? 2 : 1, tid, sim ? "sim-worker-" : "thread-", tid);
+      }
       out << buf;
+    }
+    if (e.flow != FlowPhase::kNone) {
+      // Chrome-trace flow events: "s" on the sender's track, "t" per
+      // retransmit, "f" (bp:"e" = bind to enclosing slice) on the
+      // receiver's. Viewers draw these as arrows between tracks, which is
+      // the cross-worker comm causality view. The id is hex text: 64-bit
+      // ids do not survive JSON number parsing.
+      const char ph = e.flow == FlowPhase::kStart
+                          ? 's'
+                          : e.flow == FlowPhase::kStep ? 't' : 'f';
+      std::snprintf(buf, sizeof(buf),
+                    ",\n{\"name\":\"%s\",\"cat\":\"flow\",\"ph\":\"%c\","
+                    "\"id\":\"0x%" PRIx64 "\",%s\"pid\":1,\"tid\":%u,"
+                    "\"ts\":%" PRIu64 ",\"args\":{\"worker\":%u,\"peer\":%u",
+                    e.name, ph, e.flow_id,
+                    e.flow == FlowPhase::kEnd ? "\"bp\":\"e\"," : "", tid,
+                    e.ts_us, e.worker, e.peer);
+      out << buf;
+      if (e.layer >= 0) out << ",\"layer\":" << e.layer;
+      out << "}}";
+      continue;
     }
     std::snprintf(buf, sizeof(buf),
                   ",\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
@@ -221,9 +292,40 @@ Status Tracer::Flush() const {
   return WriteChromeTrace(path);
 }
 
+namespace {
+
+thread_local int32_t t_current_worker = -1;
+
+std::mutex g_metrics_snapshot_mu;
+std::string g_metrics_snapshot_path;
+
+}  // namespace
+
+void SetCurrentThreadWorker(uint32_t worker) {
+  t_current_worker = static_cast<int32_t>(worker);
+  Tracer::Global().TagCurrentThread(worker);
+}
+
+int32_t CurrentThreadWorker() { return t_current_worker; }
+
+void SetMetricsSnapshotPath(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_metrics_snapshot_mu);
+  g_metrics_snapshot_path = path;
+}
+
 Status FlushObservability() {
   Status trace_status = Tracer::Global().Flush();
   StatsRegistry::Global().FlushAll();
+  std::string metrics_path;
+  {
+    std::lock_guard<std::mutex> lock(g_metrics_snapshot_mu);
+    metrics_path = g_metrics_snapshot_path;
+  }
+  if (!metrics_path.empty()) {
+    Status metrics_status =
+        MetricsRegistry::Global().WriteSnapshotFile(metrics_path);
+    if (trace_status.ok()) trace_status = metrics_status;
+  }
   return trace_status;
 }
 
@@ -243,10 +345,14 @@ void FlushAtExit() { (void)FlushObservability(); }
 
 int InitObservabilityFromArgs(int* argc, char** argv) {
   std::string trace_out, stats_out, trace_level, log_level, kernels;
+  std::string metrics_port, metrics_out, flight_dir;
   if (const char* env = std::getenv("ECG_TRACE_OUT")) trace_out = env;
   if (const char* env = std::getenv("ECG_STATS_OUT")) stats_out = env;
   if (const char* env = std::getenv("ECG_TRACE_LEVEL")) trace_level = env;
   if (const char* env = std::getenv("ECG_LOG_LEVEL")) log_level = env;
+  if (const char* env = std::getenv("ECG_METRICS_PORT")) metrics_port = env;
+  if (const char* env = std::getenv("ECG_METRICS_OUT")) metrics_out = env;
+  if (const char* env = std::getenv("ECG_FLIGHT_DIR")) flight_dir = env;
 
   int kept = 1;
   int consumed = 0;
@@ -255,7 +361,10 @@ int InitObservabilityFromArgs(int* argc, char** argv) {
         ConsumeFlag(argv[i], "--stats_out", &stats_out) ||
         ConsumeFlag(argv[i], "--trace_level", &trace_level) ||
         ConsumeFlag(argv[i], "--log_level", &log_level) ||
-        ConsumeFlag(argv[i], "--kernels", &kernels)) {
+        ConsumeFlag(argv[i], "--kernels", &kernels) ||
+        ConsumeFlag(argv[i], "--metrics_port", &metrics_port) ||
+        ConsumeFlag(argv[i], "--metrics_out", &metrics_out) ||
+        ConsumeFlag(argv[i], "--flight_dir", &flight_dir)) {
       ++consumed;
     } else {
       argv[kept++] = argv[i];
@@ -295,7 +404,40 @@ int InitObservabilityFromArgs(int* argc, char** argv) {
   if (level > 0) Tracer::Global().Enable(level, trace_out);
   if (!stats_out.empty()) StatsRegistry::Global().Enable(stats_out);
 
-  if (level > 0 || !stats_out.empty()) {
+  // Metrics plane: a port serves live scrapes, --metrics_out adds a CI
+  // snapshot at exit; either one turns collection on. The stats registry
+  // is brought up in memory-only mode when it is not already writing
+  // JSONL, because the stats->metrics bridge only sees Record() calls.
+  bool metrics_on = false;
+  if (!metrics_port.empty()) {
+    metrics_on = true;
+    const int port = std::atoi(metrics_port.c_str());
+    Status s = MetricsHttpServer::Global().Start(
+        static_cast<uint16_t>(port < 0 ? 0 : port));
+    if (s.ok()) {
+      ECG_LOG(Info) << "metrics exposition on http://0.0.0.0:"
+                    << MetricsHttpServer::Global().port() << "/metrics";
+    } else {
+      ECG_LOG(Warning) << "--metrics_port: " << s.ToString();
+    }
+  }
+  if (!metrics_out.empty()) {
+    metrics_on = true;
+    SetMetricsSnapshotPath(metrics_out);
+  }
+  if (metrics_on) {
+    MetricsRegistry::Global().Enable();
+    if (!StatsRegistry::Global().enabled()) {
+      StatsRegistry::Global().Enable("");
+    }
+  }
+
+  if (!flight_dir.empty()) {
+    Status s = FlightRecorder::Global().Arm(flight_dir);
+    if (!s.ok()) ECG_LOG(Warning) << "--flight_dir: " << s.ToString();
+  }
+
+  if (level > 0 || !stats_out.empty() || metrics_on) {
     static bool registered = false;
     if (!registered) {
       registered = true;

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -20,16 +21,25 @@ namespace ecg::obs {
 /// both timelines are visible side by side in Perfetto / chrome://tracing.
 enum class TraceDomain : uint8_t { kReal = 0, kSim = 1 };
 
+/// Flow-event phase for cross-worker message correlation (Chrome trace
+/// "s"/"t"/"f"): kStart on the sender when a message enters the hub,
+/// kStep on each retransmitted delivery attempt, kEnd on the receiver
+/// when the payload is accepted. kNone = an ordinary duration span.
+enum class FlowPhase : uint8_t { kNone = 0, kStart, kStep, kEnd };
+
 /// One completed span. `name` must point at storage that outlives the
 /// tracer (string literals; the recording hot path never copies).
 struct TraceEvent {
   const char* name = nullptr;
   uint64_t ts_us = 0;   // start, microseconds in the event's domain
   uint64_t dur_us = 0;  // duration, microseconds
+  uint64_t flow_id = 0; // flow binding id (flow events only)
   uint32_t worker = 0;  // simulated worker id (args.worker)
   int32_t layer = -1;   // GNN layer, -1 = not layer-scoped (args.layer)
+  uint32_t peer = 0;    // flow events: the other endpoint's worker id
   uint32_t tid = 0;     // recording thread's registration index
   TraceDomain domain = TraceDomain::kReal;
+  FlowPhase flow = FlowPhase::kNone;
 };
 
 namespace internal {
@@ -84,6 +94,14 @@ class Tracer {
   void RecordSimSpan(const char* name, uint32_t worker, int32_t layer,
                      double sim_start_seconds, double sim_dur_seconds);
 
+  /// Records an instantaneous flow event at NowUs() on the real timeline.
+  /// All events of one logical message share `flow_id`; the exporter emits
+  /// them as Chrome-trace "s"/"t"/"f" events, which viewers render as
+  /// arrows from the sender's track to the receiver's. `worker` is the
+  /// endpoint recording the event, `peer` the other endpoint.
+  void RecordFlow(FlowPhase phase, const char* name, uint32_t worker,
+                  uint32_t peer, int32_t layer, uint64_t flow_id);
+
   /// Serializes every recorded event as Chrome-trace JSON (the
   /// trace-event "X" complete-event format; loads in chrome://tracing and
   /// ui.perfetto.dev). Real spans are pid 1, simulated spans pid 2.
@@ -102,6 +120,11 @@ class Tracer {
   /// Clears events and drop counters without toggling the level.
   void Reset();
 
+  /// Associates the calling thread's tid with a simulated worker, naming
+  /// its real-time track "worker-N" in exports (SetCurrentThreadWorker
+  /// calls this; survives Reset/Enable).
+  void TagCurrentThread(uint32_t worker);
+
  private:
   Tracer() = default;
   struct ThreadBuffer;
@@ -109,6 +132,7 @@ class Tracer {
 
   mutable std::mutex mu_;  // guards buffers_ registration and export
   std::vector<ThreadBuffer*> buffers_;
+  std::map<uint32_t, uint32_t> worker_by_tid_;  // real-track names
   std::string path_;
   size_t capacity_ = kDefaultCapacity;
   std::atomic<uint64_t> epoch_gen_{0};  // bumped by Enable/Reset
@@ -163,10 +187,24 @@ class TraceScope {
   ::ecg::obs::TraceScope ECG_TRACE_CONCAT(             \
       ecg_trace_scope_, __LINE__)((name), (worker), (layer), /*level=*/2)
 
-/// Flushes both the tracer (Chrome trace, if a path was configured) and
-/// the stats registry (JSONL summary). Safe to call repeatedly; used by
-/// the CLI / bench atexit hooks.
+/// Tags the calling thread with the simulated worker it is running
+/// (SimulatedCluster::Run does this as each worker thread starts). The
+/// tag names the thread's real-time track "worker-N" in exported traces
+/// and selects the flight recorder's `flight_<worker>.json` filename.
+void SetCurrentThreadWorker(uint32_t worker);
+
+/// Worker tag of the calling thread, -1 when untagged (driver thread).
+int32_t CurrentThreadWorker();
+
+/// Flushes the tracer (Chrome trace, if a path was configured), the stats
+/// registry (JSONL summary) and the metrics snapshot file (if configured
+/// via --metrics_out). Safe to call repeatedly; used by the CLI / bench
+/// atexit hooks.
 Status FlushObservability();
+
+/// Snapshot path set by --metrics_out / ECG_METRICS_OUT ("" = none);
+/// FlushObservability writes the Prometheus text there atomically.
+void SetMetricsSnapshotPath(const std::string& path);
 
 /// Consumes the shared observability flags from (argc, argv) — recognized
 /// flags are removed in place so downstream command parsers never see
@@ -176,10 +214,17 @@ Status FlushObservability();
 ///                       detail
 ///   --stats_out=PATH    per-epoch JSONL destination (enables stats)
 ///   --log_level=LEVEL   debug | info | warning | error
+///   --metrics_port=N    serve Prometheus text on :N (0 = ephemeral);
+///                       enables the metrics plane
+///   --metrics_out=PATH  write a Prometheus text snapshot to PATH at
+///                       process exit (CI mode); enables the metrics plane
+///   --flight_dir=DIR    arm the flight recorder: crash/SIGTERM dumps
+///                       flight_<worker>.json into DIR
 /// Environment variables ECG_TRACE_OUT / ECG_TRACE_LEVEL / ECG_STATS_OUT /
-/// ECG_LOG_LEVEL supply defaults when the flag is absent. When either
-/// exporter ends up enabled, an atexit hook flushes both. Returns the
-/// number of argv entries consumed.
+/// ECG_LOG_LEVEL / ECG_METRICS_PORT / ECG_METRICS_OUT / ECG_FLIGHT_DIR
+/// supply defaults when the flag is absent. When any exporter ends up
+/// enabled, an atexit hook flushes them all. Returns the number of argv
+/// entries consumed.
 int InitObservabilityFromArgs(int* argc, char** argv);
 
 }  // namespace ecg::obs

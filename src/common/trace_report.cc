@@ -1,0 +1,227 @@
+#include "common/trace_report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "common/json_lite.h"
+
+namespace ecg::obs {
+
+namespace {
+
+constexpr uint32_t kUntagged = 0xFFFFFFFFu;
+
+uint32_t WorkerOf(const json::JsonValue& obj, const char* key) {
+  const json::JsonValue* v = obj.Find(key);
+  if (v == nullptr || !v->is_number()) return kUntagged;
+  return static_cast<uint32_t>(v->number);
+}
+
+/// Accumulates one flow marker: "s" counts on the sender→peer link as seen
+/// from the sender; "t" (retransmit) and "f" (receive) are recorded on the
+/// receiver's track, so their link is peer→worker.
+void AddFlow(TraceReport* report, const std::string& ph, uint32_t worker,
+             uint32_t peer) {
+  if (worker == kUntagged || peer == kUntagged) return;
+  if (ph == "s") {
+    report->links[{worker, peer}].sends++;
+  } else if (ph == "t") {
+    report->links[{peer, worker}].retransmits++;
+  } else if (ph == "f") {
+    report->links[{peer, worker}].receives++;
+  }
+}
+
+Status ParseChromeTrace(const json::JsonValue& root, TraceReport* report) {
+  report->source = "chrome_trace";
+  const json::JsonValue* events = root.Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return Status::InvalidArgument("trace has no traceEvents array");
+  }
+  for (const json::JsonValue& e : events->array) {
+    if (!e.is_object()) continue;
+    const std::string ph = e.GetString("ph", "");
+    const std::string name = e.GetString("name", "");
+    const json::JsonValue* args = e.Find("args");
+    const uint32_t worker =
+        args != nullptr && args->is_object() ? WorkerOf(*args, "worker")
+                                             : kUntagged;
+    if (ph == "X") {
+      const std::string cat = e.GetString("cat", "");
+      const double seconds = e.GetNumber("dur", 0.0) / 1e6;
+      if (cat == "sim") {
+        report->sim_phase_seconds[{worker, name}] += seconds;
+      } else if (cat == "real") {
+        report->real_span_seconds[{worker, name}] += seconds;
+      }
+    } else if (ph == "s" || ph == "t" || ph == "f") {
+      const uint32_t peer = args != nullptr && args->is_object()
+                                ? WorkerOf(*args, "peer")
+                                : kUntagged;
+      AddFlow(report, ph, worker, peer);
+    }
+  }
+  return Status::OK();
+}
+
+Status ParseFlightDump(const json::JsonValue& root, TraceReport* report) {
+  report->source = "flight";
+  report->reason = root.GetString("reason", "");
+  report->commit = root.GetString("commit", "");
+  const json::JsonValue* spans = root.Find("spans");
+  if (spans == nullptr || !spans->is_array()) {
+    return Status::InvalidArgument("flight dump has no spans array");
+  }
+  for (const json::JsonValue& s : spans->array) {
+    if (!s.is_object()) continue;
+    const std::string name = s.GetString("name", "");
+    const uint32_t worker = WorkerOf(s, "worker");
+    const std::string flow = s.GetString("flow", "");
+    if (!flow.empty()) {
+      AddFlow(report, flow, worker, WorkerOf(s, "peer"));
+      continue;
+    }
+    const double seconds = s.GetNumber("dur_us", 0.0) / 1e6;
+    if (s.GetString("domain", "") == "sim") {
+      report->sim_phase_seconds[{worker, name}] += seconds;
+    } else {
+      report->real_span_seconds[{worker, name}] += seconds;
+    }
+  }
+  const json::JsonValue* sections = root.Find("sections");
+  if (sections != nullptr && sections->is_object()) {
+    const json::JsonValue* counters = sections->Find("fault_counters");
+    if (counters != nullptr && counters->is_object()) {
+      for (const auto& [key, value] : counters->object) {
+        if (value.is_number()) report->fault_counters[key] = value.number;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+// ---- formatting ----------------------------------------------------------
+
+using PhaseTable = std::map<std::pair<uint32_t, std::string>, double>;
+
+std::string WorkerHeading(uint32_t worker) {
+  return worker == kUntagged ? "other" : "w" + std::to_string(worker);
+}
+
+/// phase × worker seconds table, phases sorted by total descending so the
+/// dominant cost is the first row.
+void AppendPhaseTable(std::string* out, const std::string& title,
+                      const PhaseTable& table) {
+  if (table.empty()) return;
+  std::set<uint32_t> workers;
+  std::map<std::string, double> totals;
+  for (const auto& [key, seconds] : table) {
+    workers.insert(key.first);
+    totals[key.second] += seconds;
+  }
+  std::vector<std::pair<std::string, double>> order(totals.begin(),
+                                                    totals.end());
+  std::stable_sort(order.begin(), order.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second > b.second;
+                   });
+
+  char buf[64];
+  *out += title + "\n";
+  *out += "  " + std::string(22, ' ');
+  for (uint32_t w : workers) {
+    std::snprintf(buf, sizeof(buf), "%10s", WorkerHeading(w).c_str());
+    *out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%12s\n", "total");
+  *out += buf;
+  for (const auto& [phase, total] : order) {
+    std::snprintf(buf, sizeof(buf), "  %-22.22s", phase.c_str());
+    *out += buf;
+    for (uint32_t w : workers) {
+      const auto it = table.find({w, phase});
+      std::snprintf(buf, sizeof(buf), "%10.4f",
+                    it == table.end() ? 0.0 : it->second);
+      *out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "%12.4f\n", total);
+    *out += buf;
+  }
+  *out += "\n";
+}
+
+}  // namespace
+
+Result<TraceReport> BuildTraceReport(const std::string& json_text) {
+  json::JsonValue root;
+  ECG_ASSIGN_OR_RETURN(root, json::Parse(json_text));
+  if (!root.is_object()) {
+    return Status::InvalidArgument("artefact root is not a JSON object");
+  }
+  TraceReport report;
+  if (root.Find("traceEvents") != nullptr) {
+    ECG_RETURN_IF_ERROR(ParseChromeTrace(root, &report));
+  } else if (root.Find("spans") != nullptr) {
+    ECG_RETURN_IF_ERROR(ParseFlightDump(root, &report));
+  } else {
+    return Status::InvalidArgument(
+        "unrecognized artefact: neither a Chrome trace (traceEvents) nor "
+        "a flight dump (spans)");
+  }
+  return report;
+}
+
+std::string FormatTraceReport(const TraceReport& report) {
+  std::string out = "source: " + report.source;
+  if (!report.reason.empty()) out += "  reason: " + report.reason;
+  if (!report.commit.empty()) out += "  commit: " + report.commit;
+  out += "\n\n";
+
+  // Roll the sim phases up into the three-way split first: charged comm,
+  // barrier stall, and wire time hidden under compute.
+  std::map<std::pair<uint32_t, std::string>, double> rollup;
+  for (const auto& [key, seconds] : report.sim_phase_seconds) {
+    const std::string& phase = key.second;
+    const char* bucket = phase == "barrier_stall"
+                             ? "stall"
+                             : phase == "overlap_hidden" ? "hidden" : "comm";
+    rollup[{key.first, bucket}] += seconds;
+  }
+  AppendPhaseTable(&out, "sim clock — comm vs stall vs hidden (s):", rollup);
+  AppendPhaseTable(&out, "sim clock — by phase (s):",
+                   report.sim_phase_seconds);
+  AppendPhaseTable(&out, "real clock — by span (s):",
+                   report.real_span_seconds);
+
+  if (!report.links.empty()) {
+    out += "message flows (from flow events):\n";
+    out += "  link            sends     retransmits   receives\n";
+    char buf[96];
+    for (const auto& [link, flow] : report.links) {
+      std::snprintf(buf, sizeof(buf),
+                    "  %2u -> %-2u   %10llu  %12llu %10llu\n", link.first,
+                    link.second,
+                    static_cast<unsigned long long>(flow.sends),
+                    static_cast<unsigned long long>(flow.retransmits),
+                    static_cast<unsigned long long>(flow.receives));
+      out += buf;
+    }
+    out += "\n";
+  }
+
+  if (!report.fault_counters.empty()) {
+    out += "fault counters:\n";
+    char buf[96];
+    for (const auto& [name, value] : report.fault_counters) {
+      std::snprintf(buf, sizeof(buf), "  %-22.22s %14.0f\n", name.c_str(),
+                    value);
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ecg::obs

@@ -1,0 +1,57 @@
+#ifndef ECGRAPH_COMMON_TRACE_REPORT_H_
+#define ECGRAPH_COMMON_TRACE_REPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace ecg::obs {
+
+/// Offline digest of one observability artefact — either a Chrome trace
+/// written by the tracer (`--trace=`) or a flight-recorder dump
+/// (`flight_<worker>.json`). Built by `ecgraph trace-report` so a run can
+/// be triaged without loading the file into a trace viewer.
+struct TraceReport {
+  /// "chrome_trace" or "flight".
+  std::string source;
+  /// Flight dumps carry their crash context; empty for Chrome traces.
+  std::string reason;
+  std::string commit;
+
+  /// Simulated seconds per (worker, phase name). Phases named
+  /// "barrier_stall" are stall time, "overlap_hidden" is wire time hidden
+  /// under compute; everything else sim-domain is charged communication.
+  std::map<std::pair<uint32_t, std::string>, double> sim_phase_seconds;
+  /// Real (measured CPU) seconds per (worker, span name) — the compute
+  /// side of the breakdown. Spans on untagged threads land on worker
+  /// 0xFFFFFFFF ("-").
+  std::map<std::pair<uint32_t, std::string>, double> real_span_seconds;
+
+  /// Message-flow accounting per directed link sender→receiver:
+  /// {sends ("s"), retransmits ("t"), receives ("f")}. A link whose
+  /// retransmits > 0 saw NACK/retry traffic; sends > receives means
+  /// messages were still in flight (or lost) when the artefact was cut.
+  struct LinkFlow {
+    uint64_t sends = 0;
+    uint64_t retransmits = 0;
+    uint64_t receives = 0;
+  };
+  std::map<std::pair<uint32_t, uint32_t>, LinkFlow> links;
+
+  /// Fault counters copied from a flight dump's "fault_counters" section
+  /// (empty for Chrome traces or fault-free runs).
+  std::map<std::string, double> fault_counters;
+};
+
+/// Parses `json_text` (auto-detecting the artefact kind) into a report.
+Result<TraceReport> BuildTraceReport(const std::string& json_text);
+
+/// Renders the report as the aligned text tables the CLI prints.
+std::string FormatTraceReport(const TraceReport& report);
+
+}  // namespace ecg::obs
+
+#endif  // ECGRAPH_COMMON_TRACE_REPORT_H_

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <memory>
 
+#include "common/flight_recorder.h"
 #include "common/logging.h"
 #include "common/stats.h"
 #include "common/thread_pool.h"
@@ -230,6 +231,13 @@ Result<TrainResult> DistributedTrainer::Train() {
         }
         ctx->BarrierSync();
         if (crash_pending.load(std::memory_order_relaxed)) {
+          if (ctx->worker_id() == 0 &&
+              obs::FlightRecorder::Global().armed()) {
+            // Post-mortem of the pre-crash state, before the restore
+            // rewinds it. Failure to dump must not fail the recovery.
+            (void)obs::FlightRecorder::Global().DumpNow(
+                "injected_crash", "epoch=" + std::to_string(epoch));
+          }
           ECG_RETURN_IF_ERROR(restore_checkpoint());
           ctx->BarrierSync();
           if (ctx->worker_id() == 0) {

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/stats.h"
+#include "common/trace.h"
 
 namespace ecg::dist {
 
@@ -129,6 +130,9 @@ Status SimulatedCluster::Run(
   threads.reserve(num_workers_);
   for (uint32_t w = 0; w < num_workers_; ++w) {
     threads.emplace_back([&, w] {
+      // Names this thread's real-time trace track "worker-N" and routes a
+      // flight-recorder dump from this thread to flight_<N>.json.
+      obs::SetCurrentThreadWorker(w);
       Status s = worker_fn(&contexts[w]);
       if (!s.ok()) {
         std::lock_guard<std::mutex> lock(error_mu);

@@ -7,10 +7,31 @@
 #include "common/bytes.h"
 #include "common/crc32c.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/stats.h"
+#include "common/trace.h"
 
 namespace ecg::dist {
 namespace {
+
+/// Flow-event id shared by every trace event of one logical message:
+/// splitmix64 over (tag, from, to). Retransmit attempts keep the same id —
+/// they are steps of the same flow, which is exactly how a retry storm
+/// should render in the viewer.
+uint64_t FlowId(uint32_t from, uint32_t to, uint64_t tag) {
+  uint64_t x = tag + 0x9E3779B97F4A7C15ull * (1 + from) +
+               0xBF58476D1CE4E5B9ull * (1 + to);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+int32_t FlowLayer(uint64_t tag) {
+  return static_cast<int32_t>(MessageHub::TagLayer(tag));
+}
 
 /// Deterministic bit corruption for the kCorrupt fault: flips one bit in
 /// the payload region (past the header, so the CRC — not the field checks —
@@ -144,6 +165,25 @@ void MessageHub::Send(uint32_t from, uint32_t to, uint64_t tag,
       << "Send worker id out of range: from=" << from << " to=" << to
       << " parties=" << parties_;
   stats_.RecordSend(from, to, payload.size());
+  if (obs::TraceEnabled(1)) {
+    obs::Tracer::Global().RecordFlow(obs::FlowPhase::kStart, "msg", from, to,
+                                     FlowLayer(tag), FlowId(from, to, tag));
+  }
+  if (obs::MetricsEnabled()) {
+    std::atomic<obs::Counter*>& slot =
+        sent_counters_[static_cast<size_t>(from) * parties_ + to];
+    obs::Counter* counter = slot.load(std::memory_order_acquire);
+    if (counter == nullptr) {
+      // Racing acquirers get the same cell back from the registry, so the
+      // last store wins harmlessly.
+      counter = obs::MetricsRegistry::Global().GetCounter(
+          "ecg_hub_sent_bytes_total",
+          "Payload bytes entering the hub, by sender and peer.",
+          {{"worker", std::to_string(from)}, {"peer", std::to_string(to)}});
+      slot.store(counter, std::memory_order_release);
+    }
+    counter->Inc(static_cast<double>(payload.size()));
+  }
   Mailbox& box = boxes_[to];
   if (injector_ == nullptr) {
     // Fault-free fast path: raw payload, no framing, no copies retained.
@@ -211,6 +251,10 @@ std::vector<uint8_t> MessageHub::Recv(uint32_t to, uint32_t from,
   auto it = box.messages.find(key);
   std::vector<uint8_t> payload = std::move(it->second.front().bytes);
   box.messages.erase(it);
+  if (obs::TraceEnabled(1)) {
+    obs::Tracer::Global().RecordFlow(obs::FlowPhase::kEnd, "msg", to, from,
+                                     FlowLayer(tag), FlowId(from, to, tag));
+  }
   return payload;
 }
 
@@ -282,6 +326,11 @@ Status MessageHub::ResolveFramedLocked(Mailbox& box,
         // the retransmit buffer.
         box.messages.erase(key);
         box.retained.erase(key);
+        if (obs::TraceEnabled(1)) {
+          obs::Tracer::Global().RecordFlow(obs::FlowPhase::kEnd, "msg", to,
+                                           from, FlowLayer(tag),
+                                           FlowId(from, to, tag));
+        }
         return Status::OK();
       }
       ECG_LOG(Debug) << "TryRecv attempt " << attempt
@@ -317,14 +366,39 @@ Status MessageHub::ResolveFramedLocked(Mailbox& box,
           << "retransmit buffer missing for from=" << from << " tag=" << tag;
       rit->second.last_attempt = attempt;
       counters.retried.fetch_add(1, std::memory_order_relaxed);
+      counters.nacks.fetch_add(1, std::memory_order_relaxed);
       obs::RecordStat("fault.retried", 1.0, TagEpoch(tag), TagLayer(tag),
                       static_cast<int32_t>(from));
-      oc.penalty_seconds += injector_->retry_backoff_seconds();
+      obs::RecordStat("fault.nack", 1.0, TagEpoch(tag), TagLayer(tag),
+                      static_cast<int32_t>(from));
+      const double backoff = injector_->retry_backoff_seconds();
+      oc.penalty_seconds += backoff;
       std::vector<uint8_t> frame =
           FrameEnvelope(tag, attempt,
                         std::vector<uint8_t>(
                             rit->second.frame.begin() + kEnvelopeBytes,
                             rit->second.frame.end()));
+      counters.retransmit_bytes.fetch_add(frame.size(),
+                                          std::memory_order_relaxed);
+      obs::RecordStat("fault.retransmit_bytes",
+                      static_cast<double>(frame.size()), TagEpoch(tag),
+                      TagLayer(tag), static_cast<int32_t>(from));
+      if (obs::MetricsEnabled()) {
+        // Per-link backoff distribution: the retry-storm signal the chaos
+        // bench watches (worker = receiver issuing the NACK).
+        obs::MetricsRegistry::Global()
+            .GetHistogram(
+                "ecg_fault_backoff_seconds",
+                "Simulated retry backoff charged per NACK, per link.",
+                {{"worker", std::to_string(to)},
+                 {"peer", std::to_string(from)}})
+            ->Observe(backoff);
+      }
+      if (obs::TraceEnabled(1)) {
+        obs::Tracer::Global().RecordFlow(obs::FlowPhase::kStep, "msg", to,
+                                         from, FlowLayer(tag),
+                                         FlowId(from, to, tag));
+      }
       DeliverAttempt(box, from, to, tag, attempt, frame);
     }
   }
@@ -366,6 +440,11 @@ Status MessageHub::TryRecvAny(uint32_t to,
       *from_out = from;
       *out = std::move(it->second.front().bytes);
       box.messages.erase(it);
+      if (obs::TraceEnabled(1)) {
+        obs::Tracer::Global().RecordFlow(obs::FlowPhase::kEnd, "msg", to,
+                                         from, FlowLayer(tag),
+                                         FlowId(from, to, tag));
+      }
       return Status::OK();
     }
     ECG_CHECK(false) << "TryRecvAny woke without a ready peer";

@@ -1,6 +1,7 @@
 #ifndef ECGRAPH_DIST_COMM_H_
 #define ECGRAPH_DIST_COMM_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -9,6 +10,10 @@
 
 #include "common/status.h"
 #include "dist/fault.h"
+
+namespace ecg::obs {
+class Counter;  // common/metrics.h; Send caches per-link handles to it
+}  // namespace ecg::obs
 
 namespace ecg::dist {
 
@@ -89,7 +94,8 @@ struct RecvOutcome {
 class MessageHub {
  public:
   explicit MessageHub(uint32_t parties)
-      : parties_(parties), boxes_(parties), stats_(parties) {}
+      : parties_(parties), boxes_(parties), stats_(parties),
+        sent_counters_(static_cast<size_t>(parties) * parties) {}
 
   MessageHub(const MessageHub&) = delete;
   MessageHub& operator=(const MessageHub&) = delete;
@@ -248,6 +254,11 @@ class MessageHub {
   std::vector<Mailbox> boxes_;
   CommStats stats_;
   FaultInjector* injector_ = nullptr;
+  /// Lazily acquired `ecg_hub_sent_bytes_total{worker,peer}` handles, one
+  /// per directed link (parties² cells). Acquisition locks the metrics
+  /// registry and builds label strings; caching keeps the per-Send cost at
+  /// one relaxed load plus a lock-free Inc.
+  mutable std::vector<std::atomic<obs::Counter*>> sent_counters_;
 };
 
 }  // namespace ecg::dist

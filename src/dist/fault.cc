@@ -2,7 +2,9 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
+#include "common/flight_recorder.h"
 #include "common/logging.h"
 #include "dist/comm.h"
 
@@ -279,6 +281,30 @@ std::atomic<FaultInjector*> g_fault_injector{nullptr};
 }  // namespace internal
 
 FaultInjector* SetGlobalFaultInjector(FaultInjector* injector) {
+  // The flight recorder's "fault_counters" dump section always reads
+  // whatever injector is installed at crash time (dependency inversion:
+  // common/ cannot see dist/, so dist/ registers the section).
+  obs::FlightRecorder::Global().AddSection("fault_counters", [] {
+    FaultInjector* current = GlobalFaultInjector();
+    if (current == nullptr) return std::string("null");
+    const FaultCounters& c = current->counters();
+    auto u64 = [](const std::atomic<uint64_t>& v) {
+      return std::to_string(v.load(std::memory_order_relaxed));
+    };
+    return std::string("{") + "\"dropped\":" + u64(c.dropped) +
+           ",\"corrupted\":" + u64(c.corrupted) +
+           ",\"duplicated\":" + u64(c.duplicated) +
+           ",\"delayed\":" + u64(c.delayed) +
+           ",\"retried\":" + u64(c.retried) + ",\"nacks\":" + u64(c.nacks) +
+           ",\"retransmit_bytes\":" + u64(c.retransmit_bytes) +
+           ",\"lost\":" + u64(c.lost) +
+           ",\"degraded_pdt\":" + u64(c.degraded_pdt) +
+           ",\"degraded_stale\":" + u64(c.degraded_stale) +
+           ",\"degraded_resec\":" + u64(c.degraded_resec) +
+           ",\"crashes\":" + u64(c.crashes) +
+           ",\"checkpoints\":" + u64(c.checkpoints) +
+           ",\"restores\":" + u64(c.restores) + "}";
+  });
   return internal::g_fault_injector.exchange(injector,
                                              std::memory_order_acq_rel);
 }

@@ -74,6 +74,9 @@ struct FaultCounters {
   std::atomic<uint64_t> duplicated{0};
   std::atomic<uint64_t> delayed{0};
   std::atomic<uint64_t> retried{0};
+  std::atomic<uint64_t> nacks{0};             // NACKs sent (= retransmit
+                                              // requests issued)
+  std::atomic<uint64_t> retransmit_bytes{0};  // framed bytes re-sent on NACK
   std::atomic<uint64_t> lost{0};            // all retries exhausted
   std::atomic<uint64_t> degraded_pdt{0};    // FP fell back to prediction
   std::atomic<uint64_t> degraded_stale{0};  // FP kept stale halo rows

@@ -1,0 +1,201 @@
+#include "common/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/json_lite.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace ecg::obs {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return "";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    FlightRecorder::Global().Disarm();
+    Tracer::Global().Disable();
+    MetricsRegistry::Global().Disable();
+    MetricsRegistry::Global().Reset();
+  }
+};
+
+TEST_F(FlightRecorderTest, UnarmedDumpIsError) {
+  FlightRecorder::Global().Disarm();
+  auto res = FlightRecorder::Global().DumpNow("manual");
+  EXPECT_FALSE(res.ok());
+}
+
+TEST_F(FlightRecorderTest, ArmRejectsEmptyDir) {
+  EXPECT_FALSE(FlightRecorder::Global().Arm("").ok());
+}
+
+TEST_F(FlightRecorderTest, DumpNowRoundTripsThroughJson) {
+  const std::string dir = ::testing::TempDir() + "/flight_rt";
+  MetricsRegistry::Global().Enable();
+  MetricsRegistry::Global().GetCounter("ecg_rt_total", "h")->Inc(5);
+
+  ASSERT_TRUE(FlightRecorder::Global().Arm(dir, /*last_n_spans=*/16).ok());
+  ASSERT_TRUE(TraceEnabled(1));  // Arm turned on snapshot-only tracing
+
+  Tracer::Global().RecordComplete("unit_phase", /*worker=*/2, /*layer=*/1,
+                                  /*ts_us=*/10, /*dur_us=*/5);
+  Tracer::Global().RecordFlow(FlowPhase::kStart, "halo_msg", /*worker=*/0,
+                              /*peer=*/1, /*layer=*/-1, /*flow_id=*/0xabcd);
+  FlightRecorder::Global().AddSection("unit", [] {
+    return std::string("{\"x\":42}");
+  });
+
+  auto res =
+      FlightRecorder::Global().DumpNow("manual", "detail \"quoted\" text");
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  // Driver thread is untagged -> worker "main" in the filename.
+  EXPECT_NE(res->find("flight_main.json"), std::string::npos);
+
+  auto doc = json::Parse(ReadFile(*res));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->GetString("reason"), "manual");
+  EXPECT_EQ(doc->GetString("detail"), "detail \"quoted\" text");
+  EXPECT_EQ(doc->GetNumber("worker"), -1);
+  EXPECT_FALSE(doc->GetString("commit").empty());
+  EXPECT_FALSE(doc->GetString("kernel_variant").empty());
+
+  // The recorded spans survive the round-trip with their coordinates.
+  const json::JsonValue* spans = doc->Find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_TRUE(spans->is_array());
+  bool saw_phase = false, saw_flow = false;
+  for (const auto& s : spans->array) {
+    if (s.GetString("name") == "unit_phase") {
+      saw_phase = true;
+      EXPECT_EQ(s.GetString("domain"), "real");
+      EXPECT_EQ(s.GetNumber("worker"), 2);
+      EXPECT_EQ(s.GetNumber("layer"), 1);
+      EXPECT_EQ(s.GetNumber("dur_us"), 5);
+    }
+    if (s.GetString("name") == "halo_msg") {
+      saw_flow = true;
+      EXPECT_EQ(s.GetString("flow"), "s");
+      EXPECT_EQ(s.GetString("flow_id"), "0xabcd");
+      EXPECT_EQ(s.GetNumber("peer"), 1);
+    }
+  }
+  EXPECT_TRUE(saw_phase);
+  EXPECT_TRUE(saw_flow);
+
+  // The metrics snapshot is embedded as escaped Prometheus text.
+  EXPECT_NE(doc->GetString("metrics_text").find("ecg_rt_total 5"),
+            std::string::npos);
+
+  // Registered sections are inlined as raw JSON values.
+  const json::JsonValue* sections = doc->Find("sections");
+  ASSERT_NE(sections, nullptr);
+  const json::JsonValue* unit = sections->Find("unit");
+  ASSERT_NE(unit, nullptr);
+  EXPECT_EQ(unit->GetNumber("x"), 42);
+}
+
+TEST_F(FlightRecorderTest, AddSectionReplacesByName) {
+  const std::string dir = ::testing::TempDir() + "/flight_sec";
+  ASSERT_TRUE(FlightRecorder::Global().Arm(dir).ok());
+  FlightRecorder::Global().AddSection("dup", [] {
+    return std::string("{\"v\":1}");
+  });
+  FlightRecorder::Global().AddSection("dup", [] {
+    return std::string("{\"v\":2}");
+  });
+  auto res = FlightRecorder::Global().DumpNow("manual");
+  ASSERT_TRUE(res.ok());
+  auto doc = json::Parse(ReadFile(*res));
+  ASSERT_TRUE(doc.ok());
+  const json::JsonValue* sections = doc->Find("sections");
+  ASSERT_NE(sections, nullptr);
+  int dup_keys = 0;
+  for (const auto& [key, value] : sections->object) {
+    if (key == "dup") ++dup_keys;
+  }
+  EXPECT_EQ(dup_keys, 1);
+  EXPECT_EQ(sections->Find("dup")->GetNumber("v"), 2);
+}
+
+TEST_F(FlightRecorderTest, SpanRingKeepsOnlyLastN) {
+  const std::string dir = ::testing::TempDir() + "/flight_ring";
+  ASSERT_TRUE(FlightRecorder::Global().Arm(dir, /*last_n_spans=*/4).ok());
+  for (int i = 0; i < 32; ++i) {
+    Tracer::Global().RecordComplete("ring_span", 0, -1, i * 10, 1);
+  }
+  auto res = FlightRecorder::Global().DumpNow("manual");
+  ASSERT_TRUE(res.ok());
+  auto doc = json::Parse(ReadFile(*res));
+  ASSERT_TRUE(doc.ok());
+  const json::JsonValue* spans = doc->Find("spans");
+  ASSERT_NE(spans, nullptr);
+  EXPECT_LE(spans->array.size(), 4u);
+  // The survivors are the most recent spans.
+  for (const auto& s : spans->array) {
+    EXPECT_GE(s.GetNumber("ts_us"), 28 * 10);
+  }
+}
+
+// ---- death tests: the dump happens on the way down ------------------------
+
+using FlightRecorderDeathTest = FlightRecorderTest;
+
+TEST_F(FlightRecorderDeathTest, CheckAbortWritesWellFormedDump) {
+  const std::string dir = ::testing::TempDir() + "/flight_death";
+  const std::string path = dir + "/flight_main.json";
+  std::remove(path.c_str());
+
+  EXPECT_DEATH(
+      {
+        ECG_CHECK(FlightRecorder::Global().Arm(dir, 32).ok());
+        ECG_CHECK(false) << "boom from death test";
+      },
+      "boom from death test");
+
+  // The child process dumped before aborting; validate from the parent.
+  const std::string text = ReadFile(path);
+  ASSERT_FALSE(text.empty()) << "no flight dump at " << path;
+  auto doc = json::Parse(text);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->GetString("reason"), "check_abort");
+  EXPECT_NE(doc->GetString("detail").find("boom from death test"),
+            std::string::npos);
+  EXPECT_NE(doc->Find("spans"), nullptr);
+  EXPECT_NE(doc->Find("sections"), nullptr);
+  EXPECT_FALSE(doc->GetString("commit").empty());
+}
+
+TEST_F(FlightRecorderDeathTest, SigtermWritesDumpThenDies) {
+  const std::string dir = ::testing::TempDir() + "/flight_sigterm";
+  const std::string path = dir + "/flight_main.json";
+  std::remove(path.c_str());
+
+  EXPECT_EXIT(
+      {
+        ECG_CHECK(FlightRecorder::Global().Arm(dir, 32).ok());
+        std::raise(SIGTERM);
+      },
+      ::testing::KilledBySignal(SIGTERM), "");
+
+  auto doc = json::Parse(ReadFile(path));
+  ASSERT_TRUE(doc.ok()) << "no valid flight dump at " << path;
+  EXPECT_EQ(doc->GetString("reason"), "sigterm");
+}
+
+}  // namespace
+}  // namespace ecg::obs

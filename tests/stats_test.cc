@@ -130,13 +130,19 @@ TEST_F(StatsTest, FlushAllWritesEpochRowsThenSummaryToFile) {
   ASSERT_TRUE(in.good());
   std::vector<std::string> lines;
   for (std::string line; std::getline(in, line);) lines.push_back(line);
-  ASSERT_EQ(lines.size(), 6u);  // 3 epoch rows + 3 summary rows
+  ASSERT_EQ(lines.size(), 7u);  // header + 3 epoch rows + 3 summary rows
+  // The file opens with a run-identity header stamping commit, kernel
+  // variant and thread count.
+  EXPECT_NE(lines[0].find("\"header\":true"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"commit\":\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"kernels\":\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"threads\":"), std::string::npos);
   // Epoch-major key order: epoch 1 flushes before epoch 2, sentinel
   // (kNoEpoch) rows last before the summaries.
-  EXPECT_NE(lines[0].find("\"epoch\":1,\"name\":\"b\""), std::string::npos);
-  EXPECT_NE(lines[1].find("\"epoch\":2,\"name\":\"a\""), std::string::npos);
-  EXPECT_NE(lines[2].find("\"name\":\"pre\""), std::string::npos);
-  for (size_t i = 3; i < 6; ++i) {
+  EXPECT_NE(lines[1].find("\"epoch\":1,\"name\":\"b\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"epoch\":2,\"name\":\"a\""), std::string::npos);
+  EXPECT_NE(lines[3].find("\"name\":\"pre\""), std::string::npos);
+  for (size_t i = 4; i < 7; ++i) {
     EXPECT_NE(lines[i].find("\"summary\":true"), std::string::npos) << i;
   }
   // Every row is a single JSON object on its own line.

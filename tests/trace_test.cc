@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cctype>
 #include <cstdio>
@@ -13,7 +14,10 @@
 #include <string>
 #include <vector>
 
+#include "common/json_lite.h"
 #include "common/thread_pool.h"
+#include "dist/comm.h"
+#include "dist/fault.h"
 
 // Allocation counter for the zero-allocation check: the disabled tracer
 // hot path must be a branch, never a malloc. Counting in the test binary's
@@ -330,6 +334,72 @@ TEST_F(TraceTest, ChromeTraceExportIsWellFormedJson) {
   EXPECT_NE(text.find("\"cat\":\"real\",\"ph\":\"X\",\"pid\":1"),
             std::string::npos);
   std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, FaultyHubEmitsFlowEventsWithRetransmitSteps) {
+  const std::string path = ::testing::TempDir() + "/ecg_flow_trace.json";
+  Tracer::Global().Enable(1, path);
+
+  // Deterministic schedule: half the delivery attempts drop, so some
+  // messages need a NACK/retransmit round and almost all still arrive.
+  auto injector = dist::FaultInjector::Parse("drop=0.5,seed=3");
+  ASSERT_TRUE(injector.ok());
+  dist::MessageHub hub(2);
+  hub.set_fault_injector(&*injector);
+
+  constexpr int kMessages = 64;
+  int received = 0;
+  for (int m = 0; m < kMessages; ++m) {
+    const uint64_t tag = dist::MessageHub::MakeTag(/*epoch=*/0,
+                                                   /*layer=*/m, /*kind=*/7);
+    hub.Send(0, 1, tag, std::vector<uint8_t>(16, static_cast<uint8_t>(m)));
+    std::vector<uint8_t> out;
+    if (hub.TryRecv(1, 0, tag, &out).ok()) {
+      ++received;
+      EXPECT_EQ(out.size(), 16u);
+    }
+  }
+  ASSERT_GT(received, 0);
+  EXPECT_GE(injector->counters().nacks.load(), 1u);
+  ASSERT_TRUE(Tracer::Global().Flush().ok());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto doc = json::Parse(buffer.str());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const json::JsonValue* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  // Collect flow ids by phase: "s" on the sender, "t" per retransmit,
+  // "f" on the receiver when the payload is accepted.
+  std::vector<std::string> starts, steps, ends;
+  for (const auto& e : events->array) {
+    const std::string ph = e.GetString("ph");
+    if (ph != "s" && ph != "t" && ph != "f") continue;
+    EXPECT_EQ(e.GetString("cat"), "flow");
+    const std::string id = e.GetString("id");
+    EXPECT_FALSE(id.empty());
+    const json::JsonValue* args = e.Find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_NE(args->Find("worker"), nullptr);
+    EXPECT_NE(args->Find("peer"), nullptr);
+    if (ph == "s") starts.push_back(id);
+    if (ph == "t") steps.push_back(id);
+    if (ph == "f") ends.push_back(id);
+  }
+  EXPECT_EQ(starts.size(), static_cast<size_t>(kMessages));
+  EXPECT_EQ(ends.size(), static_cast<size_t>(received));
+  EXPECT_GE(steps.size(), 1u) << "no retransmit step under drop=0.5";
+  // Every step/end binds to a flow some send started: that is what makes
+  // the viewer draw sender->receiver arrows.
+  auto in_starts = [&starts](const std::string& id) {
+    return std::find(starts.begin(), starts.end(), id) != starts.end();
+  };
+  for (const auto& id : steps) EXPECT_TRUE(in_starts(id)) << id;
+  for (const auto& id : ends) EXPECT_TRUE(in_starts(id)) << id;
 }
 
 TEST_F(TraceTest, InitFromArgsStripsFlagsInPlace) {

@@ -12,17 +12,22 @@
 //       fp_bits, bp_bits, adapt(0|1), partitioner(hash|metis|streaming),
 //       patience, lr, overlap(on|off), int8_gemm(on|off),
 //       checkpoint_every, checkpoint_dir.
+//   ecgraph trace-report <trace.json|flight_N.json>
+//       Offline phase/peer breakdown of a Chrome trace or flight dump.
 //
 // Exit code 0 on success; errors print the Status and exit 1.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/trace.h"
+#include "common/trace_report.h"
 #include "core/halo.h"
 #include "core/trainer.h"
 #include "dist/fault.h"
@@ -221,14 +226,30 @@ int CmdTrain(const std::string& name,
   return 0;
 }
 
+int CmdTraceReport(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Fail(Status::NotFound("cannot open artefact '" + path + "'"));
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto report = ecg::obs::BuildTraceReport(text.str());
+  if (!report.ok()) return Fail(report.status());
+  std::fputs(ecg::obs::FormatTraceReport(*report).c_str(), stdout);
+  return 0;
+}
+
 void Usage() {
   std::fprintf(stderr,
-               "usage: ecgraph <info|generate|partition|train> ...\n"
+               "usage: ecgraph <info|generate|partition|train|trace-report>"
+               " ...\n"
                "  info <dataset|file.ecg>\n"
                "  generate <dataset> <out.ecg>\n"
                "  partition <dataset|file.ecg> <workers> "
                "[hash|metis|streaming]\n"
                "  train <dataset|file.ecg> [key=value ...]\n"
+               "  trace-report <trace.json|flight_N.json>   offline "
+               "compute/comm/stall + per-link retry breakdown\n"
                "\n"
                "train scheduling:\n"
                "  overlap=on|off      split-phase halo exchange overlapped "
@@ -263,6 +284,14 @@ void Usage() {
                "--trace_out), 2=+codec detail\n"
                "  --stats_out=PATH    per-epoch JSONL of compression/"
                "timing stats\n"
+               "  --metrics_port=N    serve live Prometheus text on "
+               "http://0.0.0.0:N/metrics (0 = ephemeral)\n"
+               "  --metrics_out=PATH  write one Prometheus snapshot at "
+               "exit (CI-friendly scrapeless mode)\n"
+               "  --flight_dir=DIR    arm the crash flight recorder; "
+               "aborts/SIGTERM/injected crashes dump\n"
+               "                      flight_<worker>.json (spans + metrics "
+               "+ fault counters) into DIR\n"
                "  --log_level=LEVEL   debug|info|warning|error\n"
                "\n"
                "fault-injection flags (chaos testing the halo exchange):\n"
@@ -307,6 +336,7 @@ int main(int argc, char** argv) {
   if (cmd == "train" && argc >= 3) {
     return CmdTrain(argv[2], ParseKv(argc, argv, 3));
   }
+  if (cmd == "trace-report" && argc >= 3) return CmdTraceReport(argv[2]);
   Usage();
   return 1;
 }
