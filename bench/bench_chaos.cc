@@ -7,7 +7,16 @@
 // before it breaks. A final scenario injects a mid-training worker crash
 // to measure the checkpoint/restore overhead on the same run.
 //
+// A second mode (--elastic_gate=PATH) runs the elastic-membership
+// straggler scenario instead: one worker computes 2x slower, and the gate
+// requires the straggler rebalancer to recover at least half of the
+// makespan gap between a static balanced partition and an oracle
+// capacity-weighted partition that knew about the slow machine up front.
+// Results land in PATH (BENCH_elastic.json); the exit code enforces the
+// gate in CI.
+//
 // Usage: bench_chaos [--dataset=NAME] [--epochs=N] [--json=PATH]
+//                    [--elastic_gate=PATH]
 // plus the shared observability/fault flags (see --help of ecgraph).
 
 #include <cstdio>
@@ -18,6 +27,7 @@
 
 #include "bench/bench_util.h"
 #include "core/trainer.h"
+#include "dist/elastic.h"
 #include "dist/fault.h"
 
 using ecg::bench::kDefaultWorkers;
@@ -114,6 +124,111 @@ void WriteJson(const std::string& path, const std::vector<ChaosRow>& rows) {
   std::printf("wrote %zu rows to %s\n", rows.size(), path.c_str());
 }
 
+// ---- Elastic straggler gate -----------------------------------------------
+// Three runs over the same graph, worker 3 persistently 2x slower:
+//   static  — balanced streaming partition, no elastic response (what a
+//             fixed-membership job suffers);
+//   elastic — same starting partition, straggler rebalancer on;
+//   oracle  — capacity-weighted streaming partition that knew about the
+//             slow machine up front (the static lower bound).
+// recovery = (static − elastic) / (static − oracle) on total simulated
+// makespan; the gate passes at recovery >= 0.5.
+int RunElasticGate(const ecg::graph::Graph& g, uint32_t epochs,
+                   const std::string& json_path) {
+  const uint32_t workers = kDefaultWorkers;
+  const uint32_t slow_worker = 3;
+  const double slow_scale = 2.0;
+
+  ecg::core::TrainOptions opt;
+  opt.model = ecg::bench::ModelFor("cora-sim", 2);
+  opt.fp_mode = ecg::core::FpMode::kReqEc;
+  opt.bp_mode = ecg::core::BpMode::kResEc;
+  opt.exchange.fp_bits = 4;
+  opt.exchange.bp_bits = 4;
+  opt.epochs = epochs;
+  // Single-core machine model: the straggler's extra compute is not hidden
+  // behind intra-node parallelism, so its slowdown lands on the makespan
+  // the way it would on the paper's smallest machines.
+  opt.machine.cores = 1;
+  opt.worker_compute_scale.assign(workers, 1.0);
+  opt.worker_compute_scale[slow_worker] = slow_scale;
+
+  auto run = [&](const ecg::graph::Partition& part,
+                 const std::string& elastic) {
+    ecg::core::TrainOptions o = opt;
+    o.elastic = elastic;
+    ecg::core::DistributedTrainer trainer(g, part, o);
+    auto r = trainer.Train();
+    r.status().CheckOk();
+    return *r;
+  };
+
+  auto base = ecg::graph::StreamingPartition(g, workers);
+  base.status().CheckOk();
+  ecg::graph::StreamingOptions oracle_opts;
+  oracle_opts.part_capacity.assign(workers, 1.0);
+  oracle_opts.part_capacity[slow_worker] = 1.0 / slow_scale;
+  auto oracle_part = ecg::graph::StreamingPartition(g, workers, oracle_opts);
+  oracle_part.status().CheckOk();
+
+  const auto r_static = run(*base, "");
+  const auto r_elastic =
+      run(*base,
+          "rebalance=on,threshold=1.3,hysteresis=2,cooldown=3,budget=0.5,"
+          "downtime=0.01");
+  const auto r_oracle = run(*oracle_part, "");
+
+  uint64_t migrations = 0, moved_rows = 0;
+  for (const auto& e : ecg::elastic::MembershipLog::Global().Snapshot()) {
+    if (e.kind == "rebalance") {
+      migrations++;
+      moved_rows += e.moved_rows;
+    }
+  }
+
+  const double gap =
+      r_static.total_sim_seconds - r_oracle.total_sim_seconds;
+  const double recovered =
+      r_static.total_sim_seconds - r_elastic.total_sim_seconds;
+  const double recovery = gap > 0.0 ? recovered / gap : 1.0;
+  const bool pass = recovery >= 0.5;
+
+  std::printf("static   makespan=%s val=%.4f\n",
+              ecg::bench::FormatSeconds(r_static.total_sim_seconds).c_str(),
+              r_static.best_val_acc);
+  std::printf("elastic  makespan=%s val=%.4f (migrations=%llu rows=%llu)\n",
+              ecg::bench::FormatSeconds(r_elastic.total_sim_seconds).c_str(),
+              r_elastic.best_val_acc,
+              static_cast<unsigned long long>(migrations),
+              static_cast<unsigned long long>(moved_rows));
+  std::printf("oracle   makespan=%s val=%.4f\n",
+              ecg::bench::FormatSeconds(r_oracle.total_sim_seconds).c_str(),
+              r_oracle.best_val_acc);
+  std::printf("recovery %.3f of the static->oracle gap (gate >= 0.5): %s\n",
+              recovery, pass ? "PASS" : "FAIL");
+
+  std::ofstream out(json_path);
+  if (!out) {
+    std::fprintf(stderr, "bench_chaos: cannot write %s\n",
+                 json_path.c_str());
+    return 1;
+  }
+  out << "{\"stamp\":" << ecg::bench::BenchStampJson()
+      << ",\"scenario\":\"2x_slow_worker\",\"epochs\":" << epochs
+      << ",\"slow_worker\":" << slow_worker
+      << ",\"slow_scale\":" << slow_scale
+      << ",\"static_seconds\":" << r_static.total_sim_seconds
+      << ",\"elastic_seconds\":" << r_elastic.total_sim_seconds
+      << ",\"oracle_seconds\":" << r_oracle.total_sim_seconds
+      << ",\"static_val_acc\":" << r_static.best_val_acc
+      << ",\"elastic_val_acc\":" << r_elastic.best_val_acc
+      << ",\"migrations\":" << migrations
+      << ",\"moved_rows\":" << moved_rows << ",\"recovery\":" << recovery
+      << ",\"pass\":" << (pass ? "true" : "false") << "}\n";
+  std::printf("wrote %s\n", json_path.c_str());
+  return pass ? 0 : 1;
+}
+
 std::string FlagValue(int* argc, char** argv, const char* prefix) {
   std::string value;
   int w = 1;
@@ -135,6 +250,7 @@ int main(int argc, char** argv) {
   const std::string dataset_flag = FlagValue(&argc, argv, "--dataset=");
   const std::string epochs_flag = FlagValue(&argc, argv, "--epochs=");
   const std::string json_path = FlagValue(&argc, argv, "--json=");
+  const std::string elastic_gate = FlagValue(&argc, argv, "--elastic_gate=");
   const std::string dataset =
       dataset_flag.empty() ? "cora-sim" : dataset_flag;
   const ecg::bench::BenchDataset d = ecg::bench::GetBenchDataset(dataset);
@@ -142,6 +258,15 @@ int main(int argc, char** argv) {
       epochs_flag.empty()
           ? ecg::bench::ScaledEpochs(d.convergence_epochs)
           : static_cast<uint32_t>(std::stoul(epochs_flag));
+
+  if (!elastic_gate.empty()) {
+    ecg::bench::PrintHeader(
+        "Elastic straggler gate — 2x slow worker, rebalanced vs static vs "
+        "oracle (" + dataset + ", " + std::to_string(epochs) +
+        " epochs, 6 workers)");
+    return RunElasticGate(ecg::bench::LoadGraphCached(dataset), epochs,
+                          elastic_gate);
+  }
 
   ecg::bench::PrintHeader(
       "Chaos sweep — ReqEC/ResEC accuracy and makespan vs fault rate (" +

@@ -53,6 +53,14 @@ Status ParseChromeTrace(const json::JsonValue& root, TraceReport* report) {
       const double seconds = e.GetNumber("dur", 0.0) / 1e6;
       if (cat == "sim") {
         report->sim_phase_seconds[{worker, name}] += seconds;
+        // Membership transitions mark the simulated timeline with
+        // "elastic_*" spans; the trace carries no row counts, so only
+        // the event tally and downtime are recoverable here.
+        if (name.rfind("elastic", 0) == 0) {
+          TraceReport::MembershipRow& row = report->membership[{worker, name}];
+          row.events++;
+          row.seconds += seconds;
+        }
       } else if (cat == "real") {
         report->real_span_seconds[{worker, name}] += seconds;
       }
@@ -96,6 +104,26 @@ Status ParseFlightDump(const json::JsonValue& root, TraceReport* report) {
     if (counters != nullptr && counters->is_object()) {
       for (const auto& [key, value] : counters->object) {
         if (value.is_number()) report->fault_counters[key] = value.number;
+      }
+    }
+    // Membership history from the elastic_state section: one row per
+    // (worker, kind) with full detail (rows moved + downtime).
+    const json::JsonValue* elastic = sections->Find("elastic_state");
+    if (elastic != nullptr && elastic->is_object()) {
+      const json::JsonValue* events = elastic->Find("events");
+      if (events != nullptr && events->is_array()) {
+        for (const json::JsonValue& e : events->array) {
+          if (!e.is_object()) continue;
+          const std::string kind = e.GetString("kind", "");
+          if (kind.empty()) continue;
+          const uint32_t worker = WorkerOf(e, "worker");
+          TraceReport::MembershipRow& row =
+              report->membership[{worker, kind}];
+          row.events++;
+          row.moved_rows +=
+              static_cast<uint64_t>(e.GetNumber("moved_rows", 0.0));
+          row.seconds += e.GetNumber("downtime_seconds", 0.0);
+        }
       }
     }
   }
@@ -217,6 +245,22 @@ std::string FormatTraceReport(const TraceReport& report) {
     for (const auto& [name, value] : report.fault_counters) {
       std::snprintf(buf, sizeof(buf), "  %-22.22s %14.0f\n", name.c_str(),
                     value);
+      out += buf;
+    }
+    out += "\n";
+  }
+
+  if (!report.membership.empty()) {
+    out += "membership events:\n";
+    out += "  worker  kind                    events   moved_rows"
+           "   downtime_s\n";
+    char buf[128];
+    for (const auto& [key, row] : report.membership) {
+      std::snprintf(buf, sizeof(buf), "  %-6s  %-22.22s %7llu %12llu %12.4f\n",
+                    WorkerHeading(key.first).c_str(), key.second.c_str(),
+                    static_cast<unsigned long long>(row.events),
+                    static_cast<unsigned long long>(row.moved_rows),
+                    row.seconds);
       out += buf;
     }
     out += "\n";

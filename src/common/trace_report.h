@@ -44,6 +44,19 @@ struct TraceReport {
   /// Fault counters copied from a flight dump's "fault_counters" section
   /// (empty for Chrome traces or fault-free runs).
   std::map<std::string, double> fault_counters;
+
+  /// Elastic membership activity per (worker, event kind): scheduled
+  /// join/leave, crash shrink/replace, and straggler-rebalance migrations.
+  /// Filled from a flight dump's "elastic_state" section (full detail:
+  /// event count, rows moved, transition downtime) or, for Chrome traces,
+  /// from the "elastic_*" spans on the simulated timeline (count +
+  /// seconds only). Empty for fixed-membership runs.
+  struct MembershipRow {
+    uint64_t events = 0;
+    uint64_t moved_rows = 0;
+    double seconds = 0.0;
+  };
+  std::map<std::pair<uint32_t, std::string>, MembershipRow> membership;
 };
 
 /// Parses `json_text` (auto-detecting the artefact kind) into a report.

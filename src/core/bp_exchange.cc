@@ -284,6 +284,72 @@ class ResEcBpExchanger : public BpExchanger {
     return Status::OK();
   }
 
+  /// Re-keys the residuals by (layer, global vertex, receiver). Unlike the
+  /// ReqEC trend rows there is no canonical copy to collapse to: a boundary
+  /// vertex legitimately accumulates an independent residual per peer it
+  /// ships gradients to, so the receiver worker stays in the key (and gets
+  /// remapped across the transition).
+  void ExportElasticState(const WorkerPlan& plan,
+                          elastic::ElasticStateBag* bag) const override {
+    for (size_t l = 0; l < delta_.size(); ++l) {
+      for (uint32_t p = 0;
+           p < delta_[l].size() && p < plan.send_rows.size(); ++p) {
+        const Matrix& delta = delta_[l][p];
+        const auto& rows = plan.send_rows[p];
+        if (delta.rows() != rows.size() || delta.cols() == 0) continue;
+        for (size_t i = 0; i < rows.size(); ++i) {
+          const uint32_t gv = plan.owned[rows[i]];
+          bag->bp_residual[std::make_tuple(static_cast<uint16_t>(l), gv,
+                                           p)] =
+              std::vector<float>(delta.Row(i), delta.Row(i) + delta.cols());
+        }
+      }
+    }
+  }
+
+  /// Rebuilds each (layer, peer) residual matrix from the bag: rows found
+  /// keep their residual, rows without an entry (vertices that became
+  /// boundary through the repartition) start at δ = 0. A pair with no
+  /// entries at all stays empty and lazily resets to zeros on first use —
+  /// exactly the cold-start path.
+  Status ImportElasticState(const WorkerPlan& plan,
+                            const elastic::ElasticStateBag& bag) override {
+    for (size_t l = 0; l < delta_.size(); ++l) {
+      for (uint32_t p = 0;
+           p < delta_[l].size() && p < plan.send_rows.size(); ++p) {
+        const auto& rows = plan.send_rows[p];
+        Matrix& delta = delta_[l][p];
+        if (rows.empty()) {
+          delta.Reset(0, 0);
+          continue;
+        }
+        std::vector<const std::vector<float>*> found(rows.size(), nullptr);
+        size_t cols = 0;
+        size_t hits = 0;
+        for (size_t i = 0; i < rows.size(); ++i) {
+          auto it = bag.bp_residual.find(std::make_tuple(
+              static_cast<uint16_t>(l), plan.owned[rows[i]], p));
+          if (it == bag.bp_residual.end()) continue;
+          if (cols == 0) cols = it->second.size();
+          if (cols == 0 || it->second.size() != cols) continue;
+          found[i] = &it->second;
+          ++hits;
+        }
+        if (hits == 0) {
+          delta.Reset(0, 0);
+          continue;
+        }
+        delta.Reset(rows.size(), cols);
+        for (size_t i = 0; i < rows.size(); ++i) {
+          if (found[i] != nullptr) {
+            std::copy(found[i]->begin(), found[i]->end(), delta.Row(i));
+          }
+        }
+      }
+    }
+    return Status::OK();
+  }
+
  private:
   const ExchangeConfig config_;
   std::vector<std::vector<Matrix>> delta_;  // [layer][peer]

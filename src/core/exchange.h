@@ -12,6 +12,7 @@
 #include "compress/quantize.h"
 #include "core/halo.h"
 #include "dist/cluster.h"
+#include "dist/elastic.h"
 #include "tensor/matrix.h"
 
 namespace ecg::core {
@@ -211,6 +212,17 @@ class FpExchanger {
   /// write nothing.
   virtual void SaveState(ByteWriter* w) const {}
   virtual Status LoadState(ByteReader* r) { return Status::OK(); }
+
+  /// Elastic membership support: re-keys the compensation state by global
+  /// vertex id into `bag` (Export) / pulls this plan's rows back out
+  /// (Import), so state follows a vertex across a delta-repartition.
+  /// Stateless exchangers are no-ops.
+  virtual void ExportElasticState(const WorkerPlan& plan,
+                                  elastic::ElasticStateBag* bag) const {}
+  virtual Status ImportElasticState(const WorkerPlan& plan,
+                                    const elastic::ElasticStateBag& bag) {
+    return Status::OK();
+  }
 };
 
 /// Fetches the halo rows of G^layer each epoch during BP.
@@ -243,6 +255,14 @@ class BpExchanger {
   /// checkpoint. Stateless exchangers write nothing.
   virtual void SaveState(ByteWriter* w) const {}
   virtual Status LoadState(ByteReader* r) { return Status::OK(); }
+
+  /// Elastic membership support (see FpExchanger::ExportElasticState).
+  virtual void ExportElasticState(const WorkerPlan& plan,
+                                  elastic::ElasticStateBag* bag) const {}
+  virtual Status ImportElasticState(const WorkerPlan& plan,
+                                    const elastic::ElasticStateBag& bag) {
+    return Status::OK();
+  }
 };
 
 /// Factories. `num_layers` lets stateful exchangers pre-size per-layer

@@ -460,6 +460,76 @@ class ReqEcFpExchanger : public FpExchanger {
     return Status::OK();
   }
 
+  /// Re-keys the trend state by global vertex id. The responder side is the
+  /// canonical copy: the responder owns the vertex, and in the fault-free
+  /// protocol both ends hold bitwise-identical baselines, so one entry per
+  /// (layer, vertex) serves the responder and every future requester. (If
+  /// degraded deliveries had diverged a pair's baselines, the transition
+  /// collapses both ends back to this canonical copy — still consistent,
+  /// since both ends re-import the same entry.)
+  void ExportElasticState(const WorkerPlan& plan,
+                          elastic::ElasticStateBag* bag) const override {
+    for (uint16_t l = 0; l < num_layers_; ++l) {
+      for (size_t p = 0; p < responder_[l].size(); ++p) {
+        const ResponderState& rs = responder_[l][p];
+        if (!rs.have_trend) continue;
+        const auto& rows = plan.send_rows[p];
+        if (rs.h_last.rows() != rows.size() ||
+            rs.m_cr.rows() != rows.size()) {
+          continue;
+        }
+        for (size_t i = 0; i < rows.size(); ++i) {
+          const uint32_t gv = plan.owned[rows[i]];
+          elastic::TrendRow& tr =
+              (*bag).fp_trend[std::make_pair(l, gv)];
+          tr.h.assign(rs.h_last.Row(i), rs.h_last.Row(i) + rs.h_last.cols());
+          tr.m.assign(rs.m_cr.Row(i), rs.m_cr.Row(i) + rs.m_cr.cols());
+        }
+      }
+    }
+    for (uint32_t p = 0; p < bits_towards_.size(); ++p) {
+      if (!ActivePeer(plan, p)) continue;
+      bag->request_bits[std::make_pair(plan.worker_id, p)] =
+          bits_towards_[p];
+      bag->proportion[std::make_pair(plan.worker_id, p)] =
+          proportion_from_[p];
+    }
+  }
+
+  /// Pulls this plan's rows back out of the bag. A (layer, pair) side gets
+  /// its trend baseline iff EVERY vertex of the pair's send set is in the
+  /// bag with a consistent width — both ends compute this from the same
+  /// canonical vertex list, so responder and requester always agree on
+  /// have_trend (a partial set means some vertex became boundary only
+  /// through the repartition; the pair cold-starts and the protocol's
+  /// self-describing responses handle the rest).
+  Status ImportElasticState(const WorkerPlan& plan,
+                            const elastic::ElasticStateBag& bag) override {
+    for (uint16_t l = 0; l < num_layers_; ++l) {
+      for (uint32_t p = 0;
+           p < responder_[l].size() && p < plan.send_rows.size(); ++p) {
+        if (!ActivePeer(plan, p)) continue;
+        ResponderState& rs = responder_[l][p];
+        std::vector<uint32_t> gvs;
+        gvs.reserve(plan.send_rows[p].size());
+        for (uint32_t r : plan.send_rows[p]) gvs.push_back(plan.owned[r]);
+        rs.have_trend = GatherTrend(bag, l, gvs, &rs.h_last, &rs.m_cr);
+
+        RequesterState& qs = requester_[l][p];
+        gvs.clear();
+        for (uint32_t r : plan.recv_halo_rows[p]) gvs.push_back(plan.halo[r]);
+        qs.have_trend = GatherTrend(bag, l, gvs, &qs.h_last, &qs.m_cr);
+      }
+    }
+    for (uint32_t p = 0; p < bits_towards_.size(); ++p) {
+      auto itb = bag.request_bits.find(std::make_pair(plan.worker_id, p));
+      if (itb != bag.request_bits.end()) bits_towards_[p] = itb->second;
+      auto itp = bag.proportion.find(std::make_pair(plan.worker_id, p));
+      if (itp != bag.proportion.end()) proportion_from_[p] = itp->second;
+    }
+    return Status::OK();
+  }
+
  private:
   /// Message kinds inside an FP data payload.
   enum ResponseKind : uint8_t {
@@ -482,6 +552,43 @@ class ReqEcFpExchanger : public FpExchanger {
     Matrix m_cr;
     bool have_trend = false;
   };
+
+  /// Assembles the (h_last, m_cr) matrices for `gvs` from the bag's
+  /// canonical trend rows. All-or-nothing: returns false (and clears the
+  /// matrices) unless every vertex is present with one consistent width.
+  static bool GatherTrend(const elastic::ElasticStateBag& bag,
+                          uint16_t layer, const std::vector<uint32_t>& gvs,
+                          Matrix* h, Matrix* m) {
+    std::vector<const elastic::TrendRow*> rows;
+    rows.reserve(gvs.size());
+    size_t cols = 0;
+    for (uint32_t gv : gvs) {
+      auto it = bag.fp_trend.find(std::make_pair(layer, gv));
+      if (it == bag.fp_trend.end()) {
+        rows.clear();
+        break;
+      }
+      const elastic::TrendRow& tr = it->second;
+      if (cols == 0) cols = tr.h.size();
+      if (cols == 0 || tr.h.size() != cols || tr.m.size() != cols) {
+        rows.clear();
+        break;
+      }
+      rows.push_back(&tr);
+    }
+    if (gvs.empty() || rows.size() != gvs.size()) {
+      h->Reset(0, 0);
+      m->Reset(0, 0);
+      return false;
+    }
+    h->Reset(gvs.size(), cols);
+    m->Reset(gvs.size(), cols);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      std::copy(rows[i]->h.begin(), rows[i]->h.end(), h->Row(i));
+      std::copy(rows[i]->m.begin(), rows[i]->m.end(), m->Row(i));
+    }
+    return true;
+  }
 
   Status BuildResponse(const WorkerPlan& plan, uint32_t peer, uint32_t epoch,
                        uint16_t layer, bool trend_epoch, uint32_t step,

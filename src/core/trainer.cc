@@ -17,6 +17,7 @@
 #include "core/metrics_board.h"
 #include "core/wire_util.h"
 #include "dist/cluster.h"
+#include "dist/elastic.h"
 #include "dist/fault.h"
 #include "tensor/nn.h"
 #include "tensor/ops.h"
@@ -49,12 +50,17 @@ Result<TrainResult> DistributedTrainer::Train() {
   if (graph_.train_set().empty()) {
     return Status::FailedPrecondition("graph has no training split");
   }
-  const uint32_t workers = partition_.num_parts;
+  // Elastic membership (DESIGN.md §14): parse the spec up front. An empty
+  // spec yields an inactive controller and the loop below runs exactly one
+  // fixed-membership round — that path is bit-identical to the pre-elastic
+  // trainer (same barriers, same clock arithmetic).
+  ECG_ASSIGN_OR_RETURN(elastic::ElasticOptions eopts,
+                       elastic::ElasticOptions::Parse(options_.elastic));
+  const bool elastic_on = eopts.active;
+  elastic::ElasticController controller(eopts, partition_.num_parts,
+                                        options_.worker_compute_scale);
+  if (elastic_on) elastic::MembershipLog::Global().Reset();
 
-  Timer preprocess_timer;
-  std::vector<WorkerPlan> plans;
-  ECG_RETURN_IF_ERROR(
-      BuildWorkerPlans(graph_, partition_, &plans, options_.model.kind));
   const bool sage = options_.model.kind == GnnKind::kSage;
 
   // Per-layer output dims: d0 -> hidden^(L-1) -> classes.
@@ -65,11 +71,6 @@ Result<TrainResult> DistributedTrainer::Train() {
                        : options_.model.hidden_dim;
   }
 
-  ParameterServerGroup ps(
-      GcnLayerShapes(options_.model, dims[0], graph_.num_classes()),
-      options_.num_servers, workers, options_.model.learning_rate,
-      options_.model.seed);
-
   // Split membership lookup shared by all workers.
   std::vector<SplitKind> split_of(graph_.num_vertices(), SplitKind::kNone);
   for (uint32_t v : graph_.train_set()) split_of[v] = SplitKind::kTrain;
@@ -78,30 +79,64 @@ Result<TrainResult> DistributedTrainer::Train() {
   const size_t global_train = graph_.train_set().size();
 
   MetricsBoard board;
-  const double preprocess_cpu = preprocess_timer.ElapsedSeconds();
-
-  SimulatedCluster cluster(workers, options_.network, options_.machine);
 
   // Fault tolerance wiring: the process-wide injector (from --faults /
-  // ScopedFaultInjector) attaches to this job's hub, switching the
+  // ScopedFaultInjector) attaches to each round's hub, switching the
   // transport to framed envelopes with bounded, retrying receives. A crash
   // schedule forces checkpointing on (every epoch unless configured
-  // coarser) so the restore path always has a snapshot to rewind to.
+  // coarser) so the restore path always has a snapshot to rewind to; an
+  // elastic schedule does too, because every membership transition
+  // migrates model/optimizer/compensation state out of the latest
+  // checkpoint.
   dist::FaultInjector* injector = dist::GlobalFaultInjector();
-  cluster.hub().set_fault_injector(injector);
   uint32_t checkpoint_every = options_.checkpoint_every;
   if (checkpoint_every == 0 && injector != nullptr &&
       injector->HasCrashSchedule()) {
     checkpoint_every = 1;
   }
+  if (elastic_on && checkpoint_every == 0) checkpoint_every = 1;
+
+  // Working assignment: starts at the caller's partition and is replaced
+  // by every committed membership transition.
+  graph::Partition part = partition_;
+
+  // Cross-round accumulators. Each round runs its own SimulatedCluster
+  // whose clocks start at zero, so the board sees `base + in-round clock`
+  // — the per-epoch deltas telescope across round boundaries. Migrated
+  // compensation state rides between rounds in the bag, the parameter
+  // servers in ps_blob.
+  double sim_base = 0.0;
+  uint64_t comm_base = 0;
+  bool first_round = true;
+  double preprocess_cpu = 0.0;
+  elastic::ElasticStateBag bag;
+  bool have_bag = false;
+  std::vector<uint8_t> ps_blob;
+  bool have_ps_blob = false;
+
+  // Per-round objects, rebuilt whenever the membership changes. worker_fn
+  // below captures them by reference and only runs while they are alive.
+  uint32_t workers = part.num_parts;
+  std::vector<WorkerPlan> plans;
+  std::unique_ptr<ParameterServerGroup> ps;
   std::unique_ptr<CheckpointStore> ckpt;
-  if (checkpoint_every > 0) {
-    ckpt = std::make_unique<CheckpointStore>(workers,
-                                             options_.checkpoint_dir);
-  }
+  std::unique_ptr<SimulatedCluster> cluster;
+  uint32_t epoch_base = 0;             // first epoch of the current round
+  uint32_t round_stop = options_.epochs;  // run epochs [epoch_base, stop)
+
   // Worker 0's crash verdict for the epoch about to start, published to
   // the other workers across a barrier.
   std::atomic<bool> crash_pending{false};
+  std::atomic<int32_t> crash_victim{-1};
+  // Rebalance verdict: the epoch a straggler migration starts at (the
+  // round breaks just before it; 0 = none) and the straggler's id.
+  std::atomic<uint32_t> rebal_break_at{0};
+  std::atomic<int32_t> rebal_straggler{-1};
+  // How the round's workers exited: 0 = ran to round_stop (or early
+  // stop), 1 = crash with an elastic response, 2 = rebalance break.
+  std::atomic<int> round_exit{0};
+  const bool elastic_crash =
+      elastic_on && eopts.on_crash != elastic::OnCrash::kRestore;
 
   auto worker_fn = [&](WorkerContext* ctx) -> Status {
     ThreadPool::SetSerialMode(true);
@@ -137,6 +172,14 @@ Result<TrainResult> DistributedTrainer::Train() {
         MakeBpExchanger(options_.bp_mode, options_.exchange, num_layers, plan);
     auto exact_fp = MakeFpExchanger(FpMode::kExact, options_.exchange,
                                     num_layers, plan);
+    if (have_bag) {
+      // Compensation state migrated from the previous membership round,
+      // keyed by global vertex id: rows this worker now owns (or now
+      // requests) pick up exactly the history they had under the old
+      // assignment; rows with no history cold-start as usual.
+      ECG_RETURN_IF_ERROR(fp_ex->ImportElasticState(plan, bag));
+      ECG_RETURN_IF_ERROR(bp_ex->ImportElasticState(plan, bag));
+    }
 
     std::vector<Matrix> h_owned(L + 1), h_halo(L), p_cache(L + 1),
         z_cache(L + 1), g_halo(L + 1), w(L), bias(L);
@@ -152,9 +195,9 @@ Result<TrainResult> DistributedTrainer::Train() {
                                              &h_halo[0]));
     }
     ctx->BarrierSync();
-    if (ctx->worker_id() == 0) {
+    if (ctx->worker_id() == 0 && first_round) {
       board.SetEpochBaseline(ctx->total_seconds(),
-                             cluster.stats().TotalBytes());
+                             cluster->stats().TotalBytes());
     }
     ctx->BarrierSync();
 
@@ -173,7 +216,7 @@ Result<TrainResult> DistributedTrainer::Train() {
       if (ctx->worker_id() == 0) {
         std::vector<uint8_t> global;
         ByteWriter gw(&global);
-        ps.SaveTo(&gw);
+        ps->SaveTo(&gw);
         ckpt->PutGlobal(std::move(global));
       }
       ctx->BarrierSync();
@@ -207,27 +250,38 @@ Result<TrainResult> DistributedTrainer::Train() {
       if (ctx->worker_id() == 0) {
         const std::vector<uint8_t> global = ckpt->global();
         ByteReader r(global);
-        ECG_RETURN_IF_ERROR(ps.LoadFrom(&r));
+        ECG_RETURN_IF_ERROR(ps->LoadFrom(&r));
         board.RollbackTo(ckpt->next_epoch());
       }
       ctx->ChargeCommSeconds(injector->restart_seconds());
       return Status::OK();
     };
 
-    // The initial checkpoint makes a crash during any epoch recoverable,
-    // even before the first periodic checkpoint lands.
-    if (ckpt != nullptr) take_checkpoint(0);
+    // The initial checkpoint makes a crash during any epoch of the round
+    // recoverable, even before the first periodic checkpoint lands — and
+    // guarantees elastic transitions always find a snapshot at or after
+    // the round's first epoch.
+    if (ckpt != nullptr) take_checkpoint(epoch_base);
 
     // ---- Epoch loop ---------------------------------------------------
     // A while-loop instead of a for: a crash restore rewinds `epoch` to
     // the latest checkpoint; fault-free runs step through it identically.
+    // The round covers epochs [epoch_base, round_stop); an elastic crash
+    // response or a rebalance trigger breaks out early and the coordinator
+    // starts the next round.
     Matrix cat, grads_logits;
-    uint32_t epoch = 0;
-    while (epoch < options_.epochs) {
+    double compute_mark = ctx->compute_seconds();  // rebalancer deposit base
+    uint32_t epoch = epoch_base;
+    while (epoch < round_stop) {
       if (ckpt != nullptr && injector != nullptr) {
         if (ctx->worker_id() == 0) {
-          crash_pending.store(injector->TakeCrash(epoch),
-                              std::memory_order_relaxed);
+          int32_t victim = -1;
+          const bool crashed = injector->TakeCrash(epoch, &victim);
+          crash_victim.store(victim, std::memory_order_relaxed);
+          crash_pending.store(crashed, std::memory_order_relaxed);
+          if (crashed && obs::StatsEnabled()) {
+            obs::RecordStat("fault.crash_detected", 1.0, epoch);
+          }
         }
         ctx->BarrierSync();
         if (crash_pending.load(std::memory_order_relaxed)) {
@@ -237,6 +291,15 @@ Result<TrainResult> DistributedTrainer::Train() {
             // rewinds it. Failure to dump must not fail the recovery.
             (void)obs::FlightRecorder::Global().DumpNow(
                 "injected_crash", "epoch=" + std::to_string(epoch));
+          }
+          if (elastic_crash) {
+            // Permanent-failure policy (shrink/replace): leave the round;
+            // the coordinator rewinds to the latest checkpoint and
+            // delta-repartitions the victim away.
+            if (ctx->worker_id() == 0) {
+              round_exit.store(1, std::memory_order_relaxed);
+            }
+            break;
           }
           ECG_RETURN_IF_ERROR(restore_checkpoint());
           ctx->BarrierSync();
@@ -264,7 +327,7 @@ Result<TrainResult> DistributedTrainer::Train() {
         {
           Phase phase(ctx, &board, epoch, "param_sync");
           ECG_TRACE_SCOPE("param_pull", ctx->worker_id(), l - 1);
-          const auto pull = ps.Pull(l - 1, wl, bl);
+          const auto pull = ps->Pull(l - 1, wl, bl);
           ctx->ChargeCommSeconds(pull.Seconds(ctx->net()));
           board.param_bytes.fetch_add(pull.bytes, std::memory_order_relaxed);
           if (obs::StatsEnabled()) {
@@ -584,8 +647,8 @@ Result<TrainResult> DistributedTrainer::Train() {
       {
         Phase phase(ctx, &board, epoch, "param_sync");
         ECG_TRACE_SCOPE("param_push", ctx->worker_id(), -1);
-        const auto push = ps.Push(ctx->worker_id(), std::move(dw),
-                                  std::move(db));
+        const auto push = ps->Push(ctx->worker_id(), std::move(dw),
+                                   std::move(db));
         ctx->ChargeCommSeconds(push.Seconds(ctx->net()));
         board.param_bytes.fetch_add(push.bytes, std::memory_order_relaxed);
         if (obs::StatsEnabled()) {
@@ -601,19 +664,48 @@ Result<TrainResult> DistributedTrainer::Train() {
         ctx->BarrierSync();
       }
 
+      // Straggler watch: every worker deposits its compute-clock delta
+      // for the epoch, worker 0 folds them into the EWMAs and may arm a
+      // migration starting at epoch+1. The two extra barriers publish the
+      // verdict; they exist only when the rebalancer is on, so the
+      // default path's barrier pattern (and its clocks) is untouched.
+      if (elastic_on && controller.rebalance_enabled()) {
+        controller.rebalancer().Deposit(
+            ctx->worker_id(), ctx->compute_seconds() - compute_mark);
+        compute_mark = ctx->compute_seconds();
+        ctx->BarrierSync();
+        if (ctx->worker_id() == 0) {
+          const int32_t straggler = controller.rebalancer().EndEpoch(epoch);
+          if (straggler >= 0 && workers >= 2 && epoch + 1 < round_stop) {
+            rebal_straggler.store(straggler, std::memory_order_relaxed);
+            rebal_break_at.store(epoch + 1, std::memory_order_relaxed);
+            round_exit.store(2, std::memory_order_relaxed);
+          }
+        }
+        ctx->BarrierSync();
+      }
+
       // Epoch checkpoint: the barrier above guarantees every push of the
       // epoch is applied, so the parameter servers hold exactly the
-      // "start of epoch+1" state the exchangers snapshot alongside.
-      if (ckpt != nullptr && (epoch + 1) % checkpoint_every == 0 &&
-          epoch + 1 < options_.epochs) {
+      // "start of epoch+1" state the exchangers snapshot alongside. A
+      // round boundary (scheduled event or armed rebalance) always
+      // checkpoints — the transition migrates state out of this snapshot.
+      const bool boundary_next =
+          elastic_on &&
+          (rebal_break_at.load(std::memory_order_relaxed) == epoch + 1 ||
+           (epoch + 1 == round_stop && round_stop < options_.epochs));
+      if (ckpt != nullptr &&
+          ((checkpoint_every > 0 && (epoch + 1) % checkpoint_every == 0 &&
+            epoch + 1 < options_.epochs) ||
+           boundary_next)) {
         Phase phase(ctx, &board, epoch, "checkpoint");
         take_checkpoint(epoch + 1);
       }
 
       if (ctx->worker_id() == 0) {
-        board.FinalizeEpoch(epoch, ctx->total_seconds(),
-                            cluster.stats().TotalBytes(), global_train,
-                            options_.patience);
+        board.FinalizeEpoch(epoch, sim_base + ctx->total_seconds(),
+                            comm_base + cluster->stats().TotalBytes(),
+                            global_train, options_.patience);
         if (options_.log_every > 0 && epoch % options_.log_every == 0) {
           const EpochMetrics& m = board.epochs.back();
           ECG_LOG(Info) << graph_.name << " epoch " << epoch << " loss "
@@ -624,11 +716,133 @@ Result<TrainResult> DistributedTrainer::Train() {
       ctx->BarrierSync();
       if (board.stop.load(std::memory_order_relaxed)) break;
       ++epoch;
+      if (elastic_on &&
+          rebal_break_at.load(std::memory_order_relaxed) == epoch) {
+        break;  // migrate rows, then resume at this epoch under a new plan
+      }
     }
     return Status::OK();
   };
 
-  ECG_RETURN_IF_ERROR(cluster.Run(worker_fn));
+  // ---- Membership rounds ----------------------------------------------
+  // Each iteration trains epochs [epoch_base, round_stop) on a fixed
+  // membership. Without elastic there is exactly one iteration.
+  while (true) {
+    workers = part.num_parts;
+    Timer preprocess_timer;
+    plans.clear();
+    ECG_RETURN_IF_ERROR(
+        BuildWorkerPlans(graph_, part, &plans, options_.model.kind));
+    ps = std::make_unique<ParameterServerGroup>(
+        GcnLayerShapes(options_.model, dims[0], graph_.num_classes()),
+        options_.num_servers, workers, options_.model.learning_rate,
+        options_.model.seed);
+    if (have_ps_blob) {
+      ByteReader r(ps_blob);
+      ECG_RETURN_IF_ERROR(ps->LoadFrom(&r));
+    }
+    if (checkpoint_every > 0) {
+      ckpt = std::make_unique<CheckpointStore>(workers,
+                                               options_.checkpoint_dir);
+    }
+    cluster = std::make_unique<SimulatedCluster>(
+        workers, options_.network, options_.machine,
+        elastic_on ? controller.worker_scale()
+                   : options_.worker_compute_scale);
+    cluster->hub().set_fault_injector(injector);
+    round_stop = options_.epochs;
+    if (elastic_on) {
+      round_stop =
+          std::min(options_.epochs, controller.NextEventEpoch(epoch_base));
+    }
+    crash_pending.store(false, std::memory_order_relaxed);
+    crash_victim.store(-1, std::memory_order_relaxed);
+    rebal_break_at.store(0, std::memory_order_relaxed);
+    rebal_straggler.store(-1, std::memory_order_relaxed);
+    round_exit.store(0, std::memory_order_relaxed);
+    if (first_round) preprocess_cpu = preprocess_timer.ElapsedSeconds();
+
+    ECG_RETURN_IF_ERROR(cluster->Run(worker_fn));
+    sim_base += cluster->MakespanSeconds();
+    comm_base += cluster->stats().TotalBytes();
+
+    if (!elastic_on) break;
+    if (board.stop.load(std::memory_order_relaxed)) break;
+
+    const int exit_kind = round_exit.load(std::memory_order_relaxed);
+    uint32_t resume_epoch = 0;
+    elastic::Transition t;
+    if (exit_kind == 1) {
+      // Crash under shrink/replace policy: rewind the board to the latest
+      // checkpoint (the round's initial checkpoint guarantees one exists
+      // at or after epoch_base), then plan the membership change. The
+      // rolled-back epochs' simulated time stays on the clock — rework is
+      // part of the recovery cost.
+      resume_epoch = ckpt->next_epoch();
+      board.RollbackTo(resume_epoch);
+      injector->counters().restores.fetch_add(1, std::memory_order_relaxed);
+      if (obs::StatsEnabled()) {
+        obs::RecordStat("ckpt.restore", 1.0, resume_epoch);
+      }
+      ECG_ASSIGN_OR_RETURN(
+          t, controller.ApplyCrash(
+                 graph_, part, resume_epoch,
+                 crash_victim.load(std::memory_order_relaxed)));
+    } else if (exit_kind == 2) {
+      resume_epoch = rebal_break_at.load(std::memory_order_relaxed);
+      ECG_ASSIGN_OR_RETURN(
+          t, controller.ApplyRebalance(
+                 graph_, part, resume_epoch,
+                 rebal_straggler.load(std::memory_order_relaxed)));
+    } else {
+      if (round_stop >= options_.epochs) break;  // trained to completion
+      resume_epoch = round_stop;
+      ECG_ASSIGN_OR_RETURN(t,
+                           controller.ApplyScheduled(graph_, part, round_stop));
+    }
+
+    // Lift the compensation state out of the checkpoint under the OLD
+    // membership and re-key it by global vertex id: reconstruct each old
+    // worker's exchangers, load its checkpoint section, export. The new
+    // round's workers import their slices after the re-partition.
+    bag.Clear();
+    for (uint32_t w = 0; w < workers; ++w) {
+      auto fp = MakeFpExchanger(options_.fp_mode, options_.exchange,
+                                static_cast<uint16_t>(L), plans[w]);
+      auto bp = MakeBpExchanger(options_.bp_mode, options_.exchange,
+                                static_cast<uint16_t>(L), plans[w]);
+      const std::vector<uint8_t> blob = ckpt->worker_blob(w);
+      ByteReader r(blob);
+      ECG_RETURN_IF_ERROR(fp->LoadState(&r));
+      ECG_RETURN_IF_ERROR(bp->LoadState(&r));
+      fp->ExportElasticState(plans[w], &bag);
+      bp->ExportElasticState(plans[w], &bag);
+    }
+    bag.RemapWorkers(t.old_to_new);
+    have_bag = true;
+    ps_blob = ckpt->global();
+    have_ps_blob = true;
+
+    // Modelled transition cost: the configured fixed pause, plus shipping
+    // each moved row's feature/trend/residual state over the wire once,
+    // plus (for crashes) the restart downtime the injector charges.
+    size_t row_floats = dims[0];
+    for (int l = 0; l < L; ++l) row_floats += 2 * dims[l];   // ReqEC trend
+    for (int l = 2; l <= L; ++l) row_floats += dims[l];      // ResEC residual
+    const double migrate_seconds = options_.network.TransferSeconds(
+        t.moved_rows * row_floats * sizeof(float),
+        t.moved_rows > 0 ? workers : 0);
+    double downtime = eopts.downtime_seconds + migrate_seconds;
+    if (exit_kind == 1 && injector != nullptr) {
+      downtime += injector->restart_seconds();
+    }
+    controller.Commit(t, resume_epoch, downtime, sim_base);
+    sim_base += downtime;
+    part = std::move(t.partition);
+    epoch_base = resume_epoch;
+    first_round = false;
+  }
+
   return board.ToResult(preprocess_cpu);
 }
 

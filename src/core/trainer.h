@@ -60,6 +60,16 @@ struct TrainOptions {
   /// Mirror the latest checkpoint to this directory (atomic rename);
   /// empty = in-memory only.
   std::string checkpoint_dir;
+  /// Elastic membership spec (ecg::elastic::ElasticOptions grammar):
+  /// scheduled join/leave events, the crash response policy, and the
+  /// straggler rebalancer knobs. Empty = fixed membership, bit-identical
+  /// to the non-elastic trainer.
+  std::string elastic;
+  /// Per-worker compute slowdown multipliers (2.0 = that worker's compute
+  /// takes twice as long on the simulated clock). Missing entries are 1.0;
+  /// empty = homogeneous cluster. Used by the chaos bench to model a
+  /// persistent straggler machine.
+  std::vector<double> worker_compute_scale;
 };
 
 /// Distributed full-batch GCN training on a simulated CPU cluster: the

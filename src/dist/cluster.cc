@@ -93,8 +93,10 @@ double WorkerContext::EndCommPhaseOverlapped(const char* phase,
 void WorkerContext::BarrierSync() { cluster_->BarrierSyncImpl(this); }
 
 SimulatedCluster::SimulatedCluster(uint32_t num_workers, NetworkModel net,
-                                   MachineModel machine)
+                                   MachineModel machine,
+                                   std::vector<double> worker_compute_scale)
     : num_workers_(num_workers), net_(net), machine_(machine),
+      worker_compute_scale_(std::move(worker_compute_scale)),
       hub_(num_workers), barrier_(num_workers), clocks_(num_workers, 0.0) {}
 
 void SimulatedCluster::BarrierSyncImpl(WorkerContext* ctx) {
@@ -120,6 +122,9 @@ Status SimulatedCluster::Run(
     contexts[w].num_workers_ = num_workers_;
     contexts[w].net_ = net_;
     contexts[w].machine_ = machine_;
+    contexts[w].compute_scale_ = w < worker_compute_scale_.size()
+                                     ? worker_compute_scale_[w]
+                                     : 1.0;
     contexts[w].hub_ = &hub_;
     contexts[w].cluster_ = this;
   }

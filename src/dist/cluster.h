@@ -67,7 +67,8 @@ class WorkerContext {
   /// Returns the charged (machine-scaled) seconds so overlapped schedules
   /// can credit them against an in-flight exchange.
   double ChargeCompute(double single_core_seconds) {
-    const double charged = machine_.ComputeSeconds(single_core_seconds);
+    const double charged =
+        machine_.ComputeSeconds(single_core_seconds) * compute_scale_;
     if (obs::TraceEnabled() && charged > 0.0) {
       obs::Tracer::Global().RecordSimSpan("compute", worker_id_, -1,
                                           total_seconds(), charged);
@@ -120,6 +121,11 @@ class WorkerContext {
 
   double compute_seconds_ = 0.0;
   double comm_seconds_ = 0.0;
+  // Per-worker slowdown multiplier on charged compute (1.0 = nominal).
+  // Models a heterogeneous / degraded machine: 2.0 = every compute second
+  // costs two simulated seconds on this worker. Set from the cluster's
+  // worker_compute_scale at Run().
+  double compute_scale_ = 1.0;
 
   uint32_t worker_id_ = 0;
   uint32_t num_workers_ = 0;
@@ -133,8 +139,12 @@ class WorkerContext {
 /// shared barrier. One SimulatedCluster instance = one training job.
 class SimulatedCluster {
  public:
+  /// `worker_compute_scale` (optional) gives per-worker compute slowdown
+  /// multipliers — entry w scales worker w's ChargeCompute; missing entries
+  /// default to 1.0. Used to model persistent stragglers (elastic bench).
   SimulatedCluster(uint32_t num_workers, NetworkModel net,
-                   MachineModel machine = {});
+                   MachineModel machine = {},
+                   std::vector<double> worker_compute_scale = {});
 
   /// Executes `worker_fn(ctx)` once per worker, concurrently, and joins.
   /// Statuses from workers are aggregated (first error wins).
@@ -156,6 +166,7 @@ class SimulatedCluster {
   const uint32_t num_workers_;
   NetworkModel net_;
   MachineModel machine_;
+  std::vector<double> worker_compute_scale_;
   MessageHub hub_;
   Barrier barrier_;
   std::vector<double> clocks_;  // per-worker total_seconds at last sync

@@ -260,6 +260,10 @@ bool FaultInjector::HasCrashSchedule() const {
 }
 
 bool FaultInjector::TakeCrash(uint32_t epoch) {
+  return TakeCrash(epoch, nullptr);
+}
+
+bool FaultInjector::TakeCrash(uint32_t epoch, int32_t* victim) {
   std::lock_guard<std::mutex> lock(crash_mu_);
   for (uint32_t i = 0; i < rules_.size(); ++i) {
     const FaultRule& r = rules_[i];
@@ -269,6 +273,8 @@ bool FaultInjector::TakeCrash(uint32_t epoch) {
     if (fired_crashes_.count(key)) continue;  // already fired; re-run is ok
     fired_crashes_.insert(key);
     counters_.crashes.fetch_add(1, std::memory_order_relaxed);
+    counters_.crash_detected.fetch_add(1, std::memory_order_relaxed);
+    if (victim != nullptr) *victim = r.from;
     ECG_LOG(Warning) << "fault: injected crash of worker " << r.from
                      << " at epoch " << epoch;
     return true;
@@ -302,6 +308,7 @@ FaultInjector* SetGlobalFaultInjector(FaultInjector* injector) {
            ",\"degraded_stale\":" + u64(c.degraded_stale) +
            ",\"degraded_resec\":" + u64(c.degraded_resec) +
            ",\"crashes\":" + u64(c.crashes) +
+           ",\"crash_detected\":" + u64(c.crash_detected) +
            ",\"checkpoints\":" + u64(c.checkpoints) +
            ",\"restores\":" + u64(c.restores) + "}";
   });

@@ -82,6 +82,9 @@ struct FaultCounters {
   std::atomic<uint64_t> degraded_stale{0};  // FP kept stale halo rows
   std::atomic<uint64_t> degraded_resec{0};  // BP loss folded into residual
   std::atomic<uint64_t> crashes{0};
+  std::atomic<uint64_t> crash_detected{0};  // crashes observed by a trainer
+                                            // (TakeCrash hits; drives the
+                                            // elastic crash response)
   std::atomic<uint64_t> checkpoints{0};
   std::atomic<uint64_t> restores{0};
 };
@@ -167,6 +170,12 @@ class FaultInjector {
   /// (the post-restore re-run of the same epoch proceeds normally). Called
   /// by worker 0 only, between BSP barriers.
   bool TakeCrash(uint32_t epoch);
+
+  /// Like TakeCrash(epoch), additionally reporting the crashed worker's id
+  /// through `*victim` (the matching rule's `from`/`worker=` filter; -1 if
+  /// the rule had no victim filter). The elastic trainer uses the victim to
+  /// shrink or replace the right worker.
+  bool TakeCrash(uint32_t epoch, int32_t* victim);
 
   FaultCounters& counters() { return counters_; }
   const FaultCounters& counters() const { return counters_; }

@@ -25,7 +25,18 @@ Status ValidateArgs(const Graph& g, uint32_t num_parts) {
   return Status::OK();
 }
 
+Status ValidateImbalance(double max_imbalance) {
+  if (!(max_imbalance >= 1.0)) {
+    return Status::InvalidArgument(
+        "max_imbalance must be >= 1.0 (some part must hold at least the "
+        "ideal n/k share); got " + std::to_string(max_imbalance));
+  }
+  return Status::OK();
+}
+
 }  // namespace
+
+void RebuildMembers(Partition* p) { FillMembers(p); }
 
 uint64_t Partition::EdgeCut(const Graph& g) const {
   uint64_t cut = 0;
@@ -61,6 +72,7 @@ Result<Partition> HashPartition(const Graph& g, uint32_t num_parts) {
 Result<Partition> MetisLikePartition(const Graph& g, uint32_t num_parts,
                                      const MetisLikeOptions& options) {
   ECG_RETURN_IF_ERROR(ValidateArgs(g, num_parts));
+  ECG_RETURN_IF_ERROR(ValidateImbalance(options.max_imbalance));
   const uint32_t n = g.num_vertices();
   const uint32_t target =
       static_cast<uint32_t>((n + num_parts - 1) / num_parts);
@@ -181,8 +193,19 @@ Result<Partition> MetisLikePartition(const Graph& g, uint32_t num_parts,
 Result<Partition> StreamingPartition(const Graph& g, uint32_t num_parts,
                                      const StreamingOptions& options) {
   ECG_RETURN_IF_ERROR(ValidateArgs(g, num_parts));
+  ECG_RETURN_IF_ERROR(ValidateImbalance(options.max_imbalance));
   if (options.gamma <= 1.0) {
     return Status::InvalidArgument("streaming gamma must exceed 1");
+  }
+  if (!options.part_capacity.empty()) {
+    if (options.part_capacity.size() != num_parts) {
+      return Status::InvalidArgument("part_capacity size != num_parts");
+    }
+    for (double c : options.part_capacity) {
+      if (!(c > 0.0)) {
+        return Status::InvalidArgument("part_capacity entries must be > 0");
+      }
+    }
   }
   const uint32_t n = g.num_vertices();
   Partition p;
@@ -205,8 +228,27 @@ Result<Partition> StreamingPartition(const Graph& g, uint32_t num_parts,
 
   std::vector<uint32_t> part_size(num_parts, 0);
   std::vector<uint32_t> neigh_count(num_parts, 0);
+  // Per-part hard caps and score normalization. With equal (empty)
+  // capacities the weighted path is skipped entirely so the classic
+  // objective stays bit-identical; with capacities, part p's ideal size is
+  // rescaled to n·cap_p/Σcap and its size is normalized by its relative
+  // share before entering the balance penalty.
+  const bool weighted = !options.part_capacity.empty();
   const uint32_t hard_cap = static_cast<uint32_t>(
       options.max_imbalance * n / num_parts) + 1;
+  std::vector<uint32_t> cap_of;
+  std::vector<double> share_of;
+  if (weighted) {
+    double cap_sum = 0.0;
+    for (double c : options.part_capacity) cap_sum += c;
+    cap_of.resize(num_parts);
+    share_of.resize(num_parts);
+    for (uint32_t q = 0; q < num_parts; ++q) {
+      const double ideal = n * options.part_capacity[q] / cap_sum;
+      cap_of[q] = static_cast<uint32_t>(options.max_imbalance * ideal) + 1;
+      share_of[q] = options.part_capacity[q] * num_parts / cap_sum;
+    }
+  }
   for (uint32_t v : order) {
     std::vector<uint32_t> touched;
     for (uint32_t u : g.Neighbors(v)) {
@@ -218,6 +260,139 @@ Result<Partition> StreamingPartition(const Graph& g, uint32_t num_parts,
     uint32_t best = num_parts;
     double best_score = -1e300;
     for (uint32_t cand = 0; cand < num_parts; ++cand) {
+      if (part_size[cand] >= (weighted ? cap_of[cand] : hard_cap)) continue;
+      const double effective_size =
+          weighted ? part_size[cand] / share_of[cand]
+                   : static_cast<double>(part_size[cand]);
+      const double score =
+          static_cast<double>(neigh_count[cand]) -
+          alpha * options.gamma / 2.0 *
+              std::pow(effective_size, options.gamma - 1.0);
+      if (score > best_score) {
+        best_score = score;
+        best = cand;
+      }
+    }
+    if (best == num_parts) {
+      // All parts at the hard cap (cannot happen with cap > n/k, but be
+      // safe): fall back to the smallest part.
+      best = static_cast<uint32_t>(
+          std::min_element(part_size.begin(), part_size.end()) -
+          part_size.begin());
+    }
+    p.owner[v] = best;
+    ++part_size[best];
+    for (uint32_t t : touched) neigh_count[t] = 0;
+  }
+
+  FillMembers(&p);
+  return p;
+}
+
+Result<Partition> DeltaRepartition(const Graph& g, const Partition& base,
+                                   const std::vector<int32_t>& old_to_new,
+                                   uint32_t new_num_parts,
+                                   const DeltaRepartitionOptions& options) {
+  ECG_RETURN_IF_ERROR(ValidateArgs(g, new_num_parts));
+  ECG_RETURN_IF_ERROR(ValidateImbalance(options.max_imbalance));
+  if (options.gamma <= 1.0) {
+    return Status::InvalidArgument("delta-repartition gamma must exceed 1");
+  }
+  const uint32_t n = g.num_vertices();
+  if (base.owner.size() != n) {
+    return Status::InvalidArgument("base partition does not cover the graph");
+  }
+  if (old_to_new.size() != base.num_parts) {
+    return Status::InvalidArgument("old_to_new size != base.num_parts");
+  }
+  std::vector<bool> target_taken(new_num_parts, false);
+  for (int32_t t : old_to_new) {
+    if (t < 0) continue;  // departed worker: vertices get re-streamed
+    if (static_cast<uint32_t>(t) >= new_num_parts) {
+      return Status::InvalidArgument("old_to_new target out of range");
+    }
+    if (target_taken[t]) {
+      return Status::InvalidArgument("old_to_new maps two parts to one");
+    }
+    target_taken[t] = true;
+  }
+
+  Partition p;
+  p.num_parts = new_num_parts;
+  p.owner.assign(n, new_num_parts);  // new_num_parts = unassigned sentinel
+  std::vector<uint32_t> part_size(new_num_parts, 0);
+
+  // Survivors keep their vertices (part id mapped through old_to_new);
+  // departed workers' vertices go to the re-stream pool.
+  std::vector<uint32_t> pool;
+  for (uint32_t v = 0; v < n; ++v) {
+    const int32_t np = old_to_new[base.owner[v]];
+    if (np >= 0) {
+      p.owner[v] = static_cast<uint32_t>(np);
+      ++part_size[np];
+    } else {
+      pool.push_back(v);
+    }
+  }
+
+  // Join: fresh parts exist (targets nobody maps to). Shed each mapped
+  // part's overage above the new ideal into the pool, preferring vertices
+  // with the fewest same-part neighbours — they are the cheapest to move
+  // (boundary-light), so the kept cores of the surviving parts stay intact.
+  bool any_fresh = false;
+  for (uint32_t q = 0; q < new_num_parts; ++q) {
+    if (!target_taken[q]) any_fresh = true;
+  }
+  if (any_fresh) {
+    const uint32_t ideal =
+        static_cast<uint32_t>((n + new_num_parts - 1) / new_num_parts);
+    for (uint32_t q = 0; q < new_num_parts; ++q) {
+      if (!target_taken[q] || part_size[q] <= ideal) continue;
+      std::vector<std::pair<uint32_t, uint32_t>> cost;  // (internal deg, v)
+      for (uint32_t v = 0; v < n; ++v) {
+        if (p.owner[v] != q) continue;
+        uint32_t internal = 0;
+        for (uint32_t u : g.Neighbors(v)) {
+          if (p.owner[u] == q) ++internal;
+        }
+        cost.emplace_back(internal, v);
+      }
+      std::sort(cost.begin(), cost.end());
+      const uint32_t shed = part_size[q] - ideal;
+      for (uint32_t i = 0; i < shed; ++i) {
+        const uint32_t v = cost[i].second;
+        p.owner[v] = new_num_parts;
+        --part_size[q];
+        pool.push_back(v);
+      }
+    }
+  }
+
+  // Re-stream only the pool, Fennel-style, against the seeded sizes. The
+  // alpha is computed from the full graph so the balance pressure matches a
+  // from-scratch streaming pass at the new k.
+  const double m = static_cast<double>(g.num_edges()) / 2.0;
+  const double alpha = m * std::pow(static_cast<double>(new_num_parts),
+                                    options.gamma - 1.0) /
+                       std::pow(static_cast<double>(n), options.gamma);
+  Rng rng(options.seed);
+  for (uint32_t i = static_cast<uint32_t>(pool.size()); i > 1; --i) {
+    std::swap(pool[i - 1], pool[rng.NextBelow(i)]);
+  }
+  const uint32_t hard_cap = static_cast<uint32_t>(
+      options.max_imbalance * n / new_num_parts) + 1;
+  std::vector<uint32_t> neigh_count(new_num_parts, 0);
+  for (uint32_t v : pool) {
+    std::vector<uint32_t> touched;
+    for (uint32_t u : g.Neighbors(v)) {
+      const uint32_t pu = p.owner[u];
+      if (pu == new_num_parts) continue;
+      if (neigh_count[pu] == 0) touched.push_back(pu);
+      ++neigh_count[pu];
+    }
+    uint32_t best = new_num_parts;
+    double best_score = -1e300;
+    for (uint32_t cand = 0; cand < new_num_parts; ++cand) {
       if (part_size[cand] >= hard_cap) continue;
       const double score =
           static_cast<double>(neigh_count[cand]) -
@@ -229,9 +404,7 @@ Result<Partition> StreamingPartition(const Graph& g, uint32_t num_parts,
         best = cand;
       }
     }
-    if (best == num_parts) {
-      // All parts at the hard cap (cannot happen with cap > n/k, but be
-      // safe): fall back to the smallest part.
+    if (best == new_num_parts) {
       best = static_cast<uint32_t>(
           std::min_element(part_size.begin(), part_size.end()) -
           part_size.begin());

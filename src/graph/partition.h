@@ -9,6 +9,17 @@
 
 namespace ecg::graph {
 
+/// The one default balance bound shared by every partitioner that takes a
+/// `max_imbalance` knob (MetisLike, Streaming, DeltaRepartition): maximum
+/// allowed part size as a multiple of the ideal n/k. The value follows the
+/// METIS convention of a 5% slack — tight enough that the BSP makespan
+/// (a max over workers) stays close to the balanced optimum, loose enough
+/// that the partitioners keep real freedom to cut fewer edges. User-supplied
+/// values below 1.0 are impossible to satisfy (some part must hold at least
+/// the ideal share) and are rejected with InvalidArgument rather than
+/// silently producing a degenerate assignment.
+inline constexpr double kDefaultMaxImbalance = 1.05;
+
 /// A vertex partition of a graph into `num_parts` worker-owned sets
 /// (edge-cut partitioning, as in the paper's GE partition module).
 struct Partition {
@@ -38,7 +49,7 @@ struct MetisLikeOptions {
   /// Refinement sweeps over boundary vertices.
   int refinement_passes = 4;
   /// Maximum allowed part size as a multiple of the ideal size.
-  double max_imbalance = 1.05;
+  double max_imbalance = kDefaultMaxImbalance;
   uint64_t seed = 13;
 };
 Result<Partition> MetisLikePartition(const Graph& g, uint32_t num_parts,
@@ -54,11 +65,43 @@ struct StreamingOptions {
   double gamma = 1.5;
   /// Hard cap on part size as a multiple of the ideal n/k (the Fennel
   /// score only softly discourages imbalance, so a cap is still needed).
-  double max_imbalance = 1.1;
+  double max_imbalance = kDefaultMaxImbalance;
   uint64_t seed = 29;
+  /// Optional per-part relative capacities (size num_parts). Empty means
+  /// equal capacity everywhere — the classic Fennel objective, bit-identical
+  /// to the pre-capacity behavior. Non-empty rescales each part's ideal
+  /// size to n·cap_p/Σcap, letting callers hand heterogeneous workers
+  /// proportionally less work (the elastic bench uses 1/compute_scale as
+  /// the oracle capacity for a persistent straggler).
+  std::vector<double> part_capacity;
 };
 Result<Partition> StreamingPartition(const Graph& g, uint32_t num_parts,
                                      const StreamingOptions& options = {});
+
+/// Incremental repartition for an elastic membership change: vertices owned
+/// by surviving workers stay put (their part id mapped through `old_to_new`),
+/// and only the vertices of departed workers — plus, on a join, a shed of
+/// boundary-light overage towards the fresh empty part(s) — are re-streamed
+/// Fennel-style into the seeded assignment. Moves O(n/k) vertices instead of
+/// reshuffling everything, so compensation/Adam state for the untouched rows
+/// survives verbatim.
+struct DeltaRepartitionOptions {
+  double gamma = 1.5;
+  double max_imbalance = kDefaultMaxImbalance;
+  uint64_t seed = 29;
+};
+/// `old_to_new[p]` maps an old part id to its new id, or -1 if part p's
+/// worker departed (its vertices get re-streamed). `new_num_parts` may be
+/// smaller (leave/crash-shrink), equal (replace), or larger (join) than
+/// base.num_parts.
+Result<Partition> DeltaRepartition(const Graph& g, const Partition& base,
+                                   const std::vector<int32_t>& old_to_new,
+                                   uint32_t new_num_parts,
+                                   const DeltaRepartitionOptions& options = {});
+
+/// Rebuilds `members` from `owner` (sorted ascending per part). Exposed for
+/// callers that edit `owner` in place, e.g. the straggler rebalancer.
+void RebuildMembers(Partition* p);
 
 }  // namespace ecg::graph
 

@@ -179,6 +179,26 @@ int CmdTrain(const std::string& name,
   opt.checkpoint_every = static_cast<uint32_t>(
       std::atoi(Get(kv, "checkpoint_every", "0").c_str()));
   opt.checkpoint_dir = Get(kv, "checkpoint_dir", "");
+  opt.elastic = Get(kv, "elastic", "");
+  const std::string scale_spec = Get(kv, "worker_scale", "");
+  if (!scale_spec.empty()) {
+    // Colon-separated per-worker compute multipliers, e.g. 1:1:2 makes
+    // worker 2 twice as slow (missing trailing entries are 1.0).
+    size_t pos = 0;
+    for (;;) {
+      const size_t next = scale_spec.find(':', pos);
+      const std::string tok = scale_spec.substr(
+          pos, next == std::string::npos ? std::string::npos : next - pos);
+      const double v = std::atof(tok.c_str());
+      if (v <= 0.0) {
+        return Fail(Status::InvalidArgument(
+            "bad worker_scale entry '" + tok + "' (need > 0)"));
+      }
+      opt.worker_compute_scale.push_back(v);
+      if (next == std::string::npos) break;
+      pos = next + 1;
+    }
+  }
 
   const uint32_t workers =
       static_cast<uint32_t>(std::atoi(Get(kv, "workers", "6").c_str()));
@@ -276,6 +296,18 @@ void Usage() {
                "every epoch iff a crash is scheduled)\n"
                "  checkpoint_dir=DIR  mirror the latest checkpoint to "
                "DIR/checkpoint_latest.bin (atomic rename)\n"
+               "\n"
+               "train keys for elastic membership:\n"
+               "  elastic=SPEC        membership schedule + rebalancer, "
+               "clauses joined by ','\n"
+               "                      leave@epoch=E:worker=W | join@epoch=E "
+               "| on_crash=shrink|replace|restore |\n"
+               "                      rebalance=on|off | threshold=F | "
+               "hysteresis=N | budget=F | cooldown=N |\n"
+               "                      downtime=S | cap=F | max_imbalance=F "
+               "| seed=N  (empty = fixed membership)\n"
+               "  worker_scale=A:B:.. per-worker compute slowdown "
+               "multipliers (straggler demo: 1:1:2)\n"
                "\n"
                "observability flags (any command, position-independent):\n"
                "  --trace_out=PATH    Chrome-trace JSON (open in "
