@@ -1,0 +1,198 @@
+// Serving-tier bench: open-loop latency/QPS of ecg::serve with a gate.
+//
+// Trains a small GCN for a few epochs (mirroring a checkpoint to disk the
+// way a production job would), then serves per-vertex classification
+// queries from that checkpoint under a heavy-tailed, hot-vertex-skewed
+// open-loop workload on the simulated serving clock. Two configurations
+// run over the identical arrival schedule:
+//
+//   naive     max_batch=1 — every query is its own inference;
+//   coalesced max_batch=32 (default serve spec) — queries are batched by
+//             arrival and share neighbourhood work through the embedding
+//             cache.
+//
+// Both produce bit-identical logits (tests/serve_test.cc); this bench
+// quantifies what coalescing buys in p50/p99/shed under load. Results land
+// in BENCH_serve.json; --gate additionally enforces the latency SLO on the
+// coalesced row (p99 <= slo_ms, nothing shed) and makes the exit code
+// CI-meaningful.
+//
+// Usage: bench_serve [--dataset=NAME] [--train_epochs=N] [--serve=SPEC]
+//                    [--load=SPEC] [--json=PATH] [--gate]
+// plus the shared observability flags (see bench_util.h).
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/trainer.h"
+#include "serve/load_gen.h"
+#include "serve/server.h"
+
+using ecg::bench::kDefaultWorkers;
+
+namespace {
+
+std::string FlagValue(int* argc, char** argv, const char* prefix) {
+  std::string value;
+  int w = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], prefix, std::strlen(prefix)) == 0) {
+      value = argv[i] + std::strlen(prefix);
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  *argc = w;
+  return value;
+}
+
+bool HasFlag(int* argc, char** argv, const char* flag) {
+  bool found = false;
+  int w = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      found = true;
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  *argc = w;
+  return found;
+}
+
+struct ServeRow {
+  std::string label;
+  ecg::serve::LoadResult load;
+};
+
+void PrintRow(const ServeRow& r) {
+  std::printf(
+      "%-10s offered=%-6llu served=%-6llu shed=%-5llu qps=%-8.0f "
+      "p50=%-7.3fms p99=%-7.3fms batch=%-5.1f hit=%.2f\n",
+      r.label.c_str(), static_cast<unsigned long long>(r.load.offered),
+      static_cast<unsigned long long>(r.load.served),
+      static_cast<unsigned long long>(r.load.shed), r.load.achieved_qps,
+      r.load.p50_ms, r.load.p99_ms, r.load.mean_batch,
+      r.load.cache_hit_rate);
+  std::fflush(stdout);
+}
+
+void AppendRowJson(std::ostream& out, const ServeRow& r) {
+  out << "{\"label\":\"" << r.label << "\",\"offered\":" << r.load.offered
+      << ",\"served\":" << r.load.served << ",\"shed\":" << r.load.shed
+      << ",\"batches\":" << r.load.batches
+      << ",\"mean_batch\":" << r.load.mean_batch
+      << ",\"qps\":" << r.load.achieved_qps
+      << ",\"p50_ms\":" << r.load.p50_ms << ",\"p99_ms\":" << r.load.p99_ms
+      << ",\"max_ms\":" << r.load.max_ms
+      << ",\"cache_hit_rate\":" << r.load.cache_hit_rate
+      << ",\"rows_computed\":" << r.load.rows_computed
+      << ",\"rows_cached\":" << r.load.rows_cached << "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ecg::bench::InitBench(&argc, &argv[0]);
+  const std::string dataset_flag = FlagValue(&argc, argv, "--dataset=");
+  const std::string epochs_flag = FlagValue(&argc, argv, "--train_epochs=");
+  const std::string serve_spec = FlagValue(&argc, argv, "--serve=");
+  const std::string load_spec = FlagValue(&argc, argv, "--load=");
+  const std::string json_flag = FlagValue(&argc, argv, "--json=");
+  const bool gate = HasFlag(&argc, argv, "--gate");
+
+  const std::string dataset =
+      dataset_flag.empty() ? "cora-sim" : dataset_flag;
+  const uint32_t train_epochs =
+      epochs_flag.empty() ? (ecg::bench::FastMode() ? 3u : 10u)
+                          : static_cast<uint32_t>(std::stoul(epochs_flag));
+  const std::string json_path =
+      json_flag.empty() ? "BENCH_serve.json" : json_flag;
+
+  auto serve_opts = ecg::serve::ParseServeOptions(serve_spec);
+  serve_opts.status().CheckOk();
+  // Default workload: 1.5x the naive (batch=1) capacity of the default
+  // gflops model, so the naive row visibly saturates and sheds while
+  // coalescing absorbs the same offered load.
+  auto workload = ecg::serve::ParseWorkloadOptions(
+      load_spec.empty() ? "qps=30000,duration=1" : load_spec);
+  workload.status().CheckOk();
+
+  ecg::bench::PrintHeader(
+      "Serving tier — open-loop latency/QPS from a trained checkpoint (" +
+      dataset + ", " + std::to_string(train_epochs) + " train epochs)");
+  const ecg::graph::Graph& g = ecg::bench::LoadGraphCached(dataset);
+
+  // Train briefly, mirroring epoch checkpoints to disk: the serve tier
+  // then loads the last one exactly like an out-of-process server would.
+  const std::string ckpt_dir = "bench_serve_ckpt";
+  std::filesystem::create_directories(ckpt_dir);
+  ecg::core::TrainOptions opt;
+  opt.model = ecg::bench::ModelFor(dataset, 2);
+  opt.fp_mode = ecg::core::FpMode::kReqEc;
+  opt.bp_mode = ecg::core::BpMode::kResEc;
+  opt.exchange.fp_bits = 4;
+  opt.exchange.bp_bits = 4;
+  opt.epochs = train_epochs;
+  opt.checkpoint_every = 1;
+  opt.checkpoint_dir = ckpt_dir;
+  auto train = ecg::core::TrainDistributed(g, kDefaultWorkers, opt);
+  train.status().CheckOk();
+  const std::string ckpt = ckpt_dir + "/checkpoint_latest.bin";
+  std::printf("trained %u epochs (val=%.4f), checkpoint at %s\n",
+              train_epochs, train->best_val_acc, ckpt.c_str());
+
+  auto run = [&](const char* label, uint32_t max_batch) -> ServeRow {
+    ecg::serve::ServeOptions o = *serve_opts;
+    o.max_batch = max_batch;
+    ecg::serve::InferenceServer server(&g, opt.model, o);
+    server.Init().CheckOk();
+    server.LoadFromCheckpoint(ckpt).CheckOk();
+    auto res = ecg::serve::RunOpenLoop(&server, *workload);
+    res.status().CheckOk();
+    ServeRow row;
+    row.label = label;
+    row.load = *res;
+    return row;
+  };
+
+  std::vector<ServeRow> rows;
+  rows.push_back(run("naive", 1));
+  PrintRow(rows.back());
+  rows.push_back(run("coalesced", serve_opts->max_batch));
+  PrintRow(rows.back());
+  const ServeRow& coalesced = rows.back();
+
+  const double slo_ms = serve_opts->slo_ms;
+  const bool slo_pass = coalesced.load.p99_ms <= slo_ms &&
+                        coalesced.load.shed == 0 &&
+                        coalesced.load.served > 0;
+  std::printf("gate: coalesced p99=%.3fms vs slo=%.1fms, shed=%llu -> %s\n",
+              coalesced.load.p99_ms, slo_ms,
+              static_cast<unsigned long long>(coalesced.load.shed),
+              slo_pass ? "PASS" : "FAIL");
+
+  std::ofstream out(json_path);
+  if (!out) {
+    std::fprintf(stderr, "bench_serve: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  out << "{\"stamp\":" << ecg::bench::BenchStampJson() << ",\"dataset\":\""
+      << dataset << "\",\"train_epochs\":" << train_epochs
+      << ",\"val_acc\":" << train->best_val_acc
+      << ",\"slo_ms\":" << slo_ms
+      << ",\"pass\":" << (slo_pass ? "true" : "false") << ",\"rows\":[";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (i > 0) out << ",";
+    AppendRowJson(out, rows[i]);
+  }
+  out << "]}\n";
+  std::printf("wrote %s\n", json_path.c_str());
+
+  return gate && !slo_pass ? 1 : 0;
+}

@@ -1,10 +1,12 @@
 // Distributed training, end to end, on one dataset: the full EC-Graph
-// pipeline a user would run — load, partition (METIS-like), train with
-// the adaptive Bit-Tuner, and print the per-epoch telemetry the system
-// collects (loss, accuracy, simulated epoch time, exact exchanged bytes).
+// pipeline a user would run — configure through the typed spec surface
+// (ecg::core::ParseTrainSpec, the same grammar `ecgraph train` accepts),
+// partition (METIS-like), train with the adaptive Bit-Tuner, and print the
+// per-epoch telemetry the system collects (loss, accuracy, simulated epoch
+// time, exact exchanged bytes).
 //
-// Also shows the sampling mode (EC-Graph-S) on the same partition for
-// comparison.
+// Also shows the sampling mode (EC-Graph-S) via the nested sampling=SPEC
+// clause on the same partition for comparison.
 //
 // Usage: distributed_training [dataset] [workers] [epochs]
 //        (default: pubmed-sim 6 30)
@@ -12,8 +14,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "core/sampling_trainer.h"
+#include "core/train_spec.h"
 #include "core/trainer.h"
 #include "graph/datasets.h"
 #include "graph/partition.h"
@@ -26,28 +30,32 @@ int main(int argc, char** argv) {
   auto gr = ecg::graph::LoadDataset(dataset);
   gr.status().CheckOk();
   const ecg::graph::Graph& g = *gr;
-  auto spec = *ecg::graph::GetDatasetSpec(dataset);
+  auto dspec = *ecg::graph::GetDatasetSpec(dataset);
 
-  auto partition = ecg::graph::MetisLikePartition(g, workers);
+  // Shared clauses for both runs; fp=reqec/bp=resec are the defaults.
+  const std::vector<std::string> base = {
+      "layers=" + std::to_string(dspec.default_layers),
+      "hidden=" + std::to_string(dspec.default_hidden),
+      "workers=" + std::to_string(workers),
+      "epochs=" + std::to_string(epochs),
+      "partitioner=metis",
+      "fp_bits=2", "bp_bits=2", "log_every=0"};
+
+  // Full-batch EC-Graph with the adaptive Bit-Tuner.
+  std::vector<std::string> full = base;
+  full.push_back("adapt=on");
+  auto ts = ecg::core::ParseTrainSpec(full);
+  ts.status().CheckOk();
+
+  auto partition = ecg::core::MakePartition(g, ts->workers, ts->partitioner);
   partition.status().CheckOk();
   std::printf("%s on %u workers (METIS-like partition, edge-cut %llu, "
               "balance %.3f)\n\n",
-              dataset.c_str(), workers,
+              dataset.c_str(), ts->workers,
               static_cast<unsigned long long>(partition->EdgeCut(g)),
               partition->BalanceFactor());
 
-  // Full-batch EC-Graph with the adaptive Bit-Tuner.
-  ecg::core::TrainOptions opt;
-  opt.model.num_layers = spec.default_layers;
-  opt.model.hidden_dim = spec.default_hidden;
-  opt.fp_mode = ecg::core::FpMode::kReqEc;
-  opt.bp_mode = ecg::core::BpMode::kResEc;
-  opt.exchange.fp_bits = 2;
-  opt.exchange.bp_bits = 2;
-  opt.exchange.adaptive_bits = true;  // Bit-Tuner on
-  opt.epochs = epochs;
-
-  ecg::core::DistributedTrainer trainer(g, *partition, opt);
+  ecg::core::DistributedTrainer trainer(g, *partition, ts->options);
   auto r = trainer.Train();
   r.status().CheckOk();
 
@@ -65,14 +73,19 @@ int main(int argc, char** argv) {
               r->test_acc_at_best_val, r->avg_epoch_seconds,
               r->total_comm_bytes / (1024.0 * 1024.0));
 
-  // Sampling mode on the same partition.
-  ecg::core::SamplingTrainOptions sopt;
-  sopt.model = opt.model;
-  sopt.fanouts.assign(spec.default_layers, 10);
-  sopt.exchange.fp_bits = 8;
-  sopt.exchange.bp_bits = 8;
-  sopt.epochs = epochs;
-  ecg::core::SamplingTrainer strainer(g, *partition, sopt);
+  // Sampling mode on the same partition, via the nested sampling= clause
+  // (shared keys like bit widths carry over; fp/bp map to plain cp).
+  std::string fanout = "sampling=fanout=10";
+  for (int l = 1; l < dspec.default_layers; ++l) fanout += "x10";
+  std::vector<std::string> sampled = base;
+  for (std::string& clause : sampled) {
+    if (clause == "fp_bits=2") clause = "fp_bits=8";
+    if (clause == "bp_bits=2") clause = "bp_bits=8";
+  }
+  sampled.push_back(fanout + ":seed=77");
+  auto sts = ecg::core::ParseTrainSpec(sampled);
+  sts.status().CheckOk();
+  ecg::core::SamplingTrainer strainer(g, *partition, sts->sampling);
   auto sr = strainer.Train();
   sr.status().CheckOk();
   std::printf("EC-Graph-S (fanout 10): best test acc %.4f, avg epoch "

@@ -6,7 +6,7 @@
 
 #include "common/status.h"
 #include "core/gcn.h"
-#include "core/metrics.h"
+#include "core/epoch_metrics.h"
 #include "core/sampling.h"
 #include "dist/network_model.h"
 #include "graph/graph.h"

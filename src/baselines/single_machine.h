@@ -4,7 +4,7 @@
 #include "common/status.h"
 #include "core/gcn.h"
 #include "dist/network_model.h"
-#include "core/metrics.h"
+#include "core/epoch_metrics.h"
 #include "graph/graph.h"
 
 namespace ecg::baselines {

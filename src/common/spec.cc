@@ -1,0 +1,315 @@
+#include "common/spec.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+namespace ecg::config {
+namespace {
+
+// Strict unsigned decimal parse: digits only, overflow-checked against max.
+// Matches the behavior of the hand-rolled parsers this file replaces
+// (leading '+'/'-', hex, and trailing junk all rejected).
+Status ParseUnsigned(const std::string& text, uint64_t max, uint64_t* out) {
+  if (text.empty()) return Status::InvalidArgument("empty integer");
+  uint64_t v = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9')
+      return Status::InvalidArgument("not an integer: '" + text + "'");
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (v > (max - digit) / 10)
+      return Status::InvalidArgument("integer out of range: '" + text + "'");
+    v = v * 10 + digit;
+  }
+  *out = v;
+  return Status::OK();
+}
+
+Status ParseSigned(const std::string& text, int64_t lo, int64_t hi,
+                   int64_t* out) {
+  bool neg = !text.empty() && text[0] == '-';
+  uint64_t mag = 0;
+  ECG_RETURN_IF_ERROR(ParseUnsigned(neg ? text.substr(1) : text,
+                                    std::numeric_limits<int64_t>::max(), &mag));
+  int64_t v = neg ? -static_cast<int64_t>(mag) : static_cast<int64_t>(mag);
+  if (v < lo || v > hi)
+    return Status::InvalidArgument("integer out of range: '" + text + "'");
+  *out = v;
+  return Status::OK();
+}
+
+// strtod that must consume the whole token.
+Status ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) return Status::InvalidArgument("empty number");
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || errno == ERANGE)
+    return Status::InvalidArgument("not a number: '" + text + "'");
+  *out = v;
+  return Status::OK();
+}
+
+std::string FormatDouble(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<std::string> Spec::Split(const std::string& text,
+                                     const char* separators) {
+  std::vector<std::string> out;
+  std::string cur;
+  auto is_sep = [separators](char c) {
+    for (const char* s = separators; *s; ++s)
+      if (*s == c) return true;
+    return false;
+  };
+  for (char c : text) {
+    if (is_sep(c)) {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else if (c != ' ' && c != '\t') {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+Spec::Field& Spec::AddField(const std::string& key, std::string type_text,
+                            std::string default_text, bool numeric) {
+  fields_.push_back(std::make_unique<Field>());
+  Field& f = *fields_.back();
+  f.key_ = key;
+  f.type_text_ = std::move(type_text);
+  f.default_text_ = std::move(default_text);
+  f.numeric_ = numeric;
+  return f;
+}
+
+Spec::Field& Spec::U32(const std::string& key, uint32_t* out) {
+  Field& f = AddField(key, "N", std::to_string(*out), /*numeric=*/true);
+  f.set_ = [this, key, out](const std::string& value, double* num) -> Status {
+    uint64_t v = 0;
+    Status s = ParseUnsigned(value, std::numeric_limits<uint32_t>::max(), &v);
+    if (!s.ok()) return Error(key + ": " + s.message());
+    *out = static_cast<uint32_t>(v);
+    *num = static_cast<double>(v);
+    return Status::OK();
+  };
+  return f;
+}
+
+Spec::Field& Spec::U64(const std::string& key, uint64_t* out) {
+  Field& f = AddField(key, "N", std::to_string(*out), /*numeric=*/true);
+  f.set_ = [this, key, out](const std::string& value, double* num) -> Status {
+    uint64_t v = 0;
+    Status s = ParseUnsigned(value, std::numeric_limits<uint64_t>::max(), &v);
+    if (!s.ok()) return Error(key + ": " + s.message());
+    *out = v;
+    *num = static_cast<double>(v);
+    return Status::OK();
+  };
+  return f;
+}
+
+Spec::Field& Spec::I32(const std::string& key, int32_t* out) {
+  Field& f = AddField(key, "N", std::to_string(*out), /*numeric=*/true);
+  f.set_ = [this, key, out](const std::string& value, double* num) -> Status {
+    int64_t v = 0;
+    Status s = ParseSigned(value, std::numeric_limits<int32_t>::min(),
+                           std::numeric_limits<int32_t>::max(), &v);
+    if (!s.ok()) return Error(key + ": " + s.message());
+    *out = static_cast<int32_t>(v);
+    *num = static_cast<double>(v);
+    return Status::OK();
+  };
+  return f;
+}
+
+Spec::Field& Spec::F64(const std::string& key, double* out) {
+  Field& f = AddField(key, "F", FormatDouble(*out), /*numeric=*/true);
+  f.set_ = [this, key, out](const std::string& value, double* num) -> Status {
+    double v = 0.0;
+    Status s = ParseDouble(value, &v);
+    if (!s.ok()) return Error(key + ": " + s.message());
+    *out = v;
+    *num = v;
+    return Status::OK();
+  };
+  return f;
+}
+
+Spec::Field& Spec::F32(const std::string& key, float* out) {
+  Field& f = AddField(key, "F", FormatDouble(*out), /*numeric=*/true);
+  f.set_ = [this, key, out](const std::string& value, double* num) -> Status {
+    double v = 0.0;
+    Status s = ParseDouble(value, &v);
+    if (!s.ok()) return Error(key + ": " + s.message());
+    *out = static_cast<float>(v);
+    *num = v;
+    return Status::OK();
+  };
+  return f;
+}
+
+Spec::Field& Spec::Bool(const std::string& key, bool* out) {
+  Field& f = AddField(key, "on|off", *out ? "on" : "off", /*numeric=*/false);
+  f.set_ = [this, key, out](const std::string& value, double*) -> Status {
+    if (value == "on" || value == "true" || value == "1" || value == "yes") {
+      *out = true;
+    } else if (value == "off" || value == "false" || value == "0" ||
+               value == "no") {
+      *out = false;
+    } else {
+      return Error(key + " must be on|off, got '" + value + "'");
+    }
+    return Status::OK();
+  };
+  return f;
+}
+
+Spec::Field& Spec::String(const std::string& key, std::string* out) {
+  Field& f = AddField(key, "STR", *out, /*numeric=*/false);
+  f.set_ = [out](const std::string& value, double*) -> Status {
+    *out = value;
+    return Status::OK();
+  };
+  return f;
+}
+
+Spec::Field& Spec::F64List(const std::string& key, std::vector<double>* out,
+                           char sep) {
+  std::string type(1, sep);
+  Field& f = AddField(key, "F" + type + "F" + type + "...", "",
+                      /*numeric=*/false);
+  f.set_ = [this, key, out, sep](const std::string& value, double*) -> Status {
+    char seps[2] = {sep, '\0'};
+    std::vector<double> parsed;
+    for (const std::string& tok : Split(value, seps)) {
+      double v = 0.0;
+      Status s = ParseDouble(tok, &v);
+      if (!s.ok()) return Error(key + ": " + s.message());
+      parsed.push_back(v);
+    }
+    if (parsed.empty()) return Error(key + ": empty list");
+    *out = std::move(parsed);
+    return Status::OK();
+  };
+  return f;
+}
+
+Spec::Field& Spec::U32List(const std::string& key, std::vector<uint32_t>* out,
+                           char sep) {
+  std::string type(1, sep);
+  Field& f = AddField(key, "N" + type + "N" + type + "...", "",
+                      /*numeric=*/false);
+  f.set_ = [this, key, out, sep](const std::string& value, double*) -> Status {
+    char seps[2] = {sep, '\0'};
+    std::vector<uint32_t> parsed;
+    for (const std::string& tok : Split(value, seps)) {
+      uint64_t v = 0;
+      Status s = ParseUnsigned(tok, std::numeric_limits<uint32_t>::max(), &v);
+      if (!s.ok()) return Error(key + ": " + s.message());
+      parsed.push_back(static_cast<uint32_t>(v));
+    }
+    if (parsed.empty()) return Error(key + ": empty list");
+    *out = std::move(parsed);
+    return Status::OK();
+  };
+  return f;
+}
+
+Spec& Spec::Clause(std::string keyword, std::string grammar, std::string help,
+                   std::function<Status(const std::string&)> handler) {
+  clause_rules_.push_back({std::move(keyword), std::move(grammar),
+                           std::move(help), std::move(handler)});
+  return *this;
+}
+
+Status Spec::Apply(const std::string& key, const std::string& value,
+                   std::map<std::string, bool>* seen) {
+  for (auto& f : fields_) {
+    if (f->key_ != key) continue;
+    if ((*seen)[key]) return Error("duplicate key '" + key + "'");
+    (*seen)[key] = true;
+    double numeric = 0.0;
+    ECG_RETURN_IF_ERROR(f->set_(value, &numeric));
+    if (f->numeric_ && f->has_min_) {
+      bool bad = f->min_exclusive_ ? numeric <= f->min_ : numeric < f->min_;
+      if (bad)
+        return Error(key + " must be " + (f->min_exclusive_ ? "> " : ">= ") +
+                     FormatDouble(f->min_) + ", got " + value);
+    }
+    if (f->numeric_ && f->has_max_ && numeric > f->max_)
+      return Error(key + " must be <= " + FormatDouble(f->max_) + ", got " +
+                   value);
+    if (f->check_) ECG_RETURN_IF_ERROR(f->check_());
+    return Status::OK();
+  }
+  return Error("unknown key '" + key + "'");
+}
+
+Status Spec::ParseClauses(const std::vector<std::string>& clauses) {
+  std::map<std::string, bool> seen;
+  for (const std::string& clause : clauses) {
+    // Leading identifier: text before the first '=' or '@'.
+    size_t cut = clause.find_first_of("=@");
+    std::string head = clause.substr(0, cut);
+    // Structured clauses win over flat fields and may repeat; keywords are
+    // disjoint from flat field keys by construction.
+    const ClauseRule* rule = nullptr;
+    for (const auto& r : clause_rules_)
+      if (r.keyword == head) rule = &r;
+    if (rule != nullptr) {
+      ECG_RETURN_IF_ERROR(rule->handler(clause));
+      continue;
+    }
+    if (cut == std::string::npos || clause[cut] != '=')
+      return Error("expected key=value, got '" + clause + "'");
+    ECG_RETURN_IF_ERROR(
+        Apply(head, clause.substr(cut + 1), &seen));
+  }
+  for (const auto& f : fields_) {
+    if (f->required_ && !seen[f->key_])
+      return Error("missing required key '" + f->key_ + "'");
+  }
+  return Status::OK();
+}
+
+Status Spec::Parse(const std::string& spec) {
+  return ParseClauses(Split(spec, ",;"));
+}
+
+std::string Spec::HelpText(const std::string& indent) const {
+  std::ostringstream os;
+  size_t width = 0;
+  std::vector<std::pair<std::string, std::string>> lines;
+  for (const auto& r : clause_rules_) {
+    lines.emplace_back(r.grammar.empty() ? r.keyword : r.grammar, r.help);
+  }
+  for (const auto& f : fields_) {
+    std::string lhs = f->key_ + "=" + f->type_text_;
+    std::string rhs = f->help_;
+    if (f->required_) {
+      rhs += rhs.empty() ? "(required)" : " (required)";
+    } else if (!f->default_text_.empty()) {
+      rhs += rhs.empty() ? "(default " + f->default_text_ + ")"
+                         : " (default " + f->default_text_ + ")";
+    }
+    lines.emplace_back(std::move(lhs), std::move(rhs));
+  }
+  for (const auto& [lhs, rhs] : lines) width = std::max(width, lhs.size());
+  for (const auto& [lhs, rhs] : lines) {
+    os << indent << lhs;
+    if (!rhs.empty()) os << std::string(width - lhs.size() + 2, ' ') << rhs;
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ecg::config

@@ -1,0 +1,207 @@
+#ifndef ECGRAPH_COMMON_SPEC_H_
+#define ECGRAPH_COMMON_SPEC_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ecg::config {
+
+/// Typed key=value spec parser — the one grammar behind every textual
+/// configuration surface of the system (train keys, `elastic=SPEC`,
+/// `faults=SPEC`, `sampling=SPEC`, `serve=SPEC`).
+///
+/// A spec string is a list of clauses separated by ',' or ';' (spaces and
+/// tabs are ignored). Most clauses are flat `key=value` pairs bound to a
+/// typed field of a caller-owned options struct; grammars with structured
+/// clauses (`leave@epoch=3:worker=1`, `drop=0.05@epoch=2:from=0`) register
+/// a *clause handler* for the leading keyword and receive the clause
+/// verbatim.
+///
+/// Contract enforced uniformly across every surface:
+///   * unknown keys are errors (they used to be silently ignored by some
+///     of the hand-rolled parsers this replaces);
+///   * a flat key given twice is an error;
+///   * values must parse completely in the field's type ("3x" is not an
+///     integer) and pass the field's range checks;
+///   * fields marked Required() must appear;
+///   * `HelpText()` renders the registered fields — one source of truth
+///     for --help output.
+///
+/// Usage:
+///
+///   ServeOptions opts;                   // carries the defaults
+///   config::Spec spec("serve");
+///   spec.U32("max_batch", &opts.max_batch).Min(1)
+///       .Help("queries coalesced per execution");
+///   spec.F64("slo_ms", &opts.slo_ms).MinExclusive(0);
+///   ECG_RETURN_IF_ERROR(spec.Parse(text));
+///
+/// A Spec binds raw pointers into the options struct: it must not outlive
+/// the struct, and Parse() writes through the pointers as clauses are
+/// consumed (on error the struct may be partially updated — parse into a
+/// scratch copy when that matters).
+class Spec {
+ public:
+  explicit Spec(std::string name) : name_(std::move(name)) {}
+
+  Spec(const Spec&) = delete;
+  Spec& operator=(const Spec&) = delete;
+
+  /// Per-field configuration, chainable off the registration call.
+  class Field {
+   public:
+    /// One-line description rendered by HelpText().
+    Field& Help(std::string text) {
+      help_ = std::move(text);
+      return *this;
+    }
+    /// Parse() fails when the key is absent.
+    Field& Required() {
+      required_ = true;
+      return *this;
+    }
+    /// Inclusive lower bound (numeric fields).
+    Field& Min(double bound) {
+      min_ = bound;
+      has_min_ = true;
+      min_exclusive_ = false;
+      return *this;
+    }
+    /// Exclusive lower bound (numeric fields).
+    Field& MinExclusive(double bound) {
+      min_ = bound;
+      has_min_ = true;
+      min_exclusive_ = true;
+      return *this;
+    }
+    /// Inclusive upper bound (numeric fields).
+    Field& Max(double bound) {
+      max_ = bound;
+      has_max_ = true;
+      return *this;
+    }
+    /// Custom validation run after the typed conversion; return a non-OK
+    /// Status to reject with a domain-specific message (e.g. "ewma must
+    /// be in (0, 1]").
+    Field& Check(std::function<Status()> fn) {
+      check_ = std::move(fn);
+      return *this;
+    }
+
+   private:
+    friend class Spec;
+    std::string key_;
+    std::string type_text_;     // rendered in help: N, F, on|off, a|b|c, STR
+    std::string default_text_;  // value at registration time
+    std::string help_;
+    bool required_ = false;
+    bool numeric_ = false;
+    bool has_min_ = false, min_exclusive_ = false, has_max_ = false;
+    double min_ = 0.0, max_ = 0.0;
+    /// Converts the raw value and stores it through the bound pointer.
+    /// Numeric fields also report the converted value for range checks.
+    std::function<Status(const std::string& value, double* numeric)> set_;
+    std::function<Status()> check_;
+  };
+
+  Field& U32(const std::string& key, uint32_t* out);
+  Field& U64(const std::string& key, uint64_t* out);
+  Field& I32(const std::string& key, int32_t* out);
+  Field& F64(const std::string& key, double* out);
+  Field& F32(const std::string& key, float* out);
+  /// Accepts on|off|true|false|1|0|yes|no.
+  Field& Bool(const std::string& key, bool* out);
+  Field& String(const std::string& key, std::string* out);
+  /// `sep`-separated list of positive doubles, e.g. worker_scale=1:1:2.
+  Field& F64List(const std::string& key, std::vector<double>* out,
+                 char sep = ':');
+  /// `sep`-separated list of u32, e.g. fanout=20x10x5.
+  Field& U32List(const std::string& key, std::vector<uint32_t>* out,
+                 char sep = 'x');
+
+  /// Closed set of names mapped to values of any enum/struct type.
+  template <typename T>
+  Field& Enum(const std::string& key, T* out,
+              std::vector<std::pair<std::string, T>> values) {
+    std::string names;
+    for (const auto& [n, unused] : values) {
+      if (!names.empty()) names += '|';
+      names += n;
+    }
+    std::string current;
+    for (const auto& [n, v] : values) {
+      if (v == *out) current = n;
+    }
+    Field& f = AddField(key, names, current, /*numeric=*/false);
+    f.set_ = [this, key, out, values = std::move(values), names](
+                 const std::string& value, double*) -> Status {
+      for (const auto& [n, v] : values) {
+        if (value == n) {
+          *out = v;
+          return Status::OK();
+        }
+      }
+      return Error(key + " must be " + names + ", got '" + value + "'");
+    };
+    return f;
+  }
+
+  /// Registers a structured-clause keyword: any clause whose leading
+  /// identifier (text before the first '=' or '@') equals `keyword` is
+  /// passed to `handler` verbatim, duplicates allowed. `grammar` is the
+  /// help-text form, e.g. "leave@epoch=E:worker=W".
+  Spec& Clause(std::string keyword, std::string grammar, std::string help,
+               std::function<Status(const std::string& clause)> handler);
+
+  /// Parses a spec string: splits into clauses on ',' and ';', dispatches
+  /// each to its clause handler or flat field, then enforces Required().
+  /// The empty string parses to no clauses (all defaults kept).
+  Status Parse(const std::string& spec);
+
+  /// Parses pre-split clauses (e.g. trailing argv words). Each entry is
+  /// one clause — values may therefore contain ',' and ';'.
+  Status ParseClauses(const std::vector<std::string>& clauses);
+
+  /// Auto-generated reference: one line per clause rule and field,
+  /// `key=TYPE  help (default X)`, in registration order.
+  std::string HelpText(const std::string& indent = "  ") const;
+
+  const std::string& name() const { return name_; }
+
+  /// "<spec name>: <msg>" InvalidArgument — uniform error shape.
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument(name_ + ": " + msg);
+  }
+
+  /// Splits on single-char separators, dropping empty tokens and
+  /// space/tab. Shared by spec grammars that nest lists inside values.
+  static std::vector<std::string> Split(const std::string& text,
+                                        const char* separators);
+
+ private:
+  Field& AddField(const std::string& key, std::string type_text,
+                  std::string default_text, bool numeric);
+  Status Apply(const std::string& key, const std::string& value,
+               std::map<std::string, bool>* seen);
+
+  std::string name_;
+  std::vector<std::unique_ptr<Field>> fields_;  // registration order
+  struct ClauseRule {
+    std::string keyword;
+    std::string grammar;
+    std::string help;
+    std::function<Status(const std::string&)> handler;
+  };
+  std::vector<ClauseRule> clause_rules_;
+};
+
+}  // namespace ecg::config
+
+#endif  // ECGRAPH_COMMON_SPEC_H_

@@ -13,6 +13,50 @@ namespace {
 constexpr uint32_t kCheckpointMagic = 0x4B474345u;  // "ECGK"
 constexpr uint8_t kCheckpointVersion = 1;
 
+/// Reads `path` into *file and validates magic, version, body length, and
+/// CRC32C. On success *r is a reader positioned at the start of the body
+/// (next_epoch onward), viewing *file.
+Status ReadCheckpointBody(const std::string& path, std::vector<uint8_t>* file,
+                          ByteReader* r) {
+  {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in) return Status::IoError("cannot open checkpoint file " + path);
+    const std::streamsize size = in.tellg();
+    in.seekg(0);
+    file->resize(static_cast<size_t>(size));
+    in.read(reinterpret_cast<char*>(file->data()), size);
+    if (!in) return Status::IoError("short read from checkpoint " + path);
+  }
+  *r = ByteReader(*file);
+  uint32_t magic = 0, crc = 0;
+  uint8_t version = 0;
+  uint64_t body_size = 0;
+  ECG_RETURN_IF_ERROR(r->GetU32(&magic));
+  ECG_RETURN_IF_ERROR(r->GetU8(&version));
+  ECG_RETURN_IF_ERROR(r->GetU32(&crc));
+  ECG_RETURN_IF_ERROR(r->GetU64(&body_size));
+  if (magic != kCheckpointMagic) {
+    return Status::InvalidArgument(path + " is not a checkpoint file");
+  }
+  if (version != kCheckpointVersion) {
+    return Status::InvalidArgument(
+        "checkpoint version mismatch: got " + std::to_string(version) +
+        " want " + std::to_string(kCheckpointVersion));
+  }
+  if (body_size != r->remaining()) {
+    return Status::InvalidArgument(
+        "checkpoint body size mismatch: header says " +
+        std::to_string(body_size) + " bytes, " +
+        std::to_string(r->remaining()) + " present");
+  }
+  const uint8_t* body = file->data() + (file->size() - body_size);
+  const uint32_t actual = Crc32c(body, body_size);
+  if (actual != crc) {
+    return Status::InvalidArgument("checkpoint CRC mismatch in " + path);
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 CheckpointStore::CheckpointStore(uint32_t num_workers, std::string dir)
@@ -118,42 +162,8 @@ Status CheckpointStore::WriteFileLocked() const {
 
 Status CheckpointStore::LoadFromFile(const std::string& path) {
   std::vector<uint8_t> file;
-  {
-    std::ifstream in(path, std::ios::binary | std::ios::ate);
-    if (!in) return Status::IoError("cannot open checkpoint file " + path);
-    const std::streamsize size = in.tellg();
-    in.seekg(0);
-    file.resize(static_cast<size_t>(size));
-    in.read(reinterpret_cast<char*>(file.data()), size);
-    if (!in) return Status::IoError("short read from checkpoint " + path);
-  }
   ByteReader r(file);
-  uint32_t magic = 0, crc = 0;
-  uint8_t version = 0;
-  uint64_t body_size = 0;
-  ECG_RETURN_IF_ERROR(r.GetU32(&magic));
-  ECG_RETURN_IF_ERROR(r.GetU8(&version));
-  ECG_RETURN_IF_ERROR(r.GetU32(&crc));
-  ECG_RETURN_IF_ERROR(r.GetU64(&body_size));
-  if (magic != kCheckpointMagic) {
-    return Status::InvalidArgument(path + " is not a checkpoint file");
-  }
-  if (version != kCheckpointVersion) {
-    return Status::InvalidArgument(
-        "checkpoint version mismatch: got " + std::to_string(version) +
-        " want " + std::to_string(kCheckpointVersion));
-  }
-  if (body_size != r.remaining()) {
-    return Status::InvalidArgument(
-        "checkpoint body size mismatch: header says " +
-        std::to_string(body_size) + " bytes, " +
-        std::to_string(r.remaining()) + " present");
-  }
-  const uint8_t* body = file.data() + (file.size() - body_size);
-  const uint32_t actual = Crc32c(body, body_size);
-  if (actual != crc) {
-    return Status::InvalidArgument("checkpoint CRC mismatch in " + path);
-  }
+  ECG_RETURN_IF_ERROR(ReadCheckpointBody(path, &file, &r));
 
   Snapshot snap;
   uint32_t workers = 0;
@@ -174,6 +184,17 @@ Status CheckpointStore::LoadFromFile(const std::string& path) {
   latest_ = std::move(snap);
   has_latest_ = true;
   return Status::OK();
+}
+
+Result<CheckpointGlobalSection> LoadCheckpointGlobal(const std::string& path) {
+  std::vector<uint8_t> file;
+  ByteReader r(file);
+  ECG_RETURN_IF_ERROR(ReadCheckpointBody(path, &file, &r));
+  CheckpointGlobalSection out;
+  ECG_RETURN_IF_ERROR(r.GetU32(&out.next_epoch));
+  ECG_RETURN_IF_ERROR(r.GetU32(&out.num_workers));
+  ECG_RETURN_IF_ERROR(r.GetBytes(&out.global));
+  return out;
 }
 
 }  // namespace ecg::core

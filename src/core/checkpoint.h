@@ -83,6 +83,20 @@ class CheckpointStore {
   bool has_latest_ = false;
 };
 
+/// The worker-count-independent part of a checkpoint file: the epoch it
+/// resumes at and the global (parameter-server) section. The serve tier
+/// loads trained weights through this without knowing how many workers
+/// produced the checkpoint.
+struct CheckpointGlobalSection {
+  uint32_t next_epoch = 0;
+  uint32_t num_workers = 0;
+  std::vector<uint8_t> global;
+};
+
+/// Parses a checkpoint file written by CheckpointStore (validating magic,
+/// version, and CRC32C) and returns just the global section.
+Result<CheckpointGlobalSection> LoadCheckpointGlobal(const std::string& path);
+
 }  // namespace ecg::core
 
 #endif  // ECGRAPH_CORE_CHECKPOINT_H_

@@ -1,5 +1,5 @@
-#ifndef ECGRAPH_CORE_METRICS_H_
-#define ECGRAPH_CORE_METRICS_H_
+#ifndef ECGRAPH_CORE_EPOCH_METRICS_H_
+#define ECGRAPH_CORE_EPOCH_METRICS_H_
 
 #include <cstdint>
 #include <limits>
@@ -98,4 +98,4 @@ struct TrainResult {
 
 }  // namespace ecg::core
 
-#endif  // ECGRAPH_CORE_METRICS_H_
+#endif  // ECGRAPH_CORE_EPOCH_METRICS_H_

@@ -10,7 +10,7 @@
 
 #include "common/logging.h"
 #include "common/stats.h"
-#include "core/metrics.h"
+#include "core/epoch_metrics.h"
 #include "tensor/matrix.h"
 
 namespace ecg::core::internal {

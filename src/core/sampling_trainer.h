@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "common/status.h"
-#include "core/metrics.h"
+#include "core/epoch_metrics.h"
 #include "core/sampling.h"
 #include "core/trainer.h"
 #include "graph/graph.h"

@@ -9,7 +9,7 @@
 #include "common/status.h"
 #include "core/exchange.h"
 #include "core/gcn.h"
-#include "core/metrics.h"
+#include "core/epoch_metrics.h"
 #include "dist/network_model.h"
 #include "graph/graph.h"
 #include "graph/partition.h"

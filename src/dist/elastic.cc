@@ -8,27 +8,12 @@
 
 #include "common/flight_recorder.h"
 #include "common/metrics.h"
+#include "common/spec.h"
 #include "common/stats.h"
 #include "common/trace.h"
 
 namespace ecg::elastic {
 namespace {
-
-// Splits `spec` on ',' and ';', trimming whitespace, dropping empties.
-std::vector<std::string> SplitClauses(const std::string& spec) {
-  std::vector<std::string> out;
-  std::string cur;
-  for (char c : spec) {
-    if (c == ',' || c == ';') {
-      if (!cur.empty()) out.push_back(cur);
-      cur.clear();
-    } else if (c != ' ' && c != '\t') {
-      cur.push_back(c);
-    }
-  }
-  if (!cur.empty()) out.push_back(cur);
-  return out;
-}
 
 Status ParseU32(const std::string& s, uint32_t* out) {
   if (s.empty()) return Status::InvalidArgument("empty integer");
@@ -41,17 +26,6 @@ Status ParseU32(const std::string& s, uint32_t* out) {
     if (v > 0xFFFFFFFFull) return Status::InvalidArgument("integer overflow");
   }
   *out = static_cast<uint32_t>(v);
-  return Status::OK();
-}
-
-Status ParseF64(const std::string& s, double* out) {
-  if (s.empty()) return Status::InvalidArgument("empty number");
-  char* end = nullptr;
-  const double v = std::strtod(s.c_str(), &end);
-  if (end == nullptr || *end != '\0') {
-    return Status::InvalidArgument("bad number '" + s + "'");
-  }
-  *out = v;
   return Status::OK();
 }
 
@@ -161,89 +135,89 @@ void ElasticStateBag::Clear() {
 // ElasticOptions::Parse
 // ---------------------------------------------------------------------------
 
-Result<ElasticOptions> ElasticOptions::Parse(const std::string& spec) {
+config::Spec& BindElasticSpec(config::Spec& spec, ElasticOptions* opts) {
+  spec.Clause("leave", "leave@epoch=E:worker=W",
+              "worker W departs before epoch E (E >= 1)",
+              [opts](const std::string& clause) -> Status {
+                ElasticEvent e;
+                ECG_RETURN_IF_ERROR(ParseEvent(clause, /*join=*/false, &e));
+                opts->events.push_back(e);
+                return Status::OK();
+              });
+  spec.Clause("join", "join@epoch=E",
+              "one worker joins before epoch E (appended id)",
+              [opts](const std::string& clause) -> Status {
+                ElasticEvent e;
+                ECG_RETURN_IF_ERROR(ParseEvent(clause, /*join=*/true, &e));
+                opts->events.push_back(e);
+                return Status::OK();
+              });
+  spec.Enum<OnCrash>("on_crash", &opts->on_crash,
+                     {{"shrink", OnCrash::kShrink},
+                      {"replace", OnCrash::kReplace},
+                      {"restore", OnCrash::kRestore}})
+      .Help("crash policy");
+  spec.Bool("rebalance", &opts->rebalance).Help("straggler rebalancer");
+  spec.F64("ewma", &opts->ewma)
+      .Check([opts]() -> Status {
+        if (!(opts->ewma > 0.0 && opts->ewma <= 1.0)) {
+          return Status::InvalidArgument("ewma must be in (0, 1]");
+        }
+        return Status::OK();
+      })
+      .Help("EWMA smoothing for per-epoch compute");
+  spec.F64("threshold", &opts->threshold)
+      .Check([opts]() -> Status {
+        if (!(opts->threshold > 1.0)) {
+          return Status::InvalidArgument("threshold must exceed 1.0");
+        }
+        return Status::OK();
+      })
+      .Help("straggler score (ewma/median) trigger");
+  spec.U32("hysteresis", &opts->hysteresis)
+      .Min(1)
+      .Help("consecutive epochs above threshold");
+  spec.F64("budget", &opts->budget)
+      .Check([opts]() -> Status {
+        if (!(opts->budget > 0.0 && opts->budget <= 1.0)) {
+          return Status::InvalidArgument("budget must be in (0, 1]");
+        }
+        return Status::OK();
+      })
+      .Help("max fraction of straggler rows moved per round");
+  spec.U32("cooldown", &opts->cooldown)
+      .Help("epochs between membership changes");
+  spec.F64("downtime", &opts->downtime_seconds)
+      .Min(0)
+      .Help("fixed simulated pause per transition, seconds");
+  spec.F64("cap", &opts->cap)
+      .Min(1.0)
+      .Help("rebalance destination size cap x(n/k)");
+  spec.F64("max_imbalance", &opts->max_imbalance)
+      .Min(1.0)
+      .Help("delta-repartition bound");
+  spec.U64("seed", &opts->seed)
+      .Max(0xFFFFFFFF)
+      .Help("delta-repartition stream seed");
+  return spec;
+}
+
+std::string ElasticSpecHelp() {
+  ElasticOptions defaults;
+  config::Spec spec("elastic");
+  BindElasticSpec(spec, &defaults);
+  return spec.HelpText();
+}
+
+Result<ElasticOptions> ElasticOptions::Parse(const std::string& spec_text) {
   ElasticOptions opts;
-  const std::vector<std::string> clauses = SplitClauses(spec);
+  config::Spec spec("elastic");
+  BindElasticSpec(spec, &opts);
+  const std::vector<std::string> clauses =
+      config::Spec::Split(spec_text, ",;");
   if (clauses.empty()) return opts;  // inactive
   opts.active = true;
-  for (const std::string& clause : clauses) {
-    if (clause.rfind("leave@", 0) == 0 || clause.rfind("join@", 0) == 0) {
-      ElasticEvent e;
-      ECG_RETURN_IF_ERROR(
-          ParseEvent(clause, /*join=*/clause[0] == 'j', &e));
-      opts.events.push_back(e);
-      continue;
-    }
-    const size_t eq = clause.find('=');
-    if (eq == std::string::npos) {
-      return Status::InvalidArgument("bad elastic clause '" + clause + "'");
-    }
-    const std::string key = clause.substr(0, eq);
-    const std::string val = clause.substr(eq + 1);
-    if (key == "on_crash") {
-      if (val == "shrink") {
-        opts.on_crash = OnCrash::kShrink;
-      } else if (val == "replace") {
-        opts.on_crash = OnCrash::kReplace;
-      } else if (val == "restore") {
-        opts.on_crash = OnCrash::kRestore;
-      } else {
-        return Status::InvalidArgument(
-            "on_crash must be shrink|replace|restore, got '" + val + "'");
-      }
-    } else if (key == "rebalance") {
-      if (val == "on") {
-        opts.rebalance = true;
-      } else if (val == "off") {
-        opts.rebalance = false;
-      } else {
-        return Status::InvalidArgument("rebalance must be on|off");
-      }
-    } else if (key == "ewma") {
-      ECG_RETURN_IF_ERROR(ParseF64(val, &opts.ewma));
-      if (!(opts.ewma > 0.0 && opts.ewma <= 1.0)) {
-        return Status::InvalidArgument("ewma must be in (0, 1]");
-      }
-    } else if (key == "threshold") {
-      ECG_RETURN_IF_ERROR(ParseF64(val, &opts.threshold));
-      if (!(opts.threshold > 1.0)) {
-        return Status::InvalidArgument("threshold must exceed 1.0");
-      }
-    } else if (key == "hysteresis") {
-      ECG_RETURN_IF_ERROR(ParseU32(val, &opts.hysteresis));
-      if (opts.hysteresis == 0) {
-        return Status::InvalidArgument("hysteresis must be >= 1");
-      }
-    } else if (key == "budget") {
-      ECG_RETURN_IF_ERROR(ParseF64(val, &opts.budget));
-      if (!(opts.budget > 0.0 && opts.budget <= 1.0)) {
-        return Status::InvalidArgument("budget must be in (0, 1]");
-      }
-    } else if (key == "cooldown") {
-      ECG_RETURN_IF_ERROR(ParseU32(val, &opts.cooldown));
-    } else if (key == "downtime") {
-      ECG_RETURN_IF_ERROR(ParseF64(val, &opts.downtime_seconds));
-      if (opts.downtime_seconds < 0.0) {
-        return Status::InvalidArgument("downtime must be >= 0");
-      }
-    } else if (key == "cap") {
-      ECG_RETURN_IF_ERROR(ParseF64(val, &opts.cap));
-      if (!(opts.cap >= 1.0)) {
-        return Status::InvalidArgument("cap must be >= 1.0");
-      }
-    } else if (key == "max_imbalance") {
-      ECG_RETURN_IF_ERROR(ParseF64(val, &opts.max_imbalance));
-      if (!(opts.max_imbalance >= 1.0)) {
-        return Status::InvalidArgument("max_imbalance must be >= 1.0");
-      }
-    } else if (key == "seed") {
-      uint32_t s = 0;
-      ECG_RETURN_IF_ERROR(ParseU32(val, &s));
-      opts.seed = s;
-    } else {
-      return Status::InvalidArgument("unknown elastic key '" + key + "'");
-    }
-  }
+  ECG_RETURN_IF_ERROR(spec.ParseClauses(clauses));
   std::sort(opts.events.begin(), opts.events.end(),
             [](const ElasticEvent& a, const ElasticEvent& b) {
               return a.epoch < b.epoch;

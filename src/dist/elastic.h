@@ -132,6 +132,10 @@ struct ElasticOptions {
   static Result<ElasticOptions> Parse(const std::string& spec);
 };
 
+/// Auto-generated `elastic=SPEC` reference (from the config::Spec binding)
+/// for CLI help output.
+std::string ElasticSpecHelp();
+
 // ---------------------------------------------------------------------------
 // Straggler rebalancer.
 // ---------------------------------------------------------------------------

@@ -6,6 +6,7 @@
 
 #include "common/flight_recorder.h"
 #include "common/logging.h"
+#include "common/spec.h"
 #include "dist/comm.h"
 
 namespace ecg::dist {
@@ -66,122 +67,132 @@ const char* FaultKindName(FaultKind kind) {
   return "?";
 }
 
-Result<FaultInjector> FaultInjector::Parse(const std::string& spec) {
-  FaultInjector injector;
-  for (const std::string& clause : SplitOn(spec, ";,")) {
-    // Split "kind=arg@filters" into head and filter list.
-    const size_t at = clause.find('@');
-    const std::string head = clause.substr(0, at);
-    const std::string filters =
-        at == std::string::npos ? "" : clause.substr(at + 1);
+namespace {
 
-    const size_t eq = head.find('=');
-    const std::string key = head.substr(0, eq);
-    const std::string arg =
-        eq == std::string::npos ? "" : head.substr(eq + 1);
+/// Parses one `kind=prob@filter:filter` fault-rule clause into `*rule`.
+/// `kind` was already picked off the clause head by the Spec dispatcher.
+Status ParseFaultRuleClause(const std::string& clause, FaultKind kind,
+                            FaultRule* rule) {
+  const size_t at = clause.find('@');
+  const std::string head = clause.substr(0, at);
+  const std::string filters =
+      at == std::string::npos ? "" : clause.substr(at + 1);
+  const size_t eq = head.find('=');
+  const std::string key = head.substr(0, eq);
+  const std::string arg = eq == std::string::npos ? "" : head.substr(eq + 1);
 
-    // Config keys first (no filters allowed).
-    if (key == "seed" || key == "retries" || key == "timeout_ms") {
+  rule->kind = kind;
+  if (!arg.empty() && !ParseDouble(arg, &rule->probability)) {
+    return Status::InvalidArgument("faults: bad probability for '" + key +
+                                   "': '" + arg + "'");
+  }
+  if (rule->probability < 0.0 || rule->probability > 1.0) {
+    return Status::InvalidArgument("faults: probability out of [0,1] for '" +
+                                   key + "'");
+  }
+  if (kind == FaultKind::kDelay || kind == FaultKind::kStraggle) {
+    rule->seconds = 0.001;  // default latency; override with secs=
+  }
+
+  for (const std::string& f : SplitOn(filters, ":")) {
+    const size_t feq = f.find('=');
+    if (feq == std::string::npos) {
+      return Status::InvalidArgument("faults: filter '" + f +
+                                     "' is not key=value");
+    }
+    const std::string fk = f.substr(0, feq);
+    const std::string fv = f.substr(feq + 1);
+    if (fk == "epoch") {
+      const size_t dash = fv.find('-');
+      int64_t lo = 0, hi = 0;
+      if (dash == std::string::npos) {
+        if (!ParseInt(fv, &lo)) {
+          return Status::InvalidArgument("faults: bad epoch '" + fv + "'");
+        }
+        hi = lo;
+      } else if (!ParseInt(fv.substr(0, dash), &lo) ||
+                 !ParseInt(fv.substr(dash + 1), &hi)) {
+        return Status::InvalidArgument("faults: bad epoch range '" + fv +
+                                       "'");
+      }
+      rule->epoch_lo = lo;
+      rule->epoch_hi = hi;
+    } else if (fk == "layer" || fk == "from" || fk == "to" ||
+               fk == "worker") {
       int64_t v = 0;
-      if (!ParseInt(arg, &v) || v < 0) {
-        return Status::InvalidArgument("faults: bad integer for '" + key +
-                                       "': '" + arg + "'");
+      if (!ParseInt(fv, &v)) {
+        return Status::InvalidArgument("faults: bad integer filter '" + f +
+                                       "'");
       }
-      if (key == "seed") injector.seed_ = static_cast<uint64_t>(v);
-      if (key == "retries") injector.max_retries_ = static_cast<uint32_t>(v);
-      if (key == "timeout_ms") {
-        injector.recv_timeout_ms_ = static_cast<uint32_t>(v);
+      if (fk == "layer") rule->layer = static_cast<int32_t>(v);
+      if (fk == "from" || fk == "worker") {
+        rule->from = static_cast<int32_t>(v);
       }
-      continue;
-    }
-    if (key == "backoff" || key == "restart") {
-      double v = 0;
-      if (!ParseDouble(arg, &v) || v < 0) {
-        return Status::InvalidArgument("faults: bad seconds for '" + key +
-                                       "': '" + arg + "'");
-      }
-      if (key == "backoff") injector.retry_backoff_seconds_ = v;
-      if (key == "restart") injector.restart_seconds_ = v;
-      continue;
-    }
-
-    FaultRule rule;
-    if (key == "drop") rule.kind = FaultKind::kDrop;
-    else if (key == "corrupt") rule.kind = FaultKind::kCorrupt;
-    else if (key == "dup") rule.kind = FaultKind::kDuplicate;
-    else if (key == "delay") rule.kind = FaultKind::kDelay;
-    else if (key == "straggle") rule.kind = FaultKind::kStraggle;
-    else if (key == "crash") rule.kind = FaultKind::kCrash;
-    else {
-      return Status::InvalidArgument("faults: unknown clause '" + key +
-                                     "' (drop|corrupt|dup|delay|straggle|"
-                                     "crash|seed|retries|timeout_ms|"
-                                     "backoff|restart)");
-    }
-    if (!arg.empty() && !ParseDouble(arg, &rule.probability)) {
-      return Status::InvalidArgument("faults: bad probability for '" + key +
-                                     "': '" + arg + "'");
-    }
-    if (rule.probability < 0.0 || rule.probability > 1.0) {
-      return Status::InvalidArgument("faults: probability out of [0,1] for '" +
-                                     key + "'");
-    }
-    if (rule.kind == FaultKind::kDelay || rule.kind == FaultKind::kStraggle) {
-      rule.seconds = 0.001;  // default latency; override with secs=
-    }
-
-    for (const std::string& f : SplitOn(filters, ":")) {
-      const size_t feq = f.find('=');
-      if (feq == std::string::npos) {
-        return Status::InvalidArgument("faults: filter '" + f +
-                                       "' is not key=value");
-      }
-      const std::string fk = f.substr(0, feq);
-      const std::string fv = f.substr(feq + 1);
-      if (fk == "epoch") {
-        const size_t dash = fv.find('-');
-        int64_t lo = 0, hi = 0;
-        if (dash == std::string::npos) {
-          if (!ParseInt(fv, &lo)) {
-            return Status::InvalidArgument("faults: bad epoch '" + fv + "'");
-          }
-          hi = lo;
-        } else if (!ParseInt(fv.substr(0, dash), &lo) ||
-                   !ParseInt(fv.substr(dash + 1), &hi)) {
-          return Status::InvalidArgument("faults: bad epoch range '" + fv +
-                                         "'");
-        }
-        rule.epoch_lo = lo;
-        rule.epoch_hi = hi;
-      } else if (fk == "layer" || fk == "from" || fk == "to" ||
-                 fk == "worker") {
-        int64_t v = 0;
-        if (!ParseInt(fv, &v)) {
-          return Status::InvalidArgument("faults: bad integer filter '" + f +
-                                         "'");
-        }
-        if (fk == "layer") rule.layer = static_cast<int32_t>(v);
-        if (fk == "from" || fk == "worker") {
-          rule.from = static_cast<int32_t>(v);
-        }
-        if (fk == "to") rule.to = static_cast<int32_t>(v);
-      } else if (fk == "secs") {
-        if (!ParseDouble(fv, &rule.seconds)) {
+      if (fk == "to") rule->to = static_cast<int32_t>(v);
+    } else {
+      if (fk == "secs") {
+        if (!ParseDouble(fv, &rule->seconds)) {
           return Status::InvalidArgument("faults: bad secs '" + fv + "'");
         }
-      } else {
-        return Status::InvalidArgument(
-            "faults: unknown filter '" + fk +
-            "' (epoch|layer|from|to|worker|secs)");
+        continue;
       }
+      return Status::InvalidArgument("faults: unknown filter '" + fk +
+                                     "' (epoch|layer|from|to|worker|secs)");
     }
-    if (rule.kind == FaultKind::kCrash &&
-        (rule.from < 0 || rule.epoch_lo < 0)) {
-      return Status::InvalidArgument(
-          "faults: crash needs worker= and epoch= filters");
-    }
-    injector.rules_.push_back(rule);
   }
+  if (kind == FaultKind::kCrash && (rule->from < 0 || rule->epoch_lo < 0)) {
+    return Status::InvalidArgument(
+        "faults: crash needs worker= and epoch= filters");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<FaultInjector> FaultInjector::Parse(const std::string& spec_text) {
+  FaultInjector injector;
+  config::Spec spec("faults");
+  spec.U64("seed", &injector.seed_).Help("schedule seed");
+  spec.U32("retries", &injector.max_retries_)
+      .Help("max redelivery attempts");
+  spec.U32("timeout_ms", &injector.recv_timeout_ms_)
+      .Help("per-attempt Recv deadline, real milliseconds");
+  spec.F64("backoff", &injector.retry_backoff_seconds_)
+      .Min(0)
+      .Help("simulated seconds charged per retry");
+  spec.F64("restart", &injector.restart_seconds_)
+      .Min(0)
+      .Help("simulated seconds a crash recovery costs");
+  static const struct {
+    const char* keyword;
+    FaultKind kind;
+    const char* grammar;
+    const char* help;
+  } kRuleClauses[] = {
+      {"drop", FaultKind::kDrop, "drop=P[@filters]",
+       "attempt dropped with probability P"},
+      {"corrupt", FaultKind::kCorrupt, "corrupt=P[@filters]",
+       "deterministic bit flips (CRC detects)"},
+      {"dup", FaultKind::kDuplicate, "dup=P[@filters]",
+       "message delivered twice"},
+      {"delay", FaultKind::kDelay, "delay=P[@filters]",
+       "late arrival; latency via secs="},
+      {"straggle", FaultKind::kStraggle, "straggle=P[@worker=W]",
+       "every send from W is late"},
+      {"crash", FaultKind::kCrash, "crash@epoch=E:worker=W",
+       "worker W fails at epoch E"},
+  };
+  for (const auto& rc : kRuleClauses) {
+    spec.Clause(rc.keyword, rc.grammar, rc.help,
+                [&injector, kind = rc.kind](const std::string& clause) {
+                  FaultRule rule;
+                  ECG_RETURN_IF_ERROR(
+                      ParseFaultRuleClause(clause, kind, &rule));
+                  injector.rules_.push_back(rule);
+                  return Status::OK();
+                });
+  }
+  ECG_RETURN_IF_ERROR(spec.Parse(spec_text));
   return injector;
 }
 

@@ -44,22 +44,41 @@ ParameterServerGroup::ParamTrafficSample ParameterServerGroup::Pull(
 ParameterServerGroup::ParamTrafficSample ParameterServerGroup::Push(
     uint32_t worker, std::vector<tensor::Matrix> dw,
     std::vector<tensor::Matrix> db) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ECG_CHECK(worker < num_workers_) << "push from unknown worker";
-  ECG_CHECK(!pushed_[worker]) << "double push from worker " << worker;
-  ECG_CHECK(dw.size() == weights_.size() && db.size() == biases_.size())
-      << "push layer count mismatch";
-
+  bool published = false;
   ParamTrafficSample t;
-  for (const auto& m : dw) t.bytes += m.size() * sizeof(float);
-  for (const auto& m : db) t.bytes += m.size() * sizeof(float);
-  t.messages = num_servers_;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ECG_CHECK(worker < num_workers_) << "push from unknown worker";
+    ECG_CHECK(!pushed_[worker]) << "double push from worker " << worker;
+    ECG_CHECK(dw.size() == weights_.size() && db.size() == biases_.size())
+        << "push layer count mismatch";
 
-  pending_dw_[worker] = std::move(dw);
-  pending_db_[worker] = std::move(db);
-  pushed_[worker] = true;
-  if (++pushes_this_epoch_ == num_workers_) ApplyLocked();
+    for (const auto& m : dw) t.bytes += m.size() * sizeof(float);
+    for (const auto& m : db) t.bytes += m.size() * sizeof(float);
+    t.messages = num_servers_;
+
+    pending_dw_[worker] = std::move(dw);
+    pending_db_[worker] = std::move(db);
+    pushed_[worker] = true;
+    if (++pushes_this_epoch_ == num_workers_) {
+      ApplyLocked();
+      published = true;
+    }
+  }
+  // Fired outside mu_: the callback may Pull() (same mutex) without
+  // deadlocking.
+  if (published) NotifyPublish();
   return t;
+}
+
+void ParameterServerGroup::SetPublishCallback(
+    std::function<void(uint64_t)> cb) {
+  publish_cb_ = std::move(cb);
+}
+
+void ParameterServerGroup::NotifyPublish() {
+  const uint64_t v = version_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (publish_cb_) publish_cb_(v);
 }
 
 void ParameterServerGroup::ApplyLocked() {
@@ -109,26 +128,30 @@ void ParameterServerGroup::SaveTo(ByteWriter* w) const {
 }
 
 Status ParameterServerGroup::LoadFrom(ByteReader* r) {
-  std::lock_guard<std::mutex> lock(mu_);
-  uint32_t layers = 0;
-  ECG_RETURN_IF_ERROR(r->GetU32(&layers));
-  if (layers != weights_.size()) {
-    return Status::InvalidArgument(
-        "parameter checkpoint has " + std::to_string(layers) +
-        " layers, server group holds " + std::to_string(weights_.size()));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint32_t layers = 0;
+    ECG_RETURN_IF_ERROR(r->GetU32(&layers));
+    if (layers != weights_.size()) {
+      return Status::InvalidArgument(
+          "parameter checkpoint has " + std::to_string(layers) +
+          " layers, server group holds " + std::to_string(weights_.size()));
+    }
+    for (size_t l = 0; l < weights_.size(); ++l) {
+      ECG_RETURN_IF_ERROR(tensor::LoadMatrix(r, &weights_[l]));
+      ECG_RETURN_IF_ERROR(tensor::LoadMatrix(r, &biases_[l]));
+      ECG_RETURN_IF_ERROR(w_opt_[l].LoadFrom(r));
+      ECG_RETURN_IF_ERROR(b_opt_[l].LoadFrom(r));
+    }
+    for (uint32_t w = 0; w < num_workers_; ++w) {
+      pending_dw_[w].clear();
+      pending_db_[w].clear();
+      pushed_[w] = false;
+    }
+    pushes_this_epoch_ = 0;
   }
-  for (size_t l = 0; l < weights_.size(); ++l) {
-    ECG_RETURN_IF_ERROR(tensor::LoadMatrix(r, &weights_[l]));
-    ECG_RETURN_IF_ERROR(tensor::LoadMatrix(r, &biases_[l]));
-    ECG_RETURN_IF_ERROR(w_opt_[l].LoadFrom(r));
-    ECG_RETURN_IF_ERROR(b_opt_[l].LoadFrom(r));
-  }
-  for (uint32_t w = 0; w < num_workers_; ++w) {
-    pending_dw_[w].clear();
-    pending_db_[w].clear();
-    pushed_[w] = false;
-  }
-  pushes_this_epoch_ = 0;
+  // A restore rewrites the parameters just like an apply does.
+  NotifyPublish();
   return Status::OK();
 }
 

@@ -1,7 +1,9 @@
 #ifndef ECGRAPH_DIST_PARAM_SERVER_H_
 #define ECGRAPH_DIST_PARAM_SERVER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <vector>
 
@@ -73,8 +75,24 @@ class ParameterServerGroup {
   /// bookkeeping, so the restored epoch re-runs from a clean barrier.
   Status LoadFrom(ByteReader* r);
 
+  /// Monotonic parameter version: 0 at construction, bumped by every
+  /// optimizer apply and every LoadFrom. Readers (e.g. the serve tier's
+  /// embedding cache) key their snapshots on it.
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+
+  /// Registers a callback fired after each parameter publish (optimizer
+  /// apply or checkpoint restore) with the new version. Invoked OUTSIDE
+  /// the group mutex, so the callback may call Pull()/version() freely —
+  /// but it runs on whichever worker thread triggered the publish, so it
+  /// must be fast and thread-safe. One callback slot; pass nullptr to
+  /// clear. Not synchronized against concurrent Push: install before
+  /// training starts.
+  void SetPublishCallback(std::function<void(uint64_t version)> cb);
+
  private:
   void ApplyLocked();
+  /// Bumps version_ and fires the publish callback. Call without mu_ held.
+  void NotifyPublish();
 
   const uint32_t num_servers_;
   const uint32_t num_workers_;
@@ -90,6 +108,9 @@ class ParameterServerGroup {
   std::vector<std::vector<tensor::Matrix>> pending_dw_;
   std::vector<std::vector<tensor::Matrix>> pending_db_;
   uint32_t pushes_this_epoch_ = 0;
+
+  std::atomic<uint64_t> version_{0};
+  std::function<void(uint64_t)> publish_cb_;
 };
 
 }  // namespace ecg::dist

@@ -1,0 +1,97 @@
+#include "serve/embedding_cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace ecg::serve {
+namespace {
+
+// splitmix64 finalizer: spreads (layer, vertex) keys over shards so that
+// consecutive vertex ids of one layer don't all land in one shard.
+uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+EmbeddingCache::EmbeddingCache(uint32_t shards, size_t capacity_bytes)
+    : shards_(std::max<uint32_t>(shards, 1)) {
+  ECG_CHECK(shards >= 1) << "embedding cache needs >= 1 shard";
+  shard_capacity_ = std::max<size_t>(capacity_bytes / shards_.size(), 1);
+}
+
+EmbeddingCache::Shard& EmbeddingCache::ShardFor(uint64_t key) {
+  return shards_[Mix(key) % shards_.size()];
+}
+
+bool EmbeddingCache::Get(uint32_t layer, uint32_t vertex, uint64_t version,
+                         float* out, size_t dim) {
+  const uint64_t key = Key(layer, vertex);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (it->second->version != version) {
+    // Stale row from before the last weights publish: evict lazily.
+    shard.bytes -= it->second->row.size() * sizeof(float);
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    stale_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  const Entry& e = *it->second;
+  ECG_CHECK(e.row.size() == dim) << "embedding cache dim mismatch";
+  std::memcpy(out, e.row.data(), dim * sizeof(float));
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void EmbeddingCache::Put(uint32_t layer, uint32_t vertex, uint64_t version,
+                         const float* row, size_t dim) {
+  const uint64_t key = Key(layer, vertex);
+  const size_t bytes = dim * sizeof(float);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    shard.bytes -= it->second->row.size() * sizeof(float);
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+  }
+  shard.lru.push_front(Entry{key, version, std::vector<float>(row, row + dim)});
+  shard.index[key] = shard.lru.begin();
+  shard.bytes += bytes;
+  while (shard.bytes > shard_capacity_ && shard.lru.size() > 1) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.row.size() * sizeof(float);
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+EmbeddingCache::Stats EmbeddingCache::GetStats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.stale = stale_.load(std::memory_order_relaxed);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    s.entries += shard.lru.size();
+    s.bytes += shard.bytes;
+  }
+  return s;
+}
+
+}  // namespace ecg::serve

@@ -1,0 +1,97 @@
+#ifndef ECGRAPH_SERVE_EMBEDDING_CACHE_H_
+#define ECGRAPH_SERVE_EMBEDDING_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace ecg::serve {
+
+/// Sharded, epoch-versioned LRU cache of computed embedding rows, keyed by
+/// (layer, vertex). The read path of the serve tier: a row computed for one
+/// query is reused by every later query whose fan-out touches the same
+/// vertex, across batches, until the parameter server publishes new
+/// weights.
+///
+/// Versioning: every entry is stamped with the weights version it was
+/// computed under. `Invalidate(v)` just bumps the current version — O(1),
+/// called from the parameter-server publish callback — and stale entries
+/// are evicted lazily when a lookup touches them (counted as `stale`).
+/// A row is therefore never served across a weights publish, and training
+/// can run concurrently with serving.
+///
+/// Sharding: key-hashed shards, each with its own mutex + LRU list, so
+/// concurrent readers on different shards do not contend. Capacity is
+/// enforced per shard in bytes.
+class EmbeddingCache {
+ public:
+  /// `capacity_bytes` is the total budget, split evenly over `shards`
+  /// (each at least one row). shards must be >= 1.
+  EmbeddingCache(uint32_t shards, size_t capacity_bytes);
+
+  EmbeddingCache(const EmbeddingCache&) = delete;
+  EmbeddingCache& operator=(const EmbeddingCache&) = delete;
+
+  /// Copies the cached row for (layer, vertex) into out[0..dim) and
+  /// returns true iff present with the given version. A version mismatch
+  /// evicts the entry and misses.
+  bool Get(uint32_t layer, uint32_t vertex, uint64_t version, float* out,
+           size_t dim);
+
+  /// Inserts/overwrites the row for (layer, vertex) at `version`,
+  /// evicting least-recently-used entries past the shard budget.
+  void Put(uint32_t layer, uint32_t vertex, uint64_t version,
+           const float* row, size_t dim);
+
+  /// Publishes a new weights version; all older entries become stale.
+  void Invalidate(uint64_t new_version) {
+    version_.store(new_version, std::memory_order_release);
+  }
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;  // capacity evictions
+    uint64_t stale = 0;      // version-mismatch evictions
+    uint64_t entries = 0;
+    uint64_t bytes = 0;
+  };
+  Stats GetStats() const;
+
+ private:
+  struct Entry {
+    uint64_t key = 0;
+    uint64_t version = 0;
+    std::vector<float> row;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> index;
+    size_t bytes = 0;
+  };
+
+  static uint64_t Key(uint32_t layer, uint32_t vertex) {
+    return (static_cast<uint64_t>(layer) << 32) | vertex;
+  }
+  Shard& ShardFor(uint64_t key);
+
+  std::vector<Shard> shards_;
+  size_t shard_capacity_;
+  std::atomic<uint64_t> version_{0};
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> stale_{0};
+};
+
+}  // namespace ecg::serve
+
+#endif  // ECGRAPH_SERVE_EMBEDDING_CACHE_H_

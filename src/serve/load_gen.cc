@@ -1,0 +1,223 @@
+#include "serve/load_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <numeric>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/random.h"
+#include "common/spec.h"
+
+namespace ecg::serve {
+namespace {
+
+config::Spec& BindWorkloadSpec(config::Spec& spec, WorkloadOptions* w) {
+  spec.F64("qps", &w->qps).MinExclusive(0).Help("mean offered queries/second");
+  spec.F64("duration", &w->duration_seconds)
+      .MinExclusive(0)
+      .Help("simulated run length in seconds");
+  spec.F64("tail_prob", &w->tail_prob)
+      .Min(0)
+      .Max(1)
+      .Help("probability an interarrival gap is Pareto-stretched");
+  spec.F64("tail_alpha", &w->tail_alpha)
+      .MinExclusive(1)
+      .Help("Pareto shape of the heavy tail (smaller = heavier)");
+  spec.F64("zipf", &w->zipf_s)
+      .Min(0)
+      .Help("Zipf exponent of the hot-vertex skew (0 = uniform)");
+  spec.U32("hot", &w->hot_set)
+      .Min(1)
+      .Help("size of the hot vertex set queries are drawn from");
+  spec.U64("seed", &w->seed).Help("workload seed");
+  return spec;
+}
+
+struct Arrival {
+  double time;
+  uint32_t vertex;
+};
+
+/// Deterministic arrival schedule: heavy-tailed interarrivals (exponential
+/// base, Pareto-stretched with probability tail_prob, normalized so the
+/// mean offered rate stays `qps`) and Zipf-skewed vertices drawn from a
+/// seeded random subset of the graph.
+std::vector<Arrival> GenerateArrivals(const WorkloadOptions& w, uint32_t n) {
+  Rng rng(w.seed);
+
+  // Hot set: first `hot` entries of a partial Fisher-Yates shuffle.
+  const uint32_t hot = std::min(w.hot_set, n);
+  std::vector<uint32_t> ids(n);
+  std::iota(ids.begin(), ids.end(), 0u);
+  for (uint32_t j = 0; j < hot; ++j) {
+    const uint32_t k = j + static_cast<uint32_t>(rng.NextBelow(n - j));
+    std::swap(ids[j], ids[k]);
+  }
+
+  // Zipf CDF over ranks 0..hot-1: weight 1/(r+1)^s.
+  std::vector<double> cdf(hot);
+  double total = 0.0;
+  for (uint32_t r = 0; r < hot; ++r) {
+    total += std::pow(static_cast<double>(r) + 1.0, -w.zipf_s);
+    cdf[r] = total;
+  }
+  for (double& c : cdf) c /= total;
+
+  // Mean of the mixture gap multiplier: (1-p) + p * alpha/(alpha-1).
+  // Dividing the base gap by it keeps the offered rate at qps.
+  const double tail_mean = w.tail_alpha / (w.tail_alpha - 1.0);
+  const double mix_mean = (1.0 - w.tail_prob) + w.tail_prob * tail_mean;
+  const double base_gap = 1.0 / (w.qps * mix_mean);
+
+  std::vector<Arrival> arrivals;
+  double t = 0.0;
+  while (true) {
+    double gap = -std::log(1.0 - rng.NextDouble()) * base_gap;
+    if (rng.NextDouble() < w.tail_prob) {
+      gap *= std::pow(1.0 - rng.NextDouble(), -1.0 / w.tail_alpha);
+    }
+    t += gap;
+    if (t >= w.duration_seconds) break;
+    const double u = rng.NextDouble();
+    const uint32_t rank = static_cast<uint32_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    arrivals.push_back(Arrival{t, ids[std::min(rank, hot - 1)]});
+  }
+  return arrivals;
+}
+
+}  // namespace
+
+Result<WorkloadOptions> ParseWorkloadOptions(const std::string& spec_text) {
+  WorkloadOptions w;
+  config::Spec spec("workload");
+  ECG_RETURN_IF_ERROR(BindWorkloadSpec(spec, &w).Parse(spec_text));
+  return w;
+}
+
+std::string WorkloadSpecHelp() {
+  WorkloadOptions defaults;
+  config::Spec spec("workload");
+  return BindWorkloadSpec(spec, &defaults).HelpText();
+}
+
+Result<LoadResult> RunOpenLoop(InferenceServer* server,
+                               const WorkloadOptions& w) {
+  if (server == nullptr || !server->has_weights()) {
+    return Status::FailedPrecondition("load gen needs a loaded server");
+  }
+  const uint32_t n = server->graph().num_vertices();
+  if (n == 0) return Status::InvalidArgument("load gen needs a graph");
+  const std::vector<Arrival> arrivals = GenerateArrivals(w, n);
+
+  LoadResult res;
+  res.offered = arrivals.size();
+
+  obs::Histogram* latency_hist =
+      obs::MetricsEnabled()
+          ? obs::MetricsRegistry::Global().GetHistogram(
+                "ecg_serve_latency_seconds",
+                "End-to-end (arrival to batch completion) serve latency on "
+                "the simulated clock.",
+                {})
+          : nullptr;
+
+  // Single serving executor on a simulated clock. The executor takes
+  // whatever is queued the moment it goes idle (adaptive batching): under
+  // light load batches are small and latency is dominated by service
+  // time; under heavy load batches grow toward max_batch and coalescing
+  // absorbs the queueing.
+  std::vector<double> latencies;
+  latencies.reserve(arrivals.size());
+  std::deque<double> admitted;  // arrival times mirroring the server queue
+  double free_at = 0.0;
+  double clock_end = 0.0;
+  size_t i = 0;
+  uint64_t rows_computed = 0, rows_cached = 0;
+
+  auto run_batch = [&]() -> Status {
+    const double start = std::max(free_at, admitted.front());
+    InferenceServer::BatchStats stats;
+    ECG_ASSIGN_OR_RETURN(std::vector<InferenceServer::Completed> done,
+                         server->ServeBatch(&stats));
+    const double finish = start + server->ServiceSeconds(stats);
+    for (const auto& c : done) {
+      const double latency = finish - c.arrival_seconds;
+      latencies.push_back(latency);
+      if (latency_hist != nullptr) latency_hist->Observe(latency);
+    }
+    for (size_t k = 0; k < done.size(); ++k) admitted.pop_front();
+    free_at = finish;
+    clock_end = std::max(clock_end, finish);
+    res.batches++;
+    res.served += done.size();
+    rows_computed += stats.rows_computed;
+    rows_cached += stats.rows_cached;
+    return Status::OK();
+  };
+
+  while (i < arrivals.size() || !admitted.empty()) {
+    if (admitted.empty()) {
+      // Executor idle with nothing queued: wait for the next arrival.
+      const Arrival& a = arrivals[i++];
+      clock_end = std::max(clock_end, a.time);
+      const Status st = server->Enqueue(a.vertex, a.time);
+      if (st.ok()) {
+        admitted.push_back(a.time);
+      } else {
+        res.shed++;
+      }
+      continue;
+    }
+    // Next batch would start once the executor is free and the head of
+    // the queue has arrived. Arrivals landing before that moment join the
+    // queue first (and may be shed if it is full).
+    const double start = std::max(free_at, admitted.front());
+    if (i < arrivals.size() && arrivals[i].time <= start) {
+      const Arrival& a = arrivals[i++];
+      const Status st = server->Enqueue(a.vertex, a.time);
+      if (st.ok()) {
+        admitted.push_back(a.time);
+      } else {
+        res.shed++;
+      }
+      continue;
+    }
+    ECG_RETURN_IF_ERROR(run_batch());
+  }
+
+  res.duration_seconds = clock_end;
+  res.achieved_qps =
+      clock_end > 0 ? static_cast<double>(res.served) / clock_end : 0.0;
+  res.mean_batch = res.batches > 0 ? static_cast<double>(res.served) /
+                                         static_cast<double>(res.batches)
+                                   : 0.0;
+  res.rows_computed = rows_computed;
+  res.rows_cached = rows_cached;
+  const uint64_t lookups = rows_computed + rows_cached;
+  res.cache_hit_rate =
+      lookups > 0 ? static_cast<double>(rows_cached) / lookups : 0.0;
+
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    auto pct = [&](double q) {
+      const size_t idx = static_cast<size_t>(
+          q * static_cast<double>(latencies.size() - 1) + 0.5);
+      return latencies[std::min(idx, latencies.size() - 1)] * 1e3;
+    };
+    res.p50_ms = pct(0.50);
+    res.p99_ms = pct(0.99);
+    res.max_ms = latencies.back() * 1e3;
+  }
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry::Global()
+        .GetGauge("ecg_serve_qps",
+                  "Achieved queries/second of the last load run.", {})
+        ->Set(res.achieved_qps);
+  }
+  return res;
+}
+
+}  // namespace ecg::serve

@@ -1,0 +1,68 @@
+#ifndef ECGRAPH_SERVE_LOAD_GEN_H_
+#define ECGRAPH_SERVE_LOAD_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "serve/server.h"
+
+namespace ecg::serve {
+
+/// Open-loop workload shape for the serve tier: queries arrive on a
+/// simulated clock regardless of how fast the server drains them (the
+/// honest way to measure tail latency — closed-loop generators hide
+/// queueing collapse).
+struct WorkloadOptions {
+  /// Mean offered load (queries/second).
+  double qps = 2000.0;
+  /// Simulated run length in seconds.
+  double duration_seconds = 2.0;
+  /// Interarrival heavy tail: with probability `tail_prob` an arrival gap
+  /// is stretched by Pareto(alpha=`tail_alpha`) — bursts followed by
+  /// lulls, like real request logs, instead of smooth Poisson.
+  double tail_prob = 0.1;
+  double tail_alpha = 1.5;
+  /// Hot-vertex skew: queries pick a Zipf(s) rank over a shuffled hot set
+  /// of `hot_set` vertices (capped at the graph size). s = 0 would be
+  /// uniform; real serving traffic is strongly skewed.
+  double zipf_s = 1.1;
+  uint32_t hot_set = 1024;
+  uint64_t seed = 42;
+};
+
+/// Parses "key=value,..." (e.g. "qps=5000,duration=1,zipf=1.2").
+Result<WorkloadOptions> ParseWorkloadOptions(const std::string& spec);
+std::string WorkloadSpecHelp();
+
+/// Result of one open-loop run.
+struct LoadResult {
+  uint64_t offered = 0;   // arrivals generated
+  uint64_t served = 0;    // answered
+  uint64_t shed = 0;      // rejected by admission control
+  uint64_t batches = 0;
+  double mean_batch = 0.0;
+  double duration_seconds = 0.0;  // simulated time to drain everything
+  double achieved_qps = 0.0;      // served / duration
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  double cache_hit_rate = 0.0;  // of embedding-row lookups
+  uint64_t rows_computed = 0;
+  uint64_t rows_cached = 0;
+};
+
+/// Drives `server` with the workload on a simulated clock: arrivals are
+/// admitted in time order; whenever the (single) serving executor is idle
+/// and the queue is non-empty it takes up to max_batch queries, and the
+/// batch occupies the executor for InferenceServer::ServiceSeconds. Fully
+/// deterministic in (workload seed, server options). Latencies are
+/// arrival-to-batch-completion, observed into the
+/// `ecg_serve_latency_seconds` histogram and summarized exactly (sorted
+/// percentiles) in the result.
+Result<LoadResult> RunOpenLoop(InferenceServer* server,
+                               const WorkloadOptions& workload);
+
+}  // namespace ecg::serve
+
+#endif  // ECGRAPH_SERVE_LOAD_GEN_H_

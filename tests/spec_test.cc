@@ -1,0 +1,326 @@
+#include "common/spec.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/train_spec.h"
+#include "dist/elastic.h"
+#include "dist/fault.h"
+
+namespace ecg {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Grammar and typed-field behavior of config::Spec itself.
+// ---------------------------------------------------------------------------
+
+struct Demo {
+  uint32_t count = 3;
+  double rate = 0.5;
+  bool flag = false;
+  std::string name = "default";
+  int mode = 0;
+};
+
+config::Spec& BindDemo(config::Spec& spec, Demo* d) {
+  spec.U32("count", &d->count).Min(1).Max(100).Help("a bounded counter");
+  spec.F64("rate", &d->rate).MinExclusive(0).Help("a positive rate");
+  spec.Bool("flag", &d->flag);
+  spec.String("name", &d->name);
+  spec.Enum<int>("mode", &d->mode, {{"off", 0}, {"slow", 1}, {"fast", 2}});
+  return spec;
+}
+
+TEST(SpecTest, EmptySpecKeepsDefaults) {
+  Demo d;
+  config::Spec spec("demo");
+  ASSERT_TRUE(BindDemo(spec, &d).Parse("").ok());
+  EXPECT_EQ(d.count, 3u);
+  EXPECT_EQ(d.rate, 0.5);
+  EXPECT_FALSE(d.flag);
+  EXPECT_EQ(d.name, "default");
+}
+
+TEST(SpecTest, ParsesAllFieldTypes) {
+  Demo d;
+  config::Spec spec("demo");
+  ASSERT_TRUE(
+      BindDemo(spec, &d)
+          .Parse("count=42,rate=1.25,flag=on,name=hello,mode=fast")
+          .ok());
+  EXPECT_EQ(d.count, 42u);
+  EXPECT_EQ(d.rate, 1.25);
+  EXPECT_TRUE(d.flag);
+  EXPECT_EQ(d.name, "hello");
+  EXPECT_EQ(d.mode, 2);
+}
+
+TEST(SpecTest, IgnoresSpacesAndSemicolons) {
+  Demo d;
+  config::Spec spec("demo");
+  ASSERT_TRUE(BindDemo(spec, &d).Parse(" count=7 ; flag=true ").ok());
+  EXPECT_EQ(d.count, 7u);
+  EXPECT_TRUE(d.flag);
+}
+
+TEST(SpecTest, UnknownKeyIsAnError) {
+  Demo d;
+  config::Spec spec("demo");
+  const Status st = BindDemo(spec, &d).Parse("bogus=1");
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("demo"), std::string::npos);
+}
+
+TEST(SpecTest, DuplicateFlatKeyIsAnError) {
+  Demo d;
+  config::Spec spec("demo");
+  EXPECT_FALSE(BindDemo(spec, &d).Parse("count=1,count=2").ok());
+}
+
+TEST(SpecTest, RejectsMalformedValues) {
+  const std::vector<std::string> bad = {
+      "count=3x",    // trailing junk on an integer
+      "count=-1",    // unsigned field
+      "count=",      // empty value
+      "rate=fast",   // not a double
+      "flag=maybe",  // not a bool token
+      "mode=warp",   // not in the enum set
+      "count",       // no '='
+  };
+  for (const std::string& s : bad) {
+    Demo d;
+    config::Spec spec("demo");
+    EXPECT_FALSE(BindDemo(spec, &d).Parse(s).ok()) << s;
+  }
+}
+
+TEST(SpecTest, EnforcesRangeBounds) {
+  {
+    Demo d;
+    config::Spec spec("demo");
+    EXPECT_FALSE(BindDemo(spec, &d).Parse("count=0").ok());  // Min(1)
+  }
+  {
+    Demo d;
+    config::Spec spec("demo");
+    EXPECT_FALSE(BindDemo(spec, &d).Parse("count=101").ok());  // Max(100)
+  }
+  {
+    Demo d;
+    config::Spec spec("demo");
+    EXPECT_FALSE(BindDemo(spec, &d).Parse("rate=0").ok());  // MinExclusive(0)
+  }
+  {
+    Demo d;
+    config::Spec spec("demo");
+    EXPECT_TRUE(BindDemo(spec, &d).Parse("count=100").ok());  // boundary
+    EXPECT_EQ(d.count, 100u);
+  }
+}
+
+TEST(SpecTest, RequiredFieldMustAppear) {
+  uint32_t v = 0;
+  config::Spec spec("demo");
+  spec.U32("v", &v).Required();
+  EXPECT_FALSE(spec.Parse("").ok());
+  config::Spec spec2("demo");
+  spec2.U32("v", &v).Required();
+  EXPECT_TRUE(spec2.Parse("v=5").ok());
+  EXPECT_EQ(v, 5u);
+}
+
+TEST(SpecTest, ParsesLists) {
+  std::vector<uint32_t> fanouts;
+  std::vector<double> scales;
+  config::Spec spec("demo");
+  spec.U32List("fanout", &fanouts);
+  spec.F64List("scale", &scales);
+  ASSERT_TRUE(spec.Parse("fanout=20x10x5,scale=1:2:0.5").ok());
+  EXPECT_EQ(fanouts, (std::vector<uint32_t>{20, 10, 5}));
+  EXPECT_EQ(scales, (std::vector<double>{1.0, 2.0, 0.5}));
+}
+
+TEST(SpecTest, ClauseHandlersReceiveStructuredClauses) {
+  std::vector<std::string> seen;
+  uint32_t flat = 0;
+  config::Spec spec("demo");
+  spec.U32("flat", &flat);
+  spec.Clause("ev", "ev@k=V", "an event clause",
+              [&seen](const std::string& clause) {
+                seen.push_back(clause);
+                return Status::OK();
+              });
+  ASSERT_TRUE(spec.Parse("ev@k=1,flat=9,ev@k=2").ok());
+  EXPECT_EQ(seen, (std::vector<std::string>{"ev@k=1", "ev@k=2"}));
+  EXPECT_EQ(flat, 9u);
+}
+
+TEST(SpecTest, ClauseHandlerErrorsPropagate) {
+  config::Spec spec("demo");
+  spec.Clause("ev", "ev@k=V", "always fails", [&spec](const std::string&) {
+    return spec.Error("nope");
+  });
+  const Status st = spec.Parse("ev@k=1");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("nope"), std::string::npos);
+}
+
+TEST(SpecTest, HelpTextListsKeysDefaultsAndClauses) {
+  Demo d;
+  config::Spec spec("demo");
+  spec.Clause("ev", "ev@k=V", "an event clause",
+              [](const std::string&) { return Status::OK(); });
+  const std::string help = BindDemo(spec, &d).HelpText();
+  for (const char* needle :
+       {"count", "rate", "flag", "name", "off|slow|fast", "ev@k=V",
+        "a bounded counter", "default 3"}) {
+    EXPECT_NE(help.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(SpecTest, SplitDropsEmptyTokens) {
+  const auto parts = config::Spec::Split("a,,b; c ,", ",;");
+  EXPECT_EQ(parts, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+// ---------------------------------------------------------------------------
+// Round-trips of the ported surfaces: every spec string the hand-rolled
+// parsers accepted must still parse (and the rejects must still reject).
+// ---------------------------------------------------------------------------
+
+TEST(ElasticSpecTest, AcceptsFullGrammar) {
+  const auto r = elastic::ElasticOptions::Parse(
+      "leave@epoch=3:worker=1,join@epoch=5,on_crash=replace,rebalance=on,"
+      "ewma=0.5,threshold=1.3,hysteresis=2,budget=0.2,cooldown=1,"
+      "downtime=0.5,cap=2.0,max_imbalance=1.4,seed=9");
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  EXPECT_TRUE(r->active);
+  ASSERT_EQ(r->events.size(), 2u);
+  EXPECT_EQ(r->events[0].epoch, 3u);
+  EXPECT_EQ(r->events[1].epoch, 5u);
+}
+
+TEST(ElasticSpecTest, EmptySpecIsInactive) {
+  const auto r = elastic::ElasticOptions::Parse("");
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->active);
+}
+
+TEST(ElasticSpecTest, RejectsInvalidSpecs) {
+  const std::vector<std::string> bad = {
+      "leave@epoch=0:worker=1",              // epoch must be >= 1
+      "leave@epoch=3",                       // leave needs a worker
+      "join@epoch=2:worker=1",               // join forbids a worker
+      "threshold=1.0",                       // must exceed 1
+      "budget=0",                            // (0, 1]
+      "ewma=1.5",                            // (0, 1]
+      "rebalance=maybe",                     // not a bool
+      "on_crash=explode",                    // unknown enum value
+      "bogus=1",                             // unknown key
+      "leave@epoch=4:worker=0,join@epoch=4"  // two events on one epoch
+  };
+  for (const std::string& s : bad) {
+    EXPECT_FALSE(elastic::ElasticOptions::Parse(s).ok()) << s;
+  }
+}
+
+TEST(FaultSpecTest, AcceptsExistingGrammar) {
+  const std::vector<std::string> good = {
+      "drop=0.05,corrupt=0.01,seed=7",
+      "crash@epoch=5:worker=1",
+      "drop=1@from=0:to=1,retries=2",
+      "delay=1@secs=0.25:from=0:to=1",
+      "straggle=1@worker=0:secs=0.125",
+      "timeout_ms=50,retries=0",
+      "crash@epoch=4:worker=1,restart=0.5",
+      "dup=0.5@epoch=2-3",
+  };
+  for (const std::string& s : good) {
+    EXPECT_TRUE(dist::FaultInjector::Parse(s).ok()) << s;
+  }
+}
+
+TEST(FaultSpecTest, RejectsInvalidSpecs) {
+  const std::vector<std::string> bad = {
+      "drop=1.5",        // probability > 1
+      "explode=1",       // unknown fault kind
+      "drop=abc",        // not a probability
+      "drop=0.1@banana", // unknown filter
+      "drop=0.1@epoch=x",
+      "seed=-3",
+      "crash",           // crash needs epoch + worker
+      "crash@worker=1",
+      "crash@epoch=2",
+  };
+  for (const std::string& s : bad) {
+    EXPECT_FALSE(dist::FaultInjector::Parse(s).ok()) << s;
+  }
+}
+
+TEST(TrainSpecTest, DefaultsMatchTheCli) {
+  const auto r = core::ParseTrainSpec({});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->workers, 6u);
+  EXPECT_FALSE(r->use_sampling);
+  EXPECT_EQ(r->options.fp_mode, core::FpMode::kReqEc);
+  EXPECT_EQ(r->options.bp_mode, core::BpMode::kResEc);
+  EXPECT_EQ(r->options.log_every, 10u);
+}
+
+TEST(TrainSpecTest, ParsesFlatKeys) {
+  const auto r = core::ParseTrainSpec(
+      {"workers=4", "epochs=12", "model=sage", "layers=3", "hidden=8",
+       "fp=cp", "bp=exact", "fp_bits=4", "partitioner=metis",
+       "overlap=off"});
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  EXPECT_EQ(r->workers, 4u);
+  EXPECT_EQ(r->options.epochs, 12u);
+  EXPECT_EQ(r->options.model.kind, core::GnnKind::kSage);
+  EXPECT_EQ(r->options.model.num_layers, 3);
+  EXPECT_EQ(r->options.fp_mode, core::FpMode::kCompressed);
+  EXPECT_EQ(r->options.bp_mode, core::BpMode::kExact);
+  EXPECT_EQ(r->partitioner, core::PartitionerKind::kMetis);
+}
+
+TEST(TrainSpecTest, UnknownKeyAndBadValuesError) {
+  EXPECT_FALSE(core::ParseTrainSpec({"bogus=1"}).ok());
+  EXPECT_FALSE(core::ParseTrainSpec({"epochs=0"}).ok());
+  EXPECT_FALSE(core::ParseTrainSpec({"workers=zero"}).ok());
+  EXPECT_FALSE(core::ParseTrainSpec({"fp=magic"}).ok());
+}
+
+TEST(TrainSpecTest, NestedElasticSpecIsValidatedEagerly) {
+  EXPECT_TRUE(
+      core::ParseTrainSpec({"elastic=leave@epoch=3:worker=1"}).ok());
+  EXPECT_FALSE(core::ParseTrainSpec({"elastic=threshold=0.5"}).ok());
+}
+
+TEST(TrainSpecTest, SamplingSpecSwitchesTrainerAndMapsModes) {
+  const auto r = core::ParseTrainSpec(
+      {"sampling=fanout=5x5:online=on:seed=3", "epochs=4", "layers=2"});
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  EXPECT_TRUE(r->use_sampling);
+  EXPECT_EQ(r->sampling.fanouts, (core::Fanouts{5, 5}));
+  EXPECT_TRUE(r->sampling.online_sampling);
+  EXPECT_EQ(r->sampling.sample_seed, 3u);
+  // CLI-default reqec/resec are not supported by the sampling trainer and
+  // map to the compressed modes unless explicitly requested.
+  EXPECT_EQ(r->sampling.fp_mode, core::FpMode::kCompressed);
+  EXPECT_EQ(r->sampling.bp_mode, core::BpMode::kCompressed);
+}
+
+TEST(TrainSpecTest, HelpTextCoversAllSurfaces) {
+  const std::string help = core::TrainSpecHelp();
+  for (const char* needle : {"workers", "fp=", "sampling", "fanout",
+                             "elastic", "leave@", "threshold"}) {
+    EXPECT_NE(help.find(needle), std::string::npos) << needle;
+  }
+}
+
+// The serve surface is registered through the same Spec type; its
+// round-trip lives in serve_test.cc next to the server it configures.
+
+}  // namespace
+}  // namespace ecg

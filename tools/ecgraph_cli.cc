@@ -7,11 +7,12 @@
 //   ecgraph partition <dataset> <workers> [hash|metis|streaming]
 //       Partitions and reports edge-cut / balance / halo sizes.
 //   ecgraph train <dataset> [key=value ...]
-//       Distributed training. Keys: workers, epochs, layers, hidden,
-//       model(gcn|sage), fp(exact|cp|reqec|delayed), bp(exact|cp|resec),
-//       fp_bits, bp_bits, adapt(0|1), partitioner(hash|metis|streaming),
-//       patience, lr, overlap(on|off), int8_gemm(on|off),
-//       checkpoint_every, checkpoint_dir.
+//       Distributed training; keys parsed by ecg::config::Spec — run
+//       `ecgraph help` for the generated reference.
+//   ecgraph serve <dataset> [key=value ...]
+//       Online inference serving from a trained checkpoint under an
+//       open-loop workload (keys: checkpoint, train_epochs, serve=SPEC,
+//       load=SPEC).
 //   ecgraph trace-report <trace.json|flight_N.json>
 //       Offline phase/peer breakdown of a Chrome trace or flight dump.
 //
@@ -20,6 +21,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -29,11 +31,15 @@
 #include "common/trace.h"
 #include "common/trace_report.h"
 #include "core/halo.h"
+#include "core/sampling_trainer.h"
+#include "core/train_spec.h"
 #include "core/trainer.h"
 #include "dist/fault.h"
 #include "graph/datasets.h"
 #include "graph/graph_io.h"
 #include "graph/partition.h"
+#include "serve/load_gen.h"
+#include "serve/server.h"
 
 namespace {
 
@@ -52,14 +58,16 @@ Result<ecg::graph::Graph> LoadAny(const std::string& name) {
   return ecg::graph::LoadDataset(name);
 }
 
-Result<ecg::graph::Partition> MakePartition(const ecg::graph::Graph& g,
-                                            uint32_t workers,
-                                            const std::string& algo) {
-  if (algo == "hash") return ecg::graph::HashPartition(g, workers);
-  if (algo == "metis") return ecg::graph::MetisLikePartition(g, workers);
-  if (algo == "streaming") return ecg::graph::StreamingPartition(g, workers);
-  return Status::InvalidArgument("unknown partitioner '" + algo +
-                                 "' (hash|metis|streaming)");
+Result<ecg::graph::Partition> PartitionByName(const ecg::graph::Graph& g,
+                                              uint32_t workers,
+                                              const std::string& algo) {
+  ecg::core::PartitionerKind kind;
+  if (algo == "hash") kind = ecg::core::PartitionerKind::kHash;
+  else if (algo == "metis") kind = ecg::core::PartitionerKind::kMetis;
+  else if (algo == "streaming") kind = ecg::core::PartitionerKind::kStreaming;
+  else return Status::InvalidArgument("unknown partitioner '" + algo +
+                                      "' (hash|metis|streaming)");
+  return ecg::core::MakePartition(g, workers, kind);
 }
 
 /// Parses trailing "key=value" arguments.
@@ -111,7 +119,7 @@ int CmdPartition(const std::string& name, uint32_t workers,
                  const std::string& algo) {
   auto g = LoadAny(name);
   if (!g.ok()) return Fail(g.status());
-  auto p = MakePartition(*g, workers, algo);
+  auto p = PartitionByName(*g, workers, algo);
   if (!p.ok()) return Fail(p.status());
   std::vector<ecg::core::WorkerPlan> plans;
   const Status s = ecg::core::BuildWorkerPlans(*g, *p, &plans);
@@ -132,91 +140,36 @@ int CmdPartition(const std::string& name, uint32_t workers,
   return 0;
 }
 
-int CmdTrain(const std::string& name,
-             const std::map<std::string, std::string>& kv) {
+int CmdTrain(const std::string& name, const std::vector<std::string>& args) {
   auto g = LoadAny(name);
   if (!g.ok()) return Fail(g.status());
 
-  ecg::core::TrainOptions opt;
-  opt.model.num_layers = std::atoi(Get(kv, "layers", "2").c_str());
-  opt.model.hidden_dim =
-      static_cast<uint32_t>(std::atoi(Get(kv, "hidden", "16").c_str()));
-  opt.model.learning_rate =
-      static_cast<float>(std::atof(Get(kv, "lr", "0.01").c_str()));
-  if (Get(kv, "model", "gcn") == "sage") {
-    opt.model.kind = ecg::core::GnnKind::kSage;
-  }
-  opt.epochs = static_cast<uint32_t>(std::atoi(
-      Get(kv, "epochs", "100").c_str()));
-  opt.patience = static_cast<uint32_t>(std::atoi(
-      Get(kv, "patience", "0").c_str()));
-  const std::string fp = Get(kv, "fp", "reqec");
-  if (fp == "exact") opt.fp_mode = ecg::core::FpMode::kExact;
-  else if (fp == "cp") opt.fp_mode = ecg::core::FpMode::kCompressed;
-  else if (fp == "reqec") opt.fp_mode = ecg::core::FpMode::kReqEc;
-  else if (fp == "delayed") opt.fp_mode = ecg::core::FpMode::kDelayed;
-  else return Fail(Status::InvalidArgument("bad fp mode " + fp));
-  const std::string bp = Get(kv, "bp", "resec");
-  if (bp == "exact") opt.bp_mode = ecg::core::BpMode::kExact;
-  else if (bp == "cp") opt.bp_mode = ecg::core::BpMode::kCompressed;
-  else if (bp == "resec") opt.bp_mode = ecg::core::BpMode::kResEc;
-  else return Fail(Status::InvalidArgument("bad bp mode " + bp));
-  opt.exchange.fp_bits = std::atoi(Get(kv, "fp_bits", "2").c_str());
-  opt.exchange.bp_bits = std::atoi(Get(kv, "bp_bits", "2").c_str());
-  opt.exchange.adaptive_bits = Get(kv, "adapt", "0") == "1";
-  const std::string overlap = Get(kv, "overlap", "on");
-  if (overlap == "on") opt.overlap = true;
-  else if (overlap == "off") opt.overlap = false;
-  else return Fail(Status::InvalidArgument("bad overlap value " + overlap +
-                                           " (on|off)"));
-  const std::string int8_gemm = Get(kv, "int8_gemm", "off");
-  if (int8_gemm == "on") opt.int8_gemm = true;
-  else if (int8_gemm == "off") opt.int8_gemm = false;
-  else return Fail(Status::InvalidArgument("bad int8_gemm value " +
-                                           int8_gemm + " (on|off)"));
-  opt.log_every =
-      static_cast<uint32_t>(std::atoi(Get(kv, "log_every", "10").c_str()));
-  opt.checkpoint_every = static_cast<uint32_t>(
-      std::atoi(Get(kv, "checkpoint_every", "0").c_str()));
-  opt.checkpoint_dir = Get(kv, "checkpoint_dir", "");
-  opt.elastic = Get(kv, "elastic", "");
-  const std::string scale_spec = Get(kv, "worker_scale", "");
-  if (!scale_spec.empty()) {
-    // Colon-separated per-worker compute multipliers, e.g. 1:1:2 makes
-    // worker 2 twice as slow (missing trailing entries are 1.0).
-    size_t pos = 0;
-    for (;;) {
-      const size_t next = scale_spec.find(':', pos);
-      const std::string tok = scale_spec.substr(
-          pos, next == std::string::npos ? std::string::npos : next - pos);
-      const double v = std::atof(tok.c_str());
-      if (v <= 0.0) {
-        return Fail(Status::InvalidArgument(
-            "bad worker_scale entry '" + tok + "' (need > 0)"));
-      }
-      opt.worker_compute_scale.push_back(v);
-      if (next == std::string::npos) break;
-      pos = next + 1;
-    }
-  }
+  auto spec = ecg::core::ParseTrainSpec(args);
+  if (!spec.ok()) return Fail(spec.status());
 
-  const uint32_t workers =
-      static_cast<uint32_t>(std::atoi(Get(kv, "workers", "6").c_str()));
-  auto partition =
-      MakePartition(*g, workers, Get(kv, "partitioner", "hash"));
+  auto partition = ecg::core::MakePartition(*g, spec->workers,
+                                            spec->partitioner);
   if (!partition.ok()) return Fail(partition.status());
 
-  ecg::core::DistributedTrainer trainer(*g, *partition, opt);
-  auto r = trainer.Train();
+  Result<ecg::core::TrainResult> r = Status::Internal("unreachable");
+  if (spec->use_sampling) {
+    ecg::core::SamplingTrainer trainer(*g, *partition, spec->sampling);
+    r = trainer.Train();
+  } else {
+    ecg::core::DistributedTrainer trainer(*g, *partition, spec->options);
+    r = trainer.Train();
+  }
   // Write the telemetry even on a failed run — a trace of the epochs that
   // did complete is exactly what debugs the failure.
   const Status flush = ecg::obs::FlushObservability();
   if (!flush.ok()) std::fprintf(stderr, "warning: %s\n",
                                 flush.ToString().c_str());
   if (!r.ok()) return Fail(r.status());
-  std::printf("\nmodel        %s, %d layers, hidden %u\n",
-              ecg::core::GnnKindName(opt.model.kind), opt.model.num_layers,
-              opt.model.hidden_dim);
+  const ecg::core::GcnConfig& model =
+      spec->use_sampling ? spec->sampling.model : spec->options.model;
+  std::printf("\nmodel        %s, %d layers, hidden %u%s\n",
+              ecg::core::GnnKindName(model.kind), model.num_layers,
+              model.hidden_dim, spec->use_sampling ? " (sampled)" : "");
   std::printf("epochs-run   %zu (best val at %u)\n", r->epochs.size(),
               r->best_epoch);
   std::printf("best-val     %.4f\n", r->best_val_acc);
@@ -246,6 +199,77 @@ int CmdTrain(const std::string& name,
   return 0;
 }
 
+// Serves per-vertex classification queries from a trained checkpoint under
+// an open-loop workload on the simulated serving clock. Without
+// checkpoint=PATH a quick training run produces one first (mirroring epoch
+// checkpoints the way a production job would).
+int CmdServe(const std::string& name,
+             const std::map<std::string, std::string>& kv) {
+  auto g = LoadAny(name);
+  if (!g.ok()) return Fail(g.status());
+
+  auto serve_opts = ecg::serve::ParseServeOptions(Get(kv, "serve", ""));
+  if (!serve_opts.ok()) return Fail(serve_opts.status());
+  auto workload = ecg::serve::ParseWorkloadOptions(Get(kv, "load", ""));
+  if (!workload.ok()) return Fail(workload.status());
+
+  ecg::core::GcnConfig model;
+  model.num_layers = std::atoi(Get(kv, "layers", "2").c_str());
+  model.hidden_dim =
+      static_cast<uint32_t>(std::atoi(Get(kv, "hidden", "16").c_str()));
+  if (Get(kv, "model", "gcn") == "sage") {
+    model.kind = ecg::core::GnnKind::kSage;
+  }
+
+  std::string ckpt = Get(kv, "checkpoint", "");
+  if (ckpt.empty()) {
+    const uint32_t epochs = static_cast<uint32_t>(
+        std::atoi(Get(kv, "train_epochs", "10").c_str()));
+    const std::string dir = "ecgraph_serve_ckpt";
+    std::filesystem::create_directories(dir);
+    ecg::core::TrainOptions opt;
+    opt.model = model;
+    opt.epochs = epochs;
+    opt.checkpoint_every = 1;
+    opt.checkpoint_dir = dir;
+    auto train = ecg::core::TrainDistributed(*g, 6, opt);
+    if (!train.ok()) return Fail(train.status());
+    ckpt = dir + "/checkpoint_latest.bin";
+    std::printf("trained %u epochs (val=%.4f), checkpoint at %s\n",
+                epochs, train->best_val_acc, ckpt.c_str());
+  }
+
+  ecg::serve::InferenceServer server(&*g, model, *serve_opts);
+  Status s = server.Init();
+  if (!s.ok()) return Fail(s);
+  s = server.LoadFromCheckpoint(ckpt);
+  if (!s.ok()) return Fail(s);
+
+  auto res = ecg::serve::RunOpenLoop(&server, *workload);
+  const Status flush = ecg::obs::FlushObservability();
+  if (!flush.ok()) std::fprintf(stderr, "warning: %s\n",
+                                flush.ToString().c_str());
+  if (!res.ok()) return Fail(res.status());
+
+  std::printf("offered      %llu queries (%.0f qps over %.2fs)\n",
+              static_cast<unsigned long long>(res->offered),
+              res->achieved_qps, res->duration_seconds);
+  std::printf("served       %llu (shed %llu, %llu batches, avg batch "
+              "%.1f)\n",
+              static_cast<unsigned long long>(res->served),
+              static_cast<unsigned long long>(res->shed),
+              static_cast<unsigned long long>(res->batches),
+              res->mean_batch);
+  std::printf("latency      p50=%.3fms p99=%.3fms max=%.3fms\n",
+              res->p50_ms, res->p99_ms, res->max_ms);
+  std::printf("cache        hit-rate=%.2f (rows computed=%llu "
+              "cached=%llu)\n",
+              res->cache_hit_rate,
+              static_cast<unsigned long long>(res->rows_computed),
+              static_cast<unsigned long long>(res->rows_cached));
+  return 0;
+}
+
 int CmdTraceReport(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
@@ -261,53 +285,41 @@ int CmdTraceReport(const std::string& path) {
 
 void Usage() {
   std::fprintf(stderr,
-               "usage: ecgraph <info|generate|partition|train|trace-report>"
-               " ...\n"
+               "usage: ecgraph "
+               "<info|generate|partition|train|serve|trace-report> ...\n"
                "  info <dataset|file.ecg>\n"
                "  generate <dataset> <out.ecg>\n"
                "  partition <dataset|file.ecg> <workers> "
                "[hash|metis|streaming]\n"
                "  train <dataset|file.ecg> [key=value ...]\n"
+               "  serve <dataset|file.ecg> [key=value ...]\n"
                "  trace-report <trace.json|flight_N.json>   offline "
                "compute/comm/stall + per-link retry breakdown\n"
                "\n"
-               "train scheduling:\n"
-               "  overlap=on|off      split-phase halo exchange overlapped "
-               "with interior\n"
-               "                      aggregation (default on; results are "
-               "bitwise identical,\n"
-               "                      off restores the sequential "
-               "schedule)\n"
-               "  int8_gemm=on|off    boundary-row transform in the int8 "
-               "packed domain\n"
-               "                      (default off; trades weight-"
-               "quantization error for\n"
-               "                      GEMM throughput, falls back to float "
-               "on unsupported shapes)\n"
+               "train keys (parsed by ecg::config::Spec; one key=value per "
+               "argument):\n%s\n"
+               "serve keys:\n"
+               "  checkpoint=PATH     serve from this checkpoint file "
+               "(omit to quick-train one)\n"
+               "  train_epochs=N      epochs for the quick-train path "
+               "(default 10)\n"
+               "  layers=N hidden=N model=gcn|sage\n"
+               "                      model shape; must match the "
+               "checkpoint being served\n"
+               "  serve=SPEC          server tuning, clauses joined by "
+               "','\n%s"
+               "  load=SPEC           open-loop workload, clauses joined "
+               "by ','\n%s"
                "\n"
-               "kernel dispatch (any command):\n"
+               "kernel dispatch (any command):\n",
+               ecg::core::TrainSpecHelp().c_str(),
+               ecg::serve::ServeSpecHelp().c_str(),
+               ecg::serve::WorkloadSpecHelp().c_str());
+  std::fprintf(stderr,
                "  --kernels=NAME      force a kernel registry variant: "
                "scalar|avx2|avx512|neon|auto\n"
                "  ECG_KERNELS=NAME    environment equivalent of --kernels "
                "(flag wins)\n"
-               "\n"
-               "train keys for fault tolerance:\n"
-               "  checkpoint_every=N  epoch checkpoint cadence (0 = auto: "
-               "every epoch iff a crash is scheduled)\n"
-               "  checkpoint_dir=DIR  mirror the latest checkpoint to "
-               "DIR/checkpoint_latest.bin (atomic rename)\n"
-               "\n"
-               "train keys for elastic membership:\n"
-               "  elastic=SPEC        membership schedule + rebalancer, "
-               "clauses joined by ','\n"
-               "                      leave@epoch=E:worker=W | join@epoch=E "
-               "| on_crash=shrink|replace|restore |\n"
-               "                      rebalance=on|off | threshold=F | "
-               "hysteresis=N | budget=F | cooldown=N |\n"
-               "                      downtime=S | cap=F | max_imbalance=F "
-               "| seed=N  (empty = fixed membership)\n"
-               "  worker_scale=A:B:.. per-worker compute slowdown "
-               "multipliers (straggler demo: 1:1:2)\n"
                "\n"
                "observability flags (any command, position-independent):\n"
                "  --trace_out=PATH    Chrome-trace JSON (open in "
@@ -366,7 +378,11 @@ int main(int argc, char** argv) {
                         argc >= 5 ? argv[4] : "metis");
   }
   if (cmd == "train" && argc >= 3) {
-    return CmdTrain(argv[2], ParseKv(argc, argv, 3));
+    return CmdTrain(argv[2],
+                    std::vector<std::string>(argv + 3, argv + argc));
+  }
+  if (cmd == "serve" && argc >= 3) {
+    return CmdServe(argv[2], ParseKv(argc, argv, 3));
   }
   if (cmd == "trace-report" && argc >= 3) return CmdTraceReport(argv[2]);
   Usage();
