@@ -1,0 +1,177 @@
+// Adaptive bit-allocation gate: per-(layer, peer) solver vs global
+// Bit-Tuner (DESIGN.md §16).
+//
+// Two runs over the same graph and partition, both ReqEC-FP/ResEC-BP:
+//   tuner    — the global Bit-Tuner (adapt=on), one width per peer that
+//              every layer shares and that grows whenever predictions
+//              dominate;
+//   bitalloc — the per-(layer, peer) marginal-gain solver (bit_alloc=on),
+//              which re-divides a fixed traffic budget across message
+//              groups every trend period.
+// The gate requires bitalloc to ship >= 20% fewer worker-to-worker bytes
+// while staying within 0.1 validation accuracy of the tuner run. Results
+// land in BENCH_bitalloc.json (override with --json=PATH); with --gate the
+// exit code enforces the bound in CI.
+//
+// Usage: bench_bitalloc [--dataset=NAME] [--epochs=N] [--json=PATH]
+//                       [--gate]
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "core/trainer.h"
+
+using ecg::bench::kDefaultWorkers;
+
+namespace {
+
+struct AllocRow {
+  std::string label;
+  double best_val_acc = 0.0;
+  double sim_seconds = 0.0;
+  uint64_t comm_bytes = 0;
+  double fp_wire_bytes = 0.0;
+  double bp_wire_bytes = 0.0;
+};
+
+AllocRow RunOne(const ecg::graph::Graph& g, const std::string& label,
+                bool bit_alloc, uint32_t epochs) {
+  ecg::core::TrainOptions opt;
+  opt.model = ecg::bench::ModelFor("cora-sim", 2);
+  opt.fp_mode = ecg::core::FpMode::kReqEc;
+  opt.bp_mode = ecg::core::BpMode::kResEc;
+  opt.exchange.fp_bits = 2;
+  opt.exchange.bp_bits = 2;
+  opt.exchange.adaptive_bits = !bit_alloc;
+  opt.exchange.bit_alloc = bit_alloc;
+  opt.epochs = epochs;
+
+  // Collect in memory only: SumFor gives the cross-epoch halo-byte totals
+  // (the traffic the solver budgets) without a JSONL file. Note the
+  // fp.wire_bytes total also counts the one-time exact feature-halo
+  // shipment (H^0 caching runs before the epoch byte baseline), identical
+  // in both runs — the gate compares total_comm_bytes, which excludes it.
+  auto& stats = ecg::obs::StatsRegistry::Global();
+  stats.Reset();
+  stats.Enable();
+  auto r = ecg::core::TrainDistributed(g, kDefaultWorkers, opt);
+  r.status().CheckOk();
+  stats.Disable();
+
+  AllocRow row;
+  row.label = label;
+  row.best_val_acc = r->best_val_acc;
+  row.sim_seconds = r->total_sim_seconds;
+  row.comm_bytes = r->total_comm_bytes;
+  row.fp_wire_bytes = stats.SumFor("fp.wire_bytes");
+  row.bp_wire_bytes = stats.SumFor("bp.wire_bytes");
+  stats.Reset();
+  return row;
+}
+
+void PrintRow(const AllocRow& r) {
+  std::printf("%-9s val=%.4f makespan=%-10s comm_mb=%-8.2f "
+              "fp_halo_mb=%-8.2f bp_halo_mb=%-8.2f\n",
+              r.label.c_str(), r.best_val_acc,
+              ecg::bench::FormatSeconds(r.sim_seconds).c_str(),
+              r.comm_bytes / (1024.0 * 1024.0),
+              r.fp_wire_bytes / (1024.0 * 1024.0),
+              r.bp_wire_bytes / (1024.0 * 1024.0));
+  std::fflush(stdout);
+}
+
+std::string FlagValue(int* argc, char** argv, const char* prefix) {
+  std::string value;
+  int w = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], prefix, std::strlen(prefix)) == 0) {
+      value = argv[i] + std::strlen(prefix);
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  *argc = w;
+  return value;
+}
+
+bool BoolFlag(int* argc, char** argv, const char* flag) {
+  bool present = false;
+  int w = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      present = true;
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  *argc = w;
+  return present;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ecg::bench::InitBench(&argc, &argv[0]);
+  const std::string dataset_flag = FlagValue(&argc, argv, "--dataset=");
+  const std::string epochs_flag = FlagValue(&argc, argv, "--epochs=");
+  const std::string json_flag = FlagValue(&argc, argv, "--json=");
+  const bool gate = BoolFlag(&argc, argv, "--gate");
+  const std::string dataset =
+      dataset_flag.empty() ? "cora-sim" : dataset_flag;
+  const std::string json_path =
+      json_flag.empty() ? "BENCH_bitalloc.json" : json_flag;
+  const ecg::bench::BenchDataset d = ecg::bench::GetBenchDataset(dataset);
+  const uint32_t epochs =
+      epochs_flag.empty()
+          ? ecg::bench::ScaledEpochs(d.convergence_epochs)
+          : static_cast<uint32_t>(std::stoul(epochs_flag));
+
+  ecg::bench::PrintHeader(
+      "Bit-allocation gate — per-(layer,peer) solver vs global Bit-Tuner "
+      "(" + dataset + ", " + std::to_string(epochs) + " epochs, " +
+      std::to_string(kDefaultWorkers) + " workers)");
+  const ecg::graph::Graph& g = ecg::bench::LoadGraphCached(dataset);
+
+  const AllocRow tuner = RunOne(g, "tuner", /*bit_alloc=*/false, epochs);
+  PrintRow(tuner);
+  const AllocRow alloc = RunOne(g, "bitalloc", /*bit_alloc=*/true, epochs);
+  PrintRow(alloc);
+
+  const double reduction =
+      tuner.comm_bytes > 0
+          ? 1.0 - static_cast<double>(alloc.comm_bytes) /
+                      static_cast<double>(tuner.comm_bytes)
+          : 0.0;
+  const double acc_delta = alloc.best_val_acc - tuner.best_val_acc;
+  const bool pass = reduction >= 0.20 && std::fabs(acc_delta) <= 0.1;
+  std::printf("reduction %.1f%% of tuner wire bytes (gate >= 20%%), "
+              "val delta %+.4f (gate |delta| <= 0.1): %s\n",
+              reduction * 100.0, acc_delta, pass ? "PASS" : "FAIL");
+
+  std::ofstream out(json_path);
+  if (!out) {
+    std::fprintf(stderr, "bench_bitalloc: cannot write %s\n",
+                 json_path.c_str());
+    return 1;
+  }
+  out << "{\"stamp\":" << ecg::bench::BenchStampJson()
+      << ",\"dataset\":\"" << dataset << "\",\"epochs\":" << epochs
+      << ",\"tuner_comm_bytes\":" << tuner.comm_bytes
+      << ",\"bitalloc_comm_bytes\":" << alloc.comm_bytes
+      << ",\"tuner_fp_halo_bytes\":" << tuner.fp_wire_bytes
+      << ",\"bitalloc_fp_halo_bytes\":" << alloc.fp_wire_bytes
+      << ",\"tuner_bp_halo_bytes\":" << tuner.bp_wire_bytes
+      << ",\"bitalloc_bp_halo_bytes\":" << alloc.bp_wire_bytes
+      << ",\"tuner_val_acc\":" << tuner.best_val_acc
+      << ",\"bitalloc_val_acc\":" << alloc.best_val_acc
+      << ",\"reduction\":" << reduction
+      << ",\"acc_delta\":" << acc_delta
+      << ",\"pass\":" << (pass ? "true" : "false") << "}\n";
+  std::printf("wrote %s\n", json_path.c_str());
+  return gate && !pass ? 1 : 0;
+}

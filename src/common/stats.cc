@@ -222,6 +222,17 @@ std::map<StatKey, StatValue> StatsRegistry::Snapshot() const {
   return live_;
 }
 
+double StatsRegistry::SumFor(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double total = 0.0;
+  auto it = summary_.find(name);
+  if (it != summary_.end()) total += it->second.sum;
+  for (const auto& [key, value] : live_) {
+    if (key.name == name) total += value.sum;
+  }
+  return total;
+}
+
 void StatsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   live_.clear();

@@ -97,6 +97,12 @@ class StatsRegistry {
   /// Copies the live (unflushed) series out; test/inspection hook.
   std::map<StatKey, StatValue> Snapshot() const;
 
+  /// Sum of every recorded value of `name` across live AND retired
+  /// (epoch-flushed) series — the cross-epoch total a bench reads after a
+  /// run (e.g. total fp.wire_bytes, the bit_alloc gate's numerator)
+  /// without re-parsing the JSONL dump.
+  double SumFor(const std::string& name) const;
+
   /// Drops all series, summaries and the output path.
   void Reset();
 

@@ -1,0 +1,109 @@
+#include "compress/bit_alloc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace ecg::compress {
+namespace {
+
+/// Index into SupportedAllocWidths() of the narrowest width >= min_bits,
+/// clamped into the table.
+size_t FloorIndex(const std::vector<int>& widths, int min_bits) {
+  for (size_t i = 0; i < widths.size(); ++i) {
+    if (widths[i] >= min_bits) return i;
+  }
+  return widths.size() - 1;
+}
+
+}  // namespace
+
+const std::vector<int>& SupportedAllocWidths() {
+  static const std::vector<int> kWidths = {1, 2, 4, 8, 16};
+  return kWidths;
+}
+
+double BitAllocError(const BitAllocGroup& group, int bits) {
+  // Uniform bucket quantization halves the bucket width per extra bit, so
+  // the MSE scales as 4^-b; sensitivity carries the group's range^2 and
+  // element weight.
+  return group.sensitivity * std::exp2(-2.0 * bits);
+}
+
+std::vector<int> SolveBitAllocation(const std::vector<BitAllocGroup>& groups,
+                                    const BitAllocConfig& config) {
+  const std::vector<int>& widths = SupportedAllocWidths();
+  const size_t floor_idx = FloorIndex(widths, config.min_bits);
+  // Widths above max_bits are unreachable; precompute the ceiling index.
+  size_t ceil_idx = floor_idx;
+  for (size_t i = floor_idx; i < widths.size(); ++i) {
+    if (widths[i] <= config.max_bits) ceil_idx = i;
+  }
+
+  std::vector<size_t> level(groups.size(), floor_idx);
+  std::vector<int> out(groups.size(), widths[floor_idx]);
+  if (groups.empty()) return out;
+
+  double total_elements = 0.0;
+  for (const BitAllocGroup& g : groups) {
+    total_elements += std::max(0.0, g.elements);
+  }
+  const double budget_bytes = config.budget_factor * total_elements *
+                              static_cast<double>(config.reference_bits) /
+                              8.0;
+  double spent_bytes = 0.0;
+  for (const BitAllocGroup& g : groups) {
+    spent_bytes += std::max(0.0, g.elements) * widths[floor_idx] / 8.0;
+  }
+
+  // Max-heap of candidate single-step widenings, ordered by error
+  // reduction per added byte. Stale entries (group already widened past
+  // the entry's level) are re-scored lazily on pop.
+  struct Step {
+    double gain_per_byte;
+    size_t group;
+    size_t from_level;
+    bool operator<(const Step& o) const {
+      if (gain_per_byte != o.gain_per_byte) {
+        return gain_per_byte < o.gain_per_byte;
+      }
+      return group > o.group;  // deterministic: lower index wins ties
+    }
+  };
+  auto make_step = [&](size_t g, size_t lvl) -> Step {
+    const double added_bytes =
+        std::max(0.0, groups[g].elements) *
+        static_cast<double>(widths[lvl + 1] - widths[lvl]) / 8.0;
+    const double gain = BitAllocError(groups[g], widths[lvl]) -
+                        BitAllocError(groups[g], widths[lvl + 1]);
+    return Step{added_bytes > 0.0 ? gain / added_bytes : 0.0, g, lvl};
+  };
+
+  std::priority_queue<Step> heap;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    // Zero-element groups never bid either: their upgrades would be free
+    // in the byte model and the greedy loop would pointlessly walk them to
+    // the ceiling.
+    if (level[g] < ceil_idx && groups[g].sensitivity > 0.0 &&
+        groups[g].elements > 0.0) {
+      heap.push(make_step(g, level[g]));
+    }
+  }
+  while (!heap.empty()) {
+    const Step step = heap.top();
+    heap.pop();
+    if (step.from_level != level[step.group]) continue;  // stale
+    const size_t next = step.from_level + 1;
+    const double added_bytes =
+        std::max(0.0, groups[step.group].elements) *
+        static_cast<double>(widths[next] - widths[step.from_level]) / 8.0;
+    if (spent_bytes + added_bytes > budget_bytes) continue;
+    spent_bytes += added_bytes;
+    level[step.group] = next;
+    out[step.group] = widths[next];
+    if (next < ceil_idx) heap.push(make_step(step.group, next));
+  }
+  return out;
+}
+
+}  // namespace ecg::compress

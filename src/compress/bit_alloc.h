@@ -1,0 +1,60 @@
+#ifndef ECGRAPH_COMPRESS_BIT_ALLOC_H_
+#define ECGRAPH_COMPRESS_BIT_ALLOC_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ecg::compress {
+
+/// One message group of the adaptive bit allocator — a (layer, peer) edge
+/// cut as seen by one end of the exchange. The solver never learns what a
+/// group *is*; the exchangers key their groups however their protocol
+/// shards traffic.
+struct BitAllocGroup {
+  /// Elements this group ships per epoch (rows x cols after the selector
+  /// filtered out predicted rows — the wire-byte model multiplies this by
+  /// bits/8).
+  double elements = 0.0;
+  /// Error weight of the group: the modelled quantization MSE at width b
+  /// is `sensitivity * 4^-b`. The exchangers derive it from the observed
+  /// bucket range (range^2 * elements) plus any compensation pressure
+  /// (ResEC residual L2, saturation rate), so a group whose values span a
+  /// wide range — or whose residual keeps growing — bids for more bits.
+  double sensitivity = 0.0;
+};
+
+/// Solver knobs. The budget is expressed relative to what the groups would
+/// weigh at `reference_bits` everywhere (the configured global width):
+///   budget_bytes = budget_factor * sum_g elements_g * reference_bits / 8.
+struct BitAllocConfig {
+  double budget_factor = 0.75;
+  int reference_bits = 2;
+  /// Widths are drawn from the quantizer-supported set {1,2,4,8,16}
+  /// clamped to [min_bits, max_bits]; 16 is the codec ceiling (see
+  /// core::kBitTunerMaxBits).
+  int min_bits = 1;
+  int max_bits = 16;
+};
+
+/// The discrete widths the bucket quantizer's packed codecs accept, in
+/// ascending order ({1, 2, 4, 8, 16} — IsSupportedBitWidth's domain).
+const std::vector<int>& SupportedAllocWidths();
+
+/// Modelled quantization error of `group` at width `bits`:
+/// sensitivity * 4^-bits (uniform-quantizer MSE halves per bit, squared).
+double BitAllocError(const BitAllocGroup& group, int bits);
+
+/// AdaQP-style greedy marginal-gain allocation: every group starts at the
+/// narrowest supported width and the solver repeatedly widens the group
+/// with the largest error reduction per added wire byte until the traffic
+/// budget is spent. Deterministic (ties break on lower group index), runs
+/// in O(G * W * log G), and always returns a width per group — an empty
+/// or zero-element input yields min-width everywhere. Groups with zero
+/// sensitivity never bid, so their bits stay at the floor and their bytes
+/// go to groups that need them.
+std::vector<int> SolveBitAllocation(const std::vector<BitAllocGroup>& groups,
+                                    const BitAllocConfig& config);
+
+}  // namespace ecg::compress
+
+#endif  // ECGRAPH_COMPRESS_BIT_ALLOC_H_

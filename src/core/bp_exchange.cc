@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/stats.h"
 #include "common/trace.h"
+#include "compress/bit_alloc.h"
 #include "core/exchange.h"
 #include "core/wire_util.h"
 #include "tensor/ops.h"
@@ -176,8 +177,12 @@ class ResEcBpExchanger : public BpExchanger {
       : config_(config) {
     // BP exchanges layers 2..L inclusive; index directly by layer id.
     delta_.resize(static_cast<size_t>(num_layers) + 1);
-    for (auto& per_layer : delta_) {
-      per_layer.resize(plan.send_rows.size());
+    bp_bits_.resize(delta_.size());
+    feed_.resize(delta_.size());
+    for (size_t l = 0; l < delta_.size(); ++l) {
+      delta_[l].resize(plan.send_rows.size());
+      bp_bits_[l].assign(plan.send_rows.size(), config.bp_bits);
+      feed_[l].resize(plan.send_rows.size());
     }
   }
 
@@ -186,7 +191,17 @@ class ResEcBpExchanger : public BpExchanger {
                const Matrix& g_owned) override {
     ECG_CHECK(layer < delta_.size()) << "ResEC layer out of range";
     const uint64_t tag = MessageHub::MakeTag(epoch, layer, kTagBpData);
-    QuantizerOptions qopts{config_.bp_bits, config_.value_mode};
+    // Sender-side bit allocation: ResEC owns both the gradient and the
+    // residual, so unlike FP no handshake is needed — the quantized wire
+    // format is self-describing and the receiver decodes whatever width
+    // each message carries. Solve once per epoch (on the first exchanged
+    // BP layer) from the previous epoch's feed.
+    if (config_.bit_alloc && epoch > 0 &&
+        epoch % config_.trend_period == 0 &&
+        static_cast<int64_t>(epoch) != last_solve_epoch_) {
+      SolveBits(plan, epoch);
+      last_solve_epoch_ = epoch;
+    }
     dist::FaultInjector* injector = ctx->fault_injector();
     // Fused error-feedback-then-compress per peer (each peer's residual
     // state is disjoint, so the whole encode fans out in parallel).
@@ -194,6 +209,9 @@ class ResEcBpExchanger : public BpExchanger {
     ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
         plan, ctx->num_workers(), [&](uint32_t p) -> Status {
           ECG_TRACE_SCOPE_DETAIL("bp_encode", ctx->worker_id(), layer);
+          QuantizerOptions qopts{config_.bit_alloc ? bp_bits_[layer][p]
+                                                  : config_.bp_bits,
+                                 config_.value_mode};
           Matrix g_cpt = tensor::GatherRows(g_owned, plan.send_rows[p]);
           Matrix& delta = delta_[layer][p];
           if (delta.rows() != g_cpt.rows() || delta.cols() != g_cpt.cols()) {
@@ -218,6 +236,20 @@ class ResEcBpExchanger : public BpExchanger {
             // δ^t = (G + δ^{t-1}) − C(G + δ^{t-1})  (Eq. 11).
             delta = std::move(g_cpt);
             tensor::SubInPlace(&delta, decoded);
+          }
+          if (config_.bit_alloc) {
+            // Solver feed: this group's element count, the quantizer range
+            // it needed, and the residual pressure left after compression
+            // — a group whose residual keeps growing bids for more bits.
+            const double elements =
+                static_cast<double>(q.rows) * static_cast<double>(q.cols);
+            const double range = static_cast<double>(q.bucket_width) *
+                                 std::exp2(q.bits);
+            GroupFeed& f = feed_[layer][p];
+            f.elements = elements;
+            f.sensitivity =
+                elements * range * range + delta.SquaredNorm();
+            f.valid = elements > 0.0 && range > 0.0;
           }
           ByteWriter w(&out[p]);
           q.AppendTo(&w);
@@ -267,11 +299,21 @@ class ResEcBpExchanger : public BpExchanger {
     return delta_[layer][peer].SquaredNorm();
   }
 
+  /// Sender width for (layer, peer) under bit_alloc (bench/test hook).
+  int BitsTowards(uint16_t layer, uint32_t peer) const override {
+    return bp_bits_[layer][peer];
+  }
+
   /// Checkpoint format: every per-(layer, peer) residual matrix in index
-  /// order — the error-feedback state Theorem 1's bound lives on.
+  /// order — the error-feedback state Theorem 1's bound lives on — then
+  /// the per-layer sender width vectors of the bit_alloc path.
   void SaveState(ByteWriter* w) const override {
     for (const auto& per_layer : delta_) {
       for (const Matrix& delta : per_layer) EncodeMatrix(delta, w);
+    }
+    for (const auto& per_layer : bp_bits_) {
+      std::vector<uint32_t> bits(per_layer.begin(), per_layer.end());
+      w->PutU32Vector(bits);
     }
   }
 
@@ -280,6 +322,17 @@ class ResEcBpExchanger : public BpExchanger {
       for (Matrix& delta : per_layer) {
         ECG_RETURN_IF_ERROR(DecodeMatrix(r, &delta));
       }
+    }
+    for (auto& per_layer : bp_bits_) {
+      std::vector<uint32_t> bits;
+      ECG_RETURN_IF_ERROR(r->GetU32Vector(&bits));
+      if (bits.size() != per_layer.size()) {
+        return Status::InvalidArgument(
+            "ResEC checkpoint bit widths: expected " +
+            std::to_string(per_layer.size()) + " peers, got " +
+            std::to_string(bits.size()));
+      }
+      per_layer.assign(bits.begin(), bits.end());
     }
     return Status::OK();
   }
@@ -303,6 +356,17 @@ class ResEcBpExchanger : public BpExchanger {
                                            p)] =
               std::vector<float>(delta.Row(i), delta.Row(i) + delta.cols());
         }
+      }
+    }
+    // Sender widths ride per (layer, sender, receiver) so the bit_alloc
+    // assignment survives a repartition that keeps both link ends alive.
+    for (size_t l = 0; l < bp_bits_.size(); ++l) {
+      for (uint32_t p = 0;
+           p < bp_bits_[l].size() && p < plan.send_rows.size(); ++p) {
+        if (!ActivePeer(plan, p)) continue;
+        bag->bp_group_bits[std::make_tuple(static_cast<uint16_t>(l),
+                                           plan.worker_id, p)] =
+            bp_bits_[l][p];
       }
     }
   }
@@ -347,12 +411,58 @@ class ResEcBpExchanger : public BpExchanger {
         }
       }
     }
+    for (size_t l = 0; l < bp_bits_.size(); ++l) {
+      for (uint32_t p = 0; p < bp_bits_[l].size(); ++p) {
+        auto it = bag.bp_group_bits.find(std::make_tuple(
+            static_cast<uint16_t>(l), plan.worker_id, p));
+        if (it != bag.bp_group_bits.end()) bp_bits_[l][p] = it->second;
+      }
+    }
     return Status::OK();
   }
 
  private:
+  /// Last observed (elements, sensitivity) of one (layer, peer) group —
+  /// see the bit_alloc block in Start().
+  struct GroupFeed {
+    double elements = 0.0;
+    double sensitivity = 0.0;
+    bool valid = false;
+  };
+
+  /// Greedy re-allocation of the BP traffic budget across every
+  /// (layer, peer) group with a live feed (DESIGN.md §16).
+  void SolveBits(const WorkerPlan& plan, uint32_t epoch) {
+    std::vector<compress::BitAllocGroup> groups;
+    std::vector<std::pair<size_t, uint32_t>> keys;
+    for (size_t l = 0; l < feed_.size(); ++l) {
+      for (uint32_t p = 0; p < feed_[l].size(); ++p) {
+        if (!ActivePeer(plan, p) || !feed_[l][p].valid) continue;
+        groups.push_back({feed_[l][p].elements, feed_[l][p].sensitivity});
+        keys.emplace_back(l, p);
+      }
+    }
+    if (groups.empty()) return;
+    compress::BitAllocConfig bc;
+    bc.budget_factor = config_.bit_budget;
+    bc.reference_bits = config_.bp_bits;
+    bc.max_bits = kBitTunerMaxBits;
+    const std::vector<int> widths = compress::SolveBitAllocation(groups, bc);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      bp_bits_[keys[i].first][keys[i].second] = widths[i];
+      if (obs::StatsEnabled()) {
+        obs::RecordStat("bitalloc.bp_bits", static_cast<double>(widths[i]),
+                        epoch, static_cast<int32_t>(keys[i].first),
+                        static_cast<int32_t>(keys[i].second));
+      }
+    }
+  }
+
   const ExchangeConfig config_;
-  std::vector<std::vector<Matrix>> delta_;  // [layer][peer]
+  std::vector<std::vector<Matrix>> delta_;      // [layer][peer]
+  std::vector<std::vector<int>> bp_bits_;       // [layer][peer]
+  std::vector<std::vector<GroupFeed>> feed_;    // [layer][peer]
+  int64_t last_solve_epoch_ = -1;
 };
 
 }  // namespace

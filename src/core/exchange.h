@@ -74,6 +74,12 @@ enum class BpMode {
 /// approximation for the whole message.
 enum class SelectorGranularity { kElement, kVertex, kMatrix };
 
+/// Hard ceiling of every adaptive width path (Bit-Tuner growth, bit_alloc
+/// solver): the bucket codecs pack {1, 2, 4, 8, 16}-bit ids, so 16 is the
+/// widest quantized message the wire format can carry. fp_bits/bp_bits are
+/// validated against the same set at the spec layer.
+inline constexpr int kBitTunerMaxBits = 16;
+
 /// Shared knobs of all exchangers.
 struct ExchangeConfig {
   int fp_bits = 2;
@@ -84,9 +90,21 @@ struct ExchangeConfig {
   uint32_t trend_period = 10;
   /// Enables the adaptive Bit-Tuner of Section IV-B.
   bool adaptive_bits = false;
-  /// Bit-Tuner thresholds: grow B above hi, shrink below lo.
+  /// Bit-Tuner thresholds: grow B above hi, shrink below lo. Must satisfy
+  /// hi > lo (the spec layer rejects hi <= lo: the tuner would oscillate
+  /// every epoch inside the dead band).
   double tuner_hi = 0.6;
   double tuner_lo = 0.4;
+  /// AdaQP-style per-(layer, peer) bit allocation (DESIGN.md §16): every
+  /// trend_period epochs a greedy marginal-gain solver re-divides a total
+  /// traffic budget across message groups, replacing the single global
+  /// Bit-Tuner width. The FP requester drives its per-layer request widths
+  /// from observed range/saturation; ResEC-BP picks per-peer sender widths
+  /// from residual L2. Off = bit-identical to the global tuner path.
+  bool bit_alloc = false;
+  /// Traffic budget of the solver as a fraction of what the same groups
+  /// would weigh at the configured global width (fp_bits / bp_bits).
+  double bit_budget = 0.75;
   SelectorGranularity selector = SelectorGranularity::kVertex;
   /// DistGNN delay rounds r (only used by FpMode::kDelayed).
   uint32_t delay_rounds = 5;
@@ -193,19 +211,43 @@ class FpExchanger {
 
   /// One-shot exchange: Start + Finish + EndCommPhase("fp_comm"). Every
   /// pre-split call site and the non-overlapped schedule use this; by
-  /// construction it is equivalent to the split-phase path.
+  /// construction it is equivalent to the split-phase path. A streaming
+  /// Finish still earns its arrival-order decode credit here — the decode
+  /// of early peers ran while later ones were in flight regardless of the
+  /// caller's schedule.
   Status Exchange(dist::WorkerContext* ctx, const WorkerPlan& plan,
                   uint32_t epoch, uint16_t layer,
                   const tensor::Matrix& h_owned, tensor::Matrix* h_halo) {
     ECG_RETURN_IF_ERROR(Start(ctx, plan, epoch, layer, h_owned));
     ECG_RETURN_IF_ERROR(Finish(ctx, plan, epoch, layer, h_halo));
-    ctx->EndCommPhase("fp_comm");
+    const double credit = TakeFinishCredit();
+    if (credit > 0.0) {
+      ctx->EndCommPhaseOverlapped("fp_comm", credit);
+    } else {
+      ctx->EndCommPhase("fp_comm");
+    }
     return Status::OK();
   }
 
   /// Current compression bits toward peer `p` (for logging/benches);
-  /// 32 means uncompressed.
+  /// 32 means uncompressed. With bit_alloc on the width is per layer —
+  /// this reports layer 0's.
   virtual int BitsTowards(uint32_t peer) const { return 32; }
+
+  /// Per-(layer, peer) width (the bit_alloc solver's unit of allocation).
+  /// Exchangers without per-layer state report the global width.
+  virtual int BitsTowards(uint16_t layer, uint32_t peer) const {
+    return BitsTowards(peer);
+  }
+
+  /// Decode compute charged during Finish while later peers were still in
+  /// flight (the streaming arrival-order decode of the bit_alloc path:
+  /// each peer's boundary rows decode the moment its message lands, so an
+  /// early narrow peer's decode hides under the wait for the wide ones).
+  /// Overlapped schedules fold this into their interior-compute credit;
+  /// reading resets the accumulator. Exchangers without a streaming path
+  /// return 0.
+  virtual double TakeFinishCredit() { return 0.0; }
 
   /// Serializes the exchanger's compensation state (ReqEC trend baselines,
   /// Bit-Tuner widths) into the epoch checkpoint. Stateless exchangers
@@ -249,6 +291,12 @@ class BpExchanger {
     ECG_RETURN_IF_ERROR(Finish(ctx, plan, epoch, layer, g_halo));
     ctx->EndCommPhase("bp_comm");
     return Status::OK();
+  }
+
+  /// Per-(layer, peer) sender-side width (the bit_alloc solver's unit of
+  /// allocation); 32 means uncompressed / not width-adaptive.
+  virtual int BitsTowards(uint16_t layer, uint32_t peer) const {
+    return 32;
   }
 
   /// Serializes the error-feedback state (ResEC residuals) into the epoch

@@ -9,7 +9,9 @@
 #include "common/bytes.h"
 #include "common/logging.h"
 #include "common/stats.h"
+#include "common/timer.h"
 #include "common/trace.h"
+#include "compress/bit_alloc.h"
 #include "core/exchange.h"
 #include "core/wire_util.h"
 #include "tensor/ops.h"
@@ -287,15 +289,24 @@ class ReqEcFpExchanger : public FpExchanger {
   ReqEcFpExchanger(const ExchangeConfig& config, uint16_t num_layers,
                    const WorkerPlan& plan)
       : config_(config), num_layers_(num_layers) {
+    ECG_CHECK(config.tuner_hi > config.tuner_lo)
+        << "Bit-Tuner thresholds inverted (hi=" << config.tuner_hi
+        << " <= lo=" << config.tuner_lo << ")";
     const uint32_t workers =
         static_cast<uint32_t>(plan.send_rows.size());
     responder_.resize(num_layers);
     requester_.resize(num_layers);
+    feed_.resize(num_layers);
     for (uint16_t l = 0; l < num_layers; ++l) {
       responder_[l].resize(workers);
       requester_[l].resize(workers);
+      feed_[l].resize(workers);
     }
-    bits_towards_.assign(workers, config.fp_bits);
+    // One width per (layer, peer): the global Bit-Tuner keeps every
+    // layer's entry in lock-step (wire-identical to the historical single
+    // per-peer width), the bit_alloc solver diverges them.
+    bits_towards_.assign(num_layers,
+                         std::vector<int>(workers, config.fp_bits));
     proportion_from_.assign(workers, 0.0f);
   }
 
@@ -315,7 +326,7 @@ class ReqEcFpExchanger : public FpExchanger {
       if (!ActivePeer(plan, p)) continue;
       std::vector<uint8_t> buf;
       ByteWriter w(&buf);
-      w.PutU8(static_cast<uint8_t>(bits_towards_[p]));
+      w.PutU8(static_cast<uint8_t>(bits_towards_[layer][p]));
       ctx->Send(p, req_tag, std::move(buf));
     }
 
@@ -370,31 +381,47 @@ class ReqEcFpExchanger : public FpExchanger {
     //    row ranges are disjoint, so peers decode in parallel too. A lost
     //    response degrades to the pdt candidate (Eq. 8: H_last + step·M_cr,
     //    reconstructible from requester state with zero wire bytes).
-    ECG_ASSIGN_OR_RETURN(PeerRecvResult in, TryRecvFromActivePeers(
-                             ctx, plan, data_tag, config_.fault_fallback));
-    ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
-        plan, ctx->num_workers(), [&](uint32_t p) -> Status {
-          ECG_TRACE_SCOPE_DETAIL("fp_decode", ctx->worker_id(), layer);
-          if (in.lost[p]) {
-            return DegradeLostResponse(ctx, plan, p, epoch, layer, step,
-                                       h_halo);
-          }
-          return ParseResponse(plan, p, layer, trend_epoch, step,
-                               in.bufs[p], h_halo);
-        }));
+    //    Under bit_alloc the peers carry *different* widths, so the decode
+    //    streams in arrival order instead: each peer's marginal (boundary)
+    //    rows decode the moment its message lands, charging the decode as
+    //    compute that hides under the wait for the still-in-flight wide
+    //    peers. Both paths write identical halo values (per-peer row
+    //    ranges are disjoint).
+    if (config_.bit_alloc) {
+      ECG_RETURN_IF_ERROR(StreamingFinish(ctx, plan, epoch, layer,
+                                          trend_epoch, step, h_halo));
+    } else {
+      ECG_ASSIGN_OR_RETURN(PeerRecvResult in, TryRecvFromActivePeers(
+                               ctx, plan, data_tag, config_.fault_fallback));
+      ECG_RETURN_IF_ERROR(ForEachActivePeerParallel(
+          plan, ctx->num_workers(), [&](uint32_t p) -> Status {
+            ECG_TRACE_SCOPE_DETAIL("fp_decode", ctx->worker_id(), layer);
+            if (in.lost[p]) {
+              return DegradeLostResponse(ctx, plan, p, epoch, layer, step,
+                                         h_halo);
+            }
+            return ParseResponse(plan, p, layer, trend_epoch, step,
+                                 in.bufs[p], h_halo);
+          }));
+    }
 
     // 4) Bit-Tuner, once per epoch after the last exchanged FP layer
-    //    (Algorithm 3 lines 13-18).
-    if (config_.adaptive_bits && layer + 1 == num_layers_) {
+    //    (Algorithm 3 lines 13-18). All layers move in lock-step, so the
+    //    wire behavior matches the historical single per-peer width.
+    //    Growth saturates at kBitTunerMaxBits — the widest id the packed
+    //    codecs encode — and shrink at 1.
+    if (config_.adaptive_bits && !config_.bit_alloc &&
+        layer + 1 == num_layers_) {
       for (uint32_t p = 0; p < ctx->num_workers(); ++p) {
         if (!ActivePeer(plan, p)) continue;
         const double prop = proportion_from_[p];
-        int& b = bits_towards_[p];
-        if (prop > config_.tuner_hi && b < 16) {
-          b *= 2;
+        int b = bits_towards_[0][p];
+        if (prop > config_.tuner_hi) {
+          b = std::min(b * 2, kBitTunerMaxBits);
         } else if (prop < config_.tuner_lo && b > 1) {
           b /= 2;
         }
+        for (uint16_t l = 0; l < num_layers_; ++l) bits_towards_[l][p] = b;
         if (obs::StatsEnabled()) {
           obs::RecordStat("reqec.tuner_bits", static_cast<double>(b), epoch,
                           /*layer=*/-1, static_cast<int32_t>(p));
@@ -403,15 +430,36 @@ class ReqEcFpExchanger : public FpExchanger {
         }
       }
     }
+
+    // 5) Bit-allocation solve, every trend_period epochs right before the
+    //    trend snapshot resets the candidates: re-divide the traffic
+    //    budget across every (layer, peer) group from the feed the parsed
+    //    responses left behind. The new widths ride out with the next
+    //    epoch's requests.
+    if (config_.bit_alloc && layer + 1 == num_layers_ &&
+        (epoch + 1) % config_.trend_period == 0) {
+      SolveBits(plan, epoch);
+    }
     return Status::OK();
   }
 
   int BitsTowards(uint32_t peer) const override {
-    return bits_towards_[peer];
+    return bits_towards_[0][peer];
+  }
+
+  /// Width this requester asks `peer` for on `layer` (bench/test hook).
+  int BitsTowards(uint16_t layer, uint32_t peer) const override {
+    return bits_towards_[layer][peer];
+  }
+
+  double TakeFinishCredit() override {
+    const double credit = finish_credit_;
+    finish_credit_ = 0.0;
+    return credit;
   }
 
   /// Checkpoint format: per (layer, peer) the responder and requester
-  /// trend snapshots, then the Bit-Tuner widths and last predicted
+  /// trend snapshots, then the per-layer width vectors and last predicted
   /// proportions. Everything the paper's compensation depends on.
   void SaveState(ByteWriter* w) const override {
     for (uint16_t l = 0; l < num_layers_; ++l) {
@@ -426,8 +474,11 @@ class ReqEcFpExchanger : public FpExchanger {
         EncodeMatrix(qs.m_cr, w);
       }
     }
-    std::vector<uint32_t> bits(bits_towards_.begin(), bits_towards_.end());
-    w->PutU32Vector(bits);
+    for (uint16_t l = 0; l < num_layers_; ++l) {
+      std::vector<uint32_t> bits(bits_towards_[l].begin(),
+                                 bits_towards_[l].end());
+      w->PutU32Vector(bits);
+    }
     w->PutF32Vector(proportion_from_);
   }
 
@@ -447,15 +498,17 @@ class ReqEcFpExchanger : public FpExchanger {
         ECG_RETURN_IF_ERROR(DecodeMatrix(r, &qs.m_cr));
       }
     }
-    std::vector<uint32_t> bits;
-    ECG_RETURN_IF_ERROR(r->GetU32Vector(&bits));
-    if (bits.size() != bits_towards_.size()) {
-      return Status::InvalidArgument(
-          "ReqEC checkpoint bit widths: expected " +
-          std::to_string(bits_towards_.size()) + " peers, got " +
-          std::to_string(bits.size()));
+    for (uint16_t l = 0; l < num_layers_; ++l) {
+      std::vector<uint32_t> bits;
+      ECG_RETURN_IF_ERROR(r->GetU32Vector(&bits));
+      if (bits.size() != bits_towards_[l].size()) {
+        return Status::InvalidArgument(
+            "ReqEC checkpoint bit widths: expected " +
+            std::to_string(bits_towards_[l].size()) + " peers, got " +
+            std::to_string(bits.size()));
+      }
+      bits_towards_[l].assign(bits.begin(), bits.end());
     }
-    bits_towards_.assign(bits.begin(), bits.end());
     ECG_RETURN_IF_ERROR(r->GetF32Vector(&proportion_from_));
     return Status::OK();
   }
@@ -487,12 +540,19 @@ class ReqEcFpExchanger : public FpExchanger {
         }
       }
     }
-    for (uint32_t p = 0; p < bits_towards_.size(); ++p) {
+    for (uint32_t p = 0; p < proportion_from_.size(); ++p) {
       if (!ActivePeer(plan, p)) continue;
       bag->request_bits[std::make_pair(plan.worker_id, p)] =
-          bits_towards_[p];
+          bits_towards_[0][p];
       bag->proportion[std::make_pair(plan.worker_id, p)] =
           proportion_from_[p];
+      // Per-layer solver widths ride in their own map so a repartition
+      // keeps the bit_alloc assignment alive (the layer-0 entry above
+      // stays for the global-tuner path and older consumers).
+      for (uint16_t l = 0; l < num_layers_; ++l) {
+        bag->fp_group_bits[std::make_tuple(l, plan.worker_id, p)] =
+            bits_towards_[l][p];
+      }
     }
   }
 
@@ -521,9 +581,18 @@ class ReqEcFpExchanger : public FpExchanger {
         qs.have_trend = GatherTrend(bag, l, gvs, &qs.h_last, &qs.m_cr);
       }
     }
-    for (uint32_t p = 0; p < bits_towards_.size(); ++p) {
+    for (uint32_t p = 0; p < proportion_from_.size(); ++p) {
       auto itb = bag.request_bits.find(std::make_pair(plan.worker_id, p));
-      if (itb != bag.request_bits.end()) bits_towards_[p] = itb->second;
+      if (itb != bag.request_bits.end()) {
+        for (uint16_t l = 0; l < num_layers_; ++l) {
+          bits_towards_[l][p] = itb->second;
+        }
+      }
+      for (uint16_t l = 0; l < num_layers_; ++l) {
+        auto itl = bag.fp_group_bits.find(
+            std::make_tuple(l, plan.worker_id, p));
+        if (itl != bag.fp_group_bits.end()) bits_towards_[l][p] = itl->second;
+      }
       auto itp = bag.proportion.find(std::make_pair(plan.worker_id, p));
       if (itp != bag.proportion.end()) proportion_from_[p] = itp->second;
     }
@@ -772,8 +841,8 @@ class ReqEcFpExchanger : public FpExchanger {
   }
 
   Status ParseElementResponse(const WorkerPlan& plan, uint32_t peer,
-                              const RequesterState& st, uint32_t step,
-                              ByteReader* r, Matrix* h_halo) {
+                              uint16_t layer, const RequesterState& st,
+                              uint32_t step, ByteReader* r, Matrix* h_halo) {
     const auto& halo_rows = plan.recv_halo_rows[peer];
     uint8_t bits = 0;
     uint64_t count = 0;
@@ -786,6 +855,7 @@ class ReqEcFpExchanger : public FpExchanger {
     float proportion = 0.0f;
     ECG_RETURN_IF_ERROR(r->GetF32(&proportion));
     proportion_from_[peer] = proportion;
+    RecordFeed(layer, peer, static_cast<double>(q_sub.cols), q_sub);
 
     const size_t dim = st.h_last.cols();
     if (count != halo_rows.size() * dim) {
@@ -873,6 +943,9 @@ class ReqEcFpExchanger : public FpExchanger {
     if (kind == kColdStart) {
       QuantizedMatrix q;
       ECG_RETURN_IF_ERROR(QuantizedMatrix::ParseFrom(&r, &q));
+      RecordFeed(layer, peer,
+                 static_cast<double>(q.rows) * static_cast<double>(q.cols),
+                 q);
       return compress::DequantizeInto(q, halo_rows, h_halo);
     }
     if (kind != kSelected && kind != kSelectedElement) {
@@ -883,7 +956,7 @@ class ReqEcFpExchanger : public FpExchanger {
       return Status::Internal("selected response before trend baseline");
     }
     if (kind == kSelectedElement) {
-      return ParseElementResponse(plan, peer, st, step, &r, h_halo);
+      return ParseElementResponse(plan, peer, layer, st, step, &r, h_halo);
     }
 
     uint8_t bits = 0;
@@ -897,6 +970,8 @@ class ReqEcFpExchanger : public FpExchanger {
     float proportion = 0.0f;
     ECG_RETURN_IF_ERROR(r.GetF32(&proportion));
     proportion_from_[peer] = proportion;
+    RecordFeed(layer, peer,
+               static_cast<double>(q_sub.rows) * st.h_last.cols(), q_sub);
 
     if (n != halo_rows.size()) {
       return Status::InvalidArgument("selector size mismatch");
@@ -947,12 +1022,109 @@ class ReqEcFpExchanger : public FpExchanger {
     return Status::OK();
   }
 
+  /// Per-(layer, peer) observation the requester leaves behind for the
+  /// bit-allocation solver: how many elements the group actually shipped
+  /// last epoch and the quantizer range it saw. Overwritten every parsed
+  /// response (per-peer slots are disjoint across the parallel decode).
+  struct GroupFeed {
+    double elements = 0.0;
+    double sensitivity = 0.0;
+    bool valid = false;
+  };
+
+  void RecordFeed(uint16_t layer, uint32_t peer, double shipped_elements,
+                  const QuantizedMatrix& q) {
+    if (q.bits <= 0) return;
+    const double range =
+        static_cast<double>(q.bucket_width) * std::exp2(q.bits);
+    GroupFeed& f = feed_[layer][peer];
+    f.elements = shipped_elements;
+    f.sensitivity = shipped_elements * range * range;
+    f.valid = shipped_elements > 0.0 && range > 0.0;
+  }
+
+  /// Arrival-order Finish for the bit_alloc path: decode each peer's halo
+  /// slice the moment its message lands. The decode CPU of every arrival
+  /// but the last is banked as finish credit — it genuinely ran while the
+  /// remaining (wider/slower) peers were still on the wire, so the
+  /// overlapped schedule may hide that much wire time on top of its
+  /// interior-compute credit.
+  Status StreamingFinish(dist::WorkerContext* ctx, const WorkerPlan& plan,
+                         uint32_t epoch, uint16_t layer, bool trend_epoch,
+                         uint32_t step, Matrix* h_halo) {
+    const uint64_t data_tag = MessageHub::MakeTag(epoch, layer, kTagFpData);
+    std::vector<uint32_t> pending;
+    for (uint32_t p = 0; p < ctx->num_workers(); ++p) {
+      if (ActivePeer(plan, p)) pending.push_back(p);
+    }
+    double max_penalty = 0.0;
+    ThreadCpuTimer decode_cpu;
+    while (!pending.empty()) {
+      uint32_t from = 0;
+      std::vector<uint8_t> buf;
+      double penalty = 0.0;
+      Status s = ctx->TryRecvAny(pending, data_tag, &from, &buf, &penalty);
+      const bool lost = s.code() == StatusCode::kResourceExhausted;
+      if (!s.ok() && (!lost || !config_.fault_fallback)) {
+        ctx->ChargePhasePenalty(max_penalty);
+        return s;
+      }
+      max_penalty = std::max(max_penalty, penalty);
+      pending.erase(std::find(pending.begin(), pending.end(), from));
+      ECG_TRACE_SCOPE_DETAIL("fp_decode", ctx->worker_id(), layer);
+      decode_cpu.Reset();
+      Status d = lost ? DegradeLostResponse(ctx, plan, from, epoch, layer,
+                                            step, h_halo)
+                      : ParseResponse(plan, from, layer, trend_epoch, step,
+                                      buf, h_halo);
+      if (!d.ok()) {
+        ctx->ChargePhasePenalty(max_penalty);
+        return d;
+      }
+      const double charged = ctx->ChargeCompute(decode_cpu.ElapsedSeconds());
+      if (!pending.empty()) finish_credit_ += charged;
+    }
+    ctx->ChargePhasePenalty(max_penalty);
+    return Status::OK();
+  }
+
+  /// Greedy re-allocation of the FP traffic budget across every
+  /// (layer, peer) group with a live feed (DESIGN.md §16).
+  void SolveBits(const WorkerPlan& plan, uint32_t epoch) {
+    std::vector<compress::BitAllocGroup> groups;
+    std::vector<std::pair<uint16_t, uint32_t>> keys;
+    for (uint16_t l = 0; l < num_layers_; ++l) {
+      for (uint32_t p = 0; p < feed_[l].size(); ++p) {
+        if (!ActivePeer(plan, p) || !feed_[l][p].valid) continue;
+        groups.push_back(
+            {feed_[l][p].elements, feed_[l][p].sensitivity});
+        keys.emplace_back(l, p);
+      }
+    }
+    if (groups.empty()) return;
+    compress::BitAllocConfig bc;
+    bc.budget_factor = config_.bit_budget;
+    bc.reference_bits = config_.fp_bits;
+    bc.max_bits = kBitTunerMaxBits;
+    const std::vector<int> widths = compress::SolveBitAllocation(groups, bc);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      bits_towards_[keys[i].first][keys[i].second] = widths[i];
+      if (obs::StatsEnabled()) {
+        obs::RecordStat("bitalloc.fp_bits", static_cast<double>(widths[i]),
+                        epoch, keys[i].first,
+                        static_cast<int32_t>(keys[i].second));
+      }
+    }
+  }
+
   const ExchangeConfig config_;
   const uint16_t num_layers_;
   std::vector<std::vector<ResponderState>> responder_;  // [layer][peer]
   std::vector<std::vector<RequesterState>> requester_;  // [layer][peer]
-  std::vector<int> bits_towards_;                       // [peer]
+  std::vector<std::vector<int>> bits_towards_;          // [layer][peer]
+  std::vector<std::vector<GroupFeed>> feed_;            // [layer][peer]
   std::vector<float> proportion_from_;                  // [peer]
+  double finish_credit_ = 0.0;
 };
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/bitpack.h"
 #include "common/spec.h"
 #include "dist/elastic.h"
 #include "graph/partition.h"
@@ -43,16 +44,56 @@ void BindTrainSpec(config::Spec& spec, TrainSpec* ts) {
                      {"cp", BpMode::kCompressed},
                      {"resec", BpMode::kResEc}})
       .Help("backward-pass message policy");
+  // The bucket codecs pack {1,2,4,8,16}-bit ids (kBitTunerMaxBits is the
+  // ceiling every adaptive path saturates at); reject unsupported widths
+  // here instead of deep inside the first quantized exchange.
+  auto supported_width = [&spec](const char* key, const int32_t* bits) {
+    return [&spec, key, bits]() -> Status {
+      if (IsSupportedBitWidth(*bits)) return Status::OK();
+      return spec.Error(std::string(key) +
+                        " must be one of 1|2|4|8|16, got " +
+                        std::to_string(*bits));
+    };
+  };
   spec.I32("fp_bits", &opt->exchange.fp_bits)
       .Min(1)
-      .Max(32)
-      .Help("FP quantization bits");
+      .Max(kBitTunerMaxBits)
+      .Check(supported_width("fp_bits", &opt->exchange.fp_bits))
+      .Help("FP quantization bits (1|2|4|8|16)");
   spec.I32("bp_bits", &opt->exchange.bp_bits)
       .Min(1)
-      .Max(32)
-      .Help("BP quantization bits");
+      .Max(kBitTunerMaxBits)
+      .Check(supported_width("bp_bits", &opt->exchange.bp_bits))
+      .Help("BP quantization bits (1|2|4|8|16)");
   spec.Bool("adapt", &opt->exchange.adaptive_bits)
       .Help("Bit-Tuner adaptive bit width");
+  // The tuner thresholds form a dead band; hi <= lo would make the width
+  // oscillate every epoch, so both keys re-validate the relation.
+  auto tuner_band = [&spec, opt]() -> Status {
+    if (opt->exchange.tuner_hi > opt->exchange.tuner_lo) {
+      return Status::OK();
+    }
+    return spec.Error("tuner_hi must be > tuner_lo (got hi=" +
+                      std::to_string(opt->exchange.tuner_hi) + " lo=" +
+                      std::to_string(opt->exchange.tuner_lo) + ")");
+  };
+  spec.F64("tuner_hi", &opt->exchange.tuner_hi)
+      .MinExclusive(0)
+      .Max(1)
+      .Check(tuner_band)
+      .Help("Bit-Tuner grow threshold (predicted fraction)");
+  spec.F64("tuner_lo", &opt->exchange.tuner_lo)
+      .Min(0)
+      .Max(1)
+      .Check(tuner_band)
+      .Help("Bit-Tuner shrink threshold; must stay below tuner_hi");
+  spec.Bool("bit_alloc", &opt->exchange.bit_alloc)
+      .Help("per-(layer,peer) bit-allocation solver (replaces the global "
+            "Bit-Tuner; see DESIGN.md §16)");
+  spec.F64("bit_budget", &opt->exchange.bit_budget)
+      .MinExclusive(0)
+      .Help("bit_alloc traffic budget, fraction of the fp_bits/bp_bits "
+            "baseline bytes");
   spec.Enum<PartitionerKind>("partitioner", &ts->partitioner,
                              {{"hash", PartitionerKind::kHash},
                               {"metis", PartitionerKind::kMetis},

@@ -383,6 +383,10 @@ Result<TrainResult> DistributedTrainer::Train() {
             ECG_RETURN_IF_ERROR(fp_ex->Finish(ctx, plan, epoch,
                                               static_cast<uint16_t>(l - 1),
                                               &h_halo[l - 1]));
+            // Streaming (bit_alloc) decodes bank extra credit: boundary
+            // rows of early-arriving peers decoded while wider peers were
+            // still in flight. Zero on the non-streaming paths.
+            credit += fp_ex->TakeFinishCredit();
             double comm_s = 0.0;
             const double hidden =
                 ctx->EndCommPhaseOverlapped("fp_comm", credit, &comm_s);

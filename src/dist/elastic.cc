@@ -121,6 +121,25 @@ void ElasticStateBag::RemapWorkers(const std::vector<int32_t>& old_to_new) {
                  v);
   }
   proportion = std::move(prop);
+
+  // Per-(layer, link) solver widths: both coordinates are workers, so a
+  // departed end drops the entry and a renumbered end follows its new id.
+  auto remap_group_bits =
+      [&](std::map<std::tuple<uint16_t, uint32_t, uint32_t>, int>* m) {
+        std::map<std::tuple<uint16_t, uint32_t, uint32_t>, int> next;
+        for (const auto& [key, v] : *m) {
+          const int32_t a = map_worker(std::get<1>(key));
+          const int32_t b = map_worker(std::get<2>(key));
+          if (a < 0 || b < 0) continue;
+          next.emplace(std::make_tuple(std::get<0>(key),
+                                       static_cast<uint32_t>(a),
+                                       static_cast<uint32_t>(b)),
+                       v);
+        }
+        *m = std::move(next);
+      };
+  remap_group_bits(&fp_group_bits);
+  remap_group_bits(&bp_group_bits);
   // fp_trend is keyed by (layer, vertex) only — nothing to remap.
 }
 
@@ -129,6 +148,8 @@ void ElasticStateBag::Clear() {
   bp_residual.clear();
   request_bits.clear();
   proportion.clear();
+  fp_group_bits.clear();
+  bp_group_bits.clear();
 }
 
 // ---------------------------------------------------------------------------

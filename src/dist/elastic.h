@@ -58,6 +58,14 @@ struct ElasticStateBag {
   /// Bit-Tuner state, keyed by directed link (requester, responder).
   std::map<std::pair<uint32_t, uint32_t>, int> request_bits;
   std::map<std::pair<uint32_t, uint32_t>, float> proportion;
+  /// bit_alloc solver widths, keyed per message group:
+  /// (layer, requester, responder) for the FP request widths and
+  /// (layer, sender, receiver) for the ResEC sender widths. Entries whose
+  /// link lost either end are dropped by RemapWorkers — the surviving
+  /// pairs keep their solved width, new pairs start at the configured
+  /// global width until the next solve.
+  std::map<std::tuple<uint16_t, uint32_t, uint32_t>, int> fp_group_bits;
+  std::map<std::tuple<uint16_t, uint32_t, uint32_t>, int> bp_group_bits;
 
   /// Rewrites worker-keyed entries through `old_to_new` (old worker id →
   /// new id, -1 = departed). Entries touching a departed worker are
@@ -68,7 +76,8 @@ struct ElasticStateBag {
   void Clear();
   bool Empty() const {
     return fp_trend.empty() && bp_residual.empty() && request_bits.empty() &&
-           proportion.empty();
+           proportion.empty() && fp_group_bits.empty() &&
+           bp_group_bits.empty();
   }
 };
 

@@ -403,7 +403,18 @@ Result<std::vector<InferenceServer::Completed>> InferenceServer::ServeBatch(
 
   const double service = ServiceSeconds(*st);
   const double per_query = service / static_cast<double>(done.size());
-  ewma_query_seconds_ = 0.9 * ewma_query_seconds_ + 0.1 * per_query;
+  // First completed batch replaces the construction-time seed outright —
+  // blending it in at 10% would anchor the retry-after hint to an
+  // arbitrary constant for dozens of batches. The floor keeps the shed
+  // path's hint nonzero even when the modeled service time is zero.
+  constexpr double kMinQuerySeconds = 1e-6;
+  if (!ewma_seeded_) {
+    ewma_query_seconds_ = std::max(per_query, kMinQuerySeconds);
+    ewma_seeded_ = true;
+  } else {
+    ewma_query_seconds_ = std::max(
+        0.9 * ewma_query_seconds_ + 0.1 * per_query, kMinQuerySeconds);
+  }
 
   if (obs::MetricsEnabled()) {
     auto& reg = obs::MetricsRegistry::Global();

@@ -169,8 +169,12 @@ class InferenceServer {
     double arrival_seconds;
   };
   std::deque<Queued> queue_;
-  /// EWMA of per-query service seconds, for the retry-after hint.
+  /// EWMA of per-query service seconds, for the retry-after hint. Seeded
+  /// from the first completed batch (the 1e-3 default only covers sheds
+  /// that happen before any query finishes) and floored so the hint never
+  /// collapses to zero under a zero-cost service model.
   double ewma_query_seconds_ = 1e-3;
+  bool ewma_seeded_ = false;
 
   bool initialized_ = false;
 };

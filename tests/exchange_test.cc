@@ -269,6 +269,36 @@ TEST(ExchangeTest, BitTunerGrowsBitsWhenPredictionsDominate) {
   ASSERT_TRUE(status.ok()) << status;
 }
 
+TEST(ExchangeTest, BitTunerSaturatesAtTheSixteenBitCeiling) {
+  TwoWorkerFixture fx;
+  ExchangeConfig config;
+  config.fp_bits = 2;
+  config.adaptive_bits = true;
+  config.trend_period = 3;
+  // A steep linear trend keeps predictions dominating every epoch, so the
+  // tuner doubles 2 -> 4 -> 8 -> 16 and must then hold at the ceiling —
+  // 16 is the widest id the packed codecs can encode, so overshooting
+  // would fault in the quantizer, and the old `b < 16` guard silently
+  // capped growth one doubling early on any non-power-of-two start.
+  SimulatedCluster cluster(2, dist::NetworkModel{});
+  auto status = cluster.Run([&](WorkerContext* ctx) -> Status {
+    const WorkerPlan& plan = fx.plans[ctx->worker_id()];
+    auto ex = MakeFpExchanger(FpMode::kReqEc, config, /*num_layers=*/2, plan);
+    const uint32_t peer = 1 - ctx->worker_id();
+    Matrix halo(plan.num_halo(), kDim);
+    for (uint32_t epoch = 0; epoch < 12; ++epoch) {
+      const Matrix owned = MakeOwned(plan, [&](uint32_t v, size_t c) {
+        return static_cast<float>(v + c) + 3.0f * static_cast<float>(epoch);
+      });
+      ECG_RETURN_IF_ERROR(ex->Exchange(ctx, plan, epoch, 1, owned, &halo));
+      EXPECT_LE(ex->BitsTowards(peer), kBitTunerMaxBits);
+    }
+    EXPECT_EQ(ex->BitsTowards(peer), kBitTunerMaxBits);
+    return Status::OK();
+  });
+  ASSERT_TRUE(status.ok()) << status;
+}
+
 /// All three selector granularities must deliver halos whose error never
 /// exceeds the compression-only error (the selector can always fall back
 /// to cps), and the element-wise schema must be at least as accurate as

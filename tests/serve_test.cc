@@ -163,7 +163,14 @@ TEST(ServeTest, AdmissionControlShedsWhenQueueIsFull) {
   const Status shed = server.Enqueue(40, 0.005);
   ASSERT_FALSE(shed.ok());
   EXPECT_EQ(shed.code(), StatusCode::kResourceExhausted);
-  EXPECT_NE(shed.message().find("retry after"), std::string::npos);
+  const auto retry_ms_of = [](const Status& s) {
+    const size_t at = s.message().find("retry after ~");
+    EXPECT_NE(at, std::string::npos) << s.message();
+    return std::stod(s.message().substr(at + 13));
+  };
+  // Even before any batch completes, the hint must be a usable (positive)
+  // backoff, not zero.
+  EXPECT_GT(retry_ms_of(shed), 0.0);
 
   auto batch = server.ServeBatch();
   ASSERT_TRUE(batch.ok());
@@ -175,6 +182,15 @@ TEST(ServeTest, AdmissionControlShedsWhenQueueIsFull) {
   EXPECT_EQ((*batch)[0].vertex, 0u);
   EXPECT_EQ((*batch)[1].vertex, 1u);
   for (const auto& c : *batch) EXPECT_GE(c.predicted, 0);
+
+  // After a completed batch seeds the EWMA from measured service time,
+  // the shed hint must stay nonzero (floored even under a zero-cost
+  // service model).
+  ASSERT_TRUE(server.Enqueue(42, 0.007).ok());
+  const Status shed_again = server.Enqueue(43, 0.008);
+  ASSERT_FALSE(shed_again.ok());
+  EXPECT_EQ(shed_again.code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(retry_ms_of(shed_again), 0.0);
 }
 
 TEST(ServeTest, ServesFromACheckpointFile) {

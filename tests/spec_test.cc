@@ -291,6 +291,42 @@ TEST(TrainSpecTest, UnknownKeyAndBadValuesError) {
   EXPECT_FALSE(core::ParseTrainSpec({"fp=magic"}).ok());
 }
 
+TEST(TrainSpecTest, QuantizationBitsMustBeACodecWidth) {
+  // The packed codecs only know {1,2,4,8,16}; anything else must fail at
+  // the CLI instead of deep inside the first quantized exchange.
+  for (const char* clause : {"fp_bits=3", "fp_bits=5", "bp_bits=6",
+                             "bp_bits=12", "fp_bits=17", "bp_bits=0"}) {
+    EXPECT_FALSE(core::ParseTrainSpec({clause}).ok()) << clause;
+  }
+  const auto r = core::ParseTrainSpec({"fp_bits=16", "bp_bits=8"});
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  EXPECT_EQ(r->options.exchange.fp_bits, 16);
+  EXPECT_EQ(r->options.exchange.bp_bits, 8);
+}
+
+TEST(TrainSpecTest, TunerThresholdsMustFormABand) {
+  // hi <= lo would make the Bit-Tuner oscillate every epoch; the spec
+  // rejects the inverted (and the degenerate hi == lo) band up front.
+  const auto inverted = core::ParseTrainSpec({"tuner_hi=0.2", "tuner_lo=0.6"});
+  ASSERT_FALSE(inverted.ok());
+  EXPECT_NE(inverted.status().message().find("tuner_hi"),
+            std::string::npos);
+  EXPECT_FALSE(core::ParseTrainSpec({"tuner_lo=0.5", "tuner_hi=0.5"}).ok());
+  EXPECT_FALSE(core::ParseTrainSpec({"tuner_hi=1.5"}).ok());  // Max(1)
+  const auto ok = core::ParseTrainSpec({"tuner_lo=0.1", "tuner_hi=0.9"});
+  ASSERT_TRUE(ok.ok()) << ok.status().message();
+  EXPECT_DOUBLE_EQ(ok->options.exchange.tuner_hi, 0.9);
+  EXPECT_DOUBLE_EQ(ok->options.exchange.tuner_lo, 0.1);
+}
+
+TEST(TrainSpecTest, BitAllocKeysParse) {
+  const auto r = core::ParseTrainSpec({"bit_alloc=on", "bit_budget=0.5"});
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  EXPECT_TRUE(r->options.exchange.bit_alloc);
+  EXPECT_DOUBLE_EQ(r->options.exchange.bit_budget, 0.5);
+  EXPECT_FALSE(core::ParseTrainSpec({"bit_budget=0"}).ok());
+}
+
 TEST(TrainSpecTest, NestedElasticSpecIsValidatedEagerly) {
   EXPECT_TRUE(
       core::ParseTrainSpec({"elastic=leave@epoch=3:worker=1"}).ok());

@@ -26,6 +26,20 @@ class StatsTest : public ::testing::Test {
   }
 };
 
+TEST_F(StatsTest, SumForSpansLiveAndRetiredSeries) {
+  auto& registry = StatsRegistry::Global();
+  registry.Enable();
+  registry.Record("fp.wire_bytes", 100.0, /*epoch=*/0, 0, 1);
+  registry.Record("fp.wire_bytes", 200.0, 0, 1, 1);
+  registry.Record("bp.wire_bytes", 7.0, 0, 1, 1);
+  registry.FlushEpoch(0);  // retires epoch 0 into the summary
+  registry.Record("fp.wire_bytes", 50.0, /*epoch=*/1, 0, 1);
+
+  EXPECT_DOUBLE_EQ(registry.SumFor("fp.wire_bytes"), 350.0);
+  EXPECT_DOUBLE_EQ(registry.SumFor("bp.wire_bytes"), 7.0);
+  EXPECT_DOUBLE_EQ(registry.SumFor("absent"), 0.0);
+}
+
 TEST_F(StatsTest, OneCellServesCounterGaugeAndHistogram) {
   auto& registry = StatsRegistry::Global();
   registry.Enable();
